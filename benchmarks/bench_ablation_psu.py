@@ -1,0 +1,58 @@
+"""Ablation: the PSU-efficiency nonlinearity.
+
+DESIGN.md attributes the linear model's failure at the top of the power
+range (Figure 5) partly to load-dependent PSU efficiency.  This bench
+rebuilds the Athlon cluster with a FLAT efficiency curve and shows that
+linear models recover accuracy — i.e. the nonlinearity in our substrate
+is doing the work the paper says real PSUs do.
+"""
+
+import numpy as np
+
+from repro.cluster import Cluster, execute_runs
+from repro.framework import cross_validate, render_table
+from repro.framework.reports import format_percent
+from repro.models import cluster_set
+from repro.models.featuresets import CPU_UTILIZATION_COUNTER, FREQUENCY_COUNTER
+from repro.platforms import ATHLON, PSUCurve
+from repro.platforms.power import PowerSynthesizer
+from repro.workloads import SortWorkload
+
+_FEATURES = cluster_set((CPU_UTILIZATION_COUNTER, FREQUENCY_COUNTER))
+
+
+def _linear_dre(flat_psu: bool) -> float:
+    cluster = Cluster.homogeneous(ATHLON, seed=555)
+    if flat_psu:
+        for machine in cluster.machines:
+            machine.synthesizer = PowerSynthesizer(
+                machine.spec,
+                machine.variation,
+                psu=PSUCurve(curvature=0.0),
+            )
+    runs = execute_runs(cluster, SortWorkload(), n_runs=4)
+    result = cross_validate(runs, "L", _FEATURES, seed=9)
+    return result.mean_machine_dre
+
+
+def _run_ablation() -> dict[str, float]:
+    return {
+        "curved PSU (default)": _linear_dre(flat_psu=False),
+        "flat PSU (ablated)": _linear_dre(flat_psu=True),
+    }
+
+
+def test_psu_nonlinearity_drives_linear_error(
+    benchmark, record_result
+):
+    dres = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    table = render_table(
+        ["configuration", "linear-model machine DRE"],
+        [[name, format_percent(value)] for name, value in dres.items()],
+        title="Ablation: PSU efficiency nonlinearity (Athlon, Sort, LC)",
+    )
+    record_result("ablation_psu", table)
+
+    # Removing the PSU curve must make the linear model's life easier.
+    assert dres["flat PSU (ablated)"] < dres["curved PSU (default)"]
+    assert np.isfinite(list(dres.values())).all()

@@ -1,0 +1,31 @@
+"""Figure 1: cluster power signatures, mobile (Core 2 Duo) cluster.
+
+Regenerates the five-run power traces of all four workloads and checks
+the paper's headline: dramatically different signatures per workload
+within a ~120-220 W cluster dynamic band.
+"""
+
+from repro.experiments import run_figure1
+
+
+def test_figure1_cluster_power_signatures(benchmark, repository, record_result):
+    result = benchmark.pedantic(
+        run_figure1, kwargs={"repository": repository}, rounds=1, iterations=1
+    )
+    record_result("figure1", result.render())
+
+    # Five runs of each of the four workloads.
+    assert set(result.traces) == {"sort", "pagerank", "prime", "wordcount"}
+    assert all(len(runs) == 5 for runs in result.traces.values())
+
+    # The paper's band: cluster power between ~120 W and ~220 W.
+    assert 110.0 < result.global_min_w < 140.0
+    assert 180.0 < result.global_max_w < 235.0
+
+    # PageRank runs longest; WordCount shortest (Section III-A).
+    lengths = {
+        name: max(t.size for t in runs)
+        for name, runs in result.traces.items()
+    }
+    assert lengths["pagerank"] == max(lengths.values())
+    assert lengths["wordcount"] == min(lengths.values())

@@ -1,0 +1,30 @@
+"""Figure 2: Opteron feature weighted-occurrence histogram.
+
+Checks step 5/6 mechanics: utilization tops the histogram, the threshold
+starts at 5 and the step 6 refit only ever raises it, and every selected
+feature sits above the effective threshold.
+"""
+
+from repro.experiments import run_figure2
+from repro.experiments.figure2 import cpu_utilization_is_top
+
+
+def test_figure2_feature_histogram(benchmark, repository, record_result):
+    result = benchmark.pedantic(
+        run_figure2, kwargs={"repository": repository}, rounds=1, iterations=1
+    )
+    record_result("figure2", result.render())
+
+    # "As expected, processor utilization was the most commonly
+    # identified feature."
+    assert cpu_utilization_is_top(result)
+
+    # The threshold starts at 5; stepwise refinement can only raise it.
+    assert result.initial_threshold == 5.0
+    assert result.effective_threshold >= result.initial_threshold
+
+    for name in result.selected:
+        assert result.histogram[name] >= result.effective_threshold
+
+    # Histogram weights are bounded by machines x workloads (5 x 4).
+    assert max(result.histogram.values()) <= 20.0

@@ -1,0 +1,28 @@
+"""Figure 3: Opteron DRE grid on PageRank — feature selection matters.
+
+For the network-heavy PageRank workload, moving from the CPU-only set to
+selected features buys more accuracy than moving from linear to complex
+models; the general set stays on par with the cluster-specific one.
+"""
+
+from repro.experiments import run_figure3
+
+
+def test_figure3_pagerank_grid(benchmark, repository, record_result):
+    result = benchmark.pedantic(
+        run_figure3, kwargs={"repository": repository}, rounds=1, iterations=1
+    )
+    record_result("figure3", result.render())
+
+    # Feature selection gain: CPU-only -> cluster features (linear).
+    assert result.feature_selection_gain() > 0.005
+
+    # For PageRank, features matter at least as much as technique.
+    assert result.feature_selection_gain() >= result.technique_gain() * 0.8
+
+    # The general feature set is on par with the cluster set (<1% DRE).
+    assert abs(result.general_penalty()) < 0.015
+
+    # Every cell of the grid stays under the paper's 20%-ish ceiling.
+    for evaluation in result.sweep.evaluations:
+        assert evaluation.mean_machine_dre < 0.20, evaluation.label

@@ -1,0 +1,37 @@
+"""Figure 4: Opteron DRE grid on Prime — modeling technique matters.
+
+For the CPU-bound Prime workload, the utilization/frequency-to-power
+curve is strongly nonlinear: moving from a linear to a piecewise or
+quadratic model buys accuracy even with a single feature, while adding
+counters to a linear model helps less.
+"""
+
+from repro.experiments import run_figure4
+
+
+def test_figure4_prime_grid(benchmark, repository, record_result):
+    result = benchmark.pedantic(
+        run_figure4, kwargs={"repository": repository}, rounds=1, iterations=1
+    )
+    record_result("figure4", result.render())
+
+    # Technique gain: linear -> quadratic on cluster features.
+    assert result.technique_gain() > 0.0
+
+    # "Using piecewise linear models with one feature dramatically
+    # improves accuracy compared to a linear model."
+    piecewise_u = result.cell_dre("P", "U")
+    linear_u = result.cell_dre("L", "U")
+    assert piecewise_u < linear_u
+
+    # The best nonlinear model beats the best linear one.
+    best_linear = min(
+        result.cell_dre("L", name) for name in ("U", "C", "G")
+    )
+    best_nonlinear = min(
+        result.cell_dre("Q", "C"), result.cell_dre("P", "C")
+    )
+    assert best_nonlinear < best_linear
+
+    for evaluation in result.sweep.evaluations:
+        assert evaluation.mean_machine_dre < 0.20, evaluation.label

@@ -1,0 +1,29 @@
+"""Figure 5: worst-case Athlon cluster prediction, strawman vs CHAOS.
+
+The scaled single-machine CPU-only linear model must visibly miss the top
+of the cluster power range, while the composed quadratic/general-features
+model tracks the whole dynamic range.
+"""
+
+from repro.experiments import run_figure5
+
+
+def test_figure5_worst_case_trace(benchmark, repository, record_result):
+    result = benchmark.pedantic(
+        run_figure5, kwargs={"repository": repository}, rounds=1, iterations=1
+    )
+    record_result("figure5", result.render())
+
+    # CHAOS beats the strawman overall...
+    assert result.chaos_dre < result.strawman_dre
+
+    # ...and specifically at the top of the range, where the strawman
+    # leaves watts on the table (paper: cannot predict the upper ~20%).
+    assert result.strawman_top_shortfall_w > 2.0
+    assert (
+        result.chaos_top_shortfall_w
+        < result.strawman_top_shortfall_w * 0.6
+    )
+
+    # The CHAOS model stays accurate in absolute terms.
+    assert result.chaos_dre < 0.06

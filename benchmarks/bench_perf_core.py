@@ -1,0 +1,113 @@
+"""Performance benchmarks for the library's hot paths.
+
+Unlike the table/figure benches (one-shot experiment regeneration), these
+are conventional multi-round timing benchmarks guarding the primitives
+the framework leans on: MARS fitting, the lasso path, counter derivation,
+and 1 Hz prediction.  Regressions here translate directly into longer
+characterization campaigns and heavier online agents.
+"""
+
+import numpy as np
+import pytest
+
+from repro.counters import build_catalog, derive_counters
+from repro.models import QuadraticPowerModel, cluster_set, pool_features
+from repro.models.featuresets import CPU_UTILIZATION_COUNTER, FREQUENCY_COUNTER
+from repro.platforms import CORE2, SimulatedMachine
+from repro.regression import fit_lasso_path, fit_mars, fit_ols
+from repro.workloads import SortWorkload
+
+
+@pytest.fixture(scope="module")
+def regression_data():
+    rng = np.random.default_rng(0)
+    design = rng.uniform(0, 1, size=(1500, 10))
+    response = (
+        3.0
+        + 2.0 * np.maximum(design[:, 0] - 0.5, 0)
+        + design[:, 1] * design[:, 2]
+        + rng.normal(0, 0.05, 1500)
+    )
+    return design, response
+
+
+@pytest.fixture(scope="module")
+def machine_run():
+    machines = [SimulatedMachine.build(CORE2, i, seed=5) for i in range(2)]
+    traces = SortWorkload().generate_run(machines, run_index=0, seed=5)
+    return build_catalog(CORE2), traces[machines[0].machine_id]
+
+
+class TestRegressionPerformance:
+    def test_ols_fit(self, benchmark, regression_data):
+        design, response = regression_data
+        fit = benchmark(fit_ols, design, response)
+        assert fit.coefficients.size == 11
+
+    def test_mars_degree1_fit(self, benchmark, regression_data):
+        design, response = regression_data
+        model = benchmark.pedantic(
+            fit_mars, args=(design, response),
+            kwargs={"max_degree": 1}, rounds=3, iterations=1,
+        )
+        assert model.n_terms >= 3
+
+    def test_mars_degree2_fit(self, benchmark, regression_data):
+        design, response = regression_data
+        model = benchmark.pedantic(
+            fit_mars, args=(design, response),
+            kwargs={"max_degree": 2}, rounds=3, iterations=1,
+        )
+        assert model.n_terms >= 3
+
+    def test_lasso_path(self, benchmark, regression_data):
+        design, response = regression_data
+        result = benchmark.pedantic(
+            fit_lasso_path, args=(design, response), rounds=3, iterations=1
+        )
+        assert result.best is not None
+
+
+class TestTelemetryPerformance:
+    def test_counter_derivation_full_catalog(self, benchmark, machine_run):
+        catalog, activity = machine_run
+        matrix = benchmark.pedantic(
+            derive_counters,
+            args=(catalog, activity),
+            kwargs={"machine_seed": 1, "run_index": 0},
+            rounds=3,
+            iterations=1,
+        )
+        assert matrix.shape[1] == len(catalog)
+
+
+class TestPredictionPerformance:
+    def test_quadratic_predict_throughput(self, benchmark):
+        rng = np.random.default_rng(1)
+        feature_set = cluster_set(
+            (CPU_UTILIZATION_COUNTER, FREQUENCY_COUNTER)
+        )
+        design = np.column_stack([
+            rng.uniform(0, 100, 5000),
+            np.round(rng.uniform(1130, 2260, 5000) / 250) * 250,
+        ])
+        power = 25 + 0.1 * design[:, 0] * design[:, 1] / 2260
+        model = QuadraticPowerModel(feature_set.feature_names).fit(
+            design, power
+        )
+        probe = design[:1000]
+        prediction = benchmark(model.predict, probe)
+        assert prediction.shape == (1000,)
+
+
+class TestPipelinePerformance:
+    def test_pool_features_throughput(self, benchmark):
+        from repro.cluster import Cluster, execute_runs
+
+        cluster = Cluster.homogeneous(CORE2, n_machines=3, seed=6)
+        runs = execute_runs(cluster, SortWorkload(), n_runs=2)
+        feature_set = cluster_set(
+            (CPU_UTILIZATION_COUNTER, FREQUENCY_COUNTER)
+        )
+        design, power = benchmark(pool_features, runs, feature_set)
+        assert design.shape[0] == power.shape[0]

@@ -1,0 +1,59 @@
+"""Section IV: pooling vs hierarchical/mixed models.
+
+The paper justifies pooling all machines' data (rather than fitting
+hierarchical Bayesian / mixed models) by comparing variances "according
+to the results of the recommended statistical tests in [Gelman et al.]".
+This bench runs that comparison on the simulated Opteron cluster: the
+per-machine random-intercept model barely reduces residual variance over
+the fully pooled fit, so pooling is suitable.
+"""
+
+import numpy as np
+
+from repro.framework import render_table
+from repro.models import cluster_set
+from repro.regression import pooling_suitability
+
+
+def _run_check(repository):
+    feature_set = cluster_set(repository.selection("opteron").selected)
+    runs = repository.runs("opteron", "sort")
+    designs, powers, groups = [], [], []
+    for run in runs:
+        for machine_id in run.machine_ids:
+            log = run.logs[machine_id]
+            designs.append(feature_set.extract(log))
+            powers.append(log.power_w)
+            groups.extend([machine_id] * log.n_seconds)
+    return pooling_suitability(
+        np.vstack(designs), np.concatenate(powers), np.array(groups)
+    )
+
+
+def test_pooling_is_suitable(benchmark, repository, record_result):
+    result = benchmark.pedantic(
+        _run_check, args=(repository,), rounds=1, iterations=1
+    )
+    table = render_table(
+        ["model", "residual variance (W^2)"],
+        [
+            ["fully pooled OLS", f"{result.pooled_variance:.2f}"],
+            ["per-machine random intercepts", f"{result.mixed_variance:.2f}"],
+        ],
+        title="Pooled vs mixed model variance comparison (Opteron, Sort)",
+    )
+    footer = (
+        f"variance ratio {result.variance_ratio:.3f}, pooled rmse "
+        f"inflation {result.rmse_inflation:.2f}x; per-machine intercept "
+        f"spread {result.intercept_spread_w:.2f} W -> pooling suitable: "
+        f"{result.pooling_is_suitable()}"
+    )
+    record_result("pooling_justification", table + "\n" + footer)
+
+    # The paper's conclusion: pooling with no significant accuracy loss.
+    assert result.pooling_is_suitable()
+    assert result.variance_ratio > 0.5
+
+    # Machine offsets exist (a few watts) but are small relative to the
+    # workload's power variance.
+    assert 0.0 < result.intercept_spread_w < 10.0

@@ -1,0 +1,25 @@
+"""Scalability: machines sampled vs error bound (abstract claim).
+
+Training on more machines absorbs more of the fleet's manufacturing
+variation; the DRE on never-sampled machines falls as the sample grows
+and crosses the paper's 12% bound well before the whole fleet is metered.
+"""
+
+from repro.experiments import run_sampling
+
+
+def test_machines_sampled_vs_error_bound(benchmark, repository, record_result):
+    result = benchmark.pedantic(
+        run_sampling, kwargs={"repository": repository}, rounds=1, iterations=1
+    )
+    record_result("scaling_machines", result.render())
+
+    ks = sorted(result.dre_by_k)
+    assert ks == [1, 2, 3, 4]
+
+    # Sampling more machines never hurts much and helps overall.
+    assert result.dre_by_k[ks[-1]] <= result.dre_by_k[ks[0]] + 0.005
+
+    # The 12% bound is reachable without metering the whole fleet.
+    assert result.machines_needed is not None
+    assert result.machines_needed < 5

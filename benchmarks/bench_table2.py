@@ -1,0 +1,35 @@
+"""Table II: cluster-specific feature sets and the general set.
+
+Runs Algorithm 1 on all six platforms and checks the selection's
+paper-observed structure: utilization everywhere, frequency on every DVFS
+platform, more storage features on the disk-heavy Xeons, and a compact
+(10-20 counter) set per cluster.
+"""
+
+from repro.experiments import run_table2
+from repro.models.featuresets import CPU_UTILIZATION_COUNTER, FREQUENCY_COUNTER
+
+
+def test_table2_selected_features(benchmark, repository, record_result):
+    result = benchmark.pedantic(
+        run_table2, kwargs={"repository": repository}, rounds=1, iterations=1
+    )
+    record_result("table2", result.render())
+
+    assert len(result.selections) == 6
+
+    for platform, selected in result.selections.items():
+        # 10-20 counters per cluster (paper's target; we allow a margin).
+        assert 3 <= len(selected) <= 20, platform
+        # Utilization is selected on every platform.
+        assert CPU_UTILIZATION_COUNTER in selected, platform
+
+    # Frequency matters exactly where DVFS exists.
+    for platform in ("core2", "athlon", "opteron", "xeon_sata", "xeon_sas"):
+        assert FREQUENCY_COUNTER in result.selections[platform], platform
+    assert FREQUENCY_COUNTER not in result.selections["atom"]
+
+    # The general set exists, is compact, and contains the two universal
+    # features (Table II's General column).
+    assert 3 <= len(result.general) <= 20
+    assert CPU_UTILIZATION_COUNTER in result.general

@@ -1,0 +1,87 @@
+"""Model exploration: walk the accuracy/complexity trade-off yourself.
+
+Section V of the paper builds "over 1200 models per cluster" to map how
+modeling technique and feature choice trade complexity for accuracy.
+This example runs a compact version of that exploration on a platform of
+your choice and prints the grid, the per-model parameter counts, and the
+paper-style winner label.
+
+Run with:  python examples/model_explorer.py [platform]
+           (platform: atom, core2, athlon, opteron, xeon_sata, xeon_sas)
+"""
+
+import sys
+
+from repro.cluster import Cluster, execute_runs
+from repro.framework import render_table, sweep_models
+from repro.framework.reports import format_percent
+from repro.models import (
+    build_model,
+    cluster_plus_lagged_frequency,
+    cluster_set,
+    cpu_only_set,
+    pool_features,
+)
+from repro.platforms import get_platform
+from repro.selection import run_algorithm1
+from repro.workloads import default_suite
+
+
+def main(platform_key: str = "opteron") -> None:
+    spec = get_platform(platform_key)
+    print(f"=== Model exploration on {spec.display_name} ===\n")
+
+    cluster = Cluster.homogeneous(spec, seed=66)
+    suite = default_suite()
+    runs_by_workload = {
+        name: execute_runs(cluster, workload, n_runs=4)
+        for name, workload in suite.items()
+    }
+
+    print("running Algorithm 1 ...")
+    selection = run_algorithm1(cluster, runs_by_workload)
+    print(f"cluster feature set ({len(selection.selected)} counters):")
+    for name in selection.selected:
+        print(f"  {name}")
+    print()
+
+    feature_sets = [cpu_only_set(), cluster_set(selection.selected)]
+    if spec.dvfs_mode.value != "none":
+        feature_sets.append(
+            cluster_plus_lagged_frequency(selection.selected)
+        )
+
+    for workload_name in ("prime", "pagerank"):
+        sweep = sweep_models(
+            runs_by_workload[workload_name], feature_sets, seed=2
+        )
+        rows = []
+        for evaluation in sweep.evaluations:
+            # Refit once on pooled data just to report parameter counts.
+            fs = next(
+                f for f in feature_sets
+                if f.name == evaluation.feature_set_name
+            )
+            design, power = pool_features(
+                runs_by_workload[workload_name][:1], fs
+            )
+            model = build_model(evaluation.model_code, fs).fit(design, power)
+            rows.append([
+                evaluation.label,
+                format_percent(evaluation.mean_machine_dre),
+                format_percent(evaluation.mean_cluster_dre),
+                model.n_parameters,
+            ])
+        print(render_table(
+            ["model", "machine DRE", "cluster DRE", "parameters"],
+            rows,
+            title=f"{workload_name} on {spec.key} "
+                  f"({sweep.n_models_built} models cross-validated)",
+        ))
+        best = sweep.best()
+        print(f"winner: {best.label} "
+              f"({format_percent(best.mean_machine_dre)})\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "opteron")

@@ -1,0 +1,74 @@
+"""Online monitoring: the deployed 1 Hz agent loop.
+
+What actually runs on a production host: once per second, read the
+selected OS counters, feed them to the streaming predictor, and hand the
+watts estimate to whatever consumes it (here: a power-cap controller and
+a rolling dashboard).  This example also demonstrates model persistence —
+the model is trained once, saved to JSON, and the "agent" loads it cold,
+exactly as a fleet rollout would.
+
+Run with:  python examples/online_monitoring.py
+"""
+
+import tempfile
+
+from repro.applications import CapState, GuardBand, PowerCapController
+from repro.cluster import execute_runs
+from repro.framework import OnlinePowerPredictor, train_platform_model
+from repro.models import load_platform_model, save_platform_model
+from repro.platforms import OPTERON
+from repro.workloads import SortWorkload
+
+
+def main() -> None:
+    print("=== Online monitoring agent (Opteron, Sort) ===\n")
+
+    # Characterization phase: train once, ship a JSON artifact.
+    trained = train_platform_model(OPTERON, n_runs=3, seed=55)
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        model_path = handle.name
+    save_platform_model(trained.platform_model, model_path)
+    print(f"model trained and saved ({len(trained.selected_counters)} "
+          f"counters) -> {model_path}")
+
+    # Production host: load the artifact, stream counters through it.
+    platform_model = load_platform_model(model_path)
+    predictor = OnlinePowerPredictor(platform_model, history_seconds=120)
+    controller = PowerCapController(
+        cap_w=185.0,
+        guard_band=GuardBand(watts=4.0, quantile=0.999),
+    )
+
+    live = execute_runs(
+        trained.cluster, SortWorkload(), n_runs=4, seed=trained.cluster.seed
+    )[-1]
+    machine_id = live.machine_ids[0]
+    log = live.logs[machine_id]
+
+    print(f"\nstreaming {log.n_seconds} seconds of {machine_id}:")
+    throttle_seconds = 0
+    for t in range(log.n_seconds):
+        sample = {
+            name: float(log.column(name)[t])
+            for name in predictor.required_counters
+        }
+        watts = predictor.observe(sample)
+        if controller.step(watts) is CapState.THROTTLED:
+            throttle_seconds += 1
+        if t % 60 == 0:
+            print(
+                f"  t={t:4d}s  predicted {watts:6.1f} W  "
+                f"rolling(60s) {predictor.rolling_mean_w(60):6.1f} W  "
+                f"state={controller.state.value}"
+            )
+
+    actual = log.power_w
+    print(
+        f"\nrun summary: predicted peak {predictor.peak_w():.1f} W "
+        f"(metered peak {actual.max():.1f} W), "
+        f"throttled {throttle_seconds}s of {log.n_seconds}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Platform characterization: what a new machine looks like to CHAOS.
+
+Before modeling a new platform, the paper's methodology characterizes it:
+verify the idle/peak power range (Table I), confirm each subsystem's
+counters move with its activity (the category structure of Table II),
+and only then run Algorithm 1.  This example performs that
+characterization on a platform of your choice using the component-stress
+microbenchmarks, and then shows which counters each stressor lights up.
+
+Run with:  python examples/platform_characterization.py [platform]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.cluster import Cluster, execute_runs
+from repro.framework import render_table
+from repro.platforms import get_platform
+from repro.workloads import characterization_suite
+
+# One representative counter per subsystem (all exist on every platform).
+PROBE_COUNTERS = {
+    "cpu": r"\Processor(_Total)\% Processor Time",
+    "memory": r"\Memory\Pages/sec",
+    "disk": r"\PhysicalDisk(_Total)\Disk Bytes/sec",
+    "network": r"\Network Interface(Ethernet)\Datagrams/sec",
+}
+
+
+def main(platform_key: str = "xeon_sas") -> None:
+    spec = get_platform(platform_key)
+    print(f"=== Characterizing {spec.display_name} ===\n")
+    cluster = Cluster.homogeneous(spec, n_machines=3, seed=33)
+
+    suite = characterization_suite(duration_s=60.0)
+    rows = []
+    counter_activity: dict[str, dict[str, float]] = {}
+    for name, workload in suite.items():
+        run = execute_runs(cluster, workload, n_runs=1)[0]
+        powers = np.concatenate(
+            [log.power_w for log in run.logs.values()]
+        )
+        rows.append([
+            name,
+            f"{np.mean(powers):6.1f} W",
+            f"{np.min(powers):6.1f} W",
+            f"{np.max(powers):6.1f} W",
+        ])
+        log = run.logs[run.machine_ids[0]]
+        counter_activity[name] = {
+            label: float(np.mean(log.column(counter)))
+            for label, counter in PROBE_COUNTERS.items()
+        }
+
+    print(render_table(
+        ["workload", "mean", "min", "max"],
+        rows,
+        title=(
+            f"Power under component stress (spec range "
+            f"{spec.idle_power_w:.0f}-{spec.max_power_w:.0f} W)"
+        ),
+    ))
+
+    # Normalize each probe counter by its maximum across the suite: the
+    # diagonal should dominate (each stressor lights up its own
+    # subsystem's counter).
+    peaks = {
+        label: max(counter_activity[name][label] for name in suite)
+        for label in PROBE_COUNTERS
+    }
+    print("\ncounter response (% of that counter's peak across the suite):")
+    header = ["workload"] + list(PROBE_COUNTERS)
+    body = []
+    for name in suite:
+        row = [name]
+        for label in PROBE_COUNTERS:
+            fraction = counter_activity[name][label] / max(peaks[label], 1e-9)
+            row.append(f"{fraction:5.0%}")
+        body.append(row)
+    print(render_table(header, body))
+
+    print(
+        "\nthe diagonal dominance above is what Algorithm 1 exploits: "
+        "counters\ntrack their subsystems, so selection can find the ones "
+        "that carry power."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "xeon_sas")

@@ -1,0 +1,69 @@
+"""Quickstart: train a CHAOS power model for one platform and use it.
+
+This walks the full pipeline on the mobile (Core 2 Duo) cluster:
+
+1. build an instrumented 5-machine cluster,
+2. run the four MapReduce-style workloads and collect 1 Hz telemetry,
+3. run Algorithm 1 to reduce ~220 OS counters to ~10,
+4. fit the quadratic machine-level power model on pooled cluster data,
+5. predict an unseen run's power, machine by machine and cluster-wide.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.cluster import execute_runs
+from repro.framework import train_platform_model
+from repro.metrics import AccuracyReport
+from repro.platforms import CORE2
+from repro.workloads import SortWorkload
+
+
+def main() -> None:
+    print("=== CHAOS quickstart: Core 2 Duo (mobile) cluster ===\n")
+
+    # Steps 1-4 in one call: collect, select, fit.
+    trained = train_platform_model(CORE2, n_runs=4, seed=99)
+
+    print(f"platform: {trained.cluster.name}")
+    print(f"machines: {[m.machine_id for m in trained.cluster.machines]}")
+    catalog_size = len(trained.cluster.catalogs["core2"])
+    print(
+        f"Algorithm 1 reduced {catalog_size} counters to "
+        f"{len(trained.selected_counters)}:"
+    )
+    for name in trained.selected_counters:
+        weight = trained.selection.histogram[name]
+        print(f"  {name}  (weighted occurrences: {weight:.1f})")
+
+    # Step 5: predict power for a run the model never saw.
+    print("\npredicting an unseen Sort run...")
+    unseen = execute_runs(
+        trained.cluster, SortWorkload(), n_runs=6, seed=trained.cluster.seed
+    )[-1]
+
+    for machine_id in unseen.machine_ids:
+        log = unseen.logs[machine_id]
+        prediction = trained.platform_model.predict_log(log)
+        report = AccuracyReport.from_predictions(log.power_w, prediction)
+        print(f"  {machine_id}: {report.describe()}")
+
+    measured = unseen.cluster_power()
+    predicted = np.sum(
+        [
+            trained.platform_model.predict_log(unseen.logs[machine_id])
+            for machine_id in unseen.machine_ids
+        ],
+        axis=0,
+    )
+    cluster_report = AccuracyReport.from_predictions(measured, predicted)
+    print(f"\ncluster (Eq. 5 sum): {cluster_report.describe()}")
+    print(
+        f"cluster power band: {measured.min():.0f}-{measured.max():.0f} W, "
+        f"predicted {predicted.min():.0f}-{predicted.max():.0f} W"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""CHAOS: Composable Highly Accurate OS-based power models (IISWC 2012).
+
+A from-scratch reproduction of Davis, Rivoire, Goldszmidt & Ardestani's
+full-system power-modeling framework, together with the simulated
+platforms, workloads, counters and meters it is evaluated on.
+
+The most common entry points:
+
+>>> from repro.framework import train_platform_model
+>>> from repro.platforms import CORE2
+>>> trained = train_platform_model(CORE2)            # doctest: +SKIP
+>>> trained.selected_counters                        # doctest: +SKIP
+
+Subpackages
+-----------
+``repro.platforms``
+    Simulated Table I machines: specs, DVFS governors, ground-truth power.
+``repro.workloads``
+    Dryad-style MapReduce workloads (Sort, PageRank, Prime, WordCount).
+``repro.counters`` / ``repro.telemetry`` / ``repro.powermeter``
+    The measurement stack: ~250 Perfmon counters, 1 Hz sampling, WattsUp
+    meters.
+``repro.cluster``
+    Cluster assembly, run execution, dataset pooling.
+``repro.regression``
+    OLS with Wald inference, lasso, stepwise elimination, MARS, mixed
+    models — the statistics everything above runs on.
+``repro.selection``
+    Algorithm 1: automatic feature selection, plus the cross-platform
+    general set.
+``repro.models``
+    The four power-model families (Eqs. 1-4), feature sets, Eq. 5 cluster
+    composition, JSON persistence.
+``repro.metrics``
+    Dynamic Range Error (Eq. 6) and the conventional metrics it improves
+    on.
+``repro.framework``
+    End-to-end pipelines, cross-validation, model sweeps, the online
+    predictor, and overhead accounting.
+``repro.applications``
+    Downstream consumers: power capping, provisioning, power-aware
+    scheduling.
+``repro.experiments``
+    One driver per paper table/figure (the benchmark harness's engine).
+"""
+
+__version__ = "1.0.0"
+
+PAPER = (
+    "Davis, Rivoire, Goldszmidt, Ardestani. "
+    '"CHAOS: Composable Highly Accurate OS-based Power Models". '
+    "IEEE International Symposium on Workload Characterization (IISWC), 2012."
+)
+
+__all__ = ["PAPER", "__version__"]

@@ -1,0 +1,188 @@
+"""Latent machine activity: the shared truth between workloads and sensors.
+
+A workload run produces, for every machine and every second, an
+``ActivityTrace`` describing what the hardware was actually doing — per-core
+utilization and clock frequency, memory traffic, disk and network I/O.  Two
+independent observers consume it:
+
+* the platform power synthesizer (``repro.platforms.power``), which turns
+  activity into ground-truth wall power, and
+* the OS counter derivations (``repro.counters``), which turn activity into
+  the ~250 noisy Perfmon-style counters the models are trained on.
+
+Keeping the latent activity separate from both guarantees the models never
+see the true power inputs directly, mirroring the paper's setting where OS
+counters are an imperfect view of the hardware the power meter measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _as_2d_float(values, name: str) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be 2-D (n_cores, n_seconds)")
+    return array
+
+
+def _as_1d_float(values, name: str) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be 1-D (n_seconds)")
+    return array
+
+
+@dataclass
+class ActivityTrace:
+    """Per-second latent activity of one machine over one workload run.
+
+    All rates are per-second values sampled at 1 Hz; utilization and busy
+    fractions are in [0, 1]; frequencies are in GHz (0.0 encodes the C1
+    "clock stopped" state on server platforms).
+    """
+
+    core_util: np.ndarray
+    """(n_cores, T) per-core utilization in [0, 1]."""
+
+    core_freq_ghz: np.ndarray
+    """(n_cores, T) per-core operating frequency."""
+
+    mem_pages_per_sec: np.ndarray
+    """(T,) hard page traffic (Memory\\Pages/sec ground truth)."""
+
+    page_faults_per_sec: np.ndarray
+    """(T,) total page faults, soft + hard."""
+
+    cache_faults_per_sec: np.ndarray
+    """(T,) file-system cache misses."""
+
+    committed_bytes: np.ndarray
+    """(T,) committed virtual memory."""
+
+    disk_read_bytes: np.ndarray
+    """(T,) bytes read from all disks."""
+
+    disk_write_bytes: np.ndarray
+    """(T,) bytes written to all disks."""
+
+    disk_busy_frac: np.ndarray
+    """(T,) fraction of the second any disk was servicing requests."""
+
+    net_sent_bytes: np.ndarray
+    """(T,) bytes sent over all NICs."""
+
+    net_recv_bytes: np.ndarray
+    """(T,) bytes received over all NICs."""
+
+    interrupts_per_sec: np.ndarray
+    """(T,) hardware interrupt rate."""
+
+    dpc_time_frac: np.ndarray
+    """(T,) fraction of CPU time in deferred procedure calls."""
+
+    extras: dict = field(default_factory=dict)
+    """Workload-specific named series (e.g. task phase indicators)."""
+
+    def __post_init__(self):
+        self.core_util = _as_2d_float(self.core_util, "core_util")
+        self.core_freq_ghz = _as_2d_float(self.core_freq_ghz, "core_freq_ghz")
+        one_d_fields = (
+            "mem_pages_per_sec",
+            "page_faults_per_sec",
+            "cache_faults_per_sec",
+            "committed_bytes",
+            "disk_read_bytes",
+            "disk_write_bytes",
+            "disk_busy_frac",
+            "net_sent_bytes",
+            "net_recv_bytes",
+            "interrupts_per_sec",
+            "dpc_time_frac",
+        )
+        length = self.core_util.shape[1]
+        for field_name in one_d_fields:
+            array = _as_1d_float(getattr(self, field_name), field_name)
+            if array.shape[0] != length:
+                raise ValueError(
+                    f"{field_name} has length {array.shape[0]}, expected {length}"
+                )
+            setattr(self, field_name, array)
+        if self.core_freq_ghz.shape != self.core_util.shape:
+            raise ValueError("core_freq_ghz and core_util shapes differ")
+        if np.any(self.core_util < -1e-9) or np.any(self.core_util > 1 + 1e-9):
+            raise ValueError("core_util must lie in [0, 1]")
+        if np.any(self.core_freq_ghz < 0):
+            raise ValueError("core_freq_ghz must be nonnegative")
+
+    @property
+    def n_cores(self) -> int:
+        return self.core_util.shape[0]
+
+    @property
+    def n_seconds(self) -> int:
+        return self.core_util.shape[1]
+
+    @property
+    def cpu_util(self) -> np.ndarray:
+        """(T,) machine-level utilization: mean across cores."""
+        return self.core_util.mean(axis=0)
+
+    @property
+    def disk_total_bytes(self) -> np.ndarray:
+        return self.disk_read_bytes + self.disk_write_bytes
+
+    @property
+    def net_total_bytes(self) -> np.ndarray:
+        return self.net_sent_bytes + self.net_recv_bytes
+
+    def slice_seconds(self, start: int, stop: int) -> "ActivityTrace":
+        """A view-free copy restricted to seconds [start, stop)."""
+        return ActivityTrace(
+            core_util=self.core_util[:, start:stop].copy(),
+            core_freq_ghz=self.core_freq_ghz[:, start:stop].copy(),
+            mem_pages_per_sec=self.mem_pages_per_sec[start:stop].copy(),
+            page_faults_per_sec=self.page_faults_per_sec[start:stop].copy(),
+            cache_faults_per_sec=self.cache_faults_per_sec[start:stop].copy(),
+            committed_bytes=self.committed_bytes[start:stop].copy(),
+            disk_read_bytes=self.disk_read_bytes[start:stop].copy(),
+            disk_write_bytes=self.disk_write_bytes[start:stop].copy(),
+            disk_busy_frac=self.disk_busy_frac[start:stop].copy(),
+            net_sent_bytes=self.net_sent_bytes[start:stop].copy(),
+            net_recv_bytes=self.net_recv_bytes[start:stop].copy(),
+            interrupts_per_sec=self.interrupts_per_sec[start:stop].copy(),
+            dpc_time_frac=self.dpc_time_frac[start:stop].copy(),
+            extras={
+                key: np.asarray(value)[start:stop].copy()
+                for key, value in self.extras.items()
+            },
+        )
+
+
+def idle_activity(
+    n_cores: int, n_seconds: int, idle_freq_ghz: float = 0.0
+) -> ActivityTrace:
+    """A fully idle trace: background OS housekeeping only.
+
+    ``idle_freq_ghz`` should be the platform's lowest P-state (or 0.0 for
+    server platforms that park idle processors in C1).
+    """
+    zeros = np.zeros(n_seconds)
+    return ActivityTrace(
+        core_util=np.full((n_cores, n_seconds), 0.01),
+        core_freq_ghz=np.full((n_cores, n_seconds), float(idle_freq_ghz)),
+        mem_pages_per_sec=zeros.copy(),
+        page_faults_per_sec=np.full(n_seconds, 50.0),
+        cache_faults_per_sec=np.full(n_seconds, 10.0),
+        committed_bytes=np.full(n_seconds, 1.5e9),
+        disk_read_bytes=zeros.copy(),
+        disk_write_bytes=zeros.copy(),
+        disk_busy_frac=zeros.copy(),
+        net_sent_bytes=np.full(n_seconds, 1e3),
+        net_recv_bytes=np.full(n_seconds, 1e3),
+        interrupts_per_sec=np.full(n_seconds, 120.0),
+        dpc_time_frac=np.full(n_seconds, 0.001),
+    )

@@ -1,0 +1,36 @@
+"""Downstream applications of CHAOS models: the paper's Section I use
+cases — power capping, provisioning/planning, power-aware scheduling."""
+
+from repro.applications.capping import (
+    CappingAssessment,
+    CapState,
+    GuardBand,
+    PowerCapController,
+    assess_capping,
+)
+from repro.applications.provisioning import (
+    MachinePowerProfile,
+    ProvisioningPlan,
+    plan_provisioning,
+)
+from repro.applications.scheduling import (
+    JobRequest,
+    MachineSlot,
+    Placement,
+    PowerAwareScheduler,
+)
+
+__all__ = [
+    "CapState",
+    "CappingAssessment",
+    "GuardBand",
+    "JobRequest",
+    "MachinePowerProfile",
+    "MachineSlot",
+    "Placement",
+    "PowerAwareScheduler",
+    "PowerCapController",
+    "ProvisioningPlan",
+    "assess_capping",
+    "plan_provisioning",
+]

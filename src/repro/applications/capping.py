@@ -1,0 +1,147 @@
+"""Model-based power capping (Section I / Section V-D).
+
+The paper motivates CHAOS with online power capping: a rack controller
+enforces a power budget using *predicted* power where meters are absent.
+``PowerCapController`` implements the standard guard-banded design the
+paper's discussion implies:
+
+* the operating threshold sits below the contractual cap by a guard band
+  sized from the model's validated error distribution ("the more
+  inaccurate a model is, the larger the necessary guard band");
+* alarms carry hysteresis so meter-noise-scale flutter does not flap the
+  actuator;
+* the controller reports how much of the budget the guard band strands —
+  the capital cost of model error.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class CapState(enum.Enum):
+    NORMAL = "normal"
+    THROTTLED = "throttled"
+
+
+@dataclass(frozen=True)
+class GuardBand:
+    """Guard band derived from a validated error distribution."""
+
+    watts: float
+    quantile: float
+
+    @classmethod
+    def from_errors(
+        cls, measured, predicted, quantile: float = 0.999
+    ) -> "GuardBand":
+        """Size the band from underprediction tail of (measured - predicted).
+
+        ``quantile`` is the fraction of historical underpredictions the
+        band must cover; 99.9% is a typical contractual setting.
+        """
+        measured = np.asarray(measured, dtype=float).ravel()
+        predicted = np.asarray(predicted, dtype=float).ravel()
+        if measured.shape != predicted.shape or measured.size == 0:
+            raise ValueError("need matching, non-empty validation series")
+        if not 0.5 <= quantile < 1.0:
+            raise ValueError("quantile must be in [0.5, 1)")
+        underprediction = measured - predicted
+        band = float(np.quantile(underprediction, quantile))
+        return cls(watts=max(band, 0.0), quantile=quantile)
+
+
+@dataclass
+class PowerCapController:
+    """Guard-banded, hysteretic power-cap controller on predicted power."""
+
+    cap_w: float
+    guard_band: GuardBand
+    release_hysteresis_w: float = 5.0
+    min_throttle_seconds: int = 3
+
+    state: CapState = field(default=CapState.NORMAL, init=False)
+    _throttled_for: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        if self.cap_w <= 0:
+            raise ValueError("cap must be positive")
+        if self.guard_band.watts >= self.cap_w:
+            raise ValueError("guard band swallows the entire cap")
+
+    @property
+    def threshold_w(self) -> float:
+        """The predicted-power level at which throttling engages."""
+        return self.cap_w - self.guard_band.watts
+
+    @property
+    def stranded_w(self) -> float:
+        """Budget stranded by model error (the paper's capex argument)."""
+        return self.guard_band.watts
+
+    def step(self, predicted_power_w: float) -> CapState:
+        """Advance one 1 Hz sample; returns the (possibly new) state."""
+        if self.state is CapState.NORMAL:
+            if predicted_power_w >= self.threshold_w:
+                self.state = CapState.THROTTLED
+                self._throttled_for = 1
+        else:
+            self._throttled_for += 1
+            release_level = self.threshold_w - self.release_hysteresis_w
+            if (
+                predicted_power_w < release_level
+                and self._throttled_for >= self.min_throttle_seconds
+            ):
+                self.state = CapState.NORMAL
+                self._throttled_for = 0
+        return self.state
+
+    def run(self, predicted_power_w) -> list[CapState]:
+        """Run the controller over a whole predicted trace."""
+        return [self.step(float(p)) for p in np.asarray(predicted_power_w)]
+
+
+@dataclass(frozen=True)
+class CappingAssessment:
+    """How a controller driven by predictions compares to ground truth."""
+
+    missed_overshoot_seconds: int
+    covered_overshoot_seconds: int
+    throttled_seconds: int
+    total_seconds: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of true above-cap seconds spent throttled."""
+        overshoots = self.missed_overshoot_seconds + self.covered_overshoot_seconds
+        if overshoots == 0:
+            return 1.0
+        return self.covered_overshoot_seconds / overshoots
+
+    @property
+    def throttle_duty(self) -> float:
+        return self.throttled_seconds / max(self.total_seconds, 1)
+
+
+def assess_capping(
+    controller: PowerCapController,
+    predicted_power_w,
+    measured_power_w,
+) -> CappingAssessment:
+    """Drive the controller on predictions, score it against measurements."""
+    predicted = np.asarray(predicted_power_w, dtype=float).ravel()
+    measured = np.asarray(measured_power_w, dtype=float).ravel()
+    if predicted.shape != measured.shape:
+        raise ValueError("predicted and measured lengths differ")
+    states = controller.run(predicted)
+    throttled = np.array([state is CapState.THROTTLED for state in states])
+    over_cap = measured > controller.cap_w
+    return CappingAssessment(
+        missed_overshoot_seconds=int(np.sum(over_cap & ~throttled)),
+        covered_overshoot_seconds=int(np.sum(over_cap & throttled)),
+        throttled_seconds=int(throttled.sum()),
+        total_seconds=int(measured.size),
+    )

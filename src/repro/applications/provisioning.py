@@ -1,0 +1,98 @@
+"""Power provisioning and planning (Section I / Section V-D).
+
+"In resource allocation, inaccurate power models would require
+conservative provisioning with too few machines deployed in a fixed
+area, requiring more capital expenditures."  These helpers answer the
+planner's question: given a facility power budget and a CHAOS-predicted
+per-machine power profile for the target workload mix, how many machines
+fit — and how many machines does model error cost?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MachinePowerProfile:
+    """Summary of one platform's predicted power under a workload mix."""
+
+    platform_key: str
+    mean_w: float
+    peak_w: float
+    peak_quantile: float
+
+    @classmethod
+    def from_predictions(
+        cls,
+        platform_key: str,
+        predicted_power_w,
+        peak_quantile: float = 0.99,
+    ) -> "MachinePowerProfile":
+        power = np.asarray(predicted_power_w, dtype=float).ravel()
+        if power.size == 0:
+            raise ValueError("need a non-empty predicted power series")
+        if not 0.5 <= peak_quantile <= 1.0:
+            raise ValueError("peak_quantile must be in [0.5, 1]")
+        return cls(
+            platform_key=platform_key,
+            mean_w=float(np.mean(power)),
+            peak_w=float(np.quantile(power, peak_quantile)),
+            peak_quantile=peak_quantile,
+        )
+
+
+@dataclass(frozen=True)
+class ProvisioningPlan:
+    """How many machines a budget supports, and what model error costs."""
+
+    budget_w: float
+    per_machine_allocation_w: float
+    machines_supported: int
+    machines_lost_to_guard_band: int
+    guard_band_per_machine_w: float
+
+    @property
+    def utilized_w(self) -> float:
+        return self.machines_supported * self.per_machine_allocation_w
+
+
+def plan_provisioning(
+    budget_w: float,
+    profile: MachinePowerProfile,
+    model_guard_band_w: float = 0.0,
+    oversubscription: float = 1.0,
+) -> ProvisioningPlan:
+    """Fit machines under a facility budget.
+
+    Parameters
+    ----------
+    budget_w:
+        Total facility/rack power budget.
+    profile:
+        Predicted per-machine power profile under the planned workloads.
+    model_guard_band_w:
+        Extra watts reserved per machine for model error (from
+        ``GuardBand``); zero models a perfect oracle.
+    oversubscription:
+        >1 allows provisioning against a level below per-machine peak
+        (Fan et al.-style oversubscription, relying on capping to shave
+        coincident peaks).
+    """
+    if budget_w <= 0:
+        raise ValueError("budget must be positive")
+    if oversubscription < 1.0:
+        raise ValueError("oversubscription must be >= 1")
+    allocation = profile.peak_w / oversubscription + model_guard_band_w
+    machines = int(budget_w // allocation)
+    oracle_allocation = profile.peak_w / oversubscription
+    oracle_machines = int(budget_w // oracle_allocation)
+    return ProvisioningPlan(
+        budget_w=budget_w,
+        per_machine_allocation_w=allocation,
+        machines_supported=machines,
+        machines_lost_to_guard_band=max(oracle_machines - machines, 0),
+        guard_band_per_machine_w=model_guard_band_w,
+    )

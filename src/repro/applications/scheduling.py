@@ -1,0 +1,144 @@
+"""Power-aware job placement (Section I: "power-aware software tuning",
+Section V-B: "power capping and power-aware resource scheduling").
+
+A small scheduler that places jobs on a (possibly heterogeneous) cluster
+using CHAOS-predicted per-machine power: each candidate placement's
+predicted power delta is estimated from the platform's model evaluated at
+the job's expected counter footprint, and jobs go wherever they fit under
+per-machine power limits with the most headroom left.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models.composition import PlatformModel
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A job's expected steady-state counter footprint on one machine."""
+
+    name: str
+    counter_footprint: dict[str, float]
+    """Expected values of (a subset of) the model's counters while the
+    job runs; unspecified counters are assumed at their idle level.
+
+    The footprint must cover the model's load-bearing counters: a busy
+    job also raises the DVFS frequency counter, so a footprint giving
+    utilization but leaving frequency at its idle value describes a
+    machine state the model (correctly) prices near idle."""
+
+
+@dataclass(frozen=True)
+class MachineSlot:
+    """A schedulable machine with a power limit."""
+
+    machine_id: str
+    platform_key: str
+    power_limit_w: float
+    idle_counters: dict[str, float]
+
+
+@dataclass
+class Placement:
+    machine_id: str
+    job_name: str
+    predicted_power_w: float
+
+
+@dataclass
+class PowerAwareScheduler:
+    """Greedy best-fit-by-headroom placement on predicted power."""
+
+    platform_models: dict[str, PlatformModel]
+    slots: list[MachineSlot]
+    _load_w: dict[str, float] = field(default_factory=dict, init=False)
+    _placements: list[Placement] = field(default_factory=list, init=False)
+
+    def __post_init__(self):
+        missing = {
+            slot.platform_key
+            for slot in self.slots
+            if slot.platform_key not in self.platform_models
+        }
+        if missing:
+            raise ValueError(f"no model for platform(s) {sorted(missing)}")
+        for slot in self.slots:
+            self._load_w[slot.machine_id] = self._predict_power(
+                slot, extra_counters=None
+            )
+
+    # ------------------------------------------------------------------
+    def _predict_power(
+        self, slot: MachineSlot, extra_counters: dict[str, float] | None
+    ) -> float:
+        model = self.platform_models[slot.platform_key]
+        names = model.feature_set.feature_names
+        row = []
+        for name in names:
+            base = name[: -len(" (t-1)")] if name.endswith(" (t-1)") else name
+            value = slot.idle_counters.get(base, 0.0)
+            if extra_counters and base in extra_counters:
+                value = extra_counters[base]
+            row.append(value)
+        design = np.asarray([row], dtype=float)
+        return float(model.model.predict(design)[0])
+
+    def headroom_w(self, machine_id: str) -> float:
+        slot = self._slot(machine_id)
+        return slot.power_limit_w - self._load_w[machine_id]
+
+    def _slot(self, machine_id: str) -> MachineSlot:
+        for slot in self.slots:
+            if slot.machine_id == machine_id:
+                return slot
+        raise KeyError(f"unknown machine {machine_id!r}")
+
+    # ------------------------------------------------------------------
+    def place(self, job: JobRequest) -> Placement | None:
+        """Place a job on the feasible machine with most residual headroom.
+
+        Returns None when no machine can host the job under its limit.
+        """
+        best: tuple[float, MachineSlot, float] | None = None
+        for slot in self.slots:
+            predicted = self._predict_power(slot, job.counter_footprint)
+            # The job's delta over the machine's current predicted load.
+            idle = self._predict_power(slot, None)
+            delta = max(predicted - idle, 0.0)
+            new_load = self._load_w[slot.machine_id] + delta
+            residual = slot.power_limit_w - new_load
+            if residual < 0:
+                continue
+            if best is None or residual > best[0]:
+                best = (residual, slot, new_load)
+        if best is None:
+            return None
+        _, slot, new_load = best
+        self._load_w[slot.machine_id] = new_load
+        placement = Placement(
+            machine_id=slot.machine_id,
+            job_name=job.name,
+            predicted_power_w=new_load,
+        )
+        self._placements.append(placement)
+        return placement
+
+    def place_all(self, jobs: list[JobRequest]) -> list[Placement]:
+        """Place jobs in order; unplaceable jobs are skipped."""
+        placements = []
+        for job in jobs:
+            placement = self.place(job)
+            if placement is not None:
+                placements.append(placement)
+        return placements
+
+    @property
+    def placements(self) -> list[Placement]:
+        return list(self._placements)
+
+    def total_predicted_power_w(self) -> float:
+        return float(sum(self._load_w.values()))

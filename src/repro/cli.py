@@ -1,0 +1,348 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the library's main entry points for shell use:
+
+* ``platforms``  — list the simulated Table I platforms
+* ``select``     — run Algorithm 1 on a platform and print the feature set
+* ``train``      — train a platform power model and save it to JSON
+* ``evaluate``   — cross-validate a technique + feature set on a workload
+* ``export-log`` — generate one machine-run's Perfmon CSV
+* ``predict``    — apply a saved model to a Perfmon CSV
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.cluster.cluster import DEFAULT_SEED
+from repro.platforms.specs import ALL_PLATFORMS, get_platform
+from repro.workloads.suite import WORKLOAD_NAMES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CHAOS: OS-counter-based full-system power models",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("platforms", help="list simulated platforms")
+
+    counters = sub.add_parser(
+        "counters", help="list a platform's OS counter catalog"
+    )
+    counters.add_argument("--platform", required=True)
+    counters.add_argument(
+        "--category", default=None,
+        help="filter by category (e.g. 'Memory', 'Physical Disk')",
+    )
+
+    select = sub.add_parser("select", help="run Algorithm 1 on a platform")
+    select.add_argument("--platform", required=True)
+    select.add_argument("--runs", type=int, default=3)
+    select.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    train = sub.add_parser("train", help="train and save a platform model")
+    train.add_argument("--platform", required=True)
+    train.add_argument("--runs", type=int, default=3)
+    train.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    train.add_argument("--model", default="Q", choices=["L", "P", "Q", "S"])
+    train.add_argument("--out", required=True, help="output JSON path")
+
+    evaluate = sub.add_parser(
+        "evaluate", help="cross-validate a model on one workload"
+    )
+    evaluate.add_argument("--platform", required=True)
+    evaluate.add_argument("--workload", required=True, choices=WORKLOAD_NAMES)
+    evaluate.add_argument("--model", default="Q", choices=["L", "P", "Q", "S"])
+    evaluate.add_argument("--runs", type=int, default=4)
+    evaluate.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+    export = sub.add_parser(
+        "export-log", help="generate one machine-run Perfmon CSV"
+    )
+    export.add_argument("--platform", required=True)
+    export.add_argument("--workload", required=True, choices=WORKLOAD_NAMES)
+    export.add_argument("--machine", type=int, default=0)
+    export.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    export.add_argument("--out", required=True)
+
+    predict = sub.add_parser(
+        "predict", help="apply a saved model to a Perfmon CSV"
+    )
+    predict.add_argument("--model-file", required=True)
+    predict.add_argument("--log", required=True)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate one of the paper's tables/figures"
+    )
+    reproduce.add_argument(
+        "artifact",
+        choices=sorted(_ARTIFACTS),
+        help="which paper artifact to regenerate",
+    )
+    reproduce.add_argument(
+        "--runs", type=int, default=5,
+        help="runs per workload (paper: 5; lower is faster)",
+    )
+    reproduce.add_argument(
+        "--machines", type=int, default=5,
+        help="machines per cluster (paper: 5)",
+    )
+    reproduce.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    reproduce.add_argument(
+        "--export", default=None, metavar="DIR",
+        help="also write the artifact's data as CSV into DIR",
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+
+def _cmd_platforms(args, out) -> int:
+    from repro.framework.reports import render_table
+
+    rows = [
+        [
+            p.key,
+            p.display_name,
+            f"{p.n_cores} cores",
+            p.dvfs_mode.value,
+            f"{p.idle_power_w:.0f}-{p.max_power_w:.0f} W",
+            f"{p.n_disks} disk(s)",
+        ]
+        for p in ALL_PLATFORMS
+    ]
+    print(render_table(
+        ["key", "platform", "cores", "dvfs", "power range", "storage"],
+        rows,
+        title="Simulated platforms (Table I)",
+    ), file=out)
+    return 0
+
+
+def _cmd_counters(args, out) -> int:
+    from repro.counters.catalog import build_catalog
+    from repro.counters.definitions import CounterCategory
+    from repro.framework.reports import render_table
+
+    spec = get_platform(args.platform)
+    catalog = build_catalog(spec)
+    definitions = catalog.definitions
+    if args.category is not None:
+        wanted = {
+            c for c in CounterCategory
+            if c.value.lower() == args.category.lower()
+        }
+        if not wanted:
+            known = ", ".join(sorted(c.value for c in CounterCategory))
+            print(f"unknown category {args.category!r}; known: {known}",
+                  file=out)
+            return 2
+        definitions = [d for d in definitions if d.category in wanted]
+    rows = [
+        [d.category.value, d.name, "yes" if d.informative else "no"]
+        for d in definitions
+    ]
+    print(render_table(
+        ["category", "counter", "activity-linked"],
+        rows,
+        title=f"{spec.display_name}: {len(definitions)} counters",
+    ), file=out)
+    return 0
+
+
+def _cmd_select(args, out) -> int:
+    from repro.cluster.cluster import Cluster
+    from repro.framework.chaos import collect_workload_runs
+    from repro.selection.algorithm1 import run_algorithm1
+
+    spec = get_platform(args.platform)
+    cluster = Cluster.homogeneous(spec, seed=args.seed)
+    runs = collect_workload_runs(cluster, n_runs=args.runs)
+    result = run_algorithm1(cluster, runs)
+    print(result.describe(), file=out)
+    for name in result.selected:
+        print(f"  {name}  (weight {result.histogram[name]:.1f})", file=out)
+    return 0
+
+
+def _cmd_train(args, out) -> int:
+    from repro.framework.chaos import train_platform_model
+    from repro.models.persistence import save_platform_model
+
+    spec = get_platform(args.platform)
+    trained = train_platform_model(
+        spec, n_runs=args.runs, seed=args.seed, model_code=args.model
+    )
+    save_platform_model(trained.platform_model, args.out)
+    print(
+        f"trained {trained.platform_model.model.code} model on "
+        f"{len(trained.selected_counters)} counters -> {args.out}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_evaluate(args, out) -> int:
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.runner import execute_runs
+    from repro.framework.chaos import collect_workload_runs
+    from repro.framework.crossval import cross_validate
+    from repro.models.featuresets import cluster_set
+    from repro.models.registry import supports_feature_set
+    from repro.selection.algorithm1 import run_algorithm1
+    from repro.workloads.suite import get_workload
+
+    spec = get_platform(args.platform)
+    cluster = Cluster.homogeneous(spec, seed=args.seed)
+    runs_by_workload = collect_workload_runs(cluster, n_runs=args.runs)
+    selection = run_algorithm1(cluster, runs_by_workload)
+    feature_set = cluster_set(selection.selected)
+    if not supports_feature_set(args.model, feature_set):
+        print(
+            f"model {args.model} cannot use the {len(selection.selected)}-"
+            "feature cluster set on this platform",
+            file=out,
+        )
+        return 2
+    runs = execute_runs(
+        cluster, get_workload(args.workload), n_runs=args.runs
+    )
+    result = cross_validate(
+        runs, model_code=args.model, feature_set=feature_set, seed=args.seed
+    )
+    print(
+        f"{result.label} on {spec.key}/{args.workload}: "
+        f"machine DRE {result.mean_machine_dre:.1%}, "
+        f"cluster DRE {result.mean_cluster_dre:.1%}, "
+        f"%err {result.machine_reports.mean_percent_error:.1%} "
+        f"({result.n_models_built} models cross-validated)",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_export_log(args, out) -> int:
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.runner import execute_runs
+    from repro.workloads.suite import get_workload
+
+    spec = get_platform(args.platform)
+    cluster = Cluster.homogeneous(spec, seed=args.seed)
+    if not 0 <= args.machine < cluster.n_machines:
+        print(f"machine index out of range (0-{cluster.n_machines - 1})",
+              file=out)
+        return 2
+    run = execute_runs(
+        cluster, get_workload(args.workload), n_runs=1
+    )[0]
+    machine_id = cluster.machines[args.machine].machine_id
+    log = run.logs[machine_id]
+    with open(args.out, "w") as handle:
+        handle.write(log.to_csv())
+    print(
+        f"wrote {log.n_seconds} s x {log.n_counters} counters for "
+        f"{machine_id} -> {args.out}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_predict(args, out) -> int:
+    from repro.models.persistence import load_platform_model
+    from repro.telemetry.perfmon import PerfmonLog
+
+    platform_model = load_platform_model(args.model_file)
+    with open(args.log) as handle:
+        log = PerfmonLog.from_csv(handle.read())
+    prediction = platform_model.predict_log(log)
+    actual = log.power_w
+    rmse = float(np.sqrt(np.mean((prediction - actual) ** 2)))
+    print(
+        f"predicted {prediction.size} samples: "
+        f"mean {prediction.mean():.1f} W, "
+        f"range {prediction.min():.1f}-{prediction.max():.1f} W; "
+        f"vs logged power rMSE {rmse:.2f} W",
+        file=out,
+    )
+    return 0
+
+
+#: Artifact name -> experiment driver (resolved lazily to keep CLI startup
+#: light).  Every driver accepts a DataRepository.
+_ARTIFACTS = {
+    "figure1": "run_figure1",
+    "figure2": "run_figure2",
+    "figure3": "run_figure3",
+    "figure4": "run_figure4",
+    "figure5": "run_figure5",
+    "table2": "run_table2",
+    "table3": "run_table3",
+    "table4": "run_table4",
+    "hetero": "run_hetero",
+    "general-accuracy": "run_general_accuracy",
+    "overhead": "run_overhead",
+    "scaling-machines": "run_sampling",
+    "sampling-rate": "run_sampling_rate",
+    "cross-workload": "run_cross_workload",
+}
+
+
+def _cmd_reproduce(args, out) -> int:
+    import repro.experiments as experiments
+
+    repository = experiments.DataRepository(
+        seed=args.seed, n_runs=args.runs, n_machines=args.machines
+    )
+    driver = getattr(experiments, _ARTIFACTS[args.artifact])
+    print(
+        f"regenerating {args.artifact} "
+        f"({args.machines} machines, {args.runs} runs, seed {args.seed}) "
+        "...",
+        file=out,
+    )
+    result = driver(repository=repository)
+    print(result.render(), file=out)
+    if args.export is not None:
+        from repro.experiments.export import export_result
+
+        path = export_result(args.artifact, result, args.export)
+        if path is not None:
+            print(f"data written to {path}", file=out)
+        else:
+            print("(no tabular data exporter for this artifact)", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "platforms": _cmd_platforms,
+    "counters": _cmd_counters,
+    "select": _cmd_select,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "export-log": _cmd_export_log,
+    "predict": _cmd_predict,
+    "reproduce": _cmd_reproduce,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    stream = out if out is not None else sys.stdout
+    try:
+        return _COMMANDS[args.command](args, stream)
+    except (KeyError, ValueError, OSError) as error:
+        print(f"error: {error}", file=stream)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Cluster assembly, workload execution and dataset pooling."""
+
+from repro.cluster.cluster import DEFAULT_CLUSTER_SIZE, DEFAULT_SEED, Cluster
+from repro.cluster.dataset import Dataset, Fold, pool_runs, runwise_folds
+from repro.cluster.runner import ClusterRun, execute_runs
+
+__all__ = [
+    "Cluster",
+    "ClusterRun",
+    "DEFAULT_CLUSTER_SIZE",
+    "DEFAULT_SEED",
+    "Dataset",
+    "Fold",
+    "execute_runs",
+    "pool_runs",
+    "runwise_folds",
+]

@@ -1,0 +1,135 @@
+"""Cluster assembly: homogeneous and heterogeneous machine groups.
+
+Each cluster owns its machines (with their individual manufacturing
+variation), one WattsUp meter per machine, and one counter catalog per
+platform present in the cluster.  The paper's six homogeneous clusters
+have five machines each; the heterogeneous experiment combines five
+Core 2 Duo and five Opteron machines (Section V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.counters.catalog import build_catalog
+from repro.counters.definitions import CounterCatalog
+from repro.platforms.machine import SimulatedMachine
+from repro.platforms.specs import PlatformSpec
+from repro.powermeter.wattsup import WattsUpPro
+
+DEFAULT_CLUSTER_SIZE = 5
+DEFAULT_SEED = 2012  # IISWC 2012
+
+
+@dataclass
+class Cluster:
+    """A group of instrumented machines."""
+
+    name: str
+    machines: list[SimulatedMachine]
+    meters: dict[str, WattsUpPro]
+    catalogs: dict[str, CounterCatalog] = field(repr=False)
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self):
+        if not self.machines:
+            raise ValueError("a cluster needs at least one machine")
+        ids = [m.machine_id for m in self.machines]
+        if len(set(ids)) != len(ids):
+            raise ValueError("machine ids must be unique")
+        for machine in self.machines:
+            if machine.spec.key not in self.catalogs:
+                raise ValueError(
+                    f"no counter catalog for platform {machine.spec.key!r}"
+                )
+            if machine.machine_id not in self.meters:
+                raise ValueError(
+                    f"no power meter for machine {machine.machine_id!r}"
+                )
+
+    @property
+    def n_machines(self) -> int:
+        return len(self.machines)
+
+    @property
+    def platform_keys(self) -> tuple[str, ...]:
+        """Distinct platforms present, in machine order."""
+        seen: list[str] = []
+        for machine in self.machines:
+            if machine.spec.key not in seen:
+                seen.append(machine.spec.key)
+        return tuple(seen)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        return len(self.platform_keys) == 1
+
+    def machines_of(self, platform_key: str) -> list[SimulatedMachine]:
+        return [m for m in self.machines if m.spec.key == platform_key]
+
+    def catalog_for(self, platform_key: str) -> CounterCatalog:
+        try:
+            return self.catalogs[platform_key]
+        except KeyError:
+            raise KeyError(f"no catalog for platform {platform_key!r}")
+
+    @classmethod
+    def homogeneous(
+        cls,
+        spec: PlatformSpec,
+        n_machines: int = DEFAULT_CLUSTER_SIZE,
+        seed: int = DEFAULT_SEED,
+    ) -> "Cluster":
+        """A paper-style cluster: ``n_machines`` identical-spec machines."""
+        machines = [
+            SimulatedMachine.build(spec, index, seed=seed)
+            for index in range(n_machines)
+        ]
+        meters = {
+            machine.machine_id: WattsUpPro.build(index, seed=seed)
+            for index, machine in enumerate(machines)
+        }
+        return cls(
+            name=f"{spec.key}-cluster",
+            machines=machines,
+            meters=meters,
+            catalogs={spec.key: build_catalog(spec)},
+            seed=seed,
+        )
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        groups: list[tuple[PlatformSpec, int]],
+        seed: int = DEFAULT_SEED,
+        name: str | None = None,
+    ) -> "Cluster":
+        """A mixed cluster from (platform, count) groups.
+
+        Machine variation streams match the homogeneous clusters': machine
+        ``i`` of each platform is the *same physical machine* here as in
+        that platform's own cluster, so per-platform machine models carry
+        over — the composability the paper demonstrates.
+        """
+        if not groups:
+            raise ValueError("need at least one platform group")
+        machines: list[SimulatedMachine] = []
+        catalogs: dict[str, CounterCatalog] = {}
+        for spec, count in groups:
+            if count < 1:
+                raise ValueError(f"{spec.key}: group count must be >= 1")
+            machines.extend(
+                SimulatedMachine.build(spec, index, seed=seed)
+                for index in range(count)
+            )
+            if spec.key not in catalogs:
+                catalogs[spec.key] = build_catalog(spec)
+        meters = {
+            machine.machine_id: WattsUpPro.build(index, seed=seed)
+            for index, machine in enumerate(machines)
+        }
+        label = name or "+".join(f"{spec.key}x{count}" for spec, count in groups)
+        return cls(
+            name=label, machines=machines, meters=meters,
+            catalogs=catalogs, seed=seed,
+        )

@@ -1,0 +1,120 @@
+"""Pooling cluster runs into regression datasets.
+
+The paper pools counters and power measurements from all machines in a
+cluster when fitting the cluster-wide machine model (Section IV), and
+evaluates with 5-fold cross-validation where the training set comes from
+*separate runs* than the test set and is about ten times smaller
+(Section V).  This module provides both operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.runner import ClusterRun
+
+
+@dataclass
+class Dataset:
+    """A pooled (design matrix, power) pair ready for model fitting."""
+
+    design: np.ndarray
+    power: np.ndarray
+    feature_names: list[str]
+
+    def __post_init__(self):
+        self.design = np.asarray(self.design, dtype=float)
+        self.power = np.asarray(self.power, dtype=float).ravel()
+        if self.design.ndim != 2:
+            raise ValueError("design must be 2-D")
+        if self.design.shape[0] != self.power.shape[0]:
+            raise ValueError("design and power row counts differ")
+        if self.design.shape[1] != len(self.feature_names):
+            raise ValueError("feature_names length must match design columns")
+
+    @property
+    def n_samples(self) -> int:
+        return self.design.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.design.shape[1]
+
+    def subsample(self, fraction: float, rng: np.random.Generator) -> "Dataset":
+        """A random row subset (used to shrink training folds ~10x)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        n_keep = max(int(round(self.n_samples * fraction)), 1)
+        rows = rng.choice(self.n_samples, size=n_keep, replace=False)
+        rows.sort()
+        return Dataset(
+            design=self.design[rows],
+            power=self.power[rows],
+            feature_names=list(self.feature_names),
+        )
+
+
+def pool_runs(
+    runs: list[ClusterRun],
+    counter_names: list[str],
+    machine_ids: list[str] | None = None,
+) -> Dataset:
+    """Stack machine-seconds from several runs into one dataset.
+
+    Parameters
+    ----------
+    runs:
+        Cluster runs to pool (typically all runs of a training fold).
+    counter_names:
+        Counters to extract, in feature order.
+    machine_ids:
+        Restrict pooling to these machines (e.g. one platform's machines
+        in a heterogeneous cluster).  Defaults to every machine present.
+    """
+    if not runs:
+        raise ValueError("need at least one run to pool")
+    design_blocks = []
+    power_blocks = []
+    for run in runs:
+        ids = machine_ids if machine_ids is not None else run.machine_ids
+        for machine_id in ids:
+            try:
+                log = run.logs[machine_id]
+            except KeyError:
+                raise KeyError(
+                    f"run {run.run_index} has no machine {machine_id!r}"
+                )
+            design_blocks.append(log.select(counter_names))
+            power_blocks.append(log.power_w)
+    return Dataset(
+        design=np.vstack(design_blocks),
+        power=np.concatenate(power_blocks),
+        feature_names=list(counter_names),
+    )
+
+
+@dataclass(frozen=True)
+class Fold:
+    """One cross-validation fold: run indices for train and test."""
+
+    train_runs: tuple[int, ...]
+    test_runs: tuple[int, ...]
+
+
+def runwise_folds(n_runs: int, n_folds: int | None = None) -> list[Fold]:
+    """Leave-out-style folds over runs: train on one run, test on the rest.
+
+    With the paper's 5 runs this yields 5 folds whose training data come
+    from a different execution than the test data.
+    """
+    if n_runs < 2:
+        raise ValueError("cross-validation needs at least two runs")
+    n_folds = n_runs if n_folds is None else min(n_folds, n_runs)
+    folds = []
+    for fold_index in range(n_folds):
+        train = (fold_index,)
+        test = tuple(i for i in range(n_runs) if i != fold_index)
+        folds.append(Fold(train_runs=train, test_runs=test))
+    return folds

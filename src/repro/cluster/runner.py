@@ -1,0 +1,95 @@
+"""Execute workload runs on a cluster and collect telemetry.
+
+``execute_runs`` is the data-collection campaign of Section III: run each
+workload several times on the instrumented cluster, logging every
+machine's counters and metered power at 1 Hz.  Different runs get
+different scheduler partitionings (and different noise), which is what
+makes the paper's train-on-one-run / test-on-others protocol meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.telemetry.perfmon import PerfmonLog
+from repro.telemetry.sampler import sample_machine_run
+from repro.workloads.base import Workload
+
+
+@dataclass
+class ClusterRun:
+    """All machine logs from one execution of one workload."""
+
+    cluster_name: str
+    workload_name: str
+    run_index: int
+    logs: dict[str, PerfmonLog]
+
+    def __post_init__(self):
+        if not self.logs:
+            raise ValueError("a run must contain at least one machine log")
+        lengths = {log.n_seconds for log in self.logs.values()}
+        if len(lengths) != 1:
+            raise ValueError(
+                f"machine logs disagree on run length: {sorted(lengths)}"
+            )
+
+    @property
+    def n_seconds(self) -> int:
+        return next(iter(self.logs.values())).n_seconds
+
+    @property
+    def machine_ids(self) -> list[str]:
+        return list(self.logs)
+
+    def cluster_power(self) -> np.ndarray:
+        """(T,) total metered AC power across all machines."""
+        return np.sum([log.power_w for log in self.logs.values()], axis=0)
+
+
+def execute_runs(
+    cluster: Cluster,
+    workload: Workload,
+    n_runs: int = 5,
+    seed: int | None = None,
+) -> list[ClusterRun]:
+    """Run a workload ``n_runs`` times on a cluster, collecting telemetry."""
+    if n_runs < 1:
+        raise ValueError("need at least one run")
+    base_seed = cluster.seed if seed is None else seed
+
+    runs: list[ClusterRun] = []
+    for run_index in range(n_runs):
+        traces = workload.generate_run(
+            cluster.machines, run_index=run_index, seed=base_seed
+        )
+        logs: dict[str, PerfmonLog] = {}
+        for machine_index, machine in enumerate(cluster.machines):
+            catalog = cluster.catalog_for(machine.spec.key)
+            meter = cluster.meters[machine.machine_id]
+            machine_seed = _machine_sampling_seed(base_seed, machine_index)
+            logs[machine.machine_id] = sample_machine_run(
+                machine=machine,
+                catalog=catalog,
+                activity=traces[machine.machine_id],
+                meter=meter,
+                machine_seed=machine_seed,
+                run_index=run_index,
+            )
+        runs.append(
+            ClusterRun(
+                cluster_name=cluster.name,
+                workload_name=workload.name,
+                run_index=run_index,
+                logs=logs,
+            )
+        )
+    return runs
+
+
+def _machine_sampling_seed(base_seed: int, machine_index: int) -> int:
+    """Distinct, stable sampling seed per machine."""
+    return base_seed * 1000 + machine_index

@@ -1,0 +1,20 @@
+"""Simulated OS performance counters (the ~250-counter Perfmon catalog)."""
+
+from repro.counters.catalog import build_catalog
+from repro.counters.definitions import (
+    CounterCatalog,
+    CounterCategory,
+    CounterDefinition,
+    DerivationContext,
+)
+from repro.counters.derivation import derive_counter, derive_counters
+
+__all__ = [
+    "CounterCatalog",
+    "CounterCategory",
+    "CounterDefinition",
+    "DerivationContext",
+    "build_catalog",
+    "derive_counter",
+    "derive_counters",
+]

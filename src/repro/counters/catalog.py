@@ -1,0 +1,1062 @@
+"""Programmatic construction of the ~250-counter Perfmon catalog.
+
+Windows Server 2008 R2 exposes roughly 10,000 counters; the paper pre-
+selects ~250 related to hardware and OS activity (processor, memory,
+physical disk, process, job object, file-system cache, network) and lets
+Algorithm 1 reduce them to 10-20.  This module builds the equivalent
+catalog for a simulated platform:
+
+* canonical counters (the ones Table II ends up selecting) derive
+  faithfully from latent activity;
+* correlated aliases (|r| > 0.95 with a canonical counter) exercise the
+  step 1 correlation pruning;
+* definitional sums (``Packets/sec = Sent + Received``) exercise the
+  step 2 co-dependence elimination;
+* constants, drifts and pure-noise counters exercise the L1/stepwise
+  steps, which must discard them.
+
+Counter counts scale with the platform (per-core and per-disk instances),
+landing between ~230 (2-core, 1 disk) and ~330 (8-core, 6 disks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.counters.definitions import (
+    CounterCatalog,
+    CounterCategory,
+    CounterDefinition,
+    DerivationContext,
+)
+from repro.platforms.specs import PlatformSpec
+
+_PAGE = 4096.0
+_MTU = 1500.0
+_IO_CHUNK = 64 * 1024.0
+
+_PROCESS_INSTANCES = (
+    "_Total",
+    "dryadvertex",
+    "dryadmanager",
+    "system",
+    "svchost#1",
+    "svchost#2",
+    "svchost#3",
+    "svchost#4",
+    "services",
+    "lsass",
+    "wininit",
+    "winlogon",
+    "perfmon",
+    "smss",
+    "csrss",
+    "taskhost",
+    "wmiprvse",
+    "explorer",
+    "spoolsv",
+    "dwm",
+)
+"""Process instances: the Dryad daemons plus Windows background services."""
+
+
+
+def _variable_chunk(
+    ctx: DerivationContext, nominal: float, sigma: float = 0.45
+) -> np.ndarray:
+    """Per-second IO transfer size: real workloads mix small and large IOs,
+    so operations/sec is *not* proportional to bytes/sec.  This is what
+    keeps definitional sums like Transfers = Reads + Writes from being
+    trivially caught by correlation pruning (they are eliminated by the
+    step 2 co-dependence rule instead)."""
+    n = ctx.activity.n_seconds
+    log_walk = np.cumsum(ctx.rng.normal(0.0, sigma / 6.0, n))
+    log_walk -= log_walk.mean()
+    return nominal * np.exp(np.clip(log_walk, -1.2, 1.2))
+
+
+# ----------------------------------------------------------------------
+# Category builders
+# ----------------------------------------------------------------------
+
+def _add_processor(catalog: CounterCatalog, spec: PlatformSpec) -> None:
+    cat = CounterCategory.PROCESSOR
+
+    def total_time(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.cpu_util * 100.0
+
+    # Canonical: Table II's "Total Processor Time %".
+    catalog.add(CounterDefinition(
+        r"\Processor(_Total)\% Processor Time", cat, total_time,
+        noise_sigma=0.015, additive_sigma=0.3,
+    ))
+
+    def total_interrupts(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.interrupts_per_sec
+
+    catalog.add(CounterDefinition(
+        r"\Processor(_Total)\Interrupts/sec", cat, total_interrupts,
+        noise_sigma=0.04,
+    ))
+
+    def total_dpc(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.dpc_time_frac * 100.0
+
+    catalog.add(CounterDefinition(
+        r"\Processor(_Total)\% DPC Time", cat, total_dpc,
+        noise_sigma=0.06, additive_sigma=0.05,
+    ))
+
+    def total_user(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.cpu_util * 100.0 * 0.82
+
+    # Correlated alias of % Processor Time (r ~ 1): step 1 fodder.
+    catalog.add(CounterDefinition(
+        r"\Processor(_Total)\% User Time", cat, total_user,
+        noise_sigma=0.02, additive_sigma=0.2,
+    ))
+
+    def total_privileged(ctx: DerivationContext) -> np.ndarray:
+        return (
+            ctx.activity.cpu_util * 18.0
+            + ctx.activity.dpc_time_frac * 100.0
+        )
+
+    catalog.add(CounterDefinition(
+        r"\Processor(_Total)\% Privileged Time", cat, total_privileged,
+        noise_sigma=0.05, additive_sigma=0.1,
+    ))
+
+    def total_idle(ctx: DerivationContext) -> np.ndarray:
+        return 100.0 - ctx.activity.cpu_util * 100.0
+
+    # Anti-correlated alias (r ~ -1): step 1 must catch |r| > 0.95.
+    catalog.add(CounterDefinition(
+        r"\Processor(_Total)\% Idle Time", cat, total_idle,
+        noise_sigma=0.01, additive_sigma=0.3,
+    ))
+
+    def total_interrupt_time(ctx: DerivationContext) -> np.ndarray:
+        return np.clip(ctx.activity.interrupts_per_sec / 40000.0, 0, 1) * 100.0
+
+    catalog.add(CounterDefinition(
+        r"\Processor(_Total)\% Interrupt Time", cat, total_interrupt_time,
+        noise_sigma=0.08, additive_sigma=0.05,
+    ))
+
+    for core in range(spec.n_cores):
+        def core_time(ctx: DerivationContext, c=core) -> np.ndarray:
+            return ctx.activity.core_util[c] * 100.0
+
+        catalog.add(CounterDefinition(
+            rf"\Processor({core})\% Processor Time", cat, core_time,
+            noise_sigma=0.02, additive_sigma=0.4,
+        ))
+
+        def core_user(ctx: DerivationContext, c=core) -> np.ndarray:
+            return ctx.activity.core_util[c] * 82.0
+
+        catalog.add(CounterDefinition(
+            rf"\Processor({core})\% User Time", cat, core_user,
+            noise_sigma=0.03, additive_sigma=0.4,
+        ))
+
+        def core_interrupts(ctx: DerivationContext, c=core) -> np.ndarray:
+            return ctx.activity.interrupts_per_sec / ctx.spec.n_cores
+
+        catalog.add(CounterDefinition(
+            rf"\Processor({core})\Interrupts/sec", cat, core_interrupts,
+            noise_sigma=0.10,
+        ))
+
+        def core_dpc(ctx: DerivationContext, c=core) -> np.ndarray:
+            return ctx.activity.dpc_time_frac * 100.0
+
+        catalog.add(CounterDefinition(
+            rf"\Processor({core})\% DPC Time", cat, core_dpc,
+            noise_sigma=0.10, additive_sigma=0.05,
+        ))
+
+        def core_dpcs_queued(ctx: DerivationContext, c=core) -> np.ndarray:
+            return (
+                ctx.activity.dpc_time_frac * 5.0e4 / ctx.spec.n_cores
+                + 20.0
+            )
+
+        catalog.add(CounterDefinition(
+            rf"\Processor({core})\DPCs Queued/sec", cat, core_dpcs_queued,
+            noise_sigma=0.12,
+        ))
+
+
+def _add_processor_performance(catalog: CounterCatalog, spec: PlatformSpec) -> None:
+    cat = CounterCategory.PROCESSOR_PERFORMANCE
+
+    # Canonical: Table II's "Processor_0 Processor Frequency" — one core's
+    # frequency proxies the whole system (Section V-D).
+    for core in range(spec.n_cores):
+        def core_frequency(ctx: DerivationContext, c=core) -> np.ndarray:
+            return ctx.activity.core_freq_ghz[c] * 1000.0
+
+        catalog.add(CounterDefinition(
+            rf"\Processor Performance({core})\Frequency MHz", cat,
+            core_frequency, noise_sigma=0.0, additive_sigma=0.5,
+        ))
+
+    def percent_max_freq(ctx: DerivationContext) -> np.ndarray:
+        return (
+            ctx.activity.core_freq_ghz.mean(axis=0)
+            / ctx.spec.max_freq_ghz * 100.0
+        )
+
+    catalog.add(CounterDefinition(
+        r"\Processor Performance(_Total)\% of Maximum Frequency", cat,
+        percent_max_freq, noise_sigma=0.0, additive_sigma=0.3,
+    ))
+
+
+def _add_memory(catalog: CounterCatalog, spec: PlatformSpec) -> None:
+    cat = CounterCategory.MEMORY
+
+    def page_faults(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.page_faults_per_sec
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Page Faults/sec", cat, page_faults, noise_sigma=0.04,
+    ))
+
+    def cache_faults(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.cache_faults_per_sec
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Cache Faults/sec", cat, cache_faults, noise_sigma=0.05,
+    ))
+
+    def pages(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.mem_pages_per_sec
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Pages/sec", cat, pages, noise_sigma=0.05,
+    ))
+
+    def committed(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.committed_bytes
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Committed Bytes", cat, committed, noise_sigma=0.01,
+    ))
+
+    def page_reads(ctx: DerivationContext) -> np.ndarray:
+        # Hard-fault disk reads: couples memory pressure to storage.
+        return (
+            0.12 * ctx.activity.mem_pages_per_sec
+            + 0.25 * ctx.activity.disk_read_bytes / _PAGE / 8.0
+        )
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Page Reads/sec", cat, page_reads, noise_sigma=0.08,
+    ))
+
+    def pool_nonpaged_allocs(ctx: DerivationContext) -> np.ndarray:
+        packets = ctx.activity.net_total_bytes / _MTU
+        iops = ctx.activity.disk_total_bytes / _IO_CHUNK
+        return 4.0e4 + 2.0 * packets + 6.0 * iops
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Pool Nonpaged Allocs", cat, pool_nonpaged_allocs,
+        noise_sigma=0.03,
+    ))
+
+    # Correlated aliases and decoys below (registered after canonicals).
+    def pages_input(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.mem_pages_per_sec * 0.55
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Pages Input/sec", cat, pages_input, noise_sigma=0.03,
+    ))
+
+    def pages_output(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.mem_pages_per_sec * 0.45
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Pages Output/sec", cat, pages_output, noise_sigma=0.03,
+    ))
+
+    def available_bytes(ctx: DerivationContext) -> np.ndarray:
+        total = ctx.spec.memory_gb * 2.0**30
+        return np.maximum(total - ctx.activity.committed_bytes, 0.0)
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Available Bytes", cat, available_bytes, noise_sigma=0.01,
+    ))
+
+    def transition_faults(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.page_faults_per_sec * 0.35
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Transition Faults/sec", cat, transition_faults,
+        noise_sigma=0.04,
+    ))
+
+    def demand_zero_faults(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.page_faults_per_sec * 0.4
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Demand Zero Faults/sec", cat, demand_zero_faults,
+        noise_sigma=0.05,
+    ))
+
+    def pool_paged_allocs(ctx: DerivationContext) -> np.ndarray:
+        return 6.0e4 * np.ones(ctx.activity.n_seconds)
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Pool Paged Allocs", cat, pool_paged_allocs,
+        noise_sigma=0.005, informative=False,
+    ))
+
+    def commit_limit(ctx: DerivationContext) -> np.ndarray:
+        return np.full(
+            ctx.activity.n_seconds, ctx.spec.memory_gb * 2.0**30 * 1.5
+        )
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Commit Limit", cat, commit_limit,
+        noise_sigma=0.0, informative=False,
+    ))
+
+    def free_ptes(ctx: DerivationContext) -> np.ndarray:
+        return 3.0e5 + ctx.rng.normal(0.0, 500.0, ctx.activity.n_seconds)
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Free System Page Table Entries", cat, free_ptes,
+        noise_sigma=0.002, informative=False,
+    ))
+
+    def pool_nonpaged_bytes(ctx: DerivationContext) -> np.ndarray:
+        packets = ctx.activity.net_total_bytes / _MTU
+        return 9.0e7 + 400.0 * packets
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Pool Nonpaged Bytes", cat, pool_nonpaged_bytes,
+        noise_sigma=0.02,
+    ))
+
+    def pool_paged_bytes(ctx: DerivationContext) -> np.ndarray:
+        return np.full(ctx.activity.n_seconds, 1.6e8)
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Pool Paged Bytes", cat, pool_paged_bytes,
+        noise_sigma=0.01, informative=False,
+    ))
+
+    def cache_bytes(ctx: DerivationContext) -> np.ndarray:
+        return 2.0e8 + ctx.activity.committed_bytes * 0.05
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Cache Bytes", cat, cache_bytes, noise_sigma=0.02,
+    ))
+
+    def cache_bytes_peak(ctx: DerivationContext) -> np.ndarray:
+        observed = (2.0e8 + ctx.activity.committed_bytes * 0.05) * np.exp(
+            ctx.rng.normal(0.0, 0.005, ctx.activity.n_seconds)
+        )
+        return np.maximum.accumulate(observed)
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Cache Bytes Peak", cat, cache_bytes_peak,
+        noise_sigma=0.0,
+    ))
+
+    def write_copies(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.page_faults_per_sec * 0.02 + 2.0
+
+    catalog.add(CounterDefinition(
+        r"\Memory\Write Copies/sec", cat, write_copies, noise_sigma=0.2,
+    ))
+
+    def system_code_bytes(ctx: DerivationContext) -> np.ndarray:
+        return np.full(ctx.activity.n_seconds, 3.2e6)
+
+    catalog.add(CounterDefinition(
+        r"\Memory\System Code Total Bytes", cat, system_code_bytes,
+        noise_sigma=0.0, informative=False,
+    ))
+
+    def paging_usage(ctx: DerivationContext) -> np.ndarray:
+        total = ctx.spec.memory_gb * 2.0**30 * 1.5
+        return ctx.activity.committed_bytes / total * 100.0
+
+    catalog.add(CounterDefinition(
+        r"\Paging File(_Total)\% Usage", cat, paging_usage,
+        noise_sigma=0.02,
+    ))
+
+    def paging_usage_peak(ctx: DerivationContext) -> np.ndarray:
+        total = ctx.spec.memory_gb * 2.0**30 * 1.5
+        observed = ctx.activity.committed_bytes / total * 100.0 * np.exp(
+            ctx.rng.normal(0.0, 0.01, ctx.activity.n_seconds)
+        )
+        return np.maximum.accumulate(observed)
+
+    catalog.add(CounterDefinition(
+        r"\Paging File(_Total)\% Usage Peak", cat, paging_usage_peak,
+        noise_sigma=0.0,
+    ))
+
+
+def _add_physical_disk(catalog: CounterCatalog, spec: PlatformSpec) -> None:
+    cat = CounterCategory.PHYSICAL_DISK
+
+    def total_disk_time(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.disk_busy_frac * 100.0
+
+    # Canonical: Table II "Disk Total Disk Time %".
+    catalog.add(CounterDefinition(
+        r"\PhysicalDisk(_Total)\% Disk Time", cat, total_disk_time,
+        noise_sigma=0.05, additive_sigma=0.2,
+    ))
+
+    def total_disk_bytes(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.disk_total_bytes
+
+    # Canonical: Table II "Disk Total Disk Bytes/sec".
+    catalog.add(CounterDefinition(
+        r"\PhysicalDisk(_Total)\Disk Bytes/sec", cat, total_disk_bytes,
+        noise_sigma=0.04,
+    ))
+
+    def total_read_bytes(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.disk_read_bytes
+
+    catalog.add(CounterDefinition(
+        r"\PhysicalDisk(_Total)\Disk Read Bytes/sec", cat, total_read_bytes,
+        noise_sigma=0.04,
+    ))
+
+    def total_write_bytes(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.disk_write_bytes
+
+    catalog.add(CounterDefinition(
+        r"\PhysicalDisk(_Total)\Disk Write Bytes/sec", cat, total_write_bytes,
+        noise_sigma=0.04,
+    ))
+
+    def total_reads(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.disk_read_bytes / _variable_chunk(ctx, _IO_CHUNK)
+
+    catalog.add(CounterDefinition(
+        r"\PhysicalDisk(_Total)\Disk Reads/sec", cat, total_reads,
+        noise_sigma=0.05,
+    ))
+
+    def total_writes(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.disk_write_bytes / _variable_chunk(ctx, _IO_CHUNK)
+
+    catalog.add(CounterDefinition(
+        r"\PhysicalDisk(_Total)\Disk Writes/sec", cat, total_writes,
+        noise_sigma=0.05,
+    ))
+
+    def total_transfers(ctx: DerivationContext) -> np.ndarray:
+        # Never observed directly: registered as a definitional sum below.
+        return ctx.activity.disk_total_bytes / _IO_CHUNK
+
+    # Definitional sum: Transfers/sec = Reads/sec + Writes/sec (step 2).
+    catalog.add(CounterDefinition(
+        r"\PhysicalDisk(_Total)\Disk Transfers/sec", cat, total_transfers,
+        noise_sigma=0.05,
+        sum_of=(
+            r"\PhysicalDisk(_Total)\Disk Reads/sec",
+            r"\PhysicalDisk(_Total)\Disk Writes/sec",
+        ),
+    ))
+
+    def queue_length(ctx: DerivationContext) -> np.ndarray:
+        busy = ctx.activity.disk_busy_frac
+        return busy / np.maximum(1.0 - 0.9 * busy, 0.1)
+
+    catalog.add(CounterDefinition(
+        r"\PhysicalDisk(_Total)\Avg. Disk Queue Length", cat, queue_length,
+        noise_sigma=0.10,
+    ))
+
+    for disk in range(spec.n_disks):
+        share = 1.0 / spec.n_disks
+
+        def disk_time(ctx: DerivationContext) -> np.ndarray:
+            return ctx.activity.disk_busy_frac * 100.0
+
+        catalog.add(CounterDefinition(
+            rf"\PhysicalDisk({disk})\% Disk Time", cat, disk_time,
+            noise_sigma=0.12, additive_sigma=0.3,
+        ))
+
+        def disk_bytes(ctx: DerivationContext, s=share) -> np.ndarray:
+            return ctx.activity.disk_total_bytes * s
+
+        catalog.add(CounterDefinition(
+            rf"\PhysicalDisk({disk})\Disk Bytes/sec", cat, disk_bytes,
+            noise_sigma=0.15,
+        ))
+
+        def disk_queue(ctx: DerivationContext) -> np.ndarray:
+            busy = ctx.activity.disk_busy_frac
+            return busy / np.maximum(1.0 - 0.9 * busy, 0.1)
+
+        catalog.add(CounterDefinition(
+            rf"\PhysicalDisk({disk})\Avg. Disk Queue Length", cat, disk_queue,
+            noise_sigma=0.2,
+        ))
+
+        def disk_read_bytes(ctx: DerivationContext, s=share) -> np.ndarray:
+            return ctx.activity.disk_read_bytes * s
+
+        catalog.add(CounterDefinition(
+            rf"\PhysicalDisk({disk})\Disk Read Bytes/sec", cat,
+            disk_read_bytes, noise_sigma=0.15,
+        ))
+
+        def disk_write_bytes(ctx: DerivationContext, s=share) -> np.ndarray:
+            return ctx.activity.disk_write_bytes * s
+
+        catalog.add(CounterDefinition(
+            rf"\PhysicalDisk({disk})\Disk Write Bytes/sec", cat,
+            disk_write_bytes, noise_sigma=0.15,
+        ))
+
+        def disk_latency(ctx: DerivationContext) -> np.ndarray:
+            busy = ctx.activity.disk_busy_frac
+            return 0.002 + 0.02 * busy**2
+
+        catalog.add(CounterDefinition(
+            rf"\PhysicalDisk({disk})\Avg. Disk sec/Transfer", cat,
+            disk_latency, noise_sigma=0.2,
+        ))
+
+
+def _add_network(catalog: CounterCatalog, spec: PlatformSpec) -> None:
+    cat = CounterCategory.NETWORK
+    interface = "Ethernet"
+
+    def datagrams(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.net_total_bytes / _MTU
+
+    # Canonical: Table II "Datagram/sec".
+    catalog.add(CounterDefinition(
+        rf"\Network Interface({interface})\Datagrams/sec", cat, datagrams,
+        noise_sigma=0.04,
+    ))
+
+    def bytes_sent(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.net_sent_bytes
+
+    catalog.add(CounterDefinition(
+        rf"\Network Interface({interface})\Bytes Sent/sec", cat, bytes_sent,
+        noise_sigma=0.04,
+    ))
+
+    def bytes_received(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.net_recv_bytes
+
+    catalog.add(CounterDefinition(
+        rf"\Network Interface({interface})\Bytes Received/sec", cat,
+        bytes_received, noise_sigma=0.04,
+    ))
+
+    def bytes_total(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.net_total_bytes
+
+    # Definitional sum (step 2 fodder).
+    catalog.add(CounterDefinition(
+        rf"\Network Interface({interface})\Bytes Total/sec", cat, bytes_total,
+        noise_sigma=0.04,
+        sum_of=(
+            rf"\Network Interface({interface})\Bytes Sent/sec",
+            rf"\Network Interface({interface})\Bytes Received/sec",
+        ),
+    ))
+
+    def packets_sent(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.net_sent_bytes / _variable_chunk(ctx, _MTU, 0.3)
+
+    catalog.add(CounterDefinition(
+        rf"\Network Interface({interface})\Packets Sent/sec", cat,
+        packets_sent, noise_sigma=0.05,
+    ))
+
+    def packets_received(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.net_recv_bytes / _variable_chunk(ctx, _MTU, 0.3)
+
+    catalog.add(CounterDefinition(
+        rf"\Network Interface({interface})\Packets Received/sec", cat,
+        packets_received, noise_sigma=0.05,
+    ))
+
+    def packets(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.net_total_bytes / _MTU
+
+    catalog.add(CounterDefinition(
+        rf"\Network Interface({interface})\Packets/sec", cat, packets,
+        noise_sigma=0.05,
+        sum_of=(
+            rf"\Network Interface({interface})\Packets Sent/sec",
+            rf"\Network Interface({interface})\Packets Received/sec",
+        ),
+    ))
+
+    def bandwidth(ctx: DerivationContext) -> np.ndarray:
+        return np.full(ctx.activity.n_seconds, ctx.spec.nic_max_bps * 8.0)
+
+    catalog.add(CounterDefinition(
+        rf"\Network Interface({interface})\Current Bandwidth", cat, bandwidth,
+        noise_sigma=0.0, informative=False,
+    ))
+
+    def output_queue(ctx: DerivationContext) -> np.ndarray:
+        saturation = ctx.activity.net_sent_bytes / ctx.spec.nic_max_bps
+        return np.maximum(saturation - 0.7, 0.0) * 20.0
+
+    catalog.add(CounterDefinition(
+        rf"\Network Interface({interface})\Output Queue Length", cat,
+        output_queue, noise_sigma=0.3,
+    ))
+
+    # Loopback interface: pure OS chatter, uninformative.
+    def loopback_bytes(ctx: DerivationContext) -> np.ndarray:
+        return 1.0e4 * np.ones(ctx.activity.n_seconds)
+
+    catalog.add(CounterDefinition(
+        r"\Network Interface(Loopback)\Bytes Total/sec", cat, loopback_bytes,
+        noise_sigma=0.5, informative=False,
+    ))
+
+    def loopback_packets(ctx: DerivationContext) -> np.ndarray:
+        return 30.0 * np.ones(ctx.activity.n_seconds)
+
+    catalog.add(CounterDefinition(
+        r"\Network Interface(Loopback)\Packets/sec", cat, loopback_packets,
+        noise_sigma=0.5, informative=False,
+    ))
+
+    def tcp_segments_sent(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.net_sent_bytes / _variable_chunk(ctx, _MTU, 0.3) * 0.92
+
+    catalog.add(CounterDefinition(
+        r"\TCPv4\Segments Sent/sec", cat, tcp_segments_sent,
+        noise_sigma=0.06,
+    ))
+
+    def tcp_segments_received(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.net_recv_bytes / _variable_chunk(ctx, _MTU, 0.3) * 0.92
+
+    catalog.add(CounterDefinition(
+        r"\TCPv4\Segments Received/sec", cat, tcp_segments_received,
+        noise_sigma=0.06,
+    ))
+
+    def tcp_segments(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.net_total_bytes / _MTU * 0.92
+
+    catalog.add(CounterDefinition(
+        r"\TCPv4\Segments/sec", cat, tcp_segments, noise_sigma=0.06,
+        sum_of=(
+            r"\TCPv4\Segments Sent/sec",
+            r"\TCPv4\Segments Received/sec",
+        ),
+    ))
+
+    def tcp_connections(ctx: DerivationContext) -> np.ndarray:
+        active = (ctx.activity.net_total_bytes > 1.0e5).astype(float)
+        return 12.0 + 40.0 * active
+
+    catalog.add(CounterDefinition(
+        r"\TCPv4\Connections Established", cat, tcp_connections,
+        noise_sigma=0.05,
+    ))
+
+
+def _add_process(catalog: CounterCatalog, spec: PlatformSpec) -> None:
+    cat = CounterCategory.PROCESS
+
+    def total_page_faults(ctx: DerivationContext) -> np.ndarray:
+        # Mostly the Memory counter, but misses kernel-attributed faults —
+        # imperfectly correlated, so both can survive step 1 (as both do in
+        # Table II on the Xeons).
+        extra = 250.0 * ctx.activity.cpu_util
+        return ctx.activity.page_faults_per_sec * 0.82 + extra
+
+    catalog.add(CounterDefinition(
+        r"\Process(_Total)\Page Faults/sec", cat, total_page_faults,
+        noise_sigma=0.10,
+    ))
+
+    def total_io_data(ctx: DerivationContext) -> np.ndarray:
+        return (
+            0.75 * ctx.activity.disk_total_bytes
+            + 0.35 * ctx.activity.net_total_bytes
+        )
+
+    # Canonical: Table II "Total IO Data Bytes/sec" (Athlon).
+    catalog.add(CounterDefinition(
+        r"\Process(_Total)\IO Data Bytes/sec", cat, total_io_data,
+        noise_sigma=0.08,
+    ))
+
+    def total_processor(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.cpu_util * 100.0 * ctx.spec.n_cores
+
+    catalog.add(CounterDefinition(
+        r"\Process(_Total)\% Processor Time", cat, total_processor,
+        noise_sigma=0.02, additive_sigma=0.5,
+    ))
+
+    def total_working_set(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.committed_bytes * 0.62
+
+    catalog.add(CounterDefinition(
+        r"\Process(_Total)\Working Set", cat, total_working_set,
+        noise_sigma=0.02,
+    ))
+
+    def total_threads(ctx: DerivationContext) -> np.ndarray:
+        return 900.0 + 60.0 * ctx.activity.cpu_util
+
+    catalog.add(CounterDefinition(
+        r"\Process(_Total)\Thread Count", cat, total_threads,
+        noise_sigma=0.01,
+    ))
+
+    def total_handles(ctx: DerivationContext) -> np.ndarray:
+        return 2.4e4 * np.ones(ctx.activity.n_seconds)
+
+    catalog.add(CounterDefinition(
+        r"\Process(_Total)\Handle Count", cat, total_handles,
+        noise_sigma=0.01, informative=False,
+    ))
+
+    # Per-process instances: the Dryad vertex does the real work; service
+    # processes contribute background noise (and pad the catalog the way a
+    # real Perfmon capture does).
+    rng_share = np.random.default_rng(1234)  # fixed per-catalog shares
+    for instance in _PROCESS_INSTANCES[1:]:
+        is_worker = instance.startswith("dryad")
+        cpu_share = 0.85 if instance == "dryadvertex" else float(
+            rng_share.uniform(0.001, 0.02)
+        )
+
+        def proc_cpu(ctx: DerivationContext, s=cpu_share, worker=is_worker):
+            base = ctx.activity.cpu_util * 100.0 * ctx.spec.n_cores * s
+            if not worker:
+                jitter = ctx.rng.gamma(1.5, 0.2, ctx.activity.n_seconds)
+                return base * 0.1 + jitter
+            return base
+
+        catalog.add(CounterDefinition(
+            rf"\Process({instance})\% Processor Time", cat, proc_cpu,
+            noise_sigma=0.10, informative=is_worker,
+        ))
+
+        def proc_io(ctx: DerivationContext, worker=is_worker) -> np.ndarray:
+            if worker:
+                return 0.7 * (
+                    ctx.activity.disk_total_bytes
+                    + 0.4 * ctx.activity.net_total_bytes
+                )
+            return 2.0e3 * np.ones(ctx.activity.n_seconds)
+
+        catalog.add(CounterDefinition(
+            rf"\Process({instance})\IO Data Bytes/sec", cat, proc_io,
+            noise_sigma=0.15, informative=is_worker,
+        ))
+
+        def proc_ws(ctx: DerivationContext, worker=is_worker) -> np.ndarray:
+            if worker:
+                return ctx.activity.committed_bytes * 0.45
+            return 3.0e7 * np.ones(ctx.activity.n_seconds)
+
+        catalog.add(CounterDefinition(
+            rf"\Process({instance})\Working Set", cat, proc_ws,
+            noise_sigma=0.03, informative=is_worker,
+        ))
+
+        def proc_faults(ctx: DerivationContext, worker=is_worker) -> np.ndarray:
+            if worker:
+                return ctx.activity.page_faults_per_sec * 0.7
+            return 20.0 * np.ones(ctx.activity.n_seconds)
+
+        catalog.add(CounterDefinition(
+            rf"\Process({instance})\Page Faults/sec", cat, proc_faults,
+            noise_sigma=0.15, informative=is_worker,
+        ))
+
+        def proc_threads(ctx: DerivationContext) -> np.ndarray:
+            return 40.0 * np.ones(ctx.activity.n_seconds)
+
+        catalog.add(CounterDefinition(
+            rf"\Process({instance})\Thread Count", cat, proc_threads,
+            noise_sigma=0.05, informative=False,
+        ))
+
+        def proc_handles(ctx: DerivationContext) -> np.ndarray:
+            return 800.0 * np.ones(ctx.activity.n_seconds)
+
+        catalog.add(CounterDefinition(
+            rf"\Process({instance})\Handle Count", cat, proc_handles,
+            noise_sigma=0.05, informative=False,
+        ))
+
+
+def _add_job_object(catalog: CounterCatalog, spec: PlatformSpec) -> None:
+    cat = CounterCategory.JOB_OBJECT
+    job = "DryadJob"
+
+    def page_file_peak(ctx: DerivationContext) -> np.ndarray:
+        # Running maximum: ratchets up as the job's memory footprint grows.
+        # Sampling noise applies to the footprint *before* the ratchet —
+        # the observed counter itself is exactly monotone, as on Windows.
+        footprint = ctx.activity.committed_bytes * 0.55 * np.exp(
+            ctx.rng.normal(0.0, 0.01, ctx.activity.n_seconds)
+        )
+        return np.maximum.accumulate(footprint)
+
+    # Canonical: Table II "Total Page File Bytes Peak" (all platforms).
+    catalog.add(CounterDefinition(
+        rf"\Job Object Details({job}/_Total)\Page File Bytes Peak", cat,
+        page_file_peak, noise_sigma=0.0,
+    ))
+
+    def page_file_bytes(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.committed_bytes * 0.55
+
+    catalog.add(CounterDefinition(
+        rf"\Job Object Details({job}/_Total)\Page File Bytes", cat,
+        page_file_bytes, noise_sigma=0.02,
+    ))
+
+    def job_working_set(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.committed_bytes * 0.5
+
+    catalog.add(CounterDefinition(
+        rf"\Job Object Details({job}/_Total)\Working Set", cat,
+        job_working_set, noise_sigma=0.02,
+    ))
+
+    def job_ws_peak(ctx: DerivationContext) -> np.ndarray:
+        footprint = ctx.activity.committed_bytes * 0.5 * np.exp(
+            ctx.rng.normal(0.0, 0.01, ctx.activity.n_seconds)
+        )
+        return np.maximum.accumulate(footprint)
+
+    catalog.add(CounterDefinition(
+        rf"\Job Object Details({job}/_Total)\Working Set Peak", cat,
+        job_ws_peak, noise_sigma=0.0,
+    ))
+
+    def job_cpu(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.cpu_util * 100.0 * ctx.spec.n_cores * 0.8
+
+    catalog.add(CounterDefinition(
+        rf"\Job Object Details({job}/_Total)\% Processor Time", cat,
+        job_cpu, noise_sigma=0.05,
+    ))
+
+    def job_processes(ctx: DerivationContext) -> np.ndarray:
+        return 4.0 + (ctx.activity.cpu_util > 0.1) * 4.0
+
+    catalog.add(CounterDefinition(
+        rf"\Job Object Details({job}/_Total)\Process Count", cat,
+        job_processes, noise_sigma=0.0,
+    ))
+
+
+def _add_filesystem_cache(catalog: CounterCatalog, spec: PlatformSpec) -> None:
+    cat = CounterCategory.FILESYSTEM_CACHE
+
+    def data_map_pins(ctx: DerivationContext) -> np.ndarray:
+        iops = ctx.activity.disk_total_bytes / _IO_CHUNK
+        return 0.4 * iops + 3.0 * ctx.activity.cpu_util
+
+    catalog.add(CounterDefinition(
+        r"\Cache\Data Map Pins/sec", cat, data_map_pins, noise_sigma=0.10,
+    ))
+
+    def pin_reads(ctx: DerivationContext) -> np.ndarray:
+        return 0.3 * ctx.activity.disk_read_bytes / _PAGE / 4.0
+
+    catalog.add(CounterDefinition(
+        r"\Cache\Pin Reads/sec", cat, pin_reads, noise_sigma=0.10,
+    ))
+
+    def pin_read_hits(ctx: DerivationContext) -> np.ndarray:
+        return 98.0 - 25.0 * ctx.activity.disk_busy_frac
+
+    catalog.add(CounterDefinition(
+        r"\Cache\Pin Read Hits %", cat, pin_read_hits,
+        noise_sigma=0.01, additive_sigma=0.5,
+    ))
+
+    def copy_reads(ctx: DerivationContext) -> np.ndarray:
+        return (
+            2.2 * ctx.activity.cache_faults_per_sec
+            + 600.0 * ctx.activity.cpu_util
+        )
+
+    catalog.add(CounterDefinition(
+        r"\Cache\Copy Reads/sec", cat, copy_reads, noise_sigma=0.08,
+    ))
+
+    def fast_reads_not_possible(ctx: DerivationContext) -> np.ndarray:
+        return 0.08 * ctx.activity.disk_write_bytes / _PAGE
+
+    catalog.add(CounterDefinition(
+        r"\Cache\Fast Reads Not Possible/sec", cat, fast_reads_not_possible,
+        noise_sigma=0.15,
+    ))
+
+    def lazy_write_flushes(ctx: DerivationContext) -> np.ndarray:
+        return 0.25 * ctx.activity.disk_write_bytes / _IO_CHUNK
+
+    catalog.add(CounterDefinition(
+        r"\Cache\Lazy Write Flushes/sec", cat, lazy_write_flushes,
+        noise_sigma=0.12,
+    ))
+
+    def lazy_write_pages(ctx: DerivationContext) -> np.ndarray:
+        return 0.25 * ctx.activity.disk_write_bytes / _PAGE
+
+    catalog.add(CounterDefinition(
+        r"\Cache\Lazy Write Pages/sec", cat, lazy_write_pages,
+        noise_sigma=0.12,
+    ))
+
+    def copy_read_hits(ctx: DerivationContext) -> np.ndarray:
+        return 92.0 - 18.0 * ctx.activity.disk_busy_frac
+
+    catalog.add(CounterDefinition(
+        r"\Cache\Copy Read Hits %", cat, copy_read_hits,
+        noise_sigma=0.01, additive_sigma=0.6,
+    ))
+
+    def fast_reads(ctx: DerivationContext) -> np.ndarray:
+        return 900.0 * ctx.activity.cpu_util + 0.5 * ctx.activity.cache_faults_per_sec
+
+    catalog.add(CounterDefinition(
+        r"\Cache\Fast Reads/sec", cat, fast_reads, noise_sigma=0.10,
+    ))
+
+    def mdl_reads(ctx: DerivationContext) -> np.ndarray:
+        return 0.1 * ctx.activity.net_sent_bytes / _PAGE
+
+    catalog.add(CounterDefinition(
+        r"\Cache\MDL Reads/sec", cat, mdl_reads, noise_sigma=0.15,
+    ))
+
+    def read_aheads(ctx: DerivationContext) -> np.ndarray:
+        return 0.15 * ctx.activity.disk_read_bytes / _PAGE
+
+    catalog.add(CounterDefinition(
+        r"\Cache\Read Aheads/sec", cat, read_aheads, noise_sigma=0.12,
+    ))
+
+    def data_flushes(ctx: DerivationContext) -> np.ndarray:
+        return 0.2 * ctx.activity.disk_write_bytes / _IO_CHUNK + 5.0
+
+    catalog.add(CounterDefinition(
+        r"\Cache\Data Flushes/sec", cat, data_flushes, noise_sigma=0.12,
+    ))
+
+
+def _add_system(catalog: CounterCatalog, spec: PlatformSpec) -> None:
+    cat = CounterCategory.SYSTEM
+
+    def context_switches(ctx: DerivationContext) -> np.ndarray:
+        packets = ctx.activity.net_total_bytes / _MTU
+        return (
+            1500.0
+            + 9000.0 * ctx.activity.cpu_util * ctx.spec.n_cores
+            + 0.4 * packets
+        )
+
+    catalog.add(CounterDefinition(
+        r"\System\Context Switches/sec", cat, context_switches,
+        noise_sigma=0.06,
+    ))
+
+    def system_calls(ctx: DerivationContext) -> np.ndarray:
+        return 4000.0 + 30000.0 * ctx.activity.cpu_util * ctx.spec.n_cores
+
+    catalog.add(CounterDefinition(
+        r"\System\System Calls/sec", cat, system_calls, noise_sigma=0.06,
+    ))
+
+    def file_reads(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.disk_read_bytes / _IO_CHUNK + 20.0
+
+    catalog.add(CounterDefinition(
+        r"\System\File Read Operations/sec", cat, file_reads,
+        noise_sigma=0.08,
+    ))
+
+    def file_writes(ctx: DerivationContext) -> np.ndarray:
+        return ctx.activity.disk_write_bytes / _IO_CHUNK + 10.0
+
+    catalog.add(CounterDefinition(
+        r"\System\File Write Operations/sec", cat, file_writes,
+        noise_sigma=0.08,
+    ))
+
+    def processes(ctx: DerivationContext) -> np.ndarray:
+        return np.full(ctx.activity.n_seconds, 60.0)
+
+    catalog.add(CounterDefinition(
+        r"\System\Processes", cat, processes, noise_sigma=0.01,
+        informative=False,
+    ))
+
+    def threads(ctx: DerivationContext) -> np.ndarray:
+        return 950.0 + 50.0 * ctx.activity.cpu_util
+
+    catalog.add(CounterDefinition(
+        r"\System\Threads", cat, threads, noise_sigma=0.01,
+    ))
+
+    def registry_quota(ctx: DerivationContext) -> np.ndarray:
+        return np.full(ctx.activity.n_seconds, 0.12)
+
+    catalog.add(CounterDefinition(
+        r"\System\% Registry Quota In Use", cat, registry_quota,
+        noise_sigma=0.005, informative=False,
+    ))
+
+    def processor_queue(ctx: DerivationContext) -> np.ndarray:
+        pressure = np.maximum(ctx.activity.cpu_util - 0.85, 0.0)
+        return pressure * 40.0
+
+    catalog.add(CounterDefinition(
+        r"\System\Processor Queue Length", cat, processor_queue,
+        noise_sigma=0.3,
+    ))
+
+    def file_control_ops(ctx: DerivationContext) -> np.ndarray:
+        iops = ctx.activity.disk_total_bytes / _IO_CHUNK
+        return 120.0 + 0.3 * iops
+
+    catalog.add(CounterDefinition(
+        r"\System\File Control Operations/sec", cat, file_control_ops,
+        noise_sigma=0.10,
+    ))
+
+
+def build_catalog(spec: PlatformSpec) -> CounterCatalog:
+    """The full Perfmon-style counter catalog for one platform."""
+    catalog = CounterCatalog(spec=spec)
+    _add_processor(catalog, spec)
+    _add_processor_performance(catalog, spec)
+    _add_memory(catalog, spec)
+    _add_physical_disk(catalog, spec)
+    _add_network(catalog, spec)
+    _add_process(catalog, spec)
+    _add_job_object(catalog, spec)
+    _add_filesystem_cache(catalog, spec)
+    _add_system(catalog, spec)
+    return catalog

@@ -1,0 +1,80 @@
+"""Derive observed counter matrices from latent activity.
+
+``derive_counters`` is the ETW/Perfmon sampling path: it walks a platform's
+counter catalog, evaluates each counter's noiseless value from the latent
+``ActivityTrace``, and applies that counter's observation noise from a
+stream keyed on (machine, run, counter index) — so the same machine-run
+always logs the same counter values, independent of evaluation order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.activity import ActivityTrace
+from repro.counters.definitions import (
+    CounterCatalog,
+    CounterDefinition,
+    DerivationContext,
+)
+
+
+def derive_counter(
+    definition: CounterDefinition,
+    activity: ActivityTrace,
+    catalog: CounterCatalog,
+    rng: np.random.Generator,
+    run_index: int = 0,
+) -> np.ndarray:
+    """Observed values of a single counter for one machine-run."""
+    context = DerivationContext(
+        activity=activity, spec=catalog.spec, rng=rng, run_index=run_index
+    )
+    values = np.asarray(definition.derive(context), dtype=float)
+    if values.shape != (activity.n_seconds,):
+        raise ValueError(
+            f"derivation of {definition.name!r} returned shape "
+            f"{values.shape}, expected ({activity.n_seconds},)"
+        )
+    if definition.noise_sigma > 0:
+        values = values * np.exp(
+            rng.normal(0.0, definition.noise_sigma, size=values.shape)
+        )
+    if definition.additive_sigma > 0:
+        values = values + rng.normal(
+            0.0, definition.additive_sigma, size=values.shape
+        )
+    return values
+
+
+def derive_counters(
+    catalog: CounterCatalog,
+    activity: ActivityTrace,
+    machine_seed: int,
+    run_index: int,
+) -> np.ndarray:
+    """(T, n_counters) observed counter matrix for one machine-run.
+
+    Counters declared as definitional sums (``sum_of``) are computed as the
+    exact sum of their components' *observed* values — the co-dependence
+    that step 2 of Algorithm 1 eliminates is exact in the data, as it is in
+    Windows.
+    """
+    n_seconds = activity.n_seconds
+    matrix = np.empty((n_seconds, len(catalog)), dtype=float)
+    for index, definition in enumerate(catalog.definitions):
+        rng = np.random.default_rng([machine_seed, run_index, index])
+        if definition.sum_of is not None:
+            left = catalog.index_of(definition.sum_of[0])
+            right = catalog.index_of(definition.sum_of[1])
+            if left >= index or right >= index:
+                raise ValueError(
+                    f"{definition.name!r}: sum components must be "
+                    "registered before the sum"
+                )
+            matrix[:, index] = matrix[:, left] + matrix[:, right]
+        else:
+            matrix[:, index] = derive_counter(
+                definition, activity, catalog, rng, run_index=run_index
+            )
+    return matrix

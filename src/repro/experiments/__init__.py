@@ -1,0 +1,100 @@
+"""Per-table / per-figure experiment drivers (shared by benches and examples)."""
+
+from repro.experiments.cross_workload import (
+    CrossWorkloadResult,
+    run_cross_workload,
+)
+from repro.experiments.export import export_result
+from repro.experiments.data import (
+    ALL_PLATFORM_KEYS,
+    DataRepository,
+    get_repository,
+)
+from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.figure5 import Figure5Result, run_figure5
+from repro.experiments.future_accelerator import (
+    FutureAcceleratorResult,
+    run_future_accelerator,
+)
+from repro.experiments.future_percore import (
+    FuturePerCoreResult,
+    run_future_percore,
+)
+from repro.experiments.general_accuracy import (
+    GeneralAccuracyResult,
+    run_general_accuracy,
+)
+from repro.experiments.hetero import HeteroResult, run_hetero
+from repro.experiments.model_grid import (
+    ModelGridResult,
+    run_figure3,
+    run_figure4,
+    run_model_grid,
+)
+from repro.experiments.overhead_exp import OverheadResult, run_overhead
+from repro.experiments.paper_reference import (
+    PAPER_CLAIMS,
+    PAPER_TABLE1_RANGES,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    Table4Comparison,
+    compare_table4,
+    paper_table4_winner_counts,
+    paper_table4_worst_best_dre,
+)
+from repro.experiments.sampling import SamplingResult, run_sampling
+from repro.experiments.sampling_rate import (
+    SamplingRateResult,
+    run_sampling_rate,
+)
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.table3 import Table3Result, run_table3
+from repro.experiments.table4 import Table4Result, run_table4
+
+__all__ = [
+    "ALL_PLATFORM_KEYS",
+    "PAPER_CLAIMS",
+    "PAPER_TABLE1_RANGES",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "Table4Comparison",
+    "compare_table4",
+    "export_result",
+    "paper_table4_winner_counts",
+    "paper_table4_worst_best_dre",
+    "CrossWorkloadResult",
+    "DataRepository",
+    "Figure1Result",
+    "Figure2Result",
+    "Figure5Result",
+    "FutureAcceleratorResult",
+    "FuturePerCoreResult",
+    "GeneralAccuracyResult",
+    "HeteroResult",
+    "ModelGridResult",
+    "OverheadResult",
+    "SamplingRateResult",
+    "SamplingResult",
+    "Table2Result",
+    "Table3Result",
+    "Table4Result",
+    "get_repository",
+    "run_cross_workload",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_future_accelerator",
+    "run_future_percore",
+    "run_general_accuracy",
+    "run_hetero",
+    "run_model_grid",
+    "run_overhead",
+    "run_sampling",
+    "run_sampling_rate",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+]

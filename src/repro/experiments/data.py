@@ -1,0 +1,128 @@
+"""Shared, cached experiment data.
+
+Every table and figure draws on the same measurement campaign: six
+5-machine clusters, four workloads, five runs each, plus each cluster's
+Algorithm 1 feature selection and the cross-platform general set.  The
+``DataRepository`` generates each artifact once per process and caches it,
+so the benchmark suite does not redo identical work per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import DEFAULT_SEED, Cluster
+from repro.cluster.runner import ClusterRun, execute_runs
+from repro.models.featuresets import (
+    FeatureSet,
+    cluster_plus_lagged_frequency,
+    cluster_set,
+    cpu_only_set,
+    general_set,
+)
+from repro.platforms.specs import ALL_PLATFORMS, get_platform
+from repro.selection.algorithm1 import (
+    Algorithm1Result,
+    SelectionConfig,
+    run_algorithm1,
+)
+from repro.selection.general import GeneralFeatureSet, derive_general_set
+from repro.workloads.suite import WORKLOAD_NAMES, default_suite
+
+ALL_PLATFORM_KEYS: tuple[str, ...] = tuple(p.key for p in ALL_PLATFORMS)
+
+
+@dataclass
+class DataRepository:
+    """Process-wide cache of clusters, runs and feature selections."""
+
+    seed: int = DEFAULT_SEED
+    n_runs: int = 5
+    n_machines: int = 5
+    selection_config: SelectionConfig = field(default_factory=SelectionConfig)
+
+    _clusters: dict[str, Cluster] = field(default_factory=dict, repr=False)
+    _runs: dict[tuple[str, str], list[ClusterRun]] = field(
+        default_factory=dict, repr=False
+    )
+    _selections: dict[str, Algorithm1Result] = field(
+        default_factory=dict, repr=False
+    )
+    _general: GeneralFeatureSet | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    def cluster(self, platform_key: str) -> Cluster:
+        if platform_key not in self._clusters:
+            self._clusters[platform_key] = Cluster.homogeneous(
+                get_platform(platform_key),
+                n_machines=self.n_machines,
+                seed=self.seed,
+            )
+        return self._clusters[platform_key]
+
+    def runs(self, platform_key: str, workload_name: str) -> list[ClusterRun]:
+        key = (platform_key, workload_name)
+        if key not in self._runs:
+            workload = default_suite()[workload_name]
+            self._runs[key] = execute_runs(
+                self.cluster(platform_key), workload, n_runs=self.n_runs
+            )
+        return self._runs[key]
+
+    def runs_by_workload(self, platform_key: str) -> dict[str, list[ClusterRun]]:
+        return {
+            name: self.runs(platform_key, name) for name in WORKLOAD_NAMES
+        }
+
+    def selection(self, platform_key: str) -> Algorithm1Result:
+        if platform_key not in self._selections:
+            self._selections[platform_key] = run_algorithm1(
+                self.cluster(platform_key),
+                self.runs_by_workload(platform_key),
+                config=self.selection_config,
+            )
+        return self._selections[platform_key]
+
+    def general_features(self) -> GeneralFeatureSet:
+        """The cross-platform general set (requires all six selections)."""
+        if self._general is None:
+            results = [self.selection(key) for key in ALL_PLATFORM_KEYS]
+            catalogs = [
+                self.cluster(key).catalogs[key] for key in ALL_PLATFORM_KEYS
+            ]
+            self._general = derive_general_set(results, catalogs)
+        return self._general
+
+    # ------------------------------------------------------------------
+    def feature_sets(
+        self,
+        platform_key: str,
+        include_general: bool = True,
+        include_lagged: bool = True,
+    ) -> list[FeatureSet]:
+        """The evaluation feature sets for one platform (U, C, CP, G)."""
+        selected = self.selection(platform_key).selected
+        sets = [cpu_only_set(), cluster_set(selected)]
+        if include_lagged:
+            sets.append(cluster_plus_lagged_frequency(selected))
+        if include_general:
+            sets.append(general_set(self.general_features().features))
+        return sets
+
+    def clear(self) -> None:
+        """Drop every cached artifact (tests use this for isolation)."""
+        self._clusters.clear()
+        self._runs.clear()
+        self._selections.clear()
+        self._general = None
+
+
+_repository: DataRepository | None = None
+
+
+def get_repository() -> DataRepository:
+    """The process-wide shared repository (created on first use)."""
+    global _repository
+    if _repository is None:
+        _repository = DataRepository()
+    return _repository

@@ -1,0 +1,114 @@
+"""CSV export of figure/table data.
+
+The benchmark harness renders ASCII; anyone wanting to *plot* the
+reproduced figures (Figure 1's traces, Figure 5's three curves, the
+Figure 3/4 DRE grids) needs the underlying numbers.  These helpers write
+them as plain CSV, one file per artifact, via ``export_result``.
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+
+import numpy as np
+
+from repro.experiments.figure1 import Figure1Result
+from repro.experiments.figure5 import Figure5Result
+from repro.experiments.model_grid import ModelGridResult
+from repro.experiments.table3 import Table3Result
+from repro.experiments.table4 import Table4Result
+
+
+def series_csv(series: dict[str, np.ndarray]) -> str:
+    """Columns = series names; rows = seconds.  Ragged series are padded
+    with empty cells (runs have different durations)."""
+    if not series:
+        raise ValueError("nothing to export")
+    names = list(series)
+    length = max(len(values) for values in series.values())
+    buffer = io.StringIO()
+    buffer.write(",".join(["t"] + names) + "\n")
+    for t in range(length):
+        cells = [str(t)]
+        for name in names:
+            values = series[name]
+            cells.append(f"{values[t]:.3f}" if t < len(values) else "")
+        buffer.write(",".join(cells) + "\n")
+    return buffer.getvalue()
+
+
+def figure1_csv(result: Figure1Result) -> str:
+    """All workloads x runs as columns (``sort/run0`` etc.)."""
+    series = {
+        f"{workload}/run{index}": trace
+        for workload, runs in result.traces.items()
+        for index, trace in enumerate(runs)
+    }
+    return series_csv(series)
+
+
+def figure5_csv(result: Figure5Result) -> str:
+    return series_csv({
+        "measured": result.measured,
+        "strawman": result.strawman_prediction,
+        "chaos": result.chaos_prediction,
+    })
+
+
+def grid_csv(result: ModelGridResult) -> str:
+    buffer = io.StringIO()
+    buffer.write("model,feature_set,machine_dre\n")
+    for evaluation in result.sweep.evaluations:
+        buffer.write(
+            f"{evaluation.model_code},{evaluation.feature_set_name},"
+            f"{evaluation.mean_machine_dre:.6f}\n"
+        )
+    return buffer.getvalue()
+
+
+def table3_csv(result: Table3Result) -> str:
+    buffer = io.StringIO()
+    buffer.write("workload,platform,rmse_w,percent_error,dre\n")
+    for row in result.rows:
+        for platform in row.rmse:
+            buffer.write(
+                f"{row.workload_name},{platform},{row.rmse[platform]:.4f},"
+                f"{row.percent_error[platform]:.6f},"
+                f"{row.dre[platform]:.6f}\n"
+            )
+    return buffer.getvalue()
+
+
+def table4_csv(result: Table4Result) -> str:
+    buffer = io.StringIO()
+    buffer.write("workload,platform,best_dre,best_label\n")
+    for (platform, workload), cell in result.cells.items():
+        buffer.write(
+            f"{workload},{platform},{cell.best_dre:.6f},{cell.best_label}\n"
+        )
+    return buffer.getvalue()
+
+
+_EXPORTERS = {
+    Figure1Result: figure1_csv,
+    Figure5Result: figure5_csv,
+    ModelGridResult: grid_csv,
+    Table3Result: table3_csv,
+    Table4Result: table4_csv,
+}
+
+
+def export_result(name: str, result, directory) -> pathlib.Path | None:
+    """Write an artifact's data CSV if an exporter exists.
+
+    Returns the written path, or None for artifacts without tabular data.
+    """
+    exporter = _EXPORTERS.get(type(result))
+    if exporter is None:
+        return None
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.csv"
+    path.write_text(exporter(result))
+    return path

@@ -1,0 +1,82 @@
+"""Figure 1: cluster power signatures on the mobile (Core 2 Duo) cluster.
+
+Five runs of each workload; each workload shows a dramatically different
+power profile, with cluster dynamic power between ~120 W and ~220 W
+(5 machines x 25-46 W each).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.data import DataRepository, get_repository
+from repro.framework.reports import render_series, render_table
+from repro.workloads.suite import WORKLOAD_NAMES
+
+PLATFORM = "core2"
+
+
+@dataclass
+class Figure1Result:
+    """Cluster power traces per workload per run, plus summary stats."""
+
+    traces: dict[str, list[np.ndarray]]
+    n_machines: int = 5
+
+    def summary_rows(self) -> list[list[str]]:
+        rows = []
+        for workload, runs in self.traces.items():
+            low = min(float(np.min(t)) for t in runs)
+            high = max(float(np.max(t)) for t in runs)
+            durations = [t.size for t in runs]
+            rows.append([
+                workload,
+                f"{len(runs)}",
+                f"{min(durations)}-{max(durations)} s",
+                f"{low:.0f} W",
+                f"{high:.0f} W",
+            ])
+        return rows
+
+    @property
+    def global_min_w(self) -> float:
+        return min(
+            float(np.min(t)) for runs in self.traces.values() for t in runs
+        )
+
+    @property
+    def global_max_w(self) -> float:
+        return max(
+            float(np.max(t)) for runs in self.traces.values() for t in runs
+        )
+
+    def render(self) -> str:
+        n_runs = max(len(runs) for runs in self.traces.values())
+        table = render_table(
+            ["workload", "runs", "duration", "min power", "max power"],
+            self.summary_rows(),
+            title=(
+                f"Figure 1: full-system cluster power, "
+                f"{self.n_machines}x Core 2 Duo, {n_runs} runs per workload"
+            ),
+        )
+        preview = render_series(
+            {name: runs[0] for name, runs in self.traces.items()},
+            title="run 0 trace previews (W):",
+        )
+        band = (
+            f"cluster dynamic power band: {self.global_min_w:.0f}-"
+            f"{self.global_max_w:.0f} W (paper: ~120-220 W)"
+        )
+        return "\n\n".join([table, preview, band])
+
+
+def run_figure1(repository: DataRepository | None = None) -> Figure1Result:
+    repo = repository if repository is not None else get_repository()
+    traces: dict[str, list[np.ndarray]] = {}
+    for workload in WORKLOAD_NAMES:
+        runs = repo.runs(PLATFORM, workload)
+        traces[workload] = [run.cluster_power() for run in runs]
+    return Figure1Result(traces=traces, n_machines=repo.n_machines)

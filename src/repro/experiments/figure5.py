@@ -1,0 +1,136 @@
+"""Figure 5: worst-case cluster power prediction on the desktop (Athlon).
+
+Compares two cluster models on the worst test run:
+
+* the prior-work strawman — a linear, CPU-utilization-only model built
+  from a SINGLE machine and scaled to the cluster — which cannot predict
+  the upper ~20% of the cluster power range, and
+* the CHAOS quadratic model with the general feature set, fit on pooled
+  cluster data, which tracks the entire dynamic range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.data import DataRepository, get_repository
+from repro.framework.reports import format_percent, render_series
+from repro.metrics.errors import dynamic_range_error
+from repro.models.featuresets import cpu_only_set, general_set, pool_features
+from repro.models.linear import LinearPowerModel
+from repro.models.quadratic import QuadraticPowerModel
+
+PLATFORM = "athlon"
+WORKLOAD = "sort"
+
+
+@dataclass
+class Figure5Result:
+    """Worst-run traces and accuracy for strawman vs CHAOS."""
+
+    measured: np.ndarray
+    strawman_prediction: np.ndarray
+    chaos_prediction: np.ndarray
+    strawman_dre: float
+    chaos_dre: float
+    strawman_top_shortfall_w: float
+    chaos_top_shortfall_w: float
+
+    def render(self) -> str:
+        series = render_series(
+            {
+                "measured": self.measured,
+                "strawman (scaled 1-machine linear, CPU only)":
+                    self.strawman_prediction,
+                "CHAOS (cluster quadratic, general features)":
+                    self.chaos_prediction,
+            },
+            title=(
+                "Figure 5: worst-case cluster power prediction, Athlon "
+                "cluster"
+            ),
+        )
+        summary = (
+            f"strawman DRE {format_percent(self.strawman_dre)} "
+            f"(mean shortfall in top-20% power region: "
+            f"{self.strawman_top_shortfall_w:.1f} W) vs CHAOS DRE "
+            f"{format_percent(self.chaos_dre)} (shortfall "
+            f"{self.chaos_top_shortfall_w:.1f} W)"
+        )
+        return series + "\n" + summary
+
+
+def _top_region_shortfall(
+    measured: np.ndarray, predicted: np.ndarray
+) -> float:
+    """Mean (measured - predicted) over the top 20% of measured power."""
+    threshold = np.quantile(measured, 0.8)
+    mask = measured >= threshold
+    return float(np.mean(measured[mask] - predicted[mask]))
+
+
+def run_figure5(repository: DataRepository | None = None) -> Figure5Result:
+    repo = repository if repository is not None else get_repository()
+    runs = repo.runs(PLATFORM, WORKLOAD)
+    train_run, test_runs = runs[0], runs[1:]
+    cluster = repo.cluster(PLATFORM)
+    catalog = cluster.catalogs[PLATFORM]
+
+    # Strawman: linear CPU-utilization model of machine 0, applied to
+    # every machine (i.e. "scaled" to the cluster by summation with no
+    # per-machine or feature-selection treatment).
+    cpu_set = cpu_only_set()
+    first_machine = train_run.machine_ids[0]
+    design, power = pool_features(
+        [train_run], cpu_set, machine_ids=[first_machine]
+    )
+    strawman = LinearPowerModel(cpu_set.feature_names).fit(design, power)
+
+    # CHAOS: quadratic on the general feature set, pooled over the cluster.
+    general = general_set(
+        tuple(
+            name
+            for name in repo.general_features().features
+            if name in catalog
+        )
+    )
+    design, power = pool_features([train_run], general)
+    chaos = QuadraticPowerModel(general.feature_names).fit(design, power)
+
+    # Pick the test run where the strawman misses the top of the range
+    # hardest — the paper shows the worst case.
+    worst = None
+    for run in test_runs:
+        measured = run.cluster_power()
+        strawman_prediction = np.sum(
+            [
+                strawman.predict(cpu_set.extract(run.logs[machine_id]))
+                for machine_id in run.machine_ids
+            ],
+            axis=0,
+        )
+        chaos_prediction = np.sum(
+            [
+                chaos.predict(general.extract(run.logs[machine_id]))
+                for machine_id in run.machine_ids
+            ],
+            axis=0,
+        )
+        shortfall = _top_region_shortfall(measured, strawman_prediction)
+        if worst is None or shortfall > worst[0]:
+            worst = (shortfall, measured, strawman_prediction, chaos_prediction)
+
+    shortfall, measured, strawman_prediction, chaos_prediction = worst
+    return Figure5Result(
+        measured=measured,
+        strawman_prediction=strawman_prediction,
+        chaos_prediction=chaos_prediction,
+        strawman_dre=dynamic_range_error(measured, strawman_prediction),
+        chaos_dre=dynamic_range_error(measured, chaos_prediction),
+        strawman_top_shortfall_w=shortfall,
+        chaos_top_shortfall_w=_top_region_shortfall(
+            measured, chaos_prediction
+        ),
+    )

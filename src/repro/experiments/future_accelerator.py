@@ -1,0 +1,167 @@
+"""Future work (Section V-D): accelerators with hidden system state.
+
+"...GPU and accelerator activity with hidden system state will require
+performance counters that can capture this activity, areas of future
+work."
+
+We build that future machine: an Opteron variant carrying an accelerator
+card whose power draw is real but invisible to every OS counter in the
+catalog.  A workload offloads compute bursts to the card; the standard
+CHAOS model's accuracy degrades by exactly the unexplained accelerator
+power, and adding a hypothetical accelerator-utilization counter (the
+counter the paper says future OSes must expose) restores it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.runner import execute_runs
+from repro.framework.reports import format_percent, render_table
+from repro.metrics.summary import AccuracyReport
+from repro.models.featuresets import (
+    CPU_UTILIZATION_COUNTER,
+    FREQUENCY_COUNTER,
+)
+from repro.models.quadratic import QuadraticPowerModel
+from repro.platforms.specs import OPTERON
+from repro.workloads.base import Workload, ar1_series
+from repro.workloads.prime import PrimeWorkload
+
+ACCELERATOR_PEAK_W = 35.0
+"""Card TDP-scale draw at full utilization (a mid-range 2012 GPU)."""
+
+ACCELERATOR_COUNTER = r"\Accelerator(0)\% Utilization"
+"""The counter a future OS would expose; today it does not exist."""
+
+
+class OffloadingPrime(PrimeWorkload):
+    """Prime that offloads bursts of candidate-checking to the card.
+
+    Accelerator utilization lives in ``extras`` — latent machine state
+    that no catalog counter derives from, i.e. hidden from the models.
+    """
+
+    name = "prime-offload"
+
+    def generate_run(self, machines, run_index, seed):
+        traces = super().generate_run(machines, run_index, seed)
+        for machine_index, (machine_id, trace) in enumerate(traces.items()):
+            rng = np.random.default_rng(
+                [seed, run_index, 4242, machine_index]
+            )
+            n = trace.n_seconds
+            # Bursty offload: on/off episodes a few tens of seconds long,
+            # active only while the CPU is also working.
+            episodes = (
+                ar1_series(rng, n, sigma=1.0, rho=0.95) > 0.35
+            ).astype(float)
+            level = np.clip(
+                0.6 + ar1_series(rng, n, sigma=0.25, rho=0.9), 0.0, 1.0
+            )
+            busy = trace.cpu_util > 0.1
+            trace.extras["accelerator_util"] = episodes * level * busy
+        return traces
+
+
+def _true_power_with_accelerator(machine, trace, rng) -> np.ndarray:
+    """Host power plus the card's draw (idle draw folded into the host)."""
+    host = machine.true_power(trace, rng=rng)
+    accel = trace.extras["accelerator_util"] * ACCELERATOR_PEAK_W
+    return host + accel
+
+
+@dataclass
+class FutureAcceleratorResult:
+    dre_hidden: float
+    """DRE with the accelerator invisible to the model."""
+
+    dre_with_counter: float
+    """DRE once the accelerator-utilization counter exists."""
+
+    accel_mean_w: float
+
+    @property
+    def recovered(self) -> float:
+        return self.dre_hidden - self.dre_with_counter
+
+    def render(self) -> str:
+        table = render_table(
+            ["configuration", "machine DRE"],
+            [
+                ["accelerator hidden (today's counters)",
+                 format_percent(self.dre_hidden)],
+                [f"with {ACCELERATOR_COUNTER}",
+                 format_percent(self.dre_with_counter)],
+            ],
+            title=(
+                "Future work: accelerator with hidden state "
+                "(offloading Prime, quadratic models)"
+            ),
+        )
+        footer = (
+            f"card draws {self.accel_mean_w:.1f} W on average; exposing "
+            f"its utilization counter recovers "
+            f"{format_percent(self.recovered, 2)} DRE"
+        )
+        return table + "\n" + footer
+
+
+def run_future_accelerator(seed: int = 808) -> FutureAcceleratorResult:
+    cluster = Cluster.homogeneous(OPTERON, seed=seed)
+    workload = OffloadingPrime()
+    runs = execute_runs(cluster, workload, n_runs=4)
+
+    # Rebuild the latent traces (with accelerator state) and the
+    # accelerator-inclusive power for every machine-run.
+    base_counters = [CPU_UTILIZATION_COUNTER, FREQUENCY_COUNTER,
+                     r"\Memory\Page Faults/sec"]
+    datasets = []  # (run_index, machine_id, X_base, accel_col, power)
+    for run in runs:
+        traces = workload.generate_run(
+            cluster.machines, run_index=run.run_index, seed=cluster.seed
+        )
+        for machine_index, machine in enumerate(cluster.machines):
+            log = run.logs[machine.machine_id]
+            trace = traces[machine.machine_id]
+            rng = np.random.default_rng(
+                [seed, run.run_index, machine_index, 999]
+            )
+            power = _true_power_with_accelerator(machine, trace, rng)
+            base = log.select(base_counters)
+            accel = (trace.extras["accelerator_util"] * 100.0)[:, None]
+            datasets.append((run.run_index, base, accel, power))
+
+    def evaluate(with_counter: bool) -> float:
+        train = [d for d in datasets if d[0] < 2]
+        test = [d for d in datasets if d[0] >= 2]
+
+        def design_of(entry):
+            _, base, accel, _ = entry
+            return np.hstack([base, accel]) if with_counter else base
+
+        X = np.vstack([design_of(d) for d in train])
+        y = np.concatenate([d[3] for d in train])
+        names = base_counters + (
+            [ACCELERATOR_COUNTER] if with_counter else []
+        )
+        model = QuadraticPowerModel(names).fit(X, y)
+        dres = []
+        for entry in test:
+            prediction = model.predict(design_of(entry))
+            dres.append(
+                AccuracyReport.from_predictions(entry[3], prediction).dre
+            )
+        return float(np.mean(dres))
+
+    accel_mean = float(np.mean(
+        [np.mean(d[2]) / 100.0 * ACCELERATOR_PEAK_W for d in datasets]
+    ))
+    return FutureAcceleratorResult(
+        dre_hidden=evaluate(with_counter=False),
+        dre_with_counter=evaluate(with_counter=True),
+        accel_mean_w=accel_mean,
+    )

@@ -1,0 +1,126 @@
+"""Section V-C: the general feature set costs at most ~1% DRE.
+
+For every (platform, workload) cell, compare the best modeling technique
+on cluster-specific features against the best technique on the general
+set.  The paper's claim: worst-case penalty < 1% DRE, and < 0.25%
+excluding the single worst outlier.
+
+(The comparison is per the platform's own best technique on each side —
+the Atom's adequate model is linear, the DVFS platforms' quadratic —
+matching how the paper deploys "the general feature set model".)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.data import (
+    ALL_PLATFORM_KEYS,
+    DataRepository,
+    get_repository,
+)
+from repro.framework.crossval import cross_validate
+from repro.framework.reports import format_percent, render_table
+from repro.models.featuresets import FeatureSet, cluster_set, general_set
+from repro.models.registry import supports_feature_set
+from repro.workloads.suite import WORKLOAD_NAMES
+
+_TECHNIQUES = ("L", "P", "Q")
+
+
+@dataclass
+class GeneralAccuracyResult:
+    """Best-technique DRE on cluster vs general features, per cell."""
+
+    cluster_dre: dict[tuple[str, str], float]
+    general_dre: dict[tuple[str, str], float]
+
+    def penalty(self, platform: str, workload: str) -> float:
+        key = (platform, workload)
+        return self.general_dre[key] - self.cluster_dre[key]
+
+    @property
+    def penalties(self) -> list[float]:
+        return [
+            self.penalty(platform, workload)
+            for platform, workload in self.cluster_dre
+        ]
+
+    @property
+    def worst_penalty(self) -> float:
+        return max(self.penalties)
+
+    @property
+    def worst_penalty_excluding_outlier(self) -> float:
+        ordered = sorted(self.penalties)
+        return ordered[-2] if len(ordered) > 1 else ordered[-1]
+
+    def rows(self) -> list[list[str]]:
+        rows = []
+        for platform, workload in self.cluster_dre:
+            rows.append([
+                platform,
+                workload,
+                format_percent(self.cluster_dre[(platform, workload)]),
+                format_percent(self.general_dre[(platform, workload)]),
+                format_percent(self.penalty(platform, workload), decimals=2),
+            ])
+        return rows
+
+    def render(self) -> str:
+        table = render_table(
+            ["platform", "workload", "cluster-set DRE", "general-set DRE",
+             "penalty"],
+            self.rows(),
+            title=(
+                "General vs cluster-specific feature set "
+                "(best technique per side)"
+            ),
+        )
+        footer = (
+            f"worst penalty {format_percent(self.worst_penalty, 2)} "
+            f"(paper: <1%); excluding worst outlier "
+            f"{format_percent(self.worst_penalty_excluding_outlier, 2)} "
+            "(paper: <=0.25%)"
+        )
+        return table + "\n" + footer
+
+
+def _best_dre(runs, feature_set: FeatureSet, seed: int) -> float:
+    best = None
+    for code in _TECHNIQUES:
+        if not supports_feature_set(code, feature_set):
+            continue
+        evaluation = cross_validate(
+            runs, model_code=code, feature_set=feature_set, seed=seed
+        )
+        dre = evaluation.mean_machine_dre
+        if best is None or dre < best:
+            best = dre
+    if best is None:
+        raise ValueError("no technique supports this feature set")
+    return best
+
+
+def run_general_accuracy(
+    repository: DataRepository | None = None,
+    platform_keys: tuple[str, ...] = ALL_PLATFORM_KEYS,
+) -> GeneralAccuracyResult:
+    repo = repository if repository is not None else get_repository()
+    general_features = repo.general_features().features
+
+    cluster_dre: dict[tuple[str, str], float] = {}
+    general_dre: dict[tuple[str, str], float] = {}
+    for platform in platform_keys:
+        catalog = repo.cluster(platform).catalogs[platform]
+        c_set = cluster_set(repo.selection(platform).selected)
+        g_set = general_set(
+            tuple(name for name in general_features if name in catalog)
+        )
+        for workload in WORKLOAD_NAMES:
+            runs = repo.runs(platform, workload)
+            cluster_dre[(platform, workload)] = _best_dre(runs, c_set, seed=5)
+            general_dre[(platform, workload)] = _best_dre(runs, g_set, seed=5)
+    return GeneralAccuracyResult(
+        cluster_dre=cluster_dre, general_dre=general_dre
+    )

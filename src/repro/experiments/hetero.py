@@ -1,0 +1,111 @@
+"""Section V-B: heterogeneous cluster composition.
+
+A 10-machine cluster of Core 2 Duo and Opteron machines.  Each machine is
+predicted with its *own platform's* machine model (trained on that
+platform's homogeneous cluster) and cluster power is the Eq. 5 sum; the
+paper reports the same worst-case ~12% DRE as the homogeneous clusters —
+composition is essentially free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.runner import execute_runs
+from repro.experiments.data import DataRepository, get_repository
+from repro.framework.chaos import fit_platform_model
+from repro.framework.reports import format_percent, render_table
+from repro.metrics.summary import AccuracyReport, ReportCollection
+from repro.models.composition import compose_cluster_model
+from repro.models.featuresets import cluster_set
+from repro.platforms.specs import get_platform
+from repro.workloads.suite import WORKLOAD_NAMES, default_suite
+
+PLATFORMS = ("core2", "opteron")
+
+
+@dataclass
+class HeteroResult:
+    """Cluster-level accuracy of the composed heterogeneous model."""
+
+    per_workload: dict[str, ReportCollection]
+
+    @property
+    def worst_dre(self) -> float:
+        return max(
+            max(report.dre for report in collection.reports)
+            for collection in self.per_workload.values()
+        )
+
+    def rows(self) -> list[list[str]]:
+        return [
+            [
+                workload,
+                format_percent(collection.mean_dre),
+                format_percent(max(r.dre for r in collection.reports)),
+                format_percent(collection.mean_percent_error),
+            ]
+            for workload, collection in self.per_workload.items()
+        ]
+
+    def render(self) -> str:
+        table = render_table(
+            ["workload", "mean cluster DRE", "worst DRE", "mean %err"],
+            self.rows(),
+            title=(
+                "Heterogeneous 10-machine cluster (5x Core 2 + 5x Opteron), "
+                "composed per-platform models (Eq. 5)"
+            ),
+        )
+        footer = (
+            f"worst-case DRE {format_percent(self.worst_dre)} "
+            "(paper: same ~12% worst case as homogeneous clusters)"
+        )
+        return table + "\n" + footer
+
+
+def run_hetero(
+    repository: DataRepository | None = None, n_runs: int = 3
+) -> HeteroResult:
+    repo = repository if repository is not None else get_repository()
+
+    # Per-platform machine models, trained on the homogeneous clusters.
+    platform_models = []
+    for platform in PLATFORMS:
+        feature_set = cluster_set(repo.selection(platform).selected)
+        platform_models.append(
+            fit_platform_model(
+                repo.runs_by_workload(platform),
+                feature_set,
+                platform_key=platform,
+                model_code="Q",
+                train_fraction=0.3,
+                seed=11,
+            )
+        )
+
+    # The mixed cluster reuses the same physical machines (same variation
+    # streams), so the models genuinely carry over.
+    hetero = Cluster.heterogeneous(
+        [(get_platform(platform), 5) for platform in PLATFORMS],
+        seed=repo.seed,
+    )
+    machine_platforms = {
+        machine.machine_id: machine.spec.key for machine in hetero.machines
+    }
+    model = compose_cluster_model(platform_models, machine_platforms)
+
+    suite = default_suite()
+    per_workload: dict[str, ReportCollection] = {}
+    for workload_name in WORKLOAD_NAMES:
+        collection = ReportCollection()
+        runs = execute_runs(hetero, suite[workload_name], n_runs=n_runs)
+        for run in runs:
+            measured = run.cluster_power()
+            predicted = model.predict_cluster(run)
+            collection.add(
+                AccuracyReport.from_predictions(measured, predicted)
+            )
+        per_workload[workload_name] = collection
+    return HeteroResult(per_workload=per_workload)

@@ -1,0 +1,138 @@
+"""Shared engine for Figures 3-4: the model x feature-set DRE grid.
+
+Both figures sweep every modeling technique against the CPU-only,
+cluster-specific and general feature sets on the Opteron cluster; they
+differ only in workload (PageRank for Figure 3, Prime for Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.data import DataRepository, get_repository
+from repro.framework.reports import format_percent, render_table
+from repro.framework.sweep import SweepResult, sweep_models
+from repro.models.featuresets import general_set
+
+
+@dataclass
+class ModelGridResult:
+    """DRE for every technique x feature-set cell on one workload."""
+
+    platform_key: str
+    workload_name: str
+    sweep: SweepResult
+    title: str
+
+    def cell_dre(self, model_code: str, feature_set_name: str) -> float:
+        return self.sweep.cell(model_code, feature_set_name).mean_machine_dre
+
+    def rows(self) -> list[list[str]]:
+        feature_names = sorted(
+            {e.feature_set_name for e in self.sweep.evaluations},
+            key=lambda n: ("U", "C", "CP", "G").index(n),
+        )
+        rows = []
+        for code in ("L", "P", "Q", "S"):
+            row = [code]
+            for fs_name in feature_names:
+                try:
+                    row.append(format_percent(self.cell_dre(code, fs_name)))
+                except KeyError:
+                    row.append("n/a")  # Q/S cannot use CPU-only features
+            rows.append(row)
+        self._feature_names = feature_names
+        return rows
+
+    def render(self) -> str:
+        rows = self.rows()
+        return render_table(
+            ["model"] + [f"features={n}" for n in self._feature_names],
+            rows,
+            title=self.title,
+        )
+
+    # -- the two claims the figures make ------------------------------
+    def feature_selection_gain(self) -> float:
+        """DRE drop from CPU-only to cluster features (linear models)."""
+        return self.cell_dre("L", "U") - self.cell_dre("L", "C")
+
+    def technique_gain(self) -> float:
+        """DRE drop from linear to the best nonlinear model (cluster
+        features) — the paper's "more complex models are required"."""
+        best_nonlinear = min(
+            self.cell_dre("P", "C"),
+            self.cell_dre("Q", "C"),
+            self.cell_dre("S", "C"),
+        )
+        return self.cell_dre("L", "C") - best_nonlinear
+
+    def general_penalty(self) -> float:
+        """DRE cost of the general set vs cluster-specific (best of the
+        nonlinear techniques on each side)."""
+        general = min(
+            self.cell_dre("P", "G"),
+            self.cell_dre("Q", "G"),
+            self.cell_dre("S", "G"),
+        )
+        cluster = min(
+            self.cell_dre("P", "C"),
+            self.cell_dre("Q", "C"),
+            self.cell_dre("S", "C"),
+        )
+        return general - cluster
+
+
+def run_model_grid(
+    platform_key: str,
+    workload_name: str,
+    title: str,
+    repository: DataRepository | None = None,
+    seed: int = 1,
+) -> ModelGridResult:
+    repo = repository if repository is not None else get_repository()
+    selected = repo.selection(platform_key).selected
+    feature_sets = repo.feature_sets(platform_key, include_lagged=False)
+    # Ensure the general set resolves to counters this platform logs.
+    catalog = repo.cluster(platform_key).catalogs[platform_key]
+    feature_sets = [
+        fs if fs.name != "G" else general_set(
+            tuple(n for n in fs.counters if n in catalog)
+        )
+        for fs in feature_sets
+    ]
+    del selected  # cluster set already included via repo.feature_sets
+    runs = repo.runs(platform_key, workload_name)
+    sweep = sweep_models(runs, feature_sets, seed=seed)
+    return ModelGridResult(
+        platform_key=platform_key,
+        workload_name=workload_name,
+        sweep=sweep,
+        title=title,
+    )
+
+
+def run_figure3(repository: DataRepository | None = None) -> ModelGridResult:
+    """Figure 3: Opteron/PageRank — feature selection matters most."""
+    return run_model_grid(
+        "opteron",
+        "pagerank",
+        title=(
+            "Figure 3: Opteron average DRE, PageRank "
+            "(feature selection is required)"
+        ),
+        repository=repository,
+    )
+
+
+def run_figure4(repository: DataRepository | None = None) -> ModelGridResult:
+    """Figure 4: Opteron/Prime — modeling technique matters most."""
+    return run_model_grid(
+        "opteron",
+        "prime",
+        title=(
+            "Figure 4: Opteron average DRE, Prime "
+            "(complex models are required)"
+        ),
+        repository=repository,
+    )

@@ -1,0 +1,121 @@
+"""Scalability: machines sampled vs achieved error bound.
+
+The abstract claims CHAOS models "account for server-level power
+variability ... in the number of machines sampled to achieve a given
+error bound": because nominally identical machines differ, a model
+trained on telemetry from k machines generalizes better to the rest of
+the fleet as k grows.  This experiment trains the quadratic cluster model
+on 1..N-1 machines and evaluates on machines the model never saw,
+reporting the DRE curve and the smallest k that achieves the paper's 12%
+bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.data import DataRepository, get_repository
+from repro.framework.reports import format_percent, render_table
+from repro.metrics.summary import AccuracyReport
+from repro.models.featuresets import cluster_set, pool_features
+from repro.models.quadratic import QuadraticPowerModel
+
+PLATFORM = "opteron"
+WORKLOAD = "sort"
+ERROR_BOUND = 0.12
+
+
+@dataclass
+class SamplingResult:
+    """Held-out machine DRE as a function of machines sampled."""
+
+    dre_by_k: dict[int, float]
+    spread_by_k: dict[int, float]
+    """Max-min DRE across the held-out machines, per k."""
+
+    error_bound: float = ERROR_BOUND
+
+    @property
+    def machines_needed(self) -> int | None:
+        """Smallest k meeting the error bound (None if never met)."""
+        for k in sorted(self.dre_by_k):
+            if self.dre_by_k[k] <= self.error_bound:
+                return k
+        return None
+
+    def rows(self) -> list[list[str]]:
+        return [
+            [
+                str(k),
+                format_percent(self.dre_by_k[k]),
+                format_percent(self.spread_by_k[k]),
+                "yes" if self.dre_by_k[k] <= self.error_bound else "no",
+            ]
+            for k in sorted(self.dre_by_k)
+        ]
+
+    def render(self) -> str:
+        table = render_table(
+            ["machines sampled", "held-out machine DRE", "DRE spread",
+             f"meets {format_percent(self.error_bound, 0)} bound"],
+            self.rows(),
+            title=(
+                "Machines sampled vs error bound "
+                "(Opteron, Sort, quadratic on cluster features; "
+                "evaluated on never-sampled machines)"
+            ),
+        )
+        needed = self.machines_needed
+        footer = (
+            f"machines needed for the {format_percent(self.error_bound, 0)} "
+            f"bound: {needed if needed is not None else 'not reached'}"
+        )
+        return table + "\n" + footer
+
+
+def run_sampling(
+    repository: DataRepository | None = None,
+    platform_key: str = PLATFORM,
+    workload_name: str = WORKLOAD,
+) -> SamplingResult:
+    repo = repository if repository is not None else get_repository()
+    runs = repo.runs(platform_key, workload_name)
+    feature_set = cluster_set(repo.selection(platform_key).selected)
+    machine_ids = runs[0].machine_ids
+    n_machines = len(machine_ids)
+    if n_machines < 3:
+        raise ValueError("sampling study needs at least 3 machines")
+
+    train_runs = runs[: len(runs) // 2 + 1]
+    test_runs = runs[len(runs) // 2 + 1:]
+
+    # Rotate the held-out machine so one unlucky individual cannot skew
+    # the curve; for each rotation, sample k machines from the rest.
+    dres_by_k: dict[int, list[float]] = {
+        k: [] for k in range(1, n_machines)
+    }
+    for held_out in machine_ids:
+        candidates = [m for m in machine_ids if m != held_out]
+        for k in range(1, n_machines):
+            sampled = candidates[:k]
+            design, power = pool_features(
+                train_runs, feature_set, machine_ids=sampled
+            )
+            model = QuadraticPowerModel(feature_set.feature_names).fit(
+                design, power
+            )
+            for run in test_runs:
+                log = run.logs[held_out]
+                prediction = model.predict(feature_set.extract(log))
+                dres_by_k[k].append(
+                    AccuracyReport.from_predictions(
+                        log.power_w, prediction
+                    ).dre
+                )
+    dre_by_k = {k: float(np.mean(v)) for k, v in dres_by_k.items()}
+    spread_by_k = {
+        k: float(np.max(v) - np.min(v)) for k, v in dres_by_k.items()
+    }
+    return SamplingResult(dre_by_k=dre_by_k, spread_by_k=spread_by_k)

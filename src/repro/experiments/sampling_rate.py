@@ -1,0 +1,128 @@
+"""Sampling-rate study: 1 Hz vs coarse averaging windows.
+
+Section II places CHAOS's 1 Hz sampling between two extremes: OS-scheduler
+-rate models (which catch PSU spikes CHAOS cannot) and 10-minute-interval
+or whole-workload-energy models, which "miss application-level behavior
+patterns".  This experiment quantifies the coarse end on our substrate:
+counters and power are averaged over increasingly long windows before
+training and evaluation, and we track
+
+* how much of the cluster's dynamic power range survives averaging (the
+  behavior patterns themselves), and
+* how badly a peak-power consumer (capping!) is misled by the averaged
+  model's view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.data import DataRepository, get_repository
+from repro.framework.reports import format_percent, render_table
+from repro.models.featuresets import cluster_set, pool_features
+from repro.models.quadratic import QuadraticPowerModel
+
+PLATFORM = "core2"
+WORKLOAD = "pagerank"
+WINDOWS_S = (1, 10, 60, 300)
+
+
+def average_windows(values: np.ndarray, window: int) -> np.ndarray:
+    """Non-overlapping window means along axis 0 (trailing partial kept)."""
+    values = np.asarray(values, dtype=float)
+    if window <= 1:
+        return values.copy()
+    n_full = values.shape[0] // window
+    if n_full == 0:
+        return values.mean(axis=0, keepdims=True)
+    head = values[: n_full * window]
+    shape = (n_full, window) + values.shape[1:]
+    averaged = head.reshape(shape).mean(axis=1)
+    if values.shape[0] % window:
+        tail = values[n_full * window:].mean(axis=0, keepdims=True)
+        averaged = np.concatenate([averaged, tail], axis=0)
+    return averaged
+
+
+@dataclass
+class SamplingRateRow:
+    window_s: int
+    retained_range_frac: float
+    """Dynamic range of the averaged power / the 1 Hz dynamic range."""
+
+    peak_underestimate_w: float
+    """True 1 Hz peak minus the averaged-model's predicted peak."""
+
+    samples_per_run: int
+
+
+@dataclass
+class SamplingRateResult:
+    rows: list[SamplingRateRow]
+
+    def render(self) -> str:
+        table = render_table(
+            ["window", "retained dynamic range", "peak underestimate",
+             "samples/run"],
+            [
+                [
+                    f"{row.window_s} s",
+                    format_percent(row.retained_range_frac),
+                    f"{row.peak_underestimate_w:.1f} W",
+                    row.samples_per_run,
+                ]
+                for row in self.rows
+            ],
+            title=(
+                "Sampling-rate study (Core 2, PageRank): averaging windows "
+                "erase the application behavior 1 Hz models capture"
+            ),
+        )
+        return table
+
+    def row(self, window_s: int) -> SamplingRateRow:
+        for row in self.rows:
+            if row.window_s == window_s:
+                return row
+        raise KeyError(f"no row for window {window_s}")
+
+
+def run_sampling_rate(
+    repository: DataRepository | None = None,
+) -> SamplingRateResult:
+    repo = repository if repository is not None else get_repository()
+    runs = repo.runs(PLATFORM, WORKLOAD)
+    feature_set = cluster_set(repo.selection(PLATFORM).selected)
+    train_runs, test_run = runs[:-1], runs[-1]
+
+    design_1hz, power_1hz = pool_features(train_runs, feature_set)
+    test_design = feature_set.extract(
+        test_run.logs[test_run.machine_ids[0]]
+    )
+    test_power = test_run.logs[test_run.machine_ids[0]].power_w
+    true_range = float(test_power.max() - test_power.min())
+    true_peak = float(test_power.max())
+
+    rows = []
+    for window in WINDOWS_S:
+        design = average_windows(design_1hz, window)
+        power = average_windows(power_1hz, window)
+        model = QuadraticPowerModel(feature_set.feature_names).fit(
+            design, power
+        )
+        averaged_test_design = average_windows(test_design, window)
+        averaged_test_power = average_windows(test_power, window)
+        prediction = model.predict(averaged_test_design)
+        retained = (
+            float(averaged_test_power.max() - averaged_test_power.min())
+            / true_range
+        )
+        rows.append(SamplingRateRow(
+            window_s=window,
+            retained_range_frac=retained,
+            peak_underestimate_w=true_peak - float(prediction.max()),
+            samples_per_run=int(averaged_test_power.shape[0]),
+        ))
+    return SamplingRateResult(rows=rows)

@@ -1,0 +1,80 @@
+"""Table II: significant counters per cluster, plus the general set.
+
+Runs Algorithm 1 on every platform and renders the feature x platform
+selection matrix with the cross-platform general column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.counters.definitions import CounterCategory
+from repro.experiments.data import (
+    ALL_PLATFORM_KEYS,
+    DataRepository,
+    get_repository,
+)
+from repro.framework.reports import render_table
+
+
+@dataclass
+class Table2Result:
+    """Selected features per platform and the general set."""
+
+    selections: dict[str, tuple[str, ...]]
+    general: tuple[str, ...]
+    categories: dict[str, CounterCategory]
+
+    @property
+    def all_features(self) -> list[str]:
+        """Union of selected features, grouped by category."""
+        seen: dict[str, None] = {}
+        for selected in self.selections.values():
+            for name in selected:
+                seen.setdefault(name)
+        for name in self.general:
+            seen.setdefault(name)
+        return sorted(seen, key=lambda n: (self.categories[n].value, n))
+
+    def rows(self) -> list[list[str]]:
+        rows = []
+        for feature in self.all_features:
+            row = [self.categories[feature].value, feature]
+            for platform in self.selections:
+                row.append(
+                    "X" if feature in self.selections[platform] else ""
+                )
+            row.append("X" if feature in self.general else "")
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        headers = ["category", "performance counter"]
+        headers += list(self.selections)
+        headers += ["General"]
+        return render_table(
+            headers,
+            self.rows(),
+            title="Table II: significant counters per cluster power model",
+        )
+
+
+def run_table2(repository: DataRepository | None = None) -> Table2Result:
+    repo = repository if repository is not None else get_repository()
+    selections: dict[str, tuple[str, ...]] = {}
+    categories: dict[str, CounterCategory] = {}
+    for platform in ALL_PLATFORM_KEYS:
+        result = repo.selection(platform)
+        selections[platform] = result.selected
+        catalog = repo.cluster(platform).catalogs[platform]
+        for name in result.selected:
+            categories[name] = catalog.definition(name).category
+    general = repo.general_features().features
+    reference = repo.cluster(ALL_PLATFORM_KEYS[0]).catalogs[
+        ALL_PLATFORM_KEYS[0]
+    ]
+    for name in general:
+        categories.setdefault(name, reference.definition(name).category)
+    return Table2Result(
+        selections=selections, general=general, categories=categories
+    )

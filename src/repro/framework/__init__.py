@@ -1,0 +1,54 @@
+"""The CHAOS framework: pipelines, cross-validation, sweeps, overhead."""
+
+from repro.framework.chaos import (
+    TrainedPlatform,
+    collect_workload_runs,
+    compose_heterogeneous,
+    fit_platform_model,
+    train_platform_model,
+)
+from repro.framework.crossval import (
+    DEFAULT_TRAIN_FRACTION,
+    EvaluationResult,
+    cross_validate,
+)
+from repro.framework.drift import DriftVerdict, InputDriftDetector
+from repro.framework.online import OnlinePowerPredictor
+from repro.framework.overhead import OverheadReport, measure_overhead
+from repro.framework.phase_analysis import (
+    PhaseAccuracy,
+    PhaseBreakdown,
+    phase_breakdown,
+)
+from repro.framework.reports import (
+    format_percent,
+    render_histogram,
+    render_series,
+    render_table,
+)
+from repro.framework.sweep import SweepResult, sweep_models
+
+__all__ = [
+    "DEFAULT_TRAIN_FRACTION",
+    "DriftVerdict",
+    "EvaluationResult",
+    "InputDriftDetector",
+    "OnlinePowerPredictor",
+    "OverheadReport",
+    "PhaseAccuracy",
+    "PhaseBreakdown",
+    "SweepResult",
+    "TrainedPlatform",
+    "collect_workload_runs",
+    "compose_heterogeneous",
+    "cross_validate",
+    "fit_platform_model",
+    "format_percent",
+    "measure_overhead",
+    "phase_breakdown",
+    "render_histogram",
+    "render_series",
+    "render_table",
+    "sweep_models",
+    "train_platform_model",
+]

@@ -1,0 +1,167 @@
+"""The CHAOS facade: collect, select, fit, compose — in one call.
+
+``train_platform_model`` is the end-to-end pipeline a user of the paper's
+framework would run for a new platform: execute the workload suite on an
+instrumented cluster, run Algorithm 1 to pick a feature set, fit a
+machine-level model on pooled cluster data, and wrap it for composition.
+``compose_heterogeneous`` then assembles per-platform models into a
+cluster model for any machine mix (Section V-B's 'for free' composition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cluster import DEFAULT_SEED, Cluster
+from repro.cluster.runner import ClusterRun, execute_runs
+from repro.models.composition import (
+    ClusterPowerModel,
+    PlatformModel,
+    compose_cluster_model,
+)
+from repro.models.featuresets import FeatureSet, cluster_set, pool_features
+from repro.models.registry import build_model
+from repro.platforms.specs import PlatformSpec
+from repro.selection.algorithm1 import (
+    Algorithm1Result,
+    SelectionConfig,
+    run_algorithm1,
+)
+from repro.workloads.base import Workload
+from repro.workloads.suite import default_suite
+
+
+@dataclass
+class TrainedPlatform:
+    """Everything CHAOS learned about one platform."""
+
+    cluster: Cluster
+    runs_by_workload: dict[str, list[ClusterRun]] = field(repr=False)
+    selection: Algorithm1Result
+    feature_set: FeatureSet
+    platform_model: PlatformModel
+
+    @property
+    def platform_key(self) -> str:
+        return self.selection.platform_key
+
+    @property
+    def selected_counters(self) -> tuple[str, ...]:
+        return self.selection.selected
+
+
+def collect_workload_runs(
+    cluster: Cluster,
+    workloads: dict[str, Workload] | None = None,
+    n_runs: int = 5,
+) -> dict[str, list[ClusterRun]]:
+    """Execute every workload ``n_runs`` times on a cluster."""
+    suite = workloads if workloads is not None else default_suite()
+    return {
+        name: execute_runs(cluster, workload, n_runs=n_runs)
+        for name, workload in suite.items()
+    }
+
+
+def fit_platform_model(
+    runs_by_workload: dict[str, list[ClusterRun]],
+    feature_set: FeatureSet,
+    platform_key: str,
+    machine_ids: list[str] | None = None,
+    model_code: str = "Q",
+    train_fraction: float = 1.0,
+    seed: int = 0,
+) -> PlatformModel:
+    """Fit one pooled machine-level model over all workloads and runs."""
+    from repro.models.registry import supports_feature_set
+
+    # Graceful degradation: a simple platform can end up with a feature
+    # set too small for the requested technique (e.g. the Atom may keep
+    # only utilization, and a quadratic model needs two features).  Fall
+    # back along the paper's complexity ladder.
+    fallbacks = {"Q": "P", "S": "L"}
+    while not supports_feature_set(model_code, feature_set):
+        model_code = fallbacks.get(model_code, "L")
+
+    all_runs = [run for runs in runs_by_workload.values() for run in runs]
+    design, power = pool_features(
+        all_runs, feature_set, machine_ids=machine_ids
+    )
+    if train_fraction < 1.0:
+        rng = np.random.default_rng([seed, 31337])
+        keep = max(
+            int(round(design.shape[0] * train_fraction)),
+            4 * (feature_set.n_features + 1),
+        )
+        rows = rng.choice(design.shape[0], size=min(keep, design.shape[0]), replace=False)
+        rows.sort()
+        design, power = design[rows], power[rows]
+    model = build_model(model_code, feature_set).fit(design, power)
+    return PlatformModel(
+        platform_key=platform_key, model=model, feature_set=feature_set
+    )
+
+
+def train_platform_model(
+    spec: PlatformSpec,
+    workloads: dict[str, Workload] | None = None,
+    n_machines: int = 5,
+    n_runs: int = 5,
+    seed: int = DEFAULT_SEED,
+    model_code: str = "Q",
+    selection_config: SelectionConfig = SelectionConfig(),
+) -> TrainedPlatform:
+    """The full CHAOS pipeline for one platform.
+
+    Builds the instrumented cluster, collects telemetry for the workload
+    suite, runs Algorithm 1, and fits the machine model (quadratic with
+    cluster-specific features by default — the paper's best overall
+    configuration).
+    """
+    cluster = Cluster.homogeneous(spec, n_machines=n_machines, seed=seed)
+    runs_by_workload = collect_workload_runs(
+        cluster, workloads=workloads, n_runs=n_runs
+    )
+    selection = run_algorithm1(
+        cluster, runs_by_workload, config=selection_config
+    )
+    feature_set = cluster_set(selection.selected)
+    platform_model = fit_platform_model(
+        runs_by_workload,
+        feature_set,
+        platform_key=spec.key,
+        model_code=model_code,
+        seed=seed,
+    )
+    return TrainedPlatform(
+        cluster=cluster,
+        runs_by_workload=runs_by_workload,
+        selection=selection,
+        feature_set=feature_set,
+        platform_model=platform_model,
+    )
+
+
+def compose_heterogeneous(
+    trained: list[TrainedPlatform],
+    cluster: Cluster,
+) -> ClusterPowerModel:
+    """Compose per-platform machine models for a (mixed) cluster.
+
+    Each machine gets the model of its own platform; cluster power is the
+    Eq. 5 sum.  Raises if the cluster contains a platform nobody trained.
+    """
+    models = {t.platform_key: t.platform_model for t in trained}
+    machine_platforms = {
+        machine.machine_id: machine.spec.key for machine in cluster.machines
+    }
+    missing = set(machine_platforms.values()) - set(models)
+    if missing:
+        raise ValueError(
+            f"no trained model for platform(s): {sorted(missing)}"
+        )
+    return compose_cluster_model(
+        list(models.values()), machine_platforms
+    )

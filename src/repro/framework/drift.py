@@ -1,0 +1,147 @@
+"""Input-drift detection for deployed power models.
+
+The cross-workload experiment shows CHAOS models degrade on workload
+types they never trained on — and the paper's answer is regeneration
+("the main motivation for the automated model generation framework").
+But a deployed agent has no power meter, so it cannot *see* its accuracy
+degrade.  What it can see is its inputs: a new workload type drives the
+selected counters outside the envelope the model was trained on.
+
+``InputDriftDetector`` watches exactly that.  At training time it records
+per-feature quantile envelopes; online, it tracks the fraction of recent
+samples falling outside them.  When that fraction exceeds what the
+training distribution would produce, the agent should flag the model for
+regeneration — turning the cross-workload caveat into an operational
+signal instead of silent error.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DriftVerdict:
+    """The detector's current assessment."""
+
+    drifting: bool
+    out_of_envelope_fraction: float
+    expected_fraction: float
+    worst_feature: str | None
+    worst_feature_fraction: float
+
+    def describe(self) -> str:
+        status = "DRIFT" if self.drifting else "ok"
+        detail = (
+            f" (worst: {self.worst_feature}, "
+            f"{self.worst_feature_fraction:.0%} outside)"
+            if self.worst_feature
+            else ""
+        )
+        return (
+            f"[{status}] {self.out_of_envelope_fraction:.1%} of recent "
+            f"samples outside the training envelope "
+            f"(expected ~{self.expected_fraction:.1%}){detail}"
+        )
+
+
+@dataclass
+class InputDriftDetector:
+    """Quantile-envelope drift detector over model input counters."""
+
+    feature_names: list[str]
+    envelope_quantile: float = 0.995
+    """Per-side training quantile defining the envelope; 0.5% of training
+    samples fall outside each side by construction."""
+
+    window_seconds: int = 120
+    trigger_ratio: float = 8.0
+    """Declare drift when the observed out-of-envelope fraction exceeds
+    ``trigger_ratio`` times the training-expected fraction."""
+
+    min_samples: int = 30
+
+    _low: np.ndarray | None = field(default=None, init=False)
+    _high: np.ndarray | None = field(default=None, init=False)
+    _window: deque = field(init=False)
+
+    def __post_init__(self):
+        if not self.feature_names:
+            raise ValueError("need at least one feature")
+        if not 0.5 < self.envelope_quantile < 1.0:
+            raise ValueError("envelope_quantile must be in (0.5, 1)")
+        if self.window_seconds < 1 or self.min_samples < 1:
+            raise ValueError("window and min_samples must be positive")
+        self._window = deque(maxlen=self.window_seconds)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self._low is not None
+
+    @property
+    def expected_fraction(self) -> float:
+        """Out-of-envelope rate the training distribution itself produces
+        (both tails of any of the features; union-bounded)."""
+        per_feature = 2.0 * (1.0 - self.envelope_quantile)
+        return min(per_feature * len(self.feature_names), 1.0)
+
+    def fit(self, training_design: np.ndarray) -> "InputDriftDetector":
+        """Record the training envelope from the model's design matrix."""
+        design = np.asarray(training_design, dtype=float)
+        if design.ndim != 2 or design.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"training design must be (n, {len(self.feature_names)})"
+            )
+        if design.shape[0] < self.min_samples:
+            raise ValueError("not enough training samples for an envelope")
+        self._low = np.quantile(design, 1.0 - self.envelope_quantile, axis=0)
+        self._high = np.quantile(design, self.envelope_quantile, axis=0)
+        return self
+
+    # ------------------------------------------------------------------
+    def observe(self, sample: np.ndarray) -> DriftVerdict:
+        """Ingest one second of model inputs and reassess drift."""
+        if not self.is_fitted:
+            raise RuntimeError("detector is not fitted")
+        row = np.asarray(sample, dtype=float).ravel()
+        if row.shape[0] != len(self.feature_names):
+            raise ValueError(
+                f"sample has {row.shape[0]} values, expected "
+                f"{len(self.feature_names)}"
+            )
+        outside = (row < self._low) | (row > self._high)
+        self._window.append(outside)
+        return self.verdict()
+
+    def verdict(self) -> DriftVerdict:
+        """Current assessment over the trailing window."""
+        if not self._window:
+            raise RuntimeError("no samples observed yet")
+        matrix = np.vstack(self._window)
+        sample_outside = matrix.any(axis=1)
+        fraction = float(sample_outside.mean())
+        per_feature = matrix.mean(axis=0)
+        worst_index = int(np.argmax(per_feature))
+        drifting = (
+            len(self._window) >= self.min_samples
+            and fraction > self.trigger_ratio * self.expected_fraction
+        )
+        return DriftVerdict(
+            drifting=drifting,
+            out_of_envelope_fraction=fraction,
+            expected_fraction=self.expected_fraction,
+            worst_feature=(
+                self.feature_names[worst_index]
+                if per_feature[worst_index] > 0
+                else None
+            ),
+            worst_feature_fraction=float(per_feature[worst_index]),
+        )
+
+    def reset(self) -> None:
+        """Clear the observation window (envelope is kept)."""
+        self._window.clear()

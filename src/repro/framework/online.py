@@ -1,0 +1,132 @@
+"""Online (streaming) power prediction.
+
+CHAOS models are "intended for online deployment" (Section IV): once per
+second the agent reads the selected counters and emits a watts estimate.
+``OnlinePowerPredictor`` is that agent's core: it consumes one counter
+sample at a time, maintains the lag state that lagged features (MHz(t-1))
+need, and produces the same numbers the batch path would — verified by
+tests against ``PlatformModel.predict_log``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models.composition import PlatformModel
+
+_LAG_SUFFIX = " (t-1)"
+
+
+@dataclass
+class OnlinePowerPredictor:
+    """Feed 1 Hz counter samples, get 1 Hz power predictions."""
+
+    platform_model: PlatformModel
+    history_seconds: int = 300
+    allow_missing: bool = False
+    """When True, a counter absent (or non-finite) in a sample reuses its
+    previous value instead of raising — Perfmon occasionally drops a
+    sample under load, and a deployed agent must ride through it."""
+
+    _last_sample: dict[str, float] | None = field(default=None, init=False)
+    _history: deque = field(init=False)
+    _n_observed: int = field(default=0, init=False)
+    _n_patched: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        if self.history_seconds < 1:
+            raise ValueError("history_seconds must be positive")
+        self._history = deque(maxlen=self.history_seconds)
+
+    # ------------------------------------------------------------------
+    @property
+    def required_counters(self) -> list[str]:
+        """Counters the caller must supply each second (lags excluded —
+        the predictor keeps those itself)."""
+        names = []
+        for name in self.platform_model.feature_set.feature_names:
+            base = (
+                name[: -len(_LAG_SUFFIX)]
+                if name.endswith(_LAG_SUFFIX)
+                else name
+            )
+            if base not in names:
+                names.append(base)
+        return names
+
+    @property
+    def n_observed(self) -> int:
+        return self._n_observed
+
+    @property
+    def n_patched(self) -> int:
+        """How many missing/invalid counter values were papered over."""
+        return self._n_patched
+
+    def _resolve(self, counter_sample: dict[str, float], name: str) -> float:
+        value = counter_sample.get(name)
+        if value is not None and np.isfinite(value):
+            return float(value)
+        if self.allow_missing and self._last_sample is not None:
+            fallback = self._last_sample.get(name)
+            if fallback is not None and np.isfinite(fallback):
+                self._n_patched += 1
+                return float(fallback)
+        raise KeyError(f"sample missing counters: [{name!r}]")
+
+    def observe(self, counter_sample: dict[str, float]) -> float:
+        """Ingest one second of counters; returns the predicted watts."""
+        resolved = {
+            name: self._resolve(counter_sample, name)
+            for name in self.required_counters
+        }
+        row = []
+        for name in self.platform_model.feature_set.feature_names:
+            if name.endswith(_LAG_SUFFIX):
+                base = name[: -len(_LAG_SUFFIX)]
+                source = (
+                    self._last_sample
+                    if self._last_sample is not None
+                    else resolved
+                )
+                row.append(float(source[base]))
+            else:
+                row.append(resolved[name])
+
+        prediction = float(
+            self.platform_model.model.predict(
+                np.asarray([row], dtype=float)
+            )[0]
+        )
+        self._last_sample = resolved
+        self._history.append(prediction)
+        self._n_observed += 1
+        return prediction
+
+    # ------------------------------------------------------------------
+    def rolling_mean_w(self, window_seconds: int | None = None) -> float:
+        """Mean predicted power over the trailing window."""
+        if not self._history:
+            raise ValueError("no samples observed yet")
+        values = list(self._history)
+        if window_seconds is not None:
+            if window_seconds < 1:
+                raise ValueError("window must be positive")
+            values = values[-window_seconds:]
+        return float(np.mean(values))
+
+    def peak_w(self) -> float:
+        """Peak predicted power in the retained history."""
+        if not self._history:
+            raise ValueError("no samples observed yet")
+        return float(np.max(self._history))
+
+    def reset(self) -> None:
+        """Forget lag state and history (e.g. between workload runs)."""
+        self._last_sample = None
+        self._history.clear()
+        self._n_observed = 0
+        self._n_patched = 0

@@ -1,0 +1,137 @@
+"""Per-phase accuracy analysis.
+
+Figure 1 shows each workload as a sequence of visually distinct phases
+(read, shuffle, sort, write...).  Aggregate DRE hides *where* a model
+struggles; this analysis splits a machine-run by workload stage and
+reports accuracy per phase — e.g. a CPU-only model looks fine during
+compute phases and falls apart during shuffle, which is Figure 3's
+mechanism made visible.
+
+Stage boundaries come from the latent schedule (the simulator knows which
+stage each second belonged to).  On real systems the paper's authors
+would get the same split from the Dryad job manager's task log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.activity import ActivityTrace
+from repro.metrics.errors import root_mean_squared_error
+from repro.models.composition import PlatformModel
+from repro.telemetry.perfmon import PerfmonLog
+
+IDLE_PHASE = "idle-wait"
+
+
+@dataclass(frozen=True)
+class PhaseAccuracy:
+    """Accuracy of one phase of one machine-run."""
+
+    phase: str
+    n_seconds: int
+    mean_power_w: float
+    rmse_w: float
+    bias_w: float
+    """Mean (measured - predicted): positive = model underpredicts."""
+
+
+@dataclass
+class PhaseBreakdown:
+    """Per-phase accuracy for one machine-run."""
+
+    phases: list[PhaseAccuracy]
+
+    @property
+    def worst_phase(self) -> PhaseAccuracy:
+        if not self.phases:
+            raise ValueError("no phases analyzed")
+        return max(self.phases, key=lambda p: p.rmse_w)
+
+    def phase(self, name: str) -> PhaseAccuracy:
+        for entry in self.phases:
+            if entry.phase == name:
+                return entry
+        raise KeyError(f"no phase {name!r}")
+
+    def render(self) -> str:
+        from repro.framework.reports import render_table
+
+        rows = [
+            [
+                entry.phase,
+                entry.n_seconds,
+                f"{entry.mean_power_w:.1f} W",
+                f"{entry.rmse_w:.2f} W",
+                f"{entry.bias_w:+.2f} W",
+            ]
+            for entry in self.phases
+        ]
+        return render_table(
+            ["phase", "seconds", "mean power", "rMSE", "bias"],
+            rows,
+            title="Per-phase model accuracy",
+        )
+
+
+def _phase_labels(activity: ActivityTrace, stage_names: list[str]) -> list[str]:
+    indicator = activity.extras.get("stage_indicator")
+    if indicator is None:
+        raise ValueError(
+            "activity trace carries no stage indicator; phase analysis "
+            "needs traces produced by Workload.generate_run"
+        )
+    labels = []
+    indicator = np.asarray(indicator, dtype=int)
+    for stage_index in indicator:
+        if stage_index < 0:
+            labels.append(IDLE_PHASE)
+        elif stage_index < len(stage_names):
+            labels.append(stage_names[stage_index])
+        else:
+            labels.append(f"stage[{stage_index}]")
+    return labels
+
+
+def phase_breakdown(
+    platform_model: PlatformModel,
+    log: PerfmonLog,
+    activity: ActivityTrace,
+    stage_names: list[str],
+    min_phase_seconds: int = 5,
+) -> PhaseBreakdown:
+    """Split one machine-run's prediction error by workload phase.
+
+    ``stage_names`` maps stage indices to labels — usually the profile
+    names of the workload's stages.  Repeated names (e.g. PageRank's
+    per-iteration stages sharing a prefix) are merged.
+    """
+    if log.n_seconds != activity.n_seconds:
+        raise ValueError("log and activity lengths differ")
+    prediction = platform_model.predict_log(log)
+    labels = _phase_labels(activity, stage_names)
+
+    grouped: dict[str, list[int]] = {}
+    for index, label in enumerate(labels):
+        # Merge indexed repeats: "compute[3]" -> "compute".
+        base = label.split("[")[0]
+        grouped.setdefault(base, []).append(index)
+
+    phases = []
+    for name, indices in grouped.items():
+        if len(indices) < min_phase_seconds:
+            continue
+        rows = np.asarray(indices)
+        measured = log.power_w[rows]
+        predicted = prediction[rows]
+        phases.append(PhaseAccuracy(
+            phase=name,
+            n_seconds=len(indices),
+            mean_power_w=float(np.mean(measured)),
+            rmse_w=root_mean_squared_error(measured, predicted),
+            bias_w=float(np.mean(measured - predicted)),
+        ))
+    phases.sort(key=lambda p: -p.n_seconds)
+    return PhaseBreakdown(phases=phases)

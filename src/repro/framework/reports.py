@@ -1,0 +1,80 @@
+"""Plain-text rendering of tables and figure data.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep the formatting consistent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+
+    def format_row(cells) -> str:
+        return " | ".join(
+            str(cell).ljust(width) for cell, width in zip(cells, widths)
+        )
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(format_row(row))
+    return "\n".join(lines)
+
+
+def render_histogram(
+    values: dict[str, float],
+    threshold: float | None = None,
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """ASCII bar chart of a weighted-occurrence histogram (Figure 2)."""
+    if not values:
+        raise ValueError("nothing to render")
+    peak = max(values.values())
+    label_width = max(len(name) for name in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for name, value in sorted(values.items(), key=lambda kv: -kv[1]):
+        bar = "#" * max(int(round(value / peak * width)), 1)
+        marker = ""
+        if threshold is not None:
+            marker = " <selected>" if value >= threshold else ""
+        lines.append(f"{name.ljust(label_width)} |{bar} {value:.1f}{marker}")
+    if threshold is not None:
+        lines.append(f"(selection threshold: {threshold:.1f})")
+    return "\n".join(lines)
+
+
+def format_percent(value: float, decimals: int = 1) -> str:
+    return f"{value * 100:.{decimals}f}%"
+
+
+def render_series(
+    series: dict[str, Sequence[float]],
+    max_points: int = 12,
+    title: str | None = None,
+) -> str:
+    """Compact numeric preview of one or more time series (figures)."""
+    lines = []
+    if title:
+        lines.append(title)
+    for name, values in series.items():
+        values = list(values)
+        step = max(len(values) // max_points, 1)
+        sampled = values[::step][:max_points]
+        preview = " ".join(f"{value:.1f}" for value in sampled)
+        lines.append(f"{name}: [{preview} ...] ({len(values)} points)")
+    return "\n".join(lines)

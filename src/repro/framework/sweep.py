@@ -1,0 +1,76 @@
+"""The model-exploration sweep: every technique x feature-set combination.
+
+Section IV: "we build and evaluate over 1200 full-system power models per
+cluster using different combinations of predictors and modeling
+techniques."  The sweep enumerates the valid grid (quadratic/switching
+need multiple features), cross-validates each cell, and reports the winner
+per workload — the machinery behind Figures 3-4 and Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.runner import ClusterRun
+from repro.framework.crossval import DEFAULT_TRAIN_FRACTION, EvaluationResult, cross_validate
+from repro.models.featuresets import FeatureSet
+from repro.models.registry import MODEL_CODES, supports_feature_set
+
+
+@dataclass
+class SweepResult:
+    """All evaluation cells for one cluster-workload."""
+
+    workload_name: str
+    evaluations: list[EvaluationResult] = field(default_factory=list)
+
+    @property
+    def n_models_built(self) -> int:
+        return sum(e.n_models_built for e in self.evaluations)
+
+    def cell(self, model_code: str, feature_set_name: str) -> EvaluationResult:
+        for evaluation in self.evaluations:
+            if (
+                evaluation.model_code == model_code
+                and evaluation.feature_set_name == feature_set_name
+            ):
+                return evaluation
+        raise KeyError(
+            f"no evaluation for {model_code}{feature_set_name} on "
+            f"{self.workload_name}"
+        )
+
+    def best(self) -> EvaluationResult:
+        """The cell with the lowest mean machine DRE (Table IV's entry)."""
+        if not self.evaluations:
+            raise ValueError("sweep has no evaluations")
+        return min(self.evaluations, key=lambda e: e.mean_machine_dre)
+
+
+def sweep_models(
+    runs: list[ClusterRun],
+    feature_sets: list[FeatureSet],
+    model_codes: tuple[str, ...] = MODEL_CODES,
+    machine_ids: list[str] | None = None,
+    train_fraction: float = DEFAULT_TRAIN_FRACTION,
+    seed: int = 0,
+) -> SweepResult:
+    """Cross-validate every valid technique x feature-set combination."""
+    if not runs:
+        raise ValueError("need runs to sweep")
+    result = SweepResult(workload_name=runs[0].workload_name)
+    for code in model_codes:
+        for feature_set in feature_sets:
+            if not supports_feature_set(code, feature_set):
+                continue
+            result.evaluations.append(
+                cross_validate(
+                    runs,
+                    model_code=code,
+                    feature_set=feature_set,
+                    machine_ids=machine_ids,
+                    train_fraction=train_fraction,
+                    seed=seed,
+                )
+            )
+    return result

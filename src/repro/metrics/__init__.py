@@ -1,0 +1,29 @@
+"""Error metrics for power models, including the paper's Dynamic Range Error."""
+
+from repro.metrics.energy import energy_joules, energy_relative_error
+from repro.metrics.errors import (
+    dynamic_range,
+    dynamic_range_error,
+    mean_absolute_error,
+    mean_squared_error,
+    median_absolute_error,
+    median_relative_error,
+    percent_error,
+    root_mean_squared_error,
+)
+from repro.metrics.summary import AccuracyReport, ReportCollection
+
+__all__ = [
+    "AccuracyReport",
+    "ReportCollection",
+    "dynamic_range",
+    "dynamic_range_error",
+    "energy_joules",
+    "energy_relative_error",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "median_absolute_error",
+    "median_relative_error",
+    "percent_error",
+    "root_mean_squared_error",
+]

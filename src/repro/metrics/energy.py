@@ -1,0 +1,38 @@
+"""Energy metrics: what prior work reported instead of power traces.
+
+Section II notes that some prior models predicted *total energy over a
+workload* ([29, 23, 20]), which "misses application-level behavior
+patterns".  These helpers integrate 1 Hz power into energy and expose the
+total-energy relative error — useful both for comparing against that
+prior-work metric and for demonstrating how flattering it is: a model can
+have terrible per-second DRE and near-zero energy error if its mistakes
+cancel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.errors import _as_aligned_arrays
+
+
+def energy_joules(power_w, sample_period_s: float = 1.0) -> float:
+    """Total energy of a power series sampled at a fixed period."""
+    power = np.asarray(power_w, dtype=float).ravel()
+    if power.size == 0:
+        raise ValueError("cannot integrate an empty power series")
+    if sample_period_s <= 0:
+        raise ValueError("sample period must be positive")
+    return float(np.sum(power) * sample_period_s)
+
+
+def energy_relative_error(
+    actual_power, predicted_power, sample_period_s: float = 1.0
+) -> float:
+    """|predicted energy - actual energy| / actual energy."""
+    actual, predicted = _as_aligned_arrays(actual_power, predicted_power)
+    actual_energy = energy_joules(actual, sample_period_s)
+    if actual_energy <= 0:
+        raise ValueError("actual energy must be positive")
+    predicted_energy = energy_joules(predicted, sample_period_s)
+    return abs(predicted_energy - actual_energy) / actual_energy

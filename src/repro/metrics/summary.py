@@ -1,0 +1,97 @@
+"""Aggregate accuracy reports for a fitted power model.
+
+``AccuracyReport`` bundles every metric the paper reports side by side
+(Table III) so that evaluation code computes them once, consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.errors import (
+    dynamic_range,
+    dynamic_range_error,
+    mean_absolute_error,
+    median_absolute_error,
+    median_relative_error,
+    percent_error,
+    root_mean_squared_error,
+)
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """All error metrics for one (model, evaluation set) pair."""
+
+    rmse: float
+    percent_error: float
+    dre: float
+    mean_absolute_error: float
+    median_absolute_error: float
+    median_relative_error: float
+    dynamic_range: float
+    mean_power: float
+    n_samples: int
+
+    @classmethod
+    def from_predictions(
+        cls, actual, predicted, idle_power: float | None = None
+    ) -> "AccuracyReport":
+        """Compute every metric from a (measured, predicted) pair of series."""
+        y = np.asarray(actual, dtype=float).ravel()
+        return cls(
+            rmse=root_mean_squared_error(actual, predicted),
+            percent_error=percent_error(actual, predicted),
+            dre=dynamic_range_error(actual, predicted, idle_power=idle_power),
+            mean_absolute_error=mean_absolute_error(actual, predicted),
+            median_absolute_error=median_absolute_error(actual, predicted),
+            median_relative_error=median_relative_error(actual, predicted),
+            dynamic_range=dynamic_range(actual, idle_power=idle_power),
+            mean_power=float(np.mean(y)),
+            n_samples=int(y.size),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"rMSE={self.rmse:.2f}W  %err={self.percent_error:.1%}  "
+            f"DRE={self.dre:.1%}  range={self.dynamic_range:.1f}W  "
+            f"n={self.n_samples}"
+        )
+
+
+@dataclass
+class ReportCollection:
+    """Accuracy reports accumulated across cross-validation folds."""
+
+    reports: list[AccuracyReport] = field(default_factory=list)
+
+    def add(self, report: AccuracyReport) -> None:
+        self.reports.append(report)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def _mean_of(self, attribute: str) -> float:
+        if not self.reports:
+            raise ValueError("no reports collected")
+        return float(np.mean([getattr(r, attribute) for r in self.reports]))
+
+    @property
+    def mean_dre(self) -> float:
+        """Average DRE across folds (the paper's per-cell Table IV number)."""
+        return self._mean_of("dre")
+
+    @property
+    def mean_rmse(self) -> float:
+        return self._mean_of("rmse")
+
+    @property
+    def mean_percent_error(self) -> float:
+        return self._mean_of("percent_error")
+
+    @property
+    def mean_median_relative_error(self) -> float:
+        return self._mean_of("median_relative_error")

@@ -1,0 +1,65 @@
+"""The four power-model families (Eqs. 1-4), feature sets and composition."""
+
+from repro.models.base import PowerModel
+from repro.models.composition import (
+    ClusterPowerModel,
+    PlatformModel,
+    compose_cluster_model,
+)
+from repro.models.featuresets import (
+    CPU_UTILIZATION_COUNTER,
+    FREQUENCY_COUNTER,
+    FeatureSet,
+    cluster_plus_lagged_frequency,
+    cluster_set,
+    cpu_only_set,
+    general_set,
+    pool_features,
+)
+from repro.models.linear import LinearPowerModel
+from repro.models.persistence import (
+    load_platform_model,
+    model_from_payload,
+    model_to_payload,
+    platform_model_from_payload,
+    platform_model_to_payload,
+    save_platform_model,
+)
+from repro.models.piecewise import PiecewiseLinearPowerModel
+from repro.models.quadratic import QuadraticPowerModel
+from repro.models.registry import (
+    MODEL_CODES,
+    MODEL_NAMES,
+    build_model,
+    supports_feature_set,
+)
+from repro.models.switching import SwitchingPowerModel
+
+__all__ = [
+    "CPU_UTILIZATION_COUNTER",
+    "ClusterPowerModel",
+    "FREQUENCY_COUNTER",
+    "FeatureSet",
+    "LinearPowerModel",
+    "MODEL_CODES",
+    "MODEL_NAMES",
+    "PiecewiseLinearPowerModel",
+    "PlatformModel",
+    "PowerModel",
+    "QuadraticPowerModel",
+    "SwitchingPowerModel",
+    "build_model",
+    "cluster_plus_lagged_frequency",
+    "cluster_set",
+    "compose_cluster_model",
+    "cpu_only_set",
+    "general_set",
+    "load_platform_model",
+    "model_from_payload",
+    "model_to_payload",
+    "platform_model_from_payload",
+    "platform_model_to_payload",
+    "pool_features",
+    "save_platform_model",
+    "supports_feature_set",
+]

@@ -1,0 +1,79 @@
+"""The power-model interface shared by all four modeling techniques."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class PowerModel(abc.ABC):
+    """A machine-level full-system power model.
+
+    A model is constructed unfitted, bound to a list of feature names, and
+    learns its parameters from a pooled (design, power) dataset.  All four
+    of the paper's techniques (Eqs. 1-4) implement this interface, which is
+    what lets the evaluation sweep treat them uniformly.
+    """
+
+    #: Short code used in the paper's Table IV labels (L, P, Q, S).
+    code: str = "?"
+
+    def __init__(self, feature_names: list[str]):
+        if not feature_names:
+            raise ValueError("a power model needs at least one feature")
+        self.feature_names = list(feature_names)
+        self._fitted = False
+
+    @property
+    def n_features(self) -> int:
+        return len(self.feature_names)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def _check_design(self, design: np.ndarray) -> np.ndarray:
+        design = np.asarray(design, dtype=float)
+        if design.ndim != 2:
+            raise ValueError("design must be 2-D")
+        if design.shape[1] != self.n_features:
+            raise ValueError(
+                f"design has {design.shape[1]} columns, model expects "
+                f"{self.n_features}"
+            )
+        return design
+
+    def fit(self, design: np.ndarray, power: np.ndarray) -> "PowerModel":
+        """Learn parameters; returns self for chaining."""
+        design = self._check_design(design)
+        power = np.asarray(power, dtype=float).ravel()
+        if power.shape[0] != design.shape[0]:
+            raise ValueError("design and power row counts differ")
+        self._fit(design, power)
+        self._fitted = True
+        return self
+
+    def predict(self, design: np.ndarray) -> np.ndarray:
+        """Predicted watts for each row of the design matrix."""
+        if not self._fitted:
+            raise RuntimeError(f"{type(self).__name__} is not fitted")
+        design = self._check_design(design)
+        return self._predict(design)
+
+    @abc.abstractmethod
+    def _fit(self, design: np.ndarray, power: np.ndarray) -> None:
+        ...
+
+    @abc.abstractmethod
+    def _predict(self, design: np.ndarray) -> np.ndarray:
+        ...
+
+    @property
+    @abc.abstractmethod
+    def n_parameters(self) -> int:
+        """Number of fitted parameters (model-complexity axis)."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable summary of the fitted model."""

@@ -1,0 +1,115 @@
+"""Feature sets: which counters feed a model, with optional lagged terms.
+
+The paper evaluates four families of feature sets per cluster:
+
+* ``U``  — CPU utilization only (the prior-work strawman),
+* ``C``  — the cluster-specific set from Algorithm 1,
+* ``CP`` — the cluster set plus the previous second's frequency,
+  MHz(t-1) (the 'QCP' label of Table IV),
+* ``G``  — the cross-platform general set.
+
+A ``FeatureSet`` knows how to extract its design matrix from a
+``PerfmonLog``; lagged counters are shifted *within* each machine-run so
+samples never leak across run boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.runner import ClusterRun
+from repro.telemetry.perfmon import PerfmonLog
+
+CPU_UTILIZATION_COUNTER = r"\Processor(_Total)\% Processor Time"
+FREQUENCY_COUNTER = r"\Processor Performance(0)\Frequency MHz"
+
+
+@dataclass(frozen=True)
+class FeatureSet:
+    """A named list of counters (plus optional one-second lags)."""
+
+    name: str
+    counters: tuple[str, ...]
+    lagged_counters: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not self.counters and not self.lagged_counters:
+            raise ValueError("a feature set needs at least one counter")
+        duplicates = set(self.counters) & {
+            f"{name} (t-1)" for name in self.lagged_counters
+        }
+        if duplicates:
+            raise ValueError(f"duplicate feature names: {duplicates}")
+
+    @property
+    def feature_names(self) -> list[str]:
+        return list(self.counters) + [
+            f"{name} (t-1)" for name in self.lagged_counters
+        ]
+
+    @property
+    def n_features(self) -> int:
+        return len(self.counters) + len(self.lagged_counters)
+
+    def extract(self, log: PerfmonLog) -> np.ndarray:
+        """(T, n_features) design matrix for one machine-run."""
+        blocks = []
+        if self.counters:
+            blocks.append(log.select(list(self.counters)))
+        for name in self.lagged_counters:
+            series = log.column(name)
+            lagged = np.concatenate([[series[0]], series[:-1]])
+            blocks.append(lagged[:, None])
+        return np.hstack(blocks)
+
+
+def cpu_only_set() -> FeatureSet:
+    """The prior-work baseline: utilization alone."""
+    return FeatureSet(name="U", counters=(CPU_UTILIZATION_COUNTER,))
+
+
+def cluster_set(selected: tuple[str, ...] | list[str]) -> FeatureSet:
+    """The cluster-specific Algorithm 1 output."""
+    return FeatureSet(name="C", counters=tuple(selected))
+
+
+def cluster_plus_lagged_frequency(
+    selected: tuple[str, ...] | list[str],
+    frequency_counter: str = FREQUENCY_COUNTER,
+) -> FeatureSet:
+    """Cluster features + MHz(t-1) (Table IV's 'CP' suffix)."""
+    return FeatureSet(
+        name="CP",
+        counters=tuple(selected),
+        lagged_counters=(frequency_counter,),
+    )
+
+
+def general_set(features: tuple[str, ...] | list[str]) -> FeatureSet:
+    """The cross-platform general set (Table II, last column)."""
+    return FeatureSet(name="G", counters=tuple(features))
+
+
+def pool_features(
+    runs: list[ClusterRun],
+    feature_set: FeatureSet,
+    machine_ids: list[str] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pooled (design, power) over runs/machines for a feature set.
+
+    The lag transform is applied per machine-run before stacking, so a
+    lagged feature never reads across a run boundary.
+    """
+    if not runs:
+        raise ValueError("need at least one run")
+    designs = []
+    powers = []
+    for run in runs:
+        ids = machine_ids if machine_ids is not None else run.machine_ids
+        for machine_id in ids:
+            log = run.logs[machine_id]
+            designs.append(feature_set.extract(log))
+            powers.append(log.power_w)
+    return np.vstack(designs), np.concatenate(powers)

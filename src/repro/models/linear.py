@@ -1,0 +1,48 @@
+"""The baseline linear power model (Eq. 1).
+
+f() = a0 + sum_i a_i * x_i — the form most prior work used, and the
+paper's baseline for quantifying what nonlinearity buys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import PowerModel
+from repro.regression.ols import OLSFit, fit_ols
+
+
+class LinearPowerModel(PowerModel):
+    """Ordinary least-squares linear model over the feature set."""
+
+    code = "L"
+
+    def __init__(self, feature_names: list[str]):
+        super().__init__(feature_names)
+        self._fit_result: OLSFit | None = None
+
+    def _fit(self, design: np.ndarray, power: np.ndarray) -> None:
+        self._fit_result = fit_ols(design, power)
+
+    def _predict(self, design: np.ndarray) -> np.ndarray:
+        return self._fit_result.predict(design)
+
+    @property
+    def n_parameters(self) -> int:
+        if self._fit_result is None:
+            return self.n_features + 1
+        return int(self._fit_result.coefficients.size)
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        if self._fit_result is None:
+            raise RuntimeError("model is not fitted")
+        return self._fit_result.coefficients
+
+    def describe(self) -> str:
+        if self._fit_result is None:
+            return f"linear({self.n_features} features, unfitted)"
+        terms = [f"{self._fit_result.intercept:.3g}"]
+        for name, slope in zip(self.feature_names, self._fit_result.slopes):
+            terms.append(f"{slope:+.3g}*[{name}]")
+        return "linear: " + " ".join(terms)

@@ -1,0 +1,236 @@
+"""Model persistence: serialize fitted power models to plain JSON.
+
+A characterization campaign trains a model once; production hosts only
+need its parameters.  These helpers round-trip every model family (and
+the wrapping ``PlatformModel``) through a versioned, dependency-free JSON
+payload, preserving the deployment clamps (feature and power envelopes).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.models.base import PowerModel
+from repro.models.composition import PlatformModel
+from repro.models.featuresets import FeatureSet
+from repro.models.linear import LinearPowerModel
+from repro.models.piecewise import PiecewiseLinearPowerModel
+from repro.models.quadratic import QuadraticPowerModel
+from repro.models.switching import SwitchingPowerModel
+from repro.regression.hinge import BasisFunction, Hinge
+from repro.regression.mars import MARSModel
+from repro.regression.ols import OLSFit
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+def _ols_payload(fit: OLSFit) -> dict:
+    return {"coefficients": fit.coefficients.tolist()}
+
+
+def _mars_payload(model: MARSModel) -> dict:
+    return {
+        "max_degree": model.max_degree,
+        "coefficients": model.coefficients.tolist(),
+        "bases": [
+            [
+                {"feature": h.feature, "knot": h.knot, "sign": h.sign}
+                for h in basis.hinges
+            ]
+            for basis in model.bases
+        ],
+    }
+
+
+def model_to_payload(model: PowerModel) -> dict:
+    """Serialize a fitted model into a JSON-safe dict."""
+    if not model.is_fitted:
+        raise ValueError("only fitted models can be serialized")
+    payload: dict = {
+        "format_version": FORMAT_VERSION,
+        "code": model.code,
+        "feature_names": list(model.feature_names),
+    }
+    if isinstance(model, LinearPowerModel):
+        payload["ols"] = _ols_payload(model._fit_result)
+    elif isinstance(model, PiecewiseLinearPowerModel):
+        # Covers QuadraticPowerModel via inheritance.
+        payload["mars"] = _mars_payload(model.mars_model)
+        payload["feature_low"] = model._feature_low.tolist()
+        payload["feature_high"] = model._feature_high.tolist()
+        payload["power_low"] = model._power_low
+        payload["power_high"] = model._power_high
+    elif isinstance(model, SwitchingPowerModel):
+        payload["switch_feature"] = model.switch_feature
+        payload["global"] = _ols_payload(model._global_fit)
+        payload["feature_low"] = model._feature_low.tolist()
+        payload["feature_high"] = model._feature_high.tolist()
+        payload["power_low"] = model._power_low
+        payload["power_high"] = model._power_high
+        payload["edges"] = (
+            model._edges.tolist() if model._edges is not None else None
+        )
+        payload["resolution"] = getattr(model, "_resolution", None)
+        payload["states"] = {
+            str(state): {
+                "ols": _ols_payload(fit),
+                "low": model._state_envelopes[state][0].tolist(),
+                "high": model._state_envelopes[state][1].tolist(),
+            }
+            for state, fit in model._state_fits.items()
+        }
+    else:
+        raise TypeError(f"cannot serialize {type(model).__name__}")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Deserialization
+# ----------------------------------------------------------------------
+
+def _ols_from_payload(payload: dict) -> OLSFit:
+    coefficients = np.asarray(payload["coefficients"], dtype=float)
+    placeholder = np.zeros_like(coefficients)
+    return OLSFit(
+        coefficients=coefficients,
+        standard_errors=placeholder,
+        p_values=placeholder,
+        residual_variance=float("nan"),
+        r_squared=float("nan"),
+        rank=coefficients.size,
+        n_samples=0,
+    )
+
+
+def _mars_from_payload(payload: dict) -> MARSModel:
+    bases = tuple(
+        BasisFunction(tuple(
+            Hinge(
+                feature=int(h["feature"]),
+                knot=float(h["knot"]),
+                sign=int(h["sign"]),
+            )
+            for h in hinges
+        ))
+        for hinges in payload["bases"]
+    )
+    return MARSModel(
+        bases=bases,
+        coefficients=np.asarray(payload["coefficients"], dtype=float),
+        gcv=float("nan"),
+        training_rss=float("nan"),
+        n_samples=0,
+        max_degree=int(payload["max_degree"]),
+    )
+
+
+def model_from_payload(payload: dict) -> PowerModel:
+    """Reconstruct a fitted model from :func:`model_to_payload` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported payload version {version!r}")
+    code = payload["code"]
+    names = list(payload["feature_names"])
+
+    if code == "L":
+        model = LinearPowerModel(names)
+        model._fit_result = _ols_from_payload(payload["ols"])
+    elif code in ("P", "Q"):
+        model = (
+            PiecewiseLinearPowerModel(names)
+            if code == "P"
+            else QuadraticPowerModel(names)
+        )
+        model._model = _mars_from_payload(payload["mars"])
+        model._feature_low = np.asarray(payload["feature_low"], dtype=float)
+        model._feature_high = np.asarray(payload["feature_high"], dtype=float)
+        model._power_low = float(payload["power_low"])
+        model._power_high = float(payload["power_high"])
+    elif code == "S":
+        model = SwitchingPowerModel(
+            names, switch_feature=payload["switch_feature"]
+        )
+        model._global_fit = _ols_from_payload(payload["global"])
+        model._feature_low = np.asarray(payload["feature_low"], dtype=float)
+        model._feature_high = np.asarray(payload["feature_high"], dtype=float)
+        model._power_low = float(payload["power_low"])
+        model._power_high = float(payload["power_high"])
+        model._edges = (
+            np.asarray(payload["edges"], dtype=float)
+            if payload["edges"] is not None
+            else None
+        )
+        if payload["resolution"] is not None:
+            model._resolution = float(payload["resolution"])
+        model._other_indices = [
+            i for i in range(len(names)) if i != model.switch_index
+        ]
+        model._state_fits = {}
+        model._state_envelopes = {}
+        for state_key, state_payload in payload["states"].items():
+            state = int(state_key)
+            model._state_fits[state] = _ols_from_payload(
+                state_payload["ols"]
+            )
+            model._state_envelopes[state] = (
+                np.asarray(state_payload["low"], dtype=float),
+                np.asarray(state_payload["high"], dtype=float),
+            )
+    else:
+        raise ValueError(f"unknown model code {code!r}")
+
+    model._fitted = True
+    return model
+
+
+# ----------------------------------------------------------------------
+# PlatformModel round-trip + JSON convenience
+# ----------------------------------------------------------------------
+
+def platform_model_to_payload(platform_model: PlatformModel) -> dict:
+    return {
+        "format_version": FORMAT_VERSION,
+        "platform_key": platform_model.platform_key,
+        "feature_set": {
+            "name": platform_model.feature_set.name,
+            "counters": list(platform_model.feature_set.counters),
+            "lagged_counters": list(
+                platform_model.feature_set.lagged_counters
+            ),
+        },
+        "model": model_to_payload(platform_model.model),
+    }
+
+
+def platform_model_from_payload(payload: dict) -> PlatformModel:
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported payload version {version!r}")
+    feature_set = FeatureSet(
+        name=payload["feature_set"]["name"],
+        counters=tuple(payload["feature_set"]["counters"]),
+        lagged_counters=tuple(payload["feature_set"]["lagged_counters"]),
+    )
+    return PlatformModel(
+        platform_key=payload["platform_key"],
+        model=model_from_payload(payload["model"]),
+        feature_set=feature_set,
+    )
+
+
+def save_platform_model(platform_model: PlatformModel, path) -> None:
+    """Write a platform model to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(platform_model_to_payload(platform_model), handle)
+
+
+def load_platform_model(path) -> PlatformModel:
+    """Read a platform model from a JSON file."""
+    with open(path) as handle:
+        return platform_model_from_payload(json.load(handle))

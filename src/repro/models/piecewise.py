@@ -1,0 +1,87 @@
+"""The piecewise-linear power model (Eq. 2): MARS with additive hinges.
+
+Hinge basis functions let one feature (e.g. CPU utilization) contribute
+different watts-per-unit in different operating regions, while the model
+stays continuous — the paper's key upgrade over plain linear models for
+DVFS platforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import PowerModel
+from repro.regression.mars import MARSModel, fit_mars
+
+
+class PiecewiseLinearPowerModel(PowerModel):
+    """MARS restricted to degree-1 (additive) hinge bases."""
+
+    code = "P"
+
+    def __init__(
+        self,
+        feature_names: list[str],
+        max_terms: int = 17,
+        n_knot_candidates: int = 12,
+        penalty: float = 3.0,
+    ):
+        super().__init__(feature_names)
+        self.max_terms = max_terms
+        self.n_knot_candidates = n_knot_candidates
+        self.penalty = penalty
+        self._model: MARSModel | None = None
+
+    _max_degree = 1
+
+    def _fit(self, design: np.ndarray, power: np.ndarray) -> None:
+        # Online deployments clamp inputs to the training envelope: hinge
+        # (and especially hinge-product) bases extrapolate without bound,
+        # so a counter excursion beyond anything seen in training must not
+        # produce a runaway power prediction.
+        self._feature_low = design.min(axis=0)
+        self._feature_high = design.max(axis=0)
+        # Output envelope: hinge-product surfaces can still misbehave in
+        # corners of the feature box the training manifold never visited,
+        # so predictions are clamped to the observed power range plus a
+        # margin — a power model must not predict watts the machine has
+        # never drawn.
+        span = float(power.max() - power.min())
+        self._power_low = float(power.min()) - 0.3 * span
+        self._power_high = float(power.max()) + 0.3 * span
+        # Small training pools cannot support many hinge terms without
+        # overfitting the one run they came from; scale capacity with data.
+        effective_max_terms = min(
+            self.max_terms, max(7, design.shape[0] // 25)
+        )
+        self._model = fit_mars(
+            design,
+            power,
+            max_degree=self._max_degree,
+            max_terms=effective_max_terms,
+            n_knot_candidates=self.n_knot_candidates,
+            penalty=self.penalty,
+        )
+
+    def _predict(self, design: np.ndarray) -> np.ndarray:
+        clamped = np.clip(design, self._feature_low, self._feature_high)
+        prediction = self._model.predict(clamped)
+        return np.clip(prediction, self._power_low, self._power_high)
+
+    @property
+    def n_parameters(self) -> int:
+        if self._model is None:
+            return 0
+        return int(self._model.coefficients.size + len(self._model.knots))
+
+    @property
+    def mars_model(self) -> MARSModel:
+        if self._model is None:
+            raise RuntimeError("model is not fitted")
+        return self._model
+
+    def describe(self) -> str:
+        if self._model is None:
+            return f"piecewise({self.n_features} features, unfitted)"
+        return "piecewise: " + self._model.describe(self.feature_names)
+

@@ -1,0 +1,22 @@
+"""The quadratic power model (Eq. 3): MARS with degree-2 interactions."""
+
+from __future__ import annotations
+
+from repro.models.piecewise import PiecewiseLinearPowerModel
+
+
+class QuadraticPowerModel(PiecewiseLinearPowerModel):
+    """The quadratic power model (Eq. 3): MARS with degree-2 interactions.
+
+    Basis functions may be products of two hinges, capturing joint effects
+    such as utilization x frequency — the term that physically drives CPU
+    power.  This is the technique that wins most Table IV cells.
+    """
+
+    code = "Q"
+    _max_degree = 2
+
+    def describe(self) -> str:
+        if self._model is None:
+            return f"quadratic({self.n_features} features, unfitted)"
+        return "quadratic: " + self._model.describe(self.feature_names)

@@ -1,0 +1,56 @@
+"""Model builders keyed by the paper's technique codes (L, P, Q, S)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.models.base import PowerModel
+from repro.models.featuresets import FREQUENCY_COUNTER, FeatureSet
+from repro.models.linear import LinearPowerModel
+from repro.models.piecewise import PiecewiseLinearPowerModel
+from repro.models.quadratic import QuadraticPowerModel
+from repro.models.switching import SwitchingPowerModel
+
+MODEL_CODES: tuple[str, ...] = ("L", "P", "Q", "S")
+
+MODEL_NAMES: dict[str, str] = {
+    "L": "linear",
+    "P": "piecewise linear",
+    "Q": "quadratic",
+    "S": "switching",
+}
+
+
+def supports_feature_set(code: str, feature_set: FeatureSet) -> bool:
+    """Whether a technique can use a feature set.
+
+    The quadratic and switching models require multiple features (the
+    paper's Figures 3-4 note the CPU-only set does not apply to them), and
+    switching additionally needs the frequency counter as its indicator.
+    """
+    if code not in MODEL_CODES:
+        raise KeyError(f"unknown model code {code!r}")
+    if code in ("Q", "S") and feature_set.n_features < 2:
+        return False
+    if code == "S" and FREQUENCY_COUNTER not in feature_set.counters:
+        return False
+    return True
+
+
+def build_model(code: str, feature_set: FeatureSet) -> PowerModel:
+    """Instantiate an unfitted model of the given technique."""
+    if not supports_feature_set(code, feature_set):
+        raise ValueError(
+            f"model {code!r} does not support feature set "
+            f"{feature_set.name!r} ({feature_set.n_features} features)"
+        )
+    names = feature_set.feature_names
+    builders: dict[str, Callable[[], PowerModel]] = {
+        "L": lambda: LinearPowerModel(names),
+        "P": lambda: PiecewiseLinearPowerModel(names),
+        "Q": lambda: QuadraticPowerModel(names),
+        "S": lambda: SwitchingPowerModel(
+            names, switch_feature=FREQUENCY_COUNTER
+        ),
+    }
+    return builders[code]()

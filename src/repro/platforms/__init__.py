@@ -1,0 +1,53 @@
+"""Simulated hardware platforms (Table I) and ground-truth power."""
+
+from repro.platforms.dvfs import FrequencyGovernor, core0_divergence_fraction
+from repro.platforms.machine import SimulatedMachine
+from repro.platforms.power import PowerSynthesizer, PSUCurve
+from repro.platforms.specs import (
+    ALL_PLATFORMS,
+    ATHLON,
+    ATOM,
+    CORE2,
+    OPTERON,
+    PLATFORMS_BY_KEY,
+    XEON_SAS,
+    XEON_SATA,
+    DiskKind,
+    DiskSpec,
+    DVFSMode,
+    PlatformSpec,
+    PowerBudget,
+    SystemClass,
+    get_platform,
+)
+from repro.platforms.variation import (
+    IDENTITY_VARIATION,
+    MachineVariation,
+    draw_variation,
+)
+
+__all__ = [
+    "ALL_PLATFORMS",
+    "ATHLON",
+    "ATOM",
+    "CORE2",
+    "DVFSMode",
+    "DiskKind",
+    "DiskSpec",
+    "FrequencyGovernor",
+    "IDENTITY_VARIATION",
+    "MachineVariation",
+    "OPTERON",
+    "PLATFORMS_BY_KEY",
+    "PSUCurve",
+    "PlatformSpec",
+    "PowerBudget",
+    "PowerSynthesizer",
+    "SimulatedMachine",
+    "SystemClass",
+    "XEON_SAS",
+    "XEON_SATA",
+    "core0_divergence_fraction",
+    "draw_variation",
+    "get_platform",
+]

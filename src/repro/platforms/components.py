@@ -1,0 +1,81 @@
+"""Component activity-to-power-fraction curves.
+
+Each function maps latent activity onto a dimensionless fraction in [0, 1]
+of that component's dynamic power budget (``PlatformSpec.budget``).  The
+shapes encode the physical effects the paper's models must learn:
+
+* CPU power follows u * f * V(f)^2 — strongly nonlinear in frequency, which
+  is why platforms with DVFS defeat purely linear models (Section V-D).
+* Memory and disk activity saturate: doubling an already-high page rate
+  does not double DRAM power.
+* The board/"glue" fraction tracks overall activity, standing in for VRMs,
+  chipset and fans that scale with everything at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.activity import ActivityTrace
+from repro.platforms.specs import PlatformSpec
+
+_VOLTAGE_FLOOR = 0.60
+"""V(f_min)/V(f_max): voltage scales roughly linearly with frequency."""
+
+
+def voltage_ratio(freq_ghz: np.ndarray, max_freq_ghz: float) -> np.ndarray:
+    """Normalized core voltage V(f)/V(f_max), zero when the clock stops."""
+    relative = np.clip(np.asarray(freq_ghz, dtype=float) / max_freq_ghz, 0.0, 1.0)
+    ratio = _VOLTAGE_FLOOR + (1.0 - _VOLTAGE_FLOOR) * relative
+    return np.where(relative > 0.0, ratio, 0.0)
+
+
+def cpu_fraction(activity: ActivityTrace, spec: PlatformSpec) -> np.ndarray:
+    """Per-second CPU dynamic power as a fraction of the CPU budget.
+
+    Classic CMOS dynamic power: activity * f * V(f)^2, averaged over cores
+    and normalized so that all-cores-busy at top frequency gives 1.0.
+    """
+    relative_freq = np.clip(activity.core_freq_ghz / spec.max_freq_ghz, 0.0, 1.0)
+    volt = voltage_ratio(activity.core_freq_ghz, spec.max_freq_ghz)
+    per_core = activity.core_util * relative_freq * volt**2
+    return per_core.mean(axis=0)
+
+
+def saturating(values: np.ndarray, scale: float) -> np.ndarray:
+    """1 - exp(-x/scale): linear near zero, saturating at 1."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return 1.0 - np.exp(-np.maximum(np.asarray(values, dtype=float), 0.0) / scale)
+
+
+def memory_fraction(activity: ActivityTrace, spec: PlatformSpec) -> np.ndarray:
+    """DRAM dynamic power fraction from paging and cache-fault traffic."""
+    # Page traffic dominates; cache faults add row activations.
+    page_component = saturating(activity.mem_pages_per_sec, scale=3000.0)
+    fault_component = saturating(activity.cache_faults_per_sec, scale=8000.0)
+    return 0.7 * page_component + 0.3 * fault_component
+
+
+def disk_fraction(activity: ActivityTrace, spec: PlatformSpec) -> np.ndarray:
+    """Storage dynamic power fraction from busy time and transfer volume."""
+    total_bandwidth = sum(d.max_bandwidth_bps for d in spec.disks)
+    transfer = np.clip(activity.disk_total_bytes / total_bandwidth, 0.0, 1.0)
+    busy = np.clip(activity.disk_busy_frac, 0.0, 1.0)
+    return 0.55 * busy + 0.45 * transfer
+
+
+def network_fraction(activity: ActivityTrace, spec: PlatformSpec) -> np.ndarray:
+    """NIC + switch-port dynamic power fraction from traffic volume."""
+    return np.clip(activity.net_total_bytes / spec.nic_max_bps, 0.0, 1.0)
+
+
+def board_fraction(
+    cpu: np.ndarray,
+    memory: np.ndarray,
+    disk: np.ndarray,
+    network: np.ndarray,
+) -> np.ndarray:
+    """Chipset/VRM/fan fraction: tracks the busiest subsystems."""
+    io_activity = np.maximum(disk, network)
+    return 0.6 * cpu + 0.25 * memory + 0.15 * io_activity

@@ -1,0 +1,69 @@
+"""A simulated machine: spec + individual variation + governor + power.
+
+``SimulatedMachine`` is the unit the cluster runner instruments: it owns a
+deterministic per-machine random stream (so the same machine always has the
+same manufacturing variation), a DVFS governor, and a ground-truth power
+synthesizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.activity import ActivityTrace
+from repro.platforms.dvfs import FrequencyGovernor
+from repro.platforms.power import PowerSynthesizer
+from repro.platforms.specs import PlatformSpec
+from repro.platforms.variation import MachineVariation, draw_variation
+
+
+@dataclass
+class SimulatedMachine:
+    """One physical machine in a cluster."""
+
+    spec: PlatformSpec
+    machine_id: str
+    variation: MachineVariation
+    governor: FrequencyGovernor = field(init=False)
+    synthesizer: PowerSynthesizer = field(init=False)
+
+    def __post_init__(self):
+        self.governor = FrequencyGovernor(self.spec)
+        self.synthesizer = PowerSynthesizer(self.spec, self.variation)
+
+    @classmethod
+    def build(
+        cls, spec: PlatformSpec, machine_index: int, seed: int
+    ) -> "SimulatedMachine":
+        """Construct machine ``machine_index`` of a cluster deterministically.
+
+        The variation stream is keyed on (platform, index, seed) so the same
+        logical machine is identical across workloads and runs — a machine's
+        manufacturing variation does not change between experiments.
+        """
+        rng = np.random.default_rng([seed, machine_index, _platform_tag(spec)])
+        variation = draw_variation(rng)
+        return cls(
+            spec=spec,
+            machine_id=f"{spec.key}-{machine_index:02d}",
+            variation=variation,
+        )
+
+    def true_power(
+        self, activity: ActivityTrace, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Ground-truth AC power for an activity trace on this machine."""
+        return self.synthesizer.true_power(activity, rng=rng)
+
+    def assign_frequencies(
+        self, demand: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Run the machine's DVFS governor over a demand matrix."""
+        return self.governor.assign(demand, rng)
+
+
+def _platform_tag(spec: PlatformSpec) -> int:
+    """Stable small integer derived from the platform key for seeding."""
+    return sum(ord(c) for c in spec.key) % 997

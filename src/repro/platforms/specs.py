@@ -1,0 +1,305 @@
+"""Platform specifications reproducing Table I of the paper.
+
+Six platform classes span embedded (Atom), mobile (Core 2 Duo), desktop
+(Athlon) and server (Opteron, two Xeons) designs.  Each spec records the
+CPU topology, DVFS capability, AC power range, memory and storage
+configuration, plus the *power budget* — how the platform's dynamic power
+range is apportioned among CPU, memory, disk, network and board "glue" —
+which drives the ground-truth power synthesizer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SystemClass(enum.Enum):
+    EMBEDDED = "embedded"
+    MOBILE = "mobile"
+    DESKTOP = "desktop"
+    SERVER = "server"
+
+
+class DVFSMode(enum.Enum):
+    """How the platform scales frequency (Section III-A)."""
+
+    NONE = "none"
+    """Single fixed clock (Atom N330)."""
+
+    CHIP_WIDE = "chip-wide"
+    """All cores share one frequency 99.8% of the time (Core 2, Athlon)."""
+
+    PER_CORE = "per-core"
+    """Cores may occupy different P-states; C1 parks idle CPUs at 0 MHz
+    (Opteron and Xeon servers)."""
+
+    PER_CORE_INDEPENDENT = "per-core-independent"
+    """Future-work regime (Section V-D): cores scale fully independently
+    and park individually, so core frequencies are weakly correlated and
+    one core's frequency no longer proxies the system."""
+
+
+class DiskKind(enum.Enum):
+    SSD = "ssd"
+    SATA_7200 = "sata-7.2k"
+    SATA_10K = "sata-10k"
+    SAS_15K = "sas-15k"
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """One physical disk: its kind and dynamic power contribution."""
+
+    kind: DiskKind
+    active_delta_w: float
+    """Extra watts when the disk is 100% busy (seek/rotate/IO)."""
+
+    max_bandwidth_bps: float
+    """Peak sustained transfer rate, bytes/second."""
+
+
+@dataclass(frozen=True)
+class PowerBudget:
+    """How the platform's dynamic AC range splits across components.
+
+    Values are watts of dynamic range attributable to each component when
+    it is fully active; they are calibrated jointly so that full activity
+    lands at the Table I maximum (see ``repro.platforms.power``).
+    """
+
+    cpu_w: float
+    memory_w: float
+    disk_w: float
+    network_w: float
+    board_w: float
+
+    @property
+    def total_w(self) -> float:
+        return (
+            self.cpu_w + self.memory_w + self.disk_w
+            + self.network_w + self.board_w
+        )
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Full description of one Table I platform."""
+
+    key: str
+    display_name: str
+    system_class: SystemClass
+    cpu_model: str
+    n_sockets: int
+    cores_per_socket: int
+    base_freq_ghz: float
+    tdp_w: float
+    dvfs_mode: DVFSMode
+    freq_states_ghz: tuple[float, ...]
+    """Available P-state frequencies, ascending; excludes the C1 0 GHz."""
+
+    idle_power_w: float
+    max_power_w: float
+    memory_gb: int
+    memory_type: str
+    disks: tuple[DiskSpec, ...]
+    budget: PowerBudget
+    nic_max_bps: float = 125e6  # 1 GbE
+    core_freq_divergence: float = 0.002
+    """Fraction of seconds in which cores disagree on frequency (Section
+    III-A: 0.2% for chip-wide DVFS; 12% Opteron, 20% Xeon per-core)."""
+
+    def __post_init__(self):
+        if self.max_power_w <= self.idle_power_w:
+            raise ValueError(
+                f"{self.key}: max power must exceed idle power"
+            )
+        if not self.freq_states_ghz:
+            raise ValueError(f"{self.key}: at least one frequency state")
+        if tuple(sorted(self.freq_states_ghz)) != self.freq_states_ghz:
+            raise ValueError(f"{self.key}: freq states must be ascending")
+        if self.dvfs_mode is DVFSMode.NONE and len(self.freq_states_ghz) != 1:
+            raise ValueError(f"{self.key}: non-DVFS platform has one state")
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_sockets * self.cores_per_socket
+
+    @property
+    def max_freq_ghz(self) -> float:
+        return self.freq_states_ghz[-1]
+
+    @property
+    def min_freq_ghz(self) -> float:
+        return self.freq_states_ghz[0]
+
+    @property
+    def dynamic_range_w(self) -> float:
+        return self.max_power_w - self.idle_power_w
+
+    @property
+    def supports_c1(self) -> bool:
+        """Server platforms can stop the clock entirely when idle."""
+        return self.dvfs_mode in (
+            DVFSMode.PER_CORE, DVFSMode.PER_CORE_INDEPENDENT
+        )
+
+    @property
+    def idle_freq_ghz(self) -> float:
+        """Frequency reported when idle (0.0 on C1-capable servers)."""
+        return 0.0 if self.supports_c1 else self.min_freq_ghz
+
+    @property
+    def n_disks(self) -> int:
+        return len(self.disks)
+
+
+def _p_states(base: float, count: int) -> tuple[float, ...]:
+    """Evenly spaced P-states from 50% of base up to base frequency."""
+    if count == 1:
+        return (base,)
+    lowest = base * 0.5
+    step = (base - lowest) / (count - 1)
+    return tuple(round(lowest + i * step, 3) for i in range(count))
+
+
+ATOM = PlatformSpec(
+    key="atom",
+    display_name="Intel Atom (embedded)",
+    system_class=SystemClass.EMBEDDED,
+    cpu_model="Intel Atom N330, 2-core, 1.6 GHz, 8W",
+    n_sockets=1,
+    cores_per_socket=2,
+    base_freq_ghz=1.6,
+    tdp_w=8.0,
+    dvfs_mode=DVFSMode.NONE,
+    freq_states_ghz=(1.6,),
+    idle_power_w=22.0,
+    max_power_w=26.0,
+    memory_gb=4,
+    memory_type="DDR2-800",
+    disks=(DiskSpec(DiskKind.SSD, active_delta_w=0.5, max_bandwidth_bps=200e6),),
+    budget=PowerBudget(cpu_w=2.4, memory_w=0.6, disk_w=0.4, network_w=0.3, board_w=0.3),
+)
+
+CORE2 = PlatformSpec(
+    key="core2",
+    display_name="Intel Core 2 Duo (mobile)",
+    system_class=SystemClass.MOBILE,
+    cpu_model="Intel Core 2 Duo, 2-core, 2.26 GHz, 25W",
+    n_sockets=1,
+    cores_per_socket=2,
+    base_freq_ghz=2.26,
+    tdp_w=25.0,
+    dvfs_mode=DVFSMode.CHIP_WIDE,
+    freq_states_ghz=_p_states(2.26, 4),
+    idle_power_w=25.0,
+    max_power_w=46.0,
+    memory_gb=4,
+    memory_type="DDR3-1066",
+    disks=(DiskSpec(DiskKind.SSD, active_delta_w=0.7, max_bandwidth_bps=220e6),),
+    budget=PowerBudget(cpu_w=14.5, memory_w=2.5, disk_w=1.0, network_w=1.2, board_w=1.8),
+)
+
+ATHLON = PlatformSpec(
+    key="athlon",
+    display_name="AMD Athlon (desktop)",
+    system_class=SystemClass.DESKTOP,
+    cpu_model="AMD Athlon, 2-core, 2.8 GHz, 65W",
+    n_sockets=1,
+    cores_per_socket=2,
+    base_freq_ghz=2.8,
+    tdp_w=65.0,
+    dvfs_mode=DVFSMode.CHIP_WIDE,
+    freq_states_ghz=_p_states(2.8, 4),
+    idle_power_w=54.0,
+    max_power_w=104.0,
+    memory_gb=8,
+    memory_type="DDR2-800",
+    disks=(DiskSpec(DiskKind.SSD, active_delta_w=0.8, max_bandwidth_bps=220e6),),
+    budget=PowerBudget(cpu_w=38.0, memory_w=4.5, disk_w=1.5, network_w=1.5, board_w=4.5),
+)
+
+OPTERON = PlatformSpec(
+    key="opteron",
+    display_name="AMD Opteron (server)",
+    system_class=SystemClass.SERVER,
+    cpu_model="AMD Opteron, 4-core, dual socket, 2.0 GHz, 50W",
+    n_sockets=2,
+    cores_per_socket=4,
+    base_freq_ghz=2.0,
+    tdp_w=50.0,
+    dvfs_mode=DVFSMode.PER_CORE,
+    freq_states_ghz=_p_states(2.0, 5),
+    idle_power_w=135.0,
+    max_power_w=190.0,
+    memory_gb=32,
+    memory_type="DDR2-800",
+    disks=tuple(
+        DiskSpec(DiskKind.SATA_10K, active_delta_w=3.0, max_bandwidth_bps=90e6)
+        for _ in range(2)
+    ),
+    budget=PowerBudget(cpu_w=36.0, memory_w=7.0, disk_w=6.0, network_w=2.0, board_w=4.0),
+    core_freq_divergence=0.12,
+)
+
+XEON_SATA = PlatformSpec(
+    key="xeon_sata",
+    display_name="Intel Xeon / SATA (server)",
+    system_class=SystemClass.SERVER,
+    cpu_model="Intel Xeon, 4-core, dual socket, 2.33 GHz, 80W",
+    n_sockets=2,
+    cores_per_socket=4,
+    base_freq_ghz=2.33,
+    tdp_w=80.0,
+    dvfs_mode=DVFSMode.PER_CORE,
+    freq_states_ghz=_p_states(2.33, 5),
+    idle_power_w=250.0,
+    max_power_w=375.0,
+    memory_gb=16,
+    memory_type="DDR2-667",
+    disks=tuple(
+        DiskSpec(DiskKind.SATA_7200, active_delta_w=5.0, max_bandwidth_bps=70e6)
+        for _ in range(4)
+    ),
+    budget=PowerBudget(cpu_w=80.0, memory_w=11.0, disk_w=20.0, network_w=4.0, board_w=10.0),
+    core_freq_divergence=0.20,
+)
+
+XEON_SAS = PlatformSpec(
+    key="xeon_sas",
+    display_name="Intel Xeon / SAS (server)",
+    system_class=SystemClass.SERVER,
+    cpu_model="Intel Xeon, 4-core, dual socket, 2.67 GHz, 80W",
+    n_sockets=2,
+    cores_per_socket=4,
+    base_freq_ghz=2.67,
+    tdp_w=80.0,
+    dvfs_mode=DVFSMode.PER_CORE,
+    freq_states_ghz=_p_states(2.67, 5),
+    idle_power_w=260.0,
+    max_power_w=380.0,
+    memory_gb=16,
+    memory_type="DDR2-667",
+    disks=tuple(
+        DiskSpec(DiskKind.SAS_15K, active_delta_w=4.5, max_bandwidth_bps=120e6)
+        for _ in range(6)
+    ),
+    budget=PowerBudget(cpu_w=66.0, memory_w=11.0, disk_w=27.0, network_w=4.0, board_w=12.0),
+    core_freq_divergence=0.20,
+)
+
+ALL_PLATFORMS: tuple[PlatformSpec, ...] = (
+    ATOM, CORE2, ATHLON, OPTERON, XEON_SATA, XEON_SAS,
+)
+
+PLATFORMS_BY_KEY: dict[str, PlatformSpec] = {p.key: p for p in ALL_PLATFORMS}
+
+
+def get_platform(key: str) -> PlatformSpec:
+    """Look up a platform by its short key (e.g. ``"opteron"``)."""
+    try:
+        return PLATFORMS_BY_KEY[key]
+    except KeyError:
+        known = ", ".join(sorted(PLATFORMS_BY_KEY))
+        raise KeyError(f"unknown platform {key!r}; known platforms: {known}")

@@ -1,0 +1,5 @@
+"""Simulated WattsUp? Pro wall-power meters."""
+
+from repro.powermeter.wattsup import METER_ACCURACY, QUANTIZATION_W, WattsUpPro
+
+__all__ = ["METER_ACCURACY", "QUANTIZATION_W", "WattsUpPro"]

@@ -1,0 +1,61 @@
+"""WattsUp? Pro power meter simulation.
+
+The paper instruments every machine with a WattsUp Pro reading wall power
+at 1 Hz over USB, with a rated accuracy of 1.5% (Section III-B).  The
+simulated meter applies:
+
+* a per-meter calibration gain (each physical meter reads consistently a
+  little high or low — the paper verified calibration and observed
+  machine-to-machine differences),
+* per-sample white noise within the accuracy budget, and
+* 0.1 W display quantization, as on the real device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+METER_ACCURACY = 0.015
+"""Rated full-scale accuracy of the WattsUp Pro."""
+
+QUANTIZATION_W = 0.1
+"""Display/readout resolution in watts."""
+
+
+@dataclass(frozen=True)
+class WattsUpPro:
+    """One physical meter with its own calibration error."""
+
+    gain: float
+    sample_noise_frac: float = 0.004
+
+    @classmethod
+    def build(cls, meter_index: int, seed: int) -> "WattsUpPro":
+        """Deterministically manufacture meter ``meter_index``.
+
+        The calibration gain is drawn within the rated +/-1.5% band.
+        """
+        rng = np.random.default_rng([seed, 7919, meter_index])
+        gain = 1.0 + float(
+            np.clip(
+                rng.normal(0.0, METER_ACCURACY / 4),
+                -METER_ACCURACY,
+                METER_ACCURACY,
+            )
+        )
+        return cls(gain=gain)
+
+    def sample(
+        self, true_power_w: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """1 Hz meter readings for a true power series."""
+        power = np.asarray(true_power_w, dtype=float)
+        if np.any(power < 0):
+            raise ValueError("true power must be nonnegative")
+        readings = power * self.gain
+        readings = readings * (
+            1.0 + rng.normal(0.0, self.sample_noise_frac, size=readings.shape)
+        )
+        return np.round(readings / QUANTIZATION_W) * QUANTIZATION_W

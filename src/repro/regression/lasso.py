@@ -1,0 +1,237 @@
+"""L1-regularized linear regression (lasso) by coordinate descent.
+
+Step 3 of Algorithm 1 uses an L1 penalty to discard irrelevant counters in a
+high-dimensional space before stepwise refinement.  We implement the
+standard cyclic coordinate-descent solver on standardized predictors, plus a
+geometric regularization path with BIC-based selection so callers do not
+have to hand-tune the penalty per platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def soft_threshold(value: float, threshold: float) -> float:
+    """The lasso shrinkage operator sign(v) * max(|v| - t, 0)."""
+    if value > threshold:
+        return value - threshold
+    if value < -threshold:
+        return value + threshold
+    return 0.0
+
+
+@dataclass(frozen=True)
+class LassoFit:
+    """A lasso solution on the original (unstandardized) scale."""
+
+    intercept: float
+    coefficients: np.ndarray
+    alpha: float
+    n_iterations: int
+    converged: bool
+
+    @property
+    def selected(self) -> np.ndarray:
+        """Indices of features with nonzero coefficients."""
+        return np.flatnonzero(self.coefficients != 0.0)
+
+    def predict(self, design: np.ndarray) -> np.ndarray:
+        design = np.asarray(design, dtype=float)
+        return self.intercept + design @ self.coefficients
+
+
+def _standardize(design: np.ndarray):
+    """Center/scale columns; constant columns get unit scale (and zero z)."""
+    mean = design.mean(axis=0)
+    scale = design.std(axis=0)
+    scale = np.where(scale > 0, scale, 1.0)
+    return (design - mean) / scale, mean, scale
+
+
+def max_alpha(design: np.ndarray, response: np.ndarray) -> float:
+    """Smallest penalty that zeroes every coefficient (path entry point)."""
+    design = np.asarray(design, dtype=float)
+    y = np.asarray(response, dtype=float).ravel()
+    z, _, _ = _standardize(design)
+    centered = y - y.mean()
+    n = y.size
+    return float(np.max(np.abs(z.T @ centered)) / n) if design.size else 0.0
+
+
+def _coordinate_descent(
+    gram: np.ndarray,
+    correlations: np.ndarray,
+    column_norms: np.ndarray,
+    alpha: float,
+    beta0: np.ndarray,
+    max_iterations: int,
+    tolerance: float,
+) -> tuple[np.ndarray, int, bool]:
+    """Covariance-form cyclic coordinate descent.
+
+    Works on the Gram matrix G = Z'Z/n and correlations c = Z'y/n, so each
+    coordinate update costs O(p) regardless of sample count — important
+    because Algorithm 1 runs hundreds of lasso fits over pooled 1 Hz data.
+    """
+    p = correlations.size
+    beta = beta0.copy()
+    gradient = correlations - gram @ beta  # c - G beta
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        max_delta = 0.0
+        for j in range(p):
+            norm = column_norms[j]
+            if norm == 0.0:
+                continue  # constant column: never selected
+            old = beta[j]
+            rho = gradient[j] + norm * old
+            new = soft_threshold(rho, alpha) / norm
+            if new != old:
+                delta = new - old
+                gradient -= gram[:, j] * delta
+                beta[j] = new
+                max_delta = max(max_delta, abs(delta))
+        if max_delta < tolerance:
+            converged = True
+            break
+    return beta, iteration, converged
+
+
+def fit_lasso(
+    design: np.ndarray,
+    response: np.ndarray,
+    alpha: float,
+    max_iterations: int = 1000,
+    tolerance: float = 1e-7,
+) -> LassoFit:
+    """Solve (1/2n)||y - b0 - Xb||^2 + alpha * ||b||_1 by coordinate descent.
+
+    Predictors are standardized internally; the returned coefficients are on
+    the original scale.
+    """
+    design = np.asarray(design, dtype=float)
+    y = np.asarray(response, dtype=float).ravel()
+    if design.ndim != 2:
+        raise ValueError("design matrix must be 2-D")
+    n, p = design.shape
+    if y.shape[0] != n:
+        raise ValueError("design and response lengths differ")
+    if alpha < 0:
+        raise ValueError("alpha must be nonnegative")
+
+    z, mean, scale = _standardize(design)
+    y_mean = y.mean()
+    gram = (z.T @ z) / n
+    correlations = (z.T @ (y - y_mean)) / n
+    column_norms = np.diag(gram).copy()
+
+    beta, iteration, converged = _coordinate_descent(
+        gram=gram,
+        correlations=correlations,
+        column_norms=column_norms,
+        alpha=alpha,
+        beta0=np.zeros(p),
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+    )
+
+    coefficients = beta / scale
+    intercept = float(y_mean - mean @ coefficients)
+    return LassoFit(
+        intercept=intercept,
+        coefficients=coefficients,
+        alpha=float(alpha),
+        n_iterations=iteration,
+        converged=converged,
+    )
+
+
+@dataclass(frozen=True)
+class LassoPathResult:
+    """The fit chosen from a regularization path plus the path itself."""
+
+    best: LassoFit
+    alphas: np.ndarray
+    bics: np.ndarray
+    fits: tuple[LassoFit, ...]
+
+
+def fit_lasso_path(
+    design: np.ndarray,
+    response: np.ndarray,
+    n_alphas: int = 30,
+    alpha_min_ratio: float = 1e-3,
+    max_features: int | None = None,
+) -> LassoPathResult:
+    """Fit a geometric alpha path and pick the fit with the lowest BIC.
+
+    ``max_features`` optionally caps model size: path entries selecting more
+    features are disqualified, which mirrors the paper's goal of reducing to
+    "on the order of 10" counters per machine.
+    """
+    design = np.asarray(design, dtype=float)
+    y = np.asarray(response, dtype=float).ravel()
+    n = y.size
+    alpha_top = max_alpha(design, y)
+    if alpha_top <= 0:
+        fit = fit_lasso(design, y, alpha=0.0)
+        return LassoPathResult(
+            best=fit,
+            alphas=np.array([0.0]),
+            bics=np.array([0.0]),
+            fits=(fit,),
+        )
+
+    alphas = alpha_top * np.geomspace(1.0, alpha_min_ratio, n_alphas)
+
+    # Precompute the covariance-form quantities once and warm-start each
+    # path entry from the previous solution.
+    z, mean, scale = _standardize(design)
+    y_mean = y.mean()
+    gram = (z.T @ z) / n
+    correlations = (z.T @ (y - y_mean)) / n
+    column_norms = np.diag(gram).copy()
+
+    fits = []
+    bics = []
+    beta = np.zeros(design.shape[1])
+    for alpha in alphas:
+        beta, n_iterations, converged = _coordinate_descent(
+            gram=gram,
+            correlations=correlations,
+            column_norms=column_norms,
+            alpha=float(alpha),
+            beta0=beta,
+            max_iterations=1000,
+            tolerance=1e-7,
+        )
+        coefficients = beta / scale
+        intercept = float(y_mean - mean @ coefficients)
+        fit = LassoFit(
+            intercept=intercept,
+            coefficients=coefficients,
+            alpha=float(alpha),
+            n_iterations=n_iterations,
+            converged=converged,
+        )
+        residual = y - fit.predict(design)
+        rss = float(residual @ residual)
+        k = int(np.count_nonzero(fit.coefficients)) + 1
+        bic = n * np.log(max(rss, 1e-12) / n) + k * np.log(n)
+        if max_features is not None and k - 1 > max_features:
+            bic = np.inf
+        fits.append(fit)
+        bics.append(bic)
+
+    bics = np.asarray(bics)
+    best_index = int(np.argmin(bics))
+    return LassoPathResult(
+        best=fits[best_index],
+        alphas=alphas,
+        bics=bics,
+        fits=tuple(fits),
+    )

@@ -1,0 +1,83 @@
+"""Backward stepwise elimination driven by the Wald significance test.
+
+Steps 4 and 6 of Algorithm 1 iteratively remove features whose coefficient
+cannot be distinguished from zero (low Wald confidence), refitting after
+each removal.  The elimination is one-at-a-time — always the currently
+least significant feature — which is the standard conservative variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.regression.ols import OLSFit, fit_ols
+
+
+@dataclass(frozen=True)
+class StepwiseResult:
+    """Outcome of a backward-elimination run."""
+
+    selected: tuple[int, ...]
+    eliminated: tuple[int, ...]
+    fit: OLSFit
+    history: tuple[tuple[int, float], ...]
+    """Sequence of (feature_index, p_value) removals in order."""
+
+
+def backward_eliminate(
+    design: np.ndarray,
+    response: np.ndarray,
+    significance: float = 0.05,
+    min_features: int = 1,
+) -> StepwiseResult:
+    """Remove features until every survivor passes the Wald test.
+
+    Parameters
+    ----------
+    design:
+        ``(n, p)`` matrix without intercept.
+    response:
+        ``(n,)`` target vector.
+    significance:
+        Wald p-value above which a coefficient is deemed insignificant.
+    min_features:
+        Never eliminate below this many features (the power models always
+        retain at least one predictor).
+
+    Returns the surviving feature indices (into the original design), the
+    eliminated ones in removal order, and the final OLS fit on survivors.
+    """
+    design = np.asarray(design, dtype=float)
+    if design.ndim != 2:
+        raise ValueError("design matrix must be 2-D")
+    n, p = design.shape
+    if p == 0:
+        raise ValueError("design matrix has no features")
+    if min_features < 1:
+        raise ValueError("min_features must be at least 1")
+
+    remaining = list(range(p))
+    removals: list[tuple[int, float]] = []
+
+    while True:
+        fit = fit_ols(design[:, remaining], response)
+        if len(remaining) <= min_features:
+            break
+        slope_p_values = fit.p_values[1:]  # skip the intercept
+        worst_local = int(np.argmax(slope_p_values))
+        worst_p = float(slope_p_values[worst_local])
+        if not np.isfinite(worst_p):
+            worst_p = 1.0
+        if worst_p <= significance:
+            break
+        removed = remaining.pop(worst_local)
+        removals.append((removed, worst_p))
+
+    return StepwiseResult(
+        selected=tuple(remaining),
+        eliminated=tuple(index for index, _ in removals),
+        fit=fit,
+        history=tuple(removals),
+    )

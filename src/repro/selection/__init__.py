@@ -1,0 +1,50 @@
+"""Algorithm 1: automatic feature selection for cluster power models."""
+
+from repro.selection.algorithm1 import (
+    Algorithm1Result,
+    SelectionConfig,
+    run_algorithm1,
+)
+from repro.selection.codependence import (
+    CodependenceElimination,
+    eliminate_codependent,
+)
+from repro.selection.correlation import (
+    DEFAULT_CORRELATION_THRESHOLD,
+    CorrelationPruning,
+    correlation_matrix,
+    prune_correlated,
+)
+from repro.selection.general import GeneralFeatureSet, derive_general_set
+from repro.selection.machine_selection import (
+    MachineSelection,
+    select_machine_features,
+)
+from repro.selection.pooling import (
+    DEFAULT_OCCURRENCE_THRESHOLD,
+    MARGINAL_WEIGHT,
+    PooledSelection,
+    occurrence_histogram,
+    pool_and_refine,
+)
+
+__all__ = [
+    "Algorithm1Result",
+    "CodependenceElimination",
+    "CorrelationPruning",
+    "DEFAULT_CORRELATION_THRESHOLD",
+    "DEFAULT_OCCURRENCE_THRESHOLD",
+    "GeneralFeatureSet",
+    "MARGINAL_WEIGHT",
+    "MachineSelection",
+    "PooledSelection",
+    "SelectionConfig",
+    "correlation_matrix",
+    "derive_general_set",
+    "eliminate_codependent",
+    "occurrence_histogram",
+    "pool_and_refine",
+    "prune_correlated",
+    "run_algorithm1",
+    "select_machine_features",
+]

@@ -1,0 +1,206 @@
+"""Algorithm 1, end to end: from ~250 counters to a cluster feature set.
+
+Orchestrates the six steps over a homogeneous cluster's runs of every
+workload:
+
+1. correlation pruning (|r| > 0.95) on the pooled data,
+2. co-dependence elimination from counter definitions,
+3. per-(machine, workload) L1 selection,
+4. per-(machine, workload) stepwise Wald elimination,
+5. weighted-occurrence pooling across machines and workloads,
+6. cluster-level stepwise refit.
+
+The result carries every intermediate artifact, which the Table II and
+Figure 2 experiments render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.dataset import pool_runs
+from repro.cluster.runner import ClusterRun
+from repro.selection.codependence import (
+    CodependenceElimination,
+    eliminate_codependent,
+)
+from repro.selection.correlation import (
+    DEFAULT_CORRELATION_THRESHOLD,
+    CorrelationPruning,
+    prune_correlated,
+)
+from repro.selection.machine_selection import (
+    MachineSelection,
+    select_machine_features,
+)
+from repro.selection.pooling import (
+    DEFAULT_OCCURRENCE_THRESHOLD,
+    PooledSelection,
+    pool_and_refine,
+)
+
+
+@dataclass(frozen=True)
+class SelectionConfig:
+    """Tunable knobs of Algorithm 1 (paper defaults)."""
+
+    correlation_threshold: float = DEFAULT_CORRELATION_THRESHOLD
+    lasso_max_features: int = 15
+    significance: float = 0.05
+    occurrence_threshold: float = DEFAULT_OCCURRENCE_THRESHOLD
+    max_pooled_rows: int = 12000
+    """Correlation/refit computations subsample the pooled data to this
+    many rows for tractability (statistically irrelevant at 1 Hz volumes)."""
+
+
+@dataclass
+class Algorithm1Result:
+    """Everything Algorithm 1 produced for one platform's cluster."""
+
+    platform_key: str
+    config: SelectionConfig
+    step1: CorrelationPruning
+    step1_survivors: list[str]
+    step2: CodependenceElimination
+    machine_selections: list[MachineSelection] = field(repr=False)
+    pooled: PooledSelection = field(repr=False)
+
+    @property
+    def selected(self) -> tuple[str, ...]:
+        """The final cluster-specific feature set."""
+        return self.pooled.selected
+
+    @property
+    def histogram(self) -> dict[str, float]:
+        return self.pooled.histogram
+
+    def describe(self) -> str:
+        """One paragraph summarizing the funnel through the six steps."""
+        n_start = len(self.step1_survivors) + len(self.step1.removed)
+        return (
+            f"Algorithm 1 on {self.platform_key}: {n_start} counters -> "
+            f"step 1 kept {len(self.step1_survivors)} "
+            f"(removed {len(self.step1.removed)} correlated) -> "
+            f"step 2 kept {len(self.step2.kept)} "
+            f"(removed {len(self.step2.removed)} co-dependent) -> "
+            f"steps 3-5 pooled {len(self.machine_selections)} "
+            f"(machine, workload) selections into "
+            f"{len(self.pooled.candidates)} candidates -> "
+            f"step 6 selected {len(self.selected)} features "
+            f"(effective threshold "
+            f"{self.pooled.effective_threshold:.1f})"
+        )
+
+
+def _subsample_rows(
+    design: np.ndarray,
+    power: np.ndarray,
+    max_rows: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    if design.shape[0] <= max_rows:
+        return design, power
+    rows = rng.choice(design.shape[0], size=max_rows, replace=False)
+    rows.sort()
+    return design[rows], power[rows]
+
+
+def run_algorithm1(
+    cluster: Cluster,
+    runs_by_workload: dict[str, list[ClusterRun]],
+    platform_key: str | None = None,
+    config: SelectionConfig = SelectionConfig(),
+    machine_ids: list[str] | None = None,
+) -> Algorithm1Result:
+    """Run Algorithm 1 for one platform within a cluster.
+
+    ``platform_key`` defaults to the only platform of a homogeneous
+    cluster; for heterogeneous clusters, call once per platform.
+    ``machine_ids`` optionally restricts selection to a metered subset of
+    the platform's machines (the characterization-phase deployment of
+    Section III, where only a few machines carry instrumentation).
+    """
+    if not runs_by_workload:
+        raise ValueError("need runs for at least one workload")
+    if platform_key is None:
+        if not cluster.is_homogeneous:
+            raise ValueError(
+                "platform_key is required for a heterogeneous cluster"
+            )
+        platform_key = cluster.platform_keys[0]
+    catalog = cluster.catalog_for(platform_key)
+    machines = cluster.machines_of(platform_key)
+    if not machines:
+        raise ValueError(f"cluster has no {platform_key!r} machines")
+    platform_machine_ids = [m.machine_id for m in machines]
+    if machine_ids is None:
+        machine_ids = platform_machine_ids
+    else:
+        unknown = set(machine_ids) - set(platform_machine_ids)
+        if unknown:
+            raise ValueError(
+                f"machine_ids not on platform {platform_key!r}: "
+                f"{sorted(unknown)}"
+            )
+    all_names = catalog.names
+    rng = np.random.default_rng([cluster.seed, 424242])
+
+    # Pool everything for the steps that look at the whole cluster.
+    all_runs = [run for runs in runs_by_workload.values() for run in runs]
+    full = pool_runs(all_runs, all_names, machine_ids=machine_ids)
+    pooled_design, pooled_power = _subsample_rows(
+        full.design, full.power, config.max_pooled_rows, rng
+    )
+
+    # Step 1: correlation pruning.
+    step1 = prune_correlated(pooled_design, config.correlation_threshold)
+    step1_survivors = [all_names[i] for i in step1.kept]
+
+    # Step 2: co-dependence elimination from definitions.
+    step2 = eliminate_codependent(step1_survivors, catalog)
+    surviving = list(step2.kept)
+    survivor_indices = [catalog.index_of(name) for name in surviving]
+
+    # Steps 3-4 per (machine, workload).
+    machine_selections: list[MachineSelection] = []
+    for workload_name, runs in runs_by_workload.items():
+        for machine_id in machine_ids:
+            per_machine = pool_runs(
+                runs, all_names, machine_ids=[machine_id]
+            )
+            design = per_machine.design[:, survivor_indices]
+            machine_selections.append(
+                select_machine_features(
+                    design=design,
+                    power=per_machine.power,
+                    feature_names=surviving,
+                    machine_id=machine_id,
+                    workload_name=workload_name,
+                    lasso_max_features=config.lasso_max_features,
+                    significance=config.significance,
+                )
+            )
+
+    # Steps 5-6 on the full pooled cluster data.
+    cluster_design = pooled_design[:, survivor_indices]
+    pooled = pool_and_refine(
+        selections=machine_selections,
+        cluster_design=cluster_design,
+        cluster_power=pooled_power,
+        feature_names=surviving,
+        threshold=config.occurrence_threshold,
+        significance=config.significance,
+    )
+
+    return Algorithm1Result(
+        platform_key=platform_key,
+        config=config,
+        step1=step1,
+        step1_survivors=step1_survivors,
+        step2=step2,
+        machine_selections=machine_selections,
+        pooled=pooled,
+    )

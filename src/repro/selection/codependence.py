@@ -1,0 +1,50 @@
+"""Step 2 of Algorithm 1: co-dependent counter elimination.
+
+Some counters are, by documented definition, exact sums of others
+(``Packets/sec = Packets Sent/sec + Packets Received/sec``).  Keeping all
+three makes the design matrix singular.  Following the paper's rule for a
+triple ``a = b + c``: remove ``a`` (the sum) and ``b`` (one addend),
+keeping ``c``.  The paper did this manually from the counter definitions;
+here the definitions carry the metadata (``CounterDefinition.sum_of``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.counters.definitions import CounterCatalog
+
+
+@dataclass(frozen=True)
+class CodependenceElimination:
+    """Outcome of step 2, in counter names."""
+
+    kept: tuple[str, ...]
+    removed: tuple[str, ...]
+
+
+def eliminate_codependent(
+    candidate_names: list[str],
+    catalog: CounterCatalog,
+) -> CodependenceElimination:
+    """Apply the a = b + c rule to the candidate list.
+
+    Only triples whose sum counter is still a candidate are acted on; a
+    sum whose addends were already pruned in step 1 carries unique
+    information and is kept.
+    """
+    candidates = set(candidate_names)
+    removed: list[str] = []
+    for total, addend, other in catalog.codependent_triples:
+        if total not in candidates:
+            continue
+        # Remove the definitional sum.
+        candidates.discard(total)
+        removed.append(total)
+        # Remove one addend if both are still present (a + b with only one
+        # addend left is not redundant).
+        if addend in candidates and other in candidates:
+            candidates.discard(addend)
+            removed.append(addend)
+    kept = tuple(name for name in candidate_names if name in candidates)
+    return CodependenceElimination(kept=kept, removed=tuple(removed))

@@ -1,0 +1,72 @@
+"""Step 1 of Algorithm 1: correlated-counter pruning.
+
+Pairs of counters whose correlation exceeds |0.95| across all workloads
+inflate model coefficients, so each correlated group is reduced to a
+single representative.  The catalog registers canonical counters before
+their aliases, and this pruning keeps the *earliest* member of each
+group — matching the paper's "remove feature b" (keep a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+DEFAULT_CORRELATION_THRESHOLD = 0.95
+
+
+def correlation_matrix(design: np.ndarray) -> np.ndarray:
+    """Pairwise Pearson correlations; constant columns correlate with
+    nothing (zeros)."""
+    design = np.asarray(design, dtype=float)
+    if design.ndim != 2:
+        raise ValueError("design must be 2-D")
+    std = design.std(axis=0)
+    constant = std == 0
+    centered = design - design.mean(axis=0)
+    safe_std = np.where(constant, 1.0, std)
+    normalized = centered / safe_std
+    corr = (normalized.T @ normalized) / design.shape[0]
+    corr[constant, :] = 0.0
+    corr[:, constant] = 0.0
+    np.fill_diagonal(corr, 1.0)
+    return corr
+
+
+@dataclass(frozen=True)
+class CorrelationPruning:
+    """Outcome of step 1."""
+
+    kept: tuple[int, ...]
+    removed: tuple[int, ...]
+    removed_because_of: dict[int, int]
+    """Removed column -> the earlier column it duplicated."""
+
+
+def prune_correlated(
+    design: np.ndarray,
+    threshold: float = DEFAULT_CORRELATION_THRESHOLD,
+) -> CorrelationPruning:
+    """Greedy earliest-representative pruning of |r| > threshold pairs."""
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    corr = np.abs(correlation_matrix(design))
+    n = corr.shape[0]
+    removed_because_of: dict[int, int] = {}
+    kept: list[int] = []
+    removed_mask = np.zeros(n, dtype=bool)
+    for i in range(n):
+        if removed_mask[i]:
+            continue
+        kept.append(i)
+        duplicates = np.flatnonzero((corr[i] > threshold) & ~removed_mask)
+        for j in duplicates:
+            if j > i:
+                removed_mask[j] = True
+                removed_because_of[int(j)] = i
+    return CorrelationPruning(
+        kept=tuple(kept),
+        removed=tuple(sorted(removed_because_of)),
+        removed_because_of=removed_because_of,
+    )

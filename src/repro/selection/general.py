@@ -1,0 +1,90 @@
+"""The cross-platform "general" feature set (Table II, last column).
+
+Section V-C: after building the cluster-specific sets, the paper selects
+the features common across models and adds the most common features from
+unrepresented categories, yielding one set usable on every platform at a
+cost of < 1% DRE.  We reproduce that aggregation: a feature joins the
+general set if it was selected on at least half the clusters; then each
+Table II category with no representative contributes its most-selected
+feature.  Only counters that exist on *every* platform qualify (per-core
+and per-disk instances beyond the first do not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.counters.definitions import CounterCatalog
+from repro.selection.algorithm1 import Algorithm1Result
+
+
+@dataclass(frozen=True)
+class GeneralFeatureSet:
+    """The cross-platform feature set and its provenance."""
+
+    features: tuple[str, ...]
+    vote_counts: dict[str, int]
+    category_fills: tuple[str, ...]
+    """Features added to cover otherwise-unrepresented categories."""
+
+
+def _portable_names(catalogs: list[CounterCatalog]) -> set[str]:
+    """Counter names present in every platform's catalog."""
+    shared = set(catalogs[0].names)
+    for catalog in catalogs[1:]:
+        shared &= set(catalog.names)
+    return shared
+
+
+def derive_general_set(
+    results: list[Algorithm1Result],
+    catalogs: list[CounterCatalog],
+    min_votes: int | None = None,
+) -> GeneralFeatureSet:
+    """Aggregate cluster-specific selections into the general set."""
+    if not results:
+        raise ValueError("need at least one cluster selection result")
+    if len(catalogs) != len(results):
+        raise ValueError("one catalog per selection result is required")
+    portable = _portable_names(catalogs)
+    reference = catalogs[0]
+
+    votes: dict[str, int] = {}
+    for result in results:
+        for name in result.selected:
+            if name in portable:
+                votes[name] = votes.get(name, 0) + 1
+
+    threshold = (
+        max(len(results) // 2, 1) if min_votes is None else min_votes
+    )
+    core = [name for name, count in votes.items() if count >= threshold]
+
+    # Category fill: every category that appears in ANY cluster-specific
+    # set should be represented in the general set.
+    categories_needed = set()
+    for result in results:
+        for name in result.selected:
+            if name in portable:
+                categories_needed.add(reference.definition(name).category)
+    covered = {reference.definition(name).category for name in core}
+
+    fills: list[str] = []
+    for category in categories_needed - covered:
+        category_votes = {
+            name: count
+            for name, count in votes.items()
+            if reference.definition(name).category is category
+        }
+        if category_votes:
+            best = max(category_votes, key=category_votes.get)
+            fills.append(best)
+
+    ordered = [
+        name for name in reference.names if name in set(core) | set(fills)
+    ]
+    return GeneralFeatureSet(
+        features=tuple(ordered),
+        vote_counts=votes,
+        category_fills=tuple(fills),
+    )

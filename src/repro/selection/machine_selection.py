@@ -1,0 +1,93 @@
+"""Steps 3-4 of Algorithm 1: per-machine feature selection.
+
+For each (machine, workload) pair, an L1-regularized fit (step 3) sweeps
+away irrelevant counters in the high-dimensional space, then stepwise
+backward elimination with the Wald test (step 4) removes counters whose
+coefficients cannot be distinguished from zero.  The output per pair is a
+set of *significant* features (survived both) and *marginal* ones
+(selected by the lasso but eliminated by stepwise) — the distinction
+feeds the weighted-occurrence histogram of step 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.regression.lasso import fit_lasso_path
+from repro.regression.stepwise import backward_eliminate
+
+
+@dataclass(frozen=True)
+class MachineSelection:
+    """Feature-selection outcome for one (machine, workload) pair."""
+
+    machine_id: str
+    workload_name: str
+    significant: tuple[str, ...]
+    marginal: tuple[str, ...]
+
+    @property
+    def selected(self) -> tuple[str, ...]:
+        return self.significant + self.marginal
+
+
+def select_machine_features(
+    design: np.ndarray,
+    power: np.ndarray,
+    feature_names: list[str],
+    machine_id: str,
+    workload_name: str,
+    lasso_max_features: int = 15,
+    significance: float = 0.05,
+) -> MachineSelection:
+    """Run steps 3-4 on one machine-workload dataset."""
+    design = np.asarray(design, dtype=float)
+    if design.shape[1] != len(feature_names):
+        raise ValueError("feature_names must match design columns")
+
+    # Step 3: L1 regularization path, BIC-selected, capped at a size that
+    # keeps the subsequent stepwise fit well-conditioned.
+    path = fit_lasso_path(
+        design, power, max_features=lasso_max_features
+    )
+    lasso_indices = [int(i) for i in path.best.selected]
+    if not lasso_indices:
+        # Degenerate (constant-power) segment: fall back to the single
+        # counter most correlated with power.
+        correlations = _abs_correlations(design, power)
+        lasso_indices = [int(np.argmax(correlations))]
+
+    # Step 4: stepwise Wald elimination among the lasso survivors.
+    stepwise = backward_eliminate(
+        design[:, lasso_indices],
+        power,
+        significance=significance,
+        min_features=1,
+    )
+    significant = tuple(
+        feature_names[lasso_indices[i]] for i in stepwise.selected
+    )
+    marginal = tuple(
+        feature_names[lasso_indices[i]] for i in stepwise.eliminated
+    )
+    return MachineSelection(
+        machine_id=machine_id,
+        workload_name=workload_name,
+        significant=significant,
+        marginal=marginal,
+    )
+
+
+def _abs_correlations(design: np.ndarray, response: np.ndarray) -> np.ndarray:
+    std = design.std(axis=0)
+    centered = design - design.mean(axis=0)
+    response_centered = response - response.mean()
+    response_std = response.std()
+    if response_std == 0:
+        return np.zeros(design.shape[1])
+    safe = np.where(std > 0, std, 1.0)
+    corr = (centered / safe).T @ (response_centered / response_std)
+    corr = corr / design.shape[0]
+    return np.where(std > 0, np.abs(corr), 0.0)

@@ -1,0 +1,114 @@
+"""Steps 5-6 of Algorithm 1: cross-machine pooling and cluster refit.
+
+Step 5 builds a weighted-occurrence histogram over the union of every
+(machine, workload) selection: a feature scores 1.0 for each pair where it
+survived stepwise and a fractional weight where it was lasso-selected but
+stepwise-eliminated.  Features above a threshold become candidates.
+
+Step 6 pools the *entire cluster dataset* (all machines, runs, workloads),
+restricts it to the candidates, and runs stepwise elimination again;
+features it discards effectively raise the selection threshold (the paper
+started at 5 and ended at 7 on every platform).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.regression.stepwise import backward_eliminate
+from repro.selection.machine_selection import MachineSelection
+
+DEFAULT_OCCURRENCE_THRESHOLD = 5.0
+MARGINAL_WEIGHT = 0.5
+
+
+def occurrence_histogram(
+    selections: list[MachineSelection],
+    marginal_weight: float = MARGINAL_WEIGHT,
+) -> dict[str, float]:
+    """Step 5: weighted occurrence count per feature name."""
+    histogram: dict[str, float] = {}
+    for selection in selections:
+        for name in selection.significant:
+            histogram[name] = histogram.get(name, 0.0) + 1.0
+        for name in selection.marginal:
+            histogram[name] = histogram.get(name, 0.0) + marginal_weight
+    return histogram
+
+
+@dataclass(frozen=True)
+class PooledSelection:
+    """Outcome of steps 5-6."""
+
+    histogram: dict[str, float]
+    initial_threshold: float
+    effective_threshold: float
+    candidates: tuple[str, ...]
+    selected: tuple[str, ...]
+    eliminated_in_step6: tuple[str, ...]
+
+
+def pool_and_refine(
+    selections: list[MachineSelection],
+    cluster_design: np.ndarray,
+    cluster_power: np.ndarray,
+    feature_names: list[str],
+    threshold: float = DEFAULT_OCCURRENCE_THRESHOLD,
+    significance: float = 0.05,
+    marginal_weight: float = MARGINAL_WEIGHT,
+) -> PooledSelection:
+    """Run steps 5-6 and return the cluster-specific feature set.
+
+    ``cluster_design`` / ``cluster_power`` must be the full pooled cluster
+    dataset with columns in ``feature_names`` order.
+    """
+    if not selections:
+        raise ValueError("need at least one machine selection")
+    cluster_design = np.asarray(cluster_design, dtype=float)
+    if cluster_design.shape[1] != len(feature_names):
+        raise ValueError("feature_names must match cluster design columns")
+
+    histogram = occurrence_histogram(selections, marginal_weight)
+
+    # Step 5: threshold the histogram.  If the threshold removes
+    # everything, lower it until at least one feature survives (the
+    # paper's fully-automated fallback).
+    working_threshold = threshold
+    candidates = [
+        name for name, weight in histogram.items() if weight >= working_threshold
+    ]
+    while not candidates and working_threshold > 0:
+        working_threshold -= 1.0
+        candidates = [
+            name for name, weight in histogram.items()
+            if weight >= working_threshold
+        ]
+    if not candidates:
+        raise ValueError("no features were ever selected on any machine")
+    # Stable order: catalog order, not dict order.
+    candidates = [name for name in feature_names if name in set(candidates)]
+
+    # Step 6: stepwise refit on the full cluster data.
+    indices = [feature_names.index(name) for name in candidates]
+    stepwise = backward_eliminate(
+        cluster_design[:, indices],
+        cluster_power,
+        significance=significance,
+        min_features=1,
+    )
+    selected = tuple(candidates[i] for i in stepwise.selected)
+    eliminated = tuple(candidates[i] for i in stepwise.eliminated)
+
+    # The effective threshold is what step 6's eliminations imply: the
+    # lowest histogram weight among the survivors.
+    effective = min(histogram[name] for name in selected)
+    return PooledSelection(
+        histogram=histogram,
+        initial_threshold=threshold,
+        effective_threshold=float(effective),
+        candidates=tuple(candidates),
+        selected=selected,
+        eliminated_in_step6=eliminated,
+    )

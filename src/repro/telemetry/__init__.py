@@ -1,0 +1,6 @@
+"""ETW/Perfmon-style 1 Hz telemetry collection."""
+
+from repro.telemetry.perfmon import PerfmonLog
+from repro.telemetry.sampler import sample_machine_run
+
+__all__ = ["PerfmonLog", "sample_machine_run"]

@@ -1,0 +1,122 @@
+"""Perfmon-style logs: per-machine counter + power time series.
+
+A ``PerfmonLog`` is what the paper's software stack records for one
+machine over one workload run: every selected OS counter sampled at 1 Hz,
+plus the WattsUp reading appended as one more "counter" (Section III-B
+notes the meter readings are logged through the same Perfmon pipeline).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class PerfmonLog:
+    """One machine-run worth of 1 Hz samples."""
+
+    machine_id: str
+    counter_names: list[str]
+    counters: np.ndarray
+    """(T, n_counters) observed counter matrix."""
+
+    power_w: np.ndarray
+    """(T,) metered wall power."""
+
+    def __post_init__(self):
+        self.counters = np.asarray(self.counters, dtype=float)
+        self.power_w = np.asarray(self.power_w, dtype=float)
+        if self.counters.ndim != 2:
+            raise ValueError("counters must be (T, n_counters)")
+        if self.counters.shape[1] != len(self.counter_names):
+            raise ValueError(
+                f"{self.counters.shape[1]} counter columns but "
+                f"{len(self.counter_names)} names"
+            )
+        if self.power_w.shape != (self.counters.shape[0],):
+            raise ValueError("power series length must match counter rows")
+
+    @property
+    def n_seconds(self) -> int:
+        return self.counters.shape[0]
+
+    @property
+    def n_counters(self) -> int:
+        return self.counters.shape[1]
+
+    def column(self, counter_name: str) -> np.ndarray:
+        """One counter's series by name."""
+        try:
+            index = self.counter_names.index(counter_name)
+        except ValueError:
+            raise KeyError(f"unknown counter {counter_name!r}")
+        return self.counters[:, index]
+
+    def select(self, counter_names: list[str]) -> np.ndarray:
+        """(T, k) matrix of the named counters, in the given order."""
+        indices = []
+        for name in counter_names:
+            try:
+                indices.append(self.counter_names.index(name))
+            except ValueError:
+                raise KeyError(f"unknown counter {name!r}")
+        return self.counters[:, indices]
+
+    def to_csv(self, max_rows: int | None = None) -> str:
+        """Perfmon-like CSV export (power column last)."""
+        buffer = io.StringIO()
+        header = ",".join(
+            ['"Time"']
+            + [f'"{name}"' for name in self.counter_names]
+            + ['"Power (W)"']
+        )
+        buffer.write(header + "\n")
+        n_rows = self.n_seconds if max_rows is None else min(max_rows, self.n_seconds)
+        for t in range(n_rows):
+            row = [str(t)] + [
+                f"{value:.10g}" for value in self.counters[t]
+            ] + [f"{self.power_w[t]:.1f}"]
+            buffer.write(",".join(row) + "\n")
+        return buffer.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str, machine_id: str = "imported") -> "PerfmonLog":
+        """Parse a log previously exported with :meth:`to_csv`.
+
+        Supports archival round-trips: logs collected on one host can be
+        analyzed elsewhere, as the paper's Perfmon capture files were.
+        """
+        lines = [line for line in text.strip().split("\n") if line]
+        if len(lines) < 2:
+            raise ValueError("CSV must contain a header and at least one row")
+        header = next(_read_csv_rows(lines[:1]))
+        if header[0] != "Time" or header[-1] != "Power (W)":
+            raise ValueError(
+                "header must start with 'Time' and end with 'Power (W)'"
+            )
+        counter_names = header[1:-1]
+        counters = []
+        power = []
+        for row in _read_csv_rows(lines[1:]):
+            if len(row) != len(header):
+                raise ValueError(
+                    f"row has {len(row)} cells, header has {len(header)}"
+                )
+            counters.append([float(cell) for cell in row[1:-1]])
+            power.append(float(row[-1]))
+        return cls(
+            machine_id=machine_id,
+            counter_names=list(counter_names),
+            counters=np.asarray(counters, dtype=float),
+            power_w=np.asarray(power, dtype=float),
+        )
+
+
+def _read_csv_rows(lines):
+    """Minimal CSV reader handling the quoted-name convention we emit."""
+    reader = csv.reader(lines)
+    yield from reader

@@ -1,0 +1,47 @@
+"""The ETW-like sampling pipeline for one machine-run.
+
+``sample_machine_run`` plays the role of the paper's measurement stack:
+the machine executes a workload (latent activity), ETW derives the OS
+counters, the WattsUp meter reads wall power, and both land in a 1 Hz
+``PerfmonLog``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.activity import ActivityTrace
+from repro.counters.definitions import CounterCatalog
+from repro.counters.derivation import derive_counters
+from repro.platforms.machine import SimulatedMachine
+from repro.powermeter.wattsup import WattsUpPro
+from repro.telemetry.perfmon import PerfmonLog
+
+
+def sample_machine_run(
+    machine: SimulatedMachine,
+    catalog: CounterCatalog,
+    activity: ActivityTrace,
+    meter: WattsUpPro,
+    machine_seed: int,
+    run_index: int,
+) -> PerfmonLog:
+    """Produce the observed 1 Hz log for one machine over one run."""
+    if catalog.spec.key != machine.spec.key:
+        raise ValueError(
+            f"catalog is for platform {catalog.spec.key!r} but machine is "
+            f"{machine.spec.key!r}"
+        )
+    counters = derive_counters(
+        catalog, activity, machine_seed=machine_seed, run_index=run_index
+    )
+    power_rng = np.random.default_rng([machine_seed, run_index, 65537])
+    true_power = machine.true_power(activity, rng=power_rng)
+    meter_rng = np.random.default_rng([machine_seed, run_index, 65539])
+    metered = meter.sample(true_power, meter_rng)
+    return PerfmonLog(
+        machine_id=machine.machine_id,
+        counter_names=catalog.names,
+        counters=counters,
+        power_w=metered,
+    )

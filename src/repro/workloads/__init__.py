@@ -1,0 +1,49 @@
+"""Dryad/MapReduce-style workload simulators (Sort, PageRank, Prime, WordCount)."""
+
+from repro.workloads.base import Workload, ar1_series, positive_noise
+from repro.workloads.microbench import (
+    CPUStress,
+    DiskStress,
+    IdleWorkload,
+    MemoryStress,
+    NetworkStress,
+    characterization_suite,
+)
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.prime import PrimeWorkload
+from repro.workloads.scheduler import (
+    BusyInterval,
+    JobSchedule,
+    MachineSchedule,
+    Stage,
+    StageProfile,
+    schedule_job,
+)
+from repro.workloads.sort import SortWorkload
+from repro.workloads.suite import WORKLOAD_NAMES, default_suite, get_workload
+from repro.workloads.wordcount import WordCountWorkload
+
+__all__ = [
+    "BusyInterval",
+    "CPUStress",
+    "DiskStress",
+    "IdleWorkload",
+    "MemoryStress",
+    "NetworkStress",
+    "JobSchedule",
+    "MachineSchedule",
+    "PageRankWorkload",
+    "PrimeWorkload",
+    "SortWorkload",
+    "Stage",
+    "StageProfile",
+    "WORKLOAD_NAMES",
+    "WordCountWorkload",
+    "Workload",
+    "ar1_series",
+    "characterization_suite",
+    "default_suite",
+    "get_workload",
+    "positive_noise",
+    "schedule_job",
+]

@@ -1,0 +1,234 @@
+"""Workload base class and latent-activity synthesis.
+
+A ``Workload`` defines the stage structure of a Dryad-style job (how many
+tasks, what each stage does to CPU/disk/network/memory).  ``generate_run``
+schedules the job on a cluster of machines and synthesizes each machine's
+per-second ``ActivityTrace``, including DVFS governor decisions, OS
+background activity, and derived channels (page faults, interrupts, DPC
+time) that couple realistically to the primary ones.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.activity import ActivityTrace
+from repro.platforms.machine import SimulatedMachine
+from repro.workloads.scheduler import JobSchedule, Stage, schedule_job
+
+_PAGE_SIZE = 4096.0
+_MTU = 1500.0
+_IO_CHUNK = 64 * 1024.0
+
+_IDLE_CPU_DEMAND = 0.015
+_IDLE_PAGE_FAULTS = 60.0
+_IDLE_CACHE_FAULTS = 12.0
+_IDLE_INTERRUPTS = 130.0
+_IDLE_NET_BPS = 2e3
+_IDLE_COMMITTED = 1.6e9
+
+
+def ar1_series(
+    rng: np.random.Generator, n: int, sigma: float, rho: float = 0.85
+) -> np.ndarray:
+    """Zero-mean AR(1) noise with stationary standard deviation ``sigma``."""
+    if n <= 0:
+        return np.empty(0)
+    innovations = rng.normal(0.0, sigma * np.sqrt(1.0 - rho**2), size=n)
+    series = np.empty(n)
+    series[0] = rng.normal(0.0, sigma)
+    for t in range(1, n):
+        series[t] = rho * series[t - 1] + innovations[t]
+    return series
+
+
+def positive_noise(
+    rng: np.random.Generator, n: int, sigma: float, rho: float = 0.85
+) -> np.ndarray:
+    """Multiplicative lognormal-ish AR(1) noise centered at 1."""
+    return np.exp(ar1_series(rng, n, sigma, rho))
+
+
+class Workload(abc.ABC):
+    """A distributed MapReduce-style workload."""
+
+    name: str = "abstract"
+
+    core_imbalance_sigma: float = 0.06
+    """How unevenly a machine's cores are loaded.  The paper's Dryad jobs
+    are multithreaded and symmetric (small value); the future-work
+    per-core DVFS study uses a large value to model thread-imbalanced
+    applications."""
+
+    @abc.abstractmethod
+    def stages(self, rng: np.random.Generator, n_machines: int) -> list[Stage]:
+        """The job's stage sequence for one run (may vary run-to-run)."""
+
+    def generate_run(
+        self,
+        machines: list[SimulatedMachine],
+        run_index: int,
+        seed: int,
+    ) -> dict[str, ActivityTrace]:
+        """Schedule the job and synthesize activity for every machine.
+
+        Returns a mapping from machine id to that machine's trace; all
+        traces share the same length (the job makespan).
+        """
+        if not machines:
+            raise ValueError("need at least one machine")
+        rng = np.random.default_rng(
+            [seed, run_index, _stable_tag(self.name)]
+        )
+        stages = self.stages(rng, n_machines=len(machines))
+        schedule = schedule_job(stages, n_machines=len(machines), rng=rng)
+
+        traces: dict[str, ActivityTrace] = {}
+        for machine_index, machine in enumerate(machines):
+            machine_rng = np.random.default_rng(
+                [seed, run_index, _stable_tag(self.name), machine_index]
+            )
+            traces[machine.machine_id] = self._synthesize_machine(
+                machine, schedule, machine_index, stages, machine_rng
+            )
+        return traces
+
+    # ------------------------------------------------------------------
+    # Per-machine activity synthesis
+    # ------------------------------------------------------------------
+    def _synthesize_machine(
+        self,
+        machine: SimulatedMachine,
+        schedule: JobSchedule,
+        machine_index: int,
+        stages: list[Stage],
+        rng: np.random.Generator,
+    ) -> ActivityTrace:
+        n_seconds = schedule.n_seconds
+        indicator = schedule.machine_schedules[machine_index].stage_indicator(
+            n_seconds
+        )
+        n_cores = machine.spec.n_cores
+
+        # Stage-level target channels per second.
+        cpu_target = np.full(n_seconds, _IDLE_CPU_DEMAND)
+        disk_read = np.zeros(n_seconds)
+        disk_write = np.zeros(n_seconds)
+        net_send = np.full(n_seconds, _IDLE_NET_BPS)
+        net_recv = np.full(n_seconds, _IDLE_NET_BPS)
+        mem_pages = np.zeros(n_seconds)
+        cpu_sigma = np.full(n_seconds, 0.05)
+
+        for stage_index, stage in enumerate(stages):
+            mask = indicator == stage_index
+            if not mask.any():
+                continue
+            profile = stage.profile
+            cpu_target[mask] = profile.cpu_demand
+            disk_read[mask] = profile.disk_read_bps
+            disk_write[mask] = profile.disk_write_bps
+            net_send[mask] += profile.net_send_bps
+            net_recv[mask] += profile.net_recv_bps
+            mem_pages[mask] = profile.mem_pages_per_sec
+            cpu_sigma[mask] = profile.cpu_jitter
+
+        # Temporal noise on every channel, correlated within itself.
+        cpu_noise = positive_noise(rng, n_seconds, sigma=1.0)
+        machine_demand = np.clip(
+            cpu_target * cpu_noise**cpu_sigma, 0.0, 1.0
+        )
+        disk_read = disk_read * positive_noise(rng, n_seconds, 0.30)
+        disk_write = disk_write * positive_noise(rng, n_seconds, 0.30)
+        net_send = net_send * positive_noise(rng, n_seconds, 0.25)
+        net_recv = net_recv * positive_noise(rng, n_seconds, 0.25)
+        mem_pages = mem_pages * positive_noise(rng, n_seconds, 0.35)
+
+        # Per-core demand: multithreaded tasks load all cores similarly
+        # by default; ``core_imbalance_sigma`` skews them for imbalanced
+        # applications.
+        sigma = self.core_imbalance_sigma
+        core_imbalance = np.exp(
+            rng.normal(0.0, sigma, size=(n_cores, 1))
+            + np.stack([
+                ar1_series(rng, n_seconds, max(sigma * 0.8, 0.05))
+                for _ in range(n_cores)
+            ])
+        )
+        core_demand = np.clip(machine_demand[None, :] * core_imbalance, 0.0, 1.0)
+
+        # Governor reacts to demand; utilization follows demand (work is
+        # demand-bound, not frequency-bound, for these workloads).
+        core_freq = machine.assign_frequencies(core_demand, rng)
+        core_util = core_demand
+
+        # Storage bandwidth saturates at the hardware limit.
+        total_bw = sum(d.max_bandwidth_bps for d in machine.spec.disks)
+        disk_read = np.minimum(disk_read, 0.7 * total_bw)
+        disk_write = np.minimum(disk_write, 0.7 * total_bw)
+        disk_total = disk_read + disk_write
+        iops = disk_total / _IO_CHUNK
+        seek_load = iops / (400.0 * max(machine.spec.n_disks, 1))
+        disk_busy = np.clip(disk_total / max(total_bw, 1.0) + 0.4 * seek_load, 0.0, 1.0)
+
+        # Derived OS channels, coupled to the primary ones.
+        mem_pages = mem_pages + 0.25 * disk_total / _PAGE_SIZE
+        page_faults = (
+            _IDLE_PAGE_FAULTS
+            + 1.6 * mem_pages
+            + 900.0 * machine_demand * positive_noise(rng, n_seconds, 0.20)
+        )
+        cache_faults = (
+            _IDLE_CACHE_FAULTS
+            + 0.35 * disk_read / _PAGE_SIZE
+            + 500.0 * machine_demand * positive_noise(rng, n_seconds, 0.25)
+        )
+        busy_level = np.clip(machine_demand * 1.5, 0.0, 1.0)
+        committed = _IDLE_COMMITTED + (
+            0.25 * machine.spec.memory_gb * 2**30
+        ) * _smooth(busy_level, window=15)
+        net_packets = (net_send + net_recv) / _MTU
+        interrupts = (
+            _IDLE_INTERRUPTS
+            + 0.9 * net_packets
+            + 1.1 * iops
+            + 250.0 * machine_demand
+        ) * positive_noise(rng, n_seconds, 0.10)
+        dpc_time = np.clip(
+            0.12 * (net_send + net_recv) / machine.spec.nic_max_bps
+            + 0.02 * machine_demand,
+            0.0,
+            0.35,
+        )
+
+        return ActivityTrace(
+            core_util=core_util,
+            core_freq_ghz=core_freq,
+            mem_pages_per_sec=mem_pages,
+            page_faults_per_sec=page_faults,
+            cache_faults_per_sec=cache_faults,
+            committed_bytes=committed,
+            disk_read_bytes=disk_read,
+            disk_write_bytes=disk_write,
+            disk_busy_frac=disk_busy,
+            net_sent_bytes=net_send,
+            net_recv_bytes=net_recv,
+            interrupts_per_sec=interrupts,
+            dpc_time_frac=dpc_time,
+            extras={"stage_indicator": indicator.astype(float)},
+        )
+
+
+def _smooth(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing moving average used for slowly-varying channels."""
+    if window <= 1 or values.size == 0:
+        return values
+    kernel = np.ones(window) / window
+    padded = np.concatenate([np.full(window - 1, values[0]), values])
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def _stable_tag(name: str) -> int:
+    """Deterministic small integer from a workload name for seeding."""
+    return sum(ord(c) * (i + 1) for i, c in enumerate(name)) % 99991

@@ -1,0 +1,135 @@
+"""Component-stress microbenchmarks for platform characterization.
+
+The paper's measurement methodology needs reference points beyond the
+four production workloads: idle power for the DRE floor, and per-
+component stress to verify that counters move with the subsystems they
+claim to represent (the sanity checks behind Table I's power ranges and
+Table II's counter categories).  These single-stage workloads drive one
+subsystem at a configurable intensity while leaving the others near
+idle.
+
+They are *not* part of the paper's evaluation suite (``default_suite``);
+they exist for calibration, testing, and the platform-characterization
+example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload
+from repro.workloads.scheduler import Stage, StageProfile
+
+_MB = 1e6
+
+
+class IdleWorkload(Workload):
+    """Machines sit (almost) idle: background OS activity only."""
+
+    name = "idle"
+
+    def __init__(self, duration_s: float = 120.0):
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        self.duration_s = duration_s
+
+    def stages(self, rng: np.random.Generator, n_machines: int) -> list[Stage]:
+        return [Stage(
+            profile=StageProfile(name="idle", cpu_demand=0.01, cpu_jitter=0.02),
+            n_tasks=n_machines,
+            task_duration_s=self.duration_s,
+            duration_sigma=0.02,
+        )]
+
+
+class _SingleStageStress(Workload):
+    """Shared machinery for one-knob component stress workloads."""
+
+    def __init__(self, intensity: float = 1.0, duration_s: float = 120.0):
+        if not 0.0 < intensity <= 1.0:
+            raise ValueError("intensity must be in (0, 1]")
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        self.intensity = intensity
+        self.duration_s = duration_s
+
+    def _profile(self) -> StageProfile:
+        raise NotImplementedError
+
+    def stages(self, rng: np.random.Generator, n_machines: int) -> list[Stage]:
+        return [Stage(
+            profile=self._profile(),
+            n_tasks=n_machines,
+            task_duration_s=self.duration_s,
+            duration_sigma=0.03,
+        )]
+
+
+class CPUStress(_SingleStageStress):
+    """Spin all cores at the requested utilization; no I/O."""
+
+    name = "cpu-stress"
+
+    def _profile(self) -> StageProfile:
+        return StageProfile(
+            name="cpu-stress",
+            cpu_demand=self.intensity,
+            cpu_jitter=0.03,
+        )
+
+
+class MemoryStress(_SingleStageStress):
+    """Stream through memory: heavy paging traffic, modest CPU."""
+
+    name = "memory-stress"
+
+    def _profile(self) -> StageProfile:
+        return StageProfile(
+            name="memory-stress",
+            cpu_demand=0.30,
+            mem_pages_per_sec=9000.0 * self.intensity,
+            cpu_jitter=0.05,
+        )
+
+
+class DiskStress(_SingleStageStress):
+    """Saturate storage with mixed reads and writes."""
+
+    name = "disk-stress"
+
+    def _profile(self) -> StageProfile:
+        return StageProfile(
+            name="disk-stress",
+            cpu_demand=0.15,
+            disk_read_bps=130 * _MB * self.intensity,
+            disk_write_bps=90 * _MB * self.intensity,
+            cpu_jitter=0.05,
+        )
+
+
+class NetworkStress(_SingleStageStress):
+    """Saturate the NIC in both directions."""
+
+    name = "network-stress"
+
+    def _profile(self) -> StageProfile:
+        return StageProfile(
+            name="network-stress",
+            cpu_demand=0.20,
+            net_send_bps=100 * _MB * self.intensity,
+            net_recv_bps=100 * _MB * self.intensity,
+            cpu_jitter=0.05,
+        )
+
+
+def characterization_suite(
+    intensity: float = 1.0, duration_s: float = 90.0
+) -> dict[str, Workload]:
+    """Idle plus the four component stressors, ready to run."""
+    return {
+        "idle": IdleWorkload(duration_s=duration_s),
+        "cpu-stress": CPUStress(intensity, duration_s),
+        "memory-stress": MemoryStress(intensity, duration_s),
+        "disk-stress": DiskStress(intensity, duration_s),
+        "network-stress": NetworkStress(intensity, duration_s),
+    }

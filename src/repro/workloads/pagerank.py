@@ -1,0 +1,66 @@
+"""PageRank over a ClueWeb09-scale web graph; network-heavy, long-running.
+
+Iterative superstep structure: each iteration computes rank contributions
+(CPU burst with memory traffic) and then exchanges them across the cluster
+(network-heavy with modest CPU).  With ~800 tasks spread over the
+iterations this is the paper's longest workload and the one with the most
+power variation — and the one for which feature selection (network/memory
+counters) matters more than model complexity (Figure 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload
+from repro.workloads.scheduler import Stage, StageProfile
+
+_MB = 1e6
+
+
+class PageRankWorkload(Workload):
+    name = "pagerank"
+
+    def __init__(self, n_iterations: int = 9, tasks_per_stage_per_machine: int = 9):
+        if n_iterations < 1:
+            raise ValueError("need at least one iteration")
+        self.n_iterations = n_iterations
+        self.tasks_per_stage_per_machine = tasks_per_stage_per_machine
+
+    def stages(self, rng: np.random.Generator, n_machines: int) -> list[Stage]:
+        n_tasks = self.tasks_per_stage_per_machine * n_machines
+        stages: list[Stage] = []
+        for iteration in range(self.n_iterations):
+            # Early iterations move more rank mass; later ones are lighter
+            # but never trivial — this produces the long, noisy power
+            # signature of Figure 1.
+            weight = 1.0 - 0.45 * iteration / max(self.n_iterations - 1, 1)
+            intensity = float(weight * rng.uniform(0.9, 1.1))
+            compute = Stage(
+                profile=StageProfile(
+                    name=f"compute[{iteration}]",
+                    cpu_demand=min(0.80 * intensity + 0.05, 1.0),
+                    mem_pages_per_sec=3200.0 * intensity,
+                    disk_read_bps=8 * _MB * intensity,
+                    cpu_jitter=0.14,
+                ),
+                n_tasks=n_tasks,
+                task_duration_s=2.4,
+                duration_sigma=0.35,
+            )
+            exchange = Stage(
+                profile=StageProfile(
+                    name=f"exchange[{iteration}]",
+                    cpu_demand=0.30 + 0.1 * intensity,
+                    net_send_bps=68 * _MB * intensity,
+                    net_recv_bps=68 * _MB * intensity,
+                    mem_pages_per_sec=1800.0 * intensity,
+                    cpu_jitter=0.16,
+                ),
+                n_tasks=n_tasks,
+                task_duration_s=2.8,
+                duration_sigma=0.35,
+            )
+            stages.append(compute)
+            stages.append(exchange)
+        return stages

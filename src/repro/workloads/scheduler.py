@@ -1,0 +1,182 @@
+"""A Dryad-style stage/task scheduler.
+
+The paper's workloads run on Dryad/DryadLINQ: jobs are DAGs of stages, each
+stage fans out into tasks that a non-deterministic scheduler places on
+machines.  Two consequences matter for power modeling and are reproduced
+here:
+
+* different runs partition work differently across machines, so a model
+  trained on one run must generalize to another (Section V's train/test
+  protocol), and
+* machines finish stages at different times, producing idle "tail" seconds
+  inside a run (visible in Figure 1's power signatures).
+
+We model a job as a sequence of stages with a barrier between consecutive
+stages (the MapReduce shuffle boundary).  Within a stage, tasks are placed
+greedily on the machine that frees up first; task durations are drawn from
+a lognormal around the stage's nominal task length.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StageProfile:
+    """Resource intensity of one stage while a task of it runs.
+
+    Rates are machine-level means; the activity synthesizer adds temporal
+    noise around them.  ``cpu_demand`` is the machine-level utilization the
+    stage wants in [0, 1].
+    """
+
+    name: str
+    cpu_demand: float
+    disk_read_bps: float = 0.0
+    disk_write_bps: float = 0.0
+    net_send_bps: float = 0.0
+    net_recv_bps: float = 0.0
+    mem_pages_per_sec: float = 0.0
+    cpu_jitter: float = 0.08
+    """Relative AR(1) noise on CPU demand within the stage."""
+
+    def __post_init__(self):
+        if not 0.0 <= self.cpu_demand <= 1.0:
+            raise ValueError(f"stage {self.name}: cpu_demand must be in [0,1]")
+
+
+@dataclass(frozen=True)
+class Stage:
+    """A stage: a profile plus its task fan-out."""
+
+    profile: StageProfile
+    n_tasks: int
+    task_duration_s: float
+    duration_sigma: float = 0.25
+    """Lognormal sigma of individual task durations."""
+
+    def __post_init__(self):
+        if self.n_tasks < 1:
+            raise ValueError("a stage needs at least one task")
+        if self.task_duration_s <= 0:
+            raise ValueError("task duration must be positive")
+
+
+@dataclass(frozen=True)
+class BusyInterval:
+    """A half-open interval [start, end) during which a machine runs tasks
+    of one stage."""
+
+    stage_index: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class MachineSchedule:
+    """All busy intervals of one machine over a job run."""
+
+    intervals: list[BusyInterval] = field(default_factory=list)
+
+    def stage_indicator(self, n_seconds: int) -> np.ndarray:
+        """(T,) array: stage index active at each second, -1 when idle."""
+        indicator = np.full(n_seconds, -1, dtype=int)
+        for interval in self.intervals:
+            start = int(np.floor(interval.start_s))
+            end = int(np.ceil(interval.end_s))
+            indicator[start:min(end, n_seconds)] = interval.stage_index
+        return indicator
+
+    @property
+    def busy_seconds(self) -> float:
+        return sum(i.duration_s for i in self.intervals)
+
+
+@dataclass(frozen=True)
+class JobSchedule:
+    """The outcome of scheduling one job run on a cluster."""
+
+    machine_schedules: tuple[MachineSchedule, ...]
+    stage_boundaries: tuple[float, ...]
+    """Barrier times: the completion time of each stage."""
+
+    @property
+    def makespan_s(self) -> float:
+        return self.stage_boundaries[-1] if self.stage_boundaries else 0.0
+
+    @property
+    def n_seconds(self) -> int:
+        return int(np.ceil(self.makespan_s)) + 1
+
+
+def schedule_job(
+    stages: list[Stage],
+    n_machines: int,
+    rng: np.random.Generator,
+) -> JobSchedule:
+    """Greedy earliest-available-machine scheduling with stage barriers.
+
+    Each task's duration is its stage's nominal duration perturbed by a
+    lognormal factor; the partitioning is therefore non-deterministic run
+    to run, as in Dryad.
+    """
+    if n_machines < 1:
+        raise ValueError("need at least one machine")
+    if not stages:
+        raise ValueError("need at least one stage")
+
+    machine_schedules = [MachineSchedule() for _ in range(n_machines)]
+    stage_boundaries: list[float] = []
+    barrier = 0.0
+
+    for stage_index, stage in enumerate(stages):
+        # Min-heap of (next available time, machine index).
+        available = [(barrier, m) for m in range(n_machines)]
+        heapq.heapify(available)
+        durations = stage.task_duration_s * rng.lognormal(
+            mean=0.0, sigma=stage.duration_sigma, size=stage.n_tasks
+        )
+        ends = []
+        # Per-machine contiguous runs of tasks get merged into intervals.
+        pending: dict[int, list[tuple[float, float]]] = {}
+        for duration in durations:
+            start, machine = heapq.heappop(available)
+            end = start + float(duration)
+            pending.setdefault(machine, []).append((start, end))
+            heapq.heappush(available, (end, machine))
+            ends.append(end)
+
+        for machine, spans in pending.items():
+            spans.sort()
+            merged_start, merged_end = spans[0]
+            merged: list[tuple[float, float]] = []
+            for start, end in spans[1:]:
+                if start <= merged_end + 1e-9:
+                    merged_end = max(merged_end, end)
+                else:
+                    merged.append((merged_start, merged_end))
+                    merged_start, merged_end = start, end
+            merged.append((merged_start, merged_end))
+            for start, end in merged:
+                machine_schedules[machine].intervals.append(
+                    BusyInterval(stage_index=stage_index, start_s=start, end_s=end)
+                )
+
+        barrier = max(ends)
+        stage_boundaries.append(barrier)
+
+    for schedule in machine_schedules:
+        schedule.intervals.sort(key=lambda interval: interval.start_s)
+
+    return JobSchedule(
+        machine_schedules=tuple(machine_schedules),
+        stage_boundaries=tuple(stage_boundaries),
+    )

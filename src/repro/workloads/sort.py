@@ -1,0 +1,78 @@
+"""Sort: 4 GB per machine of 100-byte records; disk- and network-heavy.
+
+The classic MapReduce sort pipeline: read partitions from disk, exchange
+records across the cluster (range partitioning), sort in memory, write the
+sorted output.  High disk and network utilization with only moderate CPU —
+the workload the paper uses to show storage counters matter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload
+from repro.workloads.scheduler import Stage, StageProfile
+
+_MB = 1e6
+
+
+class SortWorkload(Workload):
+    name = "sort"
+
+    def __init__(self, data_gb_per_machine: float = 4.0):
+        if data_gb_per_machine <= 0:
+            raise ValueError("data size must be positive")
+        self.data_gb_per_machine = data_gb_per_machine
+
+    def stages(self, rng: np.random.Generator, n_machines: int) -> list[Stage]:
+        scale = self.data_gb_per_machine / 4.0
+        tasks_per_machine = 4
+        n_tasks = tasks_per_machine * n_machines
+
+        read = Stage(
+            profile=StageProfile(
+                name="read",
+                cpu_demand=0.35,
+                disk_read_bps=115 * _MB,
+                mem_pages_per_sec=1200.0,
+                cpu_jitter=0.10,
+            ),
+            n_tasks=n_tasks,
+            task_duration_s=9.0 * scale,
+        )
+        shuffle = Stage(
+            profile=StageProfile(
+                name="shuffle",
+                cpu_demand=0.45,
+                net_send_bps=55 * _MB,
+                net_recv_bps=55 * _MB,
+                disk_write_bps=35 * _MB,
+                mem_pages_per_sec=2000.0,
+                cpu_jitter=0.12,
+            ),
+            n_tasks=n_tasks,
+            task_duration_s=14.0 * scale,
+        )
+        sort = Stage(
+            profile=StageProfile(
+                name="sort",
+                cpu_demand=0.92,
+                mem_pages_per_sec=6500.0,
+                disk_read_bps=15 * _MB,
+                cpu_jitter=0.06,
+            ),
+            n_tasks=n_tasks,
+            task_duration_s=16.0 * scale,
+        )
+        write = Stage(
+            profile=StageProfile(
+                name="write",
+                cpu_demand=0.30,
+                disk_write_bps=105 * _MB,
+                mem_pages_per_sec=1500.0,
+                cpu_jitter=0.10,
+            ),
+            n_tasks=n_tasks,
+            task_duration_s=10.0 * scale,
+        )
+        return [read, shuffle, sort, write]

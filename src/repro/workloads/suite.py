@@ -1,0 +1,31 @@
+"""The paper's workload suite, as a registry."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.prime import PrimeWorkload
+from repro.workloads.sort import SortWorkload
+from repro.workloads.wordcount import WordCountWorkload
+
+WORKLOAD_NAMES: tuple[str, ...] = ("sort", "pagerank", "prime", "wordcount")
+
+
+def default_suite() -> dict[str, Workload]:
+    """Fresh instances of the four paper workloads with default sizes."""
+    return {
+        "sort": SortWorkload(),
+        "pagerank": PageRankWorkload(),
+        "prime": PrimeWorkload(),
+        "wordcount": WordCountWorkload(),
+    }
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a workload by name."""
+    suite = default_suite()
+    try:
+        return suite[name]
+    except KeyError:
+        known = ", ".join(sorted(suite))
+        raise KeyError(f"unknown workload {name!r}; known workloads: {known}")

@@ -1,0 +1,52 @@
+"""WordCount: tally word occurrences in 500 MB text files per partition.
+
+The paper's simplest workload: mostly CPU with brief disk-read bursts,
+little network or sustained disk activity, and a short runtime.  Simple
+models and feature sets already work well here (Table IV shows linear /
+switching models winning some WordCount cells).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload
+from repro.workloads.scheduler import Stage, StageProfile
+
+_MB = 1e6
+
+
+class WordCountWorkload(Workload):
+    name = "wordcount"
+
+    def __init__(self, data_mb_per_partition: float = 500.0):
+        if data_mb_per_partition <= 0:
+            raise ValueError("data size must be positive")
+        self.data_mb_per_partition = data_mb_per_partition
+
+    def stages(self, rng: np.random.Generator, n_machines: int) -> list[Stage]:
+        scale = self.data_mb_per_partition / 500.0
+        count = Stage(
+            profile=StageProfile(
+                name="map-count",
+                cpu_demand=0.68,
+                disk_read_bps=28 * _MB,
+                mem_pages_per_sec=900.0,
+                cpu_jitter=0.20,
+            ),
+            n_tasks=5 * n_machines,
+            task_duration_s=20.0 * scale,
+            duration_sigma=0.30,
+        )
+        merge = Stage(
+            profile=StageProfile(
+                name="merge",
+                cpu_demand=0.35,
+                net_send_bps=3 * _MB,
+                net_recv_bps=3 * _MB,
+                cpu_jitter=0.12,
+            ),
+            n_tasks=n_machines,
+            task_duration_s=8.0,
+        )
+        return [count, merge]

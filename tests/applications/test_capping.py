@@ -1,0 +1,108 @@
+"""Tests for the model-based power capping application."""
+
+import numpy as np
+import pytest
+
+from repro.applications import (
+    CapState,
+    GuardBand,
+    PowerCapController,
+    assess_capping,
+)
+
+
+class TestGuardBand:
+    def test_sized_from_underprediction_tail(self):
+        rng = np.random.default_rng(0)
+        measured = 100.0 + rng.normal(0, 2.0, 5000)
+        predicted = measured - rng.normal(1.0, 1.0, 5000)  # underpredicts
+        band = GuardBand.from_errors(measured, predicted, quantile=0.99)
+        # 99th percentile of N(1, ~sqrt(2)) is ~4.3 W.
+        assert 2.0 < band.watts < 7.0
+
+    def test_overprediction_gives_zero_band(self):
+        measured = np.full(100, 100.0)
+        predicted = measured + 5.0
+        band = GuardBand.from_errors(measured, predicted)
+        assert band.watts == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="quantile"):
+            GuardBand.from_errors([1.0], [1.0], quantile=0.4)
+        with pytest.raises(ValueError, match="non-empty"):
+            GuardBand.from_errors([], [])
+
+
+class TestPowerCapController:
+    def _controller(self, cap=100.0, band=5.0):
+        return PowerCapController(
+            cap_w=cap,
+            guard_band=GuardBand(watts=band, quantile=0.999),
+            release_hysteresis_w=3.0,
+            min_throttle_seconds=2,
+        )
+
+    def test_threshold_below_cap(self):
+        controller = self._controller()
+        assert controller.threshold_w == pytest.approx(95.0)
+        assert controller.stranded_w == pytest.approx(5.0)
+
+    def test_engages_at_threshold(self):
+        controller = self._controller()
+        assert controller.step(94.0) is CapState.NORMAL
+        assert controller.step(95.5) is CapState.THROTTLED
+
+    def test_hysteresis_prevents_flapping(self):
+        controller = self._controller()
+        controller.step(96.0)  # throttle
+        # Drops slightly below threshold but inside hysteresis: stay.
+        assert controller.step(93.0) is CapState.THROTTLED
+        # Well below release level but min duration not yet met at t=2? It
+        # is (2 samples) -> release.
+        assert controller.step(80.0) is CapState.NORMAL
+
+    def test_min_throttle_duration(self):
+        controller = self._controller()
+        controller.step(96.0)
+        # Immediately quiet, but must hold for min_throttle_seconds.
+        assert controller.step(999.0) is CapState.THROTTLED
+        state = controller.step(10.0)
+        assert state is CapState.NORMAL
+
+    def test_guard_band_cannot_swallow_cap(self):
+        with pytest.raises(ValueError, match="swallow"):
+            PowerCapController(
+                cap_w=10.0, guard_band=GuardBand(watts=20.0, quantile=0.999)
+            )
+
+
+class TestAssessCapping:
+    def test_perfect_predictions_cover_overshoots(self):
+        rng = np.random.default_rng(1)
+        measured = 90.0 + 10.0 * rng.random(500)
+        measured[100:110] = 106.0  # a real overshoot burst
+        controller = PowerCapController(
+            cap_w=105.0, guard_band=GuardBand(watts=2.0, quantile=0.999)
+        )
+        assessment = assess_capping(controller, measured, measured)
+        assert assessment.coverage == 1.0
+        assert assessment.missed_overshoot_seconds == 0
+        assert 0.0 < assessment.throttle_duty < 0.2
+
+    def test_blind_model_misses_overshoots(self):
+        measured = np.full(100, 90.0)
+        measured[50:55] = 120.0
+        predicted = np.full(100, 90.0)  # model never sees the spike
+        controller = PowerCapController(
+            cap_w=110.0, guard_band=GuardBand(watts=2.0, quantile=0.999)
+        )
+        assessment = assess_capping(controller, predicted, measured)
+        assert assessment.missed_overshoot_seconds == 5
+        assert assessment.coverage == 0.0
+
+    def test_length_mismatch_rejected(self):
+        controller = PowerCapController(
+            cap_w=100.0, guard_band=GuardBand(watts=1.0, quantile=0.999)
+        )
+        with pytest.raises(ValueError, match="lengths"):
+            assess_capping(controller, [1.0], [1.0, 2.0])

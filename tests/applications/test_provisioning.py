@@ -1,0 +1,61 @@
+"""Tests for power provisioning/planning."""
+
+import numpy as np
+import pytest
+
+from repro.applications import MachinePowerProfile, plan_provisioning
+
+
+@pytest.fixture
+def profile():
+    rng = np.random.default_rng(3)
+    predicted = 300.0 + 80.0 * rng.random(2000)
+    return MachinePowerProfile.from_predictions("xeon_sas", predicted)
+
+
+class TestMachinePowerProfile:
+    def test_summary_statistics(self, profile):
+        assert 330.0 < profile.mean_w < 350.0
+        assert 370.0 < profile.peak_w < 381.0
+        assert profile.peak_quantile == 0.99
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            MachinePowerProfile.from_predictions("x", [])
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError, match="peak_quantile"):
+            MachinePowerProfile.from_predictions("x", [1.0], peak_quantile=0.1)
+
+
+class TestPlanProvisioning:
+    def test_oracle_plan(self, profile):
+        plan = plan_provisioning(10000.0, profile)
+        assert plan.machines_supported == int(10000.0 // profile.peak_w)
+        assert plan.machines_lost_to_guard_band == 0
+
+    def test_guard_band_costs_machines(self, profile):
+        generous = plan_provisioning(
+            100000.0, profile, model_guard_band_w=40.0
+        )
+        assert generous.machines_lost_to_guard_band > 0
+        assert generous.per_machine_allocation_w == pytest.approx(
+            profile.peak_w + 40.0
+        )
+
+    def test_oversubscription_fits_more(self, profile):
+        conservative = plan_provisioning(10000.0, profile)
+        aggressive = plan_provisioning(
+            10000.0, profile, oversubscription=1.3
+        )
+        assert aggressive.machines_supported > conservative.machines_supported
+
+    def test_utilized_within_budget(self, profile):
+        plan = plan_provisioning(5000.0, profile, model_guard_band_w=10.0)
+        assert plan.utilized_w <= 5000.0
+
+    def test_validation(self, profile):
+        with pytest.raises(ValueError, match="budget"):
+            plan_provisioning(0.0, profile)
+        with pytest.raises(ValueError, match="oversubscription"):
+            plan_provisioning(100.0, profile, oversubscription=0.5)

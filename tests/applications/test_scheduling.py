@@ -1,0 +1,96 @@
+"""Tests for the power-aware job scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.applications import (
+    JobRequest,
+    MachineSlot,
+    PowerAwareScheduler,
+)
+from repro.models import LinearPowerModel, PlatformModel, cluster_set
+from repro.models.featuresets import CPU_UTILIZATION_COUNTER
+
+
+def _toy_platform_model(idle_w: float, watts_per_util: float) -> PlatformModel:
+    """A hand-fitted linear model: power = idle + k * utilization."""
+    feature_set = cluster_set((CPU_UTILIZATION_COUNTER,))
+    utilization = np.linspace(0, 100, 50)[:, None]
+    power = idle_w + watts_per_util * utilization.ravel()
+    model = LinearPowerModel(feature_set.feature_names).fit(
+        utilization, power
+    )
+    return PlatformModel(
+        platform_key="toy", model=model, feature_set=feature_set
+    )
+
+
+def _slot(machine_id, limit, idle_util=2.0):
+    return MachineSlot(
+        machine_id=machine_id,
+        platform_key="toy",
+        power_limit_w=limit,
+        idle_counters={CPU_UTILIZATION_COUNTER: idle_util},
+    )
+
+
+@pytest.fixture
+def scheduler():
+    models = {"toy": _toy_platform_model(idle_w=100.0, watts_per_util=1.0)}
+    slots = [_slot("m0", limit=160.0), _slot("m1", limit=140.0)]
+    return PowerAwareScheduler(platform_models=models, slots=slots)
+
+
+def _job(name, utilization):
+    return JobRequest(
+        name=name,
+        counter_footprint={CPU_UTILIZATION_COUNTER: utilization},
+    )
+
+
+class TestPowerAwareScheduler:
+    def test_initial_load_is_idle_power(self, scheduler):
+        # idle: 100 + 1.0 * 2 = 102 W -> headroom 58 / 38.
+        assert scheduler.headroom_w("m0") == pytest.approx(58.0)
+        assert scheduler.headroom_w("m1") == pytest.approx(38.0)
+
+    def test_places_on_most_headroom(self, scheduler):
+        placement = scheduler.place(_job("j1", utilization=20.0))
+        assert placement is not None
+        assert placement.machine_id == "m0"
+
+    def test_load_accumulates(self, scheduler):
+        scheduler.place(_job("j1", utilization=30.0))
+        # m0 now at 102 + 28 = 130 (headroom 30); m1 still 38 -> next job
+        # should go to m1.
+        placement = scheduler.place(_job("j2", utilization=30.0))
+        assert placement.machine_id == "m1"
+
+    def test_rejects_infeasible_job(self, scheduler):
+        placement = scheduler.place(_job("huge", utilization=100.0))
+        # Delta = 98 W > both headrooms.
+        assert placement is None
+
+    def test_place_all_skips_unplaceable(self, scheduler):
+        placements = scheduler.place_all([
+            _job("a", 30.0),
+            _job("b", 100.0),   # unplaceable
+            _job("c", 10.0),
+        ])
+        assert [p.job_name for p in placements] == ["a", "c"]
+
+    def test_total_power_tracks_placements(self, scheduler):
+        before = scheduler.total_predicted_power_w()
+        scheduler.place(_job("j", 25.0))
+        after = scheduler.total_predicted_power_w()
+        assert after == pytest.approx(before + 23.0)
+
+    def test_missing_model_rejected(self):
+        with pytest.raises(ValueError, match="no model"):
+            PowerAwareScheduler(
+                platform_models={}, slots=[_slot("m0", 100.0)]
+            )
+
+    def test_unknown_machine_rejected(self, scheduler):
+        with pytest.raises(KeyError):
+            scheduler.headroom_w("ghost")

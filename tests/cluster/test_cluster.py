@@ -1,0 +1,63 @@
+"""Tests for cluster assembly."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.platforms import CORE2, OPTERON
+
+
+class TestHomogeneous:
+    def test_default_paper_cluster(self):
+        cluster = Cluster.homogeneous(CORE2)
+        assert cluster.n_machines == 5
+        assert cluster.is_homogeneous
+        assert cluster.platform_keys == ("core2",)
+
+    def test_machines_have_meters_and_catalog(self):
+        cluster = Cluster.homogeneous(OPTERON, n_machines=3)
+        assert len(cluster.meters) == 3
+        assert "opteron" in cluster.catalogs
+
+    def test_machines_are_distinct_individuals(self):
+        cluster = Cluster.homogeneous(CORE2)
+        variations = {m.variation for m in cluster.machines}
+        assert len(variations) == 5
+
+    def test_same_seed_reproduces_cluster(self):
+        a = Cluster.homogeneous(CORE2, seed=77)
+        b = Cluster.homogeneous(CORE2, seed=77)
+        for machine_a, machine_b in zip(a.machines, b.machines):
+            assert machine_a.variation == machine_b.variation
+
+
+class TestHeterogeneous:
+    def test_mixed_cluster(self):
+        cluster = Cluster.heterogeneous([(CORE2, 5), (OPTERON, 5)])
+        assert cluster.n_machines == 10
+        assert not cluster.is_homogeneous
+        assert set(cluster.platform_keys) == {"core2", "opteron"}
+        assert len(cluster.machines_of("core2")) == 5
+
+    def test_machines_match_homogeneous_counterparts(self):
+        """Machine i of a platform is the same individual in both cluster
+        types — the property that makes model composition meaningful."""
+        homogeneous = Cluster.homogeneous(OPTERON, seed=123)
+        mixed = Cluster.heterogeneous([(CORE2, 2), (OPTERON, 5)], seed=123)
+        for machine in mixed.machines_of("opteron"):
+            index = int(machine.machine_id.split("-")[-1])
+            assert (
+                machine.variation
+                == homogeneous.machines[index].variation
+            )
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(ValueError, match="at least one platform"):
+            Cluster.heterogeneous([])
+        with pytest.raises(ValueError, match="count"):
+            Cluster.heterogeneous([(CORE2, 0)])
+
+    def test_catalog_lookup(self):
+        cluster = Cluster.heterogeneous([(CORE2, 1), (OPTERON, 1)])
+        assert cluster.catalog_for("core2").spec is CORE2
+        with pytest.raises(KeyError):
+            cluster.catalog_for("atom")

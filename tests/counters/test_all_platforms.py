@@ -1,0 +1,78 @@
+"""Catalog + derivation sweep across every platform.
+
+A broad net: every counter on every platform must derive cleanly from a
+short busy trace, with the right shape and no NaNs — the kind of wiring
+regression a single-platform test misses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.activity import idle_activity
+from repro.counters import build_catalog, derive_counters
+from repro.platforms import ALL_PLATFORMS
+
+
+@pytest.mark.parametrize("spec", ALL_PLATFORMS, ids=lambda s: s.key)
+class TestAllPlatforms:
+    def _busy_trace(self, spec, n_seconds=40):
+        trace = idle_activity(spec.n_cores, n_seconds, spec.max_freq_ghz)
+        rng = np.random.default_rng(11)
+        trace.core_util[:] = rng.uniform(0.2, 0.9, trace.core_util.shape)
+        trace.disk_read_bytes[:] = rng.uniform(0, 50e6, n_seconds)
+        trace.disk_write_bytes[:] = rng.uniform(0, 30e6, n_seconds)
+        trace.net_sent_bytes[:] = rng.uniform(0, 40e6, n_seconds)
+        trace.net_recv_bytes[:] = rng.uniform(0, 40e6, n_seconds)
+        trace.mem_pages_per_sec[:] = rng.uniform(0, 4000, n_seconds)
+        trace.disk_busy_frac[:] = rng.uniform(0, 1, n_seconds)
+        return trace
+
+    def test_full_catalog_derives(self, spec):
+        catalog = build_catalog(spec)
+        trace = self._busy_trace(spec)
+        matrix = derive_counters(catalog, trace, machine_seed=3, run_index=0)
+        assert matrix.shape == (trace.n_seconds, len(catalog))
+        assert np.all(np.isfinite(matrix))
+
+    def test_codependence_holds_everywhere(self, spec):
+        catalog = build_catalog(spec)
+        trace = self._busy_trace(spec)
+        matrix = derive_counters(catalog, trace, machine_seed=3, run_index=0)
+        for total, left, right in catalog.codependent_triples:
+            total_col = matrix[:, catalog.index_of(total)]
+            summed = (
+                matrix[:, catalog.index_of(left)]
+                + matrix[:, catalog.index_of(right)]
+            )
+            assert total_col == pytest.approx(summed)
+
+    def test_percent_counters_bounded(self, spec):
+        """% counters stay in a sane band (noise allows small excursions).
+
+        Windows semantics: Process/Job Object % Processor Time scales to
+        n_cores x 100 (a saturated 8-core machine reads 800), while
+        Processor-object and cache-hit percentages top out near 100.
+        """
+        catalog = build_catalog(spec)
+        trace = self._busy_trace(spec)
+        matrix = derive_counters(catalog, trace, machine_seed=3, run_index=0)
+        for index, definition in enumerate(catalog.definitions):
+            if "%" not in definition.name:
+                continue
+            multi_core_scaled = definition.name.startswith(
+                (r"\Process(", r"\Job Object")
+            )
+            ceiling = (
+                spec.n_cores * 130.0 if multi_core_scaled else 130.0
+            )
+            column = matrix[:, index]
+            assert np.all(column > -10.0), definition.name
+            assert np.all(column < ceiling), definition.name
+
+    def test_frequency_counters_match_core_count(self, spec):
+        catalog = build_catalog(spec)
+        per_core = [
+            name for name in catalog.names
+            if "Frequency MHz" in name
+        ]
+        assert len(per_core) == spec.n_cores

@@ -1,0 +1,130 @@
+"""Tests for the counter catalog structure."""
+
+import numpy as np
+import pytest
+
+from repro.counters import (
+    CounterCatalog,
+    CounterCategory,
+    CounterDefinition,
+    build_catalog,
+)
+from repro.platforms import ALL_PLATFORMS, ATOM, CORE2, XEON_SAS
+
+
+@pytest.fixture(scope="module")
+def core2_catalog():
+    return build_catalog(CORE2)
+
+
+class TestCatalogSize:
+    @pytest.mark.parametrize("spec", ALL_PLATFORMS, ids=lambda s: s.key)
+    def test_roughly_250_counters(self, spec):
+        catalog = build_catalog(spec)
+        assert 180 <= len(catalog) <= 330
+
+    def test_counts_scale_with_hardware(self):
+        assert len(build_catalog(XEON_SAS)) > len(build_catalog(ATOM))
+
+
+class TestCatalogStructure:
+    def test_unique_names(self, core2_catalog):
+        names = core2_catalog.names
+        assert len(names) == len(set(names))
+
+    def test_every_table2_category_present(self, core2_catalog):
+        present = {d.category for d in core2_catalog.definitions}
+        expected = {
+            CounterCategory.NETWORK,
+            CounterCategory.MEMORY,
+            CounterCategory.PHYSICAL_DISK,
+            CounterCategory.PROCESS,
+            CounterCategory.PROCESSOR,
+            CounterCategory.FILESYSTEM_CACHE,
+            CounterCategory.JOB_OBJECT,
+            CounterCategory.PROCESSOR_PERFORMANCE,
+        }
+        assert expected <= present
+
+    def test_canonical_table2_counters_exist(self, core2_catalog):
+        canonical = [
+            r"\Processor(_Total)\% Processor Time",
+            r"\Processor Performance(0)\Frequency MHz",
+            r"\Memory\Cache Faults/sec",
+            r"\Memory\Pages/sec",
+            r"\Memory\Pool Nonpaged Allocs",
+            r"\PhysicalDisk(_Total)\% Disk Time",
+            r"\PhysicalDisk(_Total)\Disk Bytes/sec",
+            r"\Cache\Pin Reads/sec",
+            r"\Cache\Data Map Pins/sec",
+            r"\Job Object Details(DryadJob/_Total)\Page File Bytes Peak",
+        ]
+        for name in canonical:
+            assert name in core2_catalog, name
+
+    def test_codependent_triples_registered(self, core2_catalog):
+        triples = core2_catalog.codependent_triples
+        assert len(triples) >= 3
+        for total, left, right in triples:
+            assert total in core2_catalog
+            assert left in core2_catalog
+            assert right in core2_catalog
+            # Components must precede the sum (derivation ordering).
+            assert core2_catalog.index_of(left) < core2_catalog.index_of(total)
+            assert core2_catalog.index_of(right) < core2_catalog.index_of(total)
+
+    def test_per_core_counters_match_core_count(self):
+        catalog = build_catalog(XEON_SAS)
+        frequency_counters = [
+            name for name in catalog.names
+            if "Processor Performance(" in name
+            and "Frequency MHz" in name
+            and "_Total" not in name
+        ]
+        assert len(frequency_counters) == XEON_SAS.n_cores
+
+    def test_per_disk_counters_match_disk_count(self):
+        catalog = build_catalog(XEON_SAS)
+        per_disk_time = [
+            name for name in catalog.names
+            if name.startswith(r"\PhysicalDisk(")
+            and "% Disk Time" in name
+            and "_Total" not in name
+        ]
+        assert len(per_disk_time) == XEON_SAS.n_disks
+
+    def test_no_wall_clock_counters(self, core2_catalog):
+        """Pure time ramps are excluded from the activity pre-selection."""
+        assert not any("Up Time" in name for name in core2_catalog.names)
+
+    def test_index_lookup(self, core2_catalog):
+        name = core2_catalog.names[10]
+        assert core2_catalog.names[core2_catalog.index_of(name)] == name
+        with pytest.raises(KeyError):
+            core2_catalog.index_of("nonexistent")
+
+
+class TestDefinitionValidation:
+    def test_duplicate_rejected(self):
+        catalog = CounterCatalog(spec=CORE2)
+        definition = CounterDefinition(
+            "x", CounterCategory.SYSTEM, lambda ctx: np.zeros(1)
+        )
+        catalog.add(definition)
+        with pytest.raises(ValueError, match="duplicate"):
+            catalog.add(definition)
+
+    def test_sum_of_unknown_component_rejected(self):
+        catalog = CounterCatalog(spec=CORE2)
+        with pytest.raises(ValueError, match="unknown"):
+            catalog.add(CounterDefinition(
+                "sum", CounterCategory.SYSTEM, lambda ctx: np.zeros(1),
+                sum_of=("a", "b"),
+            ))
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            CounterDefinition(
+                "x", CounterCategory.SYSTEM, lambda ctx: np.zeros(1),
+                noise_sigma=-0.1,
+            )

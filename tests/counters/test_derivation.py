@@ -1,0 +1,112 @@
+"""Tests for counter derivation from latent activity."""
+
+import numpy as np
+import pytest
+
+from repro.counters import build_catalog, derive_counters
+from repro.platforms import CORE2, SimulatedMachine
+from repro.workloads import SortWorkload
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(CORE2)
+
+
+@pytest.fixture(scope="module")
+def activity():
+    machines = [SimulatedMachine.build(CORE2, i, seed=3) for i in range(2)]
+    traces = SortWorkload().generate_run(machines, run_index=0, seed=3)
+    return traces[machines[0].machine_id]
+
+
+@pytest.fixture(scope="module")
+def matrix(catalog, activity):
+    return derive_counters(catalog, activity, machine_seed=42, run_index=0)
+
+
+class TestDeriveCounters:
+    def test_shape(self, matrix, catalog, activity):
+        assert matrix.shape == (activity.n_seconds, len(catalog))
+
+    def test_all_finite(self, matrix):
+        assert np.all(np.isfinite(matrix))
+
+    def test_deterministic(self, catalog, activity, matrix):
+        again = derive_counters(catalog, activity, machine_seed=42, run_index=0)
+        assert np.array_equal(matrix, again)
+
+    def test_different_seed_differs(self, catalog, activity, matrix):
+        other = derive_counters(catalog, activity, machine_seed=43, run_index=0)
+        assert not np.array_equal(matrix, other)
+
+    def test_different_run_differs(self, catalog, activity, matrix):
+        other = derive_counters(catalog, activity, machine_seed=42, run_index=1)
+        assert not np.array_equal(matrix, other)
+
+    def test_codependent_sums_exact(self, matrix, catalog):
+        for total, left, right in catalog.codependent_triples:
+            total_col = matrix[:, catalog.index_of(total)]
+            component_sum = (
+                matrix[:, catalog.index_of(left)]
+                + matrix[:, catalog.index_of(right)]
+            )
+            assert total_col == pytest.approx(component_sum)
+
+    def test_utilization_counter_tracks_activity(
+        self, matrix, catalog, activity
+    ):
+        column = matrix[:, catalog.index_of(
+            r"\Processor(_Total)\% Processor Time"
+        )]
+        truth = activity.cpu_util * 100.0
+        correlation = np.corrcoef(column, truth)[0, 1]
+        assert correlation > 0.99
+
+    def test_frequency_counter_matches_governor(
+        self, matrix, catalog, activity
+    ):
+        column = matrix[:, catalog.index_of(
+            r"\Processor Performance(0)\Frequency MHz"
+        )]
+        truth = activity.core_freq_ghz[0] * 1000.0
+        assert np.allclose(column, truth, atol=5.0)
+
+    def test_correlated_aliases_exist(self, matrix, catalog):
+        """Step 1 needs pairs with |r| > 0.95 to prune."""
+        util = matrix[:, catalog.index_of(
+            r"\Processor(_Total)\% Processor Time"
+        )]
+        alias = matrix[:, catalog.index_of(
+            r"\Processor(_Total)\% User Time"
+        )]
+        assert abs(np.corrcoef(util, alias)[0, 1]) > 0.95
+
+    def test_anticorrelated_idle_time(self, matrix, catalog):
+        util = matrix[:, catalog.index_of(
+            r"\Processor(_Total)\% Processor Time"
+        )]
+        idle = matrix[:, catalog.index_of(
+            r"\Processor(_Total)\% Idle Time"
+        )]
+        assert np.corrcoef(util, idle)[0, 1] < -0.95
+
+    def test_constant_counters_are_constantish(self, matrix, catalog):
+        column = matrix[:, catalog.index_of(r"\Memory\Commit Limit")]
+        assert np.std(column) / np.mean(column) < 0.01
+
+    def test_peak_counters_are_monotone(self, matrix, catalog):
+        column = matrix[:, catalog.index_of(
+            r"\Job Object Details(DryadJob/_Total)\Page File Bytes Peak"
+        )]
+        assert np.all(np.diff(column) >= -1e-6 * column[:-1])
+
+    def test_wrong_shape_derivation_rejected(self, catalog, activity):
+        from repro.counters import CounterDefinition, CounterCategory
+        from repro.counters.derivation import derive_counter
+
+        bad = CounterDefinition(
+            "bad", CounterCategory.SYSTEM, lambda ctx: np.zeros(3)
+        )
+        with pytest.raises(ValueError, match="shape"):
+            derive_counter(bad, activity, catalog, np.random.default_rng(0))

@@ -1,0 +1,44 @@
+"""Tests for the cached experiment data repository."""
+
+import pytest
+
+from repro.experiments import DataRepository
+
+
+@pytest.fixture(scope="module")
+def repo():
+    # Small configuration to keep the test fast.
+    return DataRepository(seed=101, n_runs=2, n_machines=2)
+
+
+class TestDataRepository:
+    def test_cluster_is_cached(self, repo):
+        assert repo.cluster("core2") is repo.cluster("core2")
+
+    def test_runs_are_cached(self, repo):
+        first = repo.runs("core2", "wordcount")
+        assert repo.runs("core2", "wordcount") is first
+        assert len(first) == 2
+
+    def test_runs_by_workload_covers_suite(self, repo):
+        by_workload = repo.runs_by_workload("core2")
+        assert set(by_workload) == {"sort", "pagerank", "prime", "wordcount"}
+
+    def test_selection_cached_and_plausible(self, repo):
+        selection = repo.selection("core2")
+        assert repo.selection("core2") is selection
+        assert 1 <= len(selection.selected) <= 25
+
+    def test_feature_sets_structure(self, repo):
+        sets = repo.feature_sets("core2", include_general=False)
+        names = [fs.name for fs in sets]
+        assert names == ["U", "C", "CP"]
+        sets = repo.feature_sets(
+            "core2", include_general=False, include_lagged=False
+        )
+        assert [fs.name for fs in sets] == ["U", "C"]
+
+    def test_clear_resets_caches(self, repo):
+        cluster = repo.cluster("core2")
+        repo.clear()
+        assert repo.cluster("core2") is not cluster

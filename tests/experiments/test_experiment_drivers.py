@@ -1,0 +1,81 @@
+"""Smoke tests for the experiment drivers on a reduced repository.
+
+The full-size experiments run in the benchmark harness; here each driver
+runs against a 2-machine / 2-run repository so its mechanics (rendering,
+claim helpers, caching interplay) are covered quickly.
+"""
+
+import pytest
+
+from repro.experiments import (
+    DataRepository,
+    run_figure1,
+    run_figure2,
+    run_figure5,
+    run_model_grid,
+    run_overhead,
+    run_table3,
+)
+
+
+@pytest.fixture(scope="module")
+def repo():
+    return DataRepository(seed=303, n_runs=2, n_machines=2)
+
+
+class TestFigure1:
+    def test_traces_and_render(self, repo):
+        result = run_figure1(repo)
+        assert set(result.traces) == {
+            "sort", "pagerank", "prime", "wordcount"
+        }
+        assert all(len(runs) == 2 for runs in result.traces.values())
+        text = result.render()
+        assert "Figure 1" in text
+        assert "W" in text
+
+
+class TestFigure2:
+    def test_histogram_and_threshold(self, repo):
+        result = run_figure2(repo)
+        assert result.histogram
+        assert result.selected
+        assert "threshold" in result.render()
+
+
+class TestModelGrid:
+    def test_grid_cells_and_claims(self, repo):
+        result = run_model_grid(
+            "core2", "wordcount", title="test grid", repository=repo, seed=2
+        )
+        assert 0 <= result.cell_dre("L", "U") < 1.0
+        # Claim helpers return finite floats.
+        assert abs(result.feature_selection_gain()) < 1.0
+        assert abs(result.technique_gain()) < 1.0
+        text = result.render()
+        assert "features=U" in text
+        assert "n/a" in text  # Q/S cannot use the CPU-only set
+
+
+class TestTable3:
+    def test_rows_and_metric_ordering(self, repo):
+        result = run_table3(repo)
+        assert len(result.rows) == 4
+        assert result.dre_exceeds_percent_error()
+        assert "Table III" in result.render()
+
+
+class TestFigure5:
+    def test_strawman_vs_chaos(self, repo):
+        result = run_figure5(repo)
+        assert result.measured.shape == result.strawman_prediction.shape
+        assert result.chaos_dre < result.strawman_dre * 2.0
+        assert "Figure 5" in result.render()
+
+
+class TestOverhead:
+    def test_overhead_report(self, repo):
+        result = run_overhead(repo)
+        assert result.meets_paper_claim
+        assert result.selected_size < result.full_catalog_size
+        assert "CPU" in result.render()

@@ -1,0 +1,107 @@
+"""Tests for CSV export of figure/table data."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import (
+    export_result,
+    figure1_csv,
+    figure5_csv,
+    grid_csv,
+    series_csv,
+    table4_csv,
+)
+from repro.experiments.figure1 import Figure1Result
+from repro.experiments.figure5 import Figure5Result
+from repro.experiments.table4 import Table4Cell, Table4Result
+
+
+class TestSeriesCSV:
+    def test_basic_layout(self):
+        text = series_csv({"a": np.array([1.0, 2.0]), "b": np.array([3.0])})
+        lines = text.strip().split("\n")
+        assert lines[0] == "t,a,b"
+        assert lines[1] == "0,1.000,3.000"
+        assert lines[2] == "1,2.000,"  # ragged series padded
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series_csv({})
+
+
+class TestArtifactExporters:
+    def _figure1(self):
+        return Figure1Result(
+            traces={
+                "sort": [np.array([100.0, 110.0])],
+                "prime": [np.array([120.0, 125.0, 130.0])],
+            },
+            n_machines=2,
+        )
+
+    def test_figure1_csv_columns(self):
+        text = figure1_csv(self._figure1())
+        header = text.split("\n")[0]
+        assert "sort/run0" in header and "prime/run0" in header
+
+    def test_figure5_csv(self):
+        result = Figure5Result(
+            measured=np.array([1.0, 2.0]),
+            strawman_prediction=np.array([1.1, 1.9]),
+            chaos_prediction=np.array([1.0, 2.0]),
+            strawman_dre=0.1,
+            chaos_dre=0.05,
+            strawman_top_shortfall_w=1.0,
+            chaos_top_shortfall_w=0.2,
+        )
+        text = figure5_csv(result)
+        assert text.startswith("t,measured,strawman,chaos")
+
+    def test_table4_csv(self):
+        result = Table4Result(cells={
+            ("core2", "sort"): Table4Cell(
+                platform_key="core2", workload_name="sort",
+                best_label="QC", best_dre=0.05, sweep=None,
+            ),
+        })
+        text = table4_csv(result)
+        assert "sort,core2,0.050000,QC" in text
+
+    def test_export_result_writes_file(self, tmp_path):
+        path = export_result("figure1", self._figure1(), tmp_path)
+        assert path is not None and path.exists()
+        assert path.read_text().startswith("t,")
+
+    def test_export_result_unknown_type_returns_none(self, tmp_path):
+        assert export_result("x", object(), tmp_path) is None
+
+
+class TestCLIExport:
+    def test_reproduce_with_export(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main([
+            "reproduce", "figure1", "--runs", "2", "--machines", "2",
+            "--seed", "3", "--export", str(tmp_path),
+        ], out=out)
+        assert code == 0
+        assert (tmp_path / "figure1.csv").exists()
+        assert "data written" in out.getvalue()
+
+
+class TestGridCSV:
+    def test_from_real_small_grid(self):
+        from repro.experiments import DataRepository
+        from repro.experiments.model_grid import run_model_grid
+
+        repo = DataRepository(seed=909, n_runs=2, n_machines=2)
+        result = run_model_grid(
+            "atom", "wordcount", title="t", repository=repo
+        )
+        text = grid_csv(result)
+        lines = text.strip().split("\n")
+        assert lines[0] == "model,feature_set,machine_dre"
+        assert len(lines) > 2

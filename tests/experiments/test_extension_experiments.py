@@ -1,0 +1,88 @@
+"""Tests for the extension experiments (sampling, rates, cross-workload,
+future per-core DVFS) on a reduced repository."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    DataRepository,
+    run_cross_workload,
+    run_sampling,
+    run_sampling_rate,
+)
+from repro.experiments.sampling_rate import average_windows
+
+
+@pytest.fixture(scope="module")
+def repo():
+    return DataRepository(seed=505, n_runs=3, n_machines=3)
+
+
+class TestAverageWindows:
+    def test_window_one_is_identity(self):
+        values = np.arange(10.0)
+        assert np.array_equal(average_windows(values, 1), values)
+
+    def test_exact_division(self):
+        values = np.arange(6.0)
+        averaged = average_windows(values, 2)
+        assert averaged == pytest.approx([0.5, 2.5, 4.5])
+
+    def test_partial_tail_kept(self):
+        values = np.arange(5.0)
+        averaged = average_windows(values, 2)
+        assert averaged == pytest.approx([0.5, 2.5, 4.0])
+
+    def test_2d_columns_averaged_independently(self):
+        values = np.column_stack([np.arange(4.0), np.arange(4.0) * 10])
+        averaged = average_windows(values, 2)
+        assert np.allclose(averaged, [[0.5, 5.0], [2.5, 25.0]])
+
+    def test_window_longer_than_series(self):
+        values = np.arange(3.0)
+        averaged = average_windows(values, 10)
+        assert averaged == pytest.approx([1.0])
+
+    def test_mean_preserved(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(100)
+        averaged = average_windows(values, 10)
+        assert averaged.mean() == pytest.approx(values.mean())
+
+
+class TestSamplingExperiment:
+    def test_monotone_ish_curve(self, repo):
+        result = run_sampling(repo)
+        assert sorted(result.dre_by_k) == [1, 2]
+        assert "machines" in result.render()
+
+    def test_small_cluster_rejected(self):
+        tiny = DataRepository(seed=1, n_runs=2, n_machines=2)
+        with pytest.raises(ValueError, match="at least 3"):
+            run_sampling(tiny)
+
+
+class TestSamplingRateExperiment:
+    def test_range_degrades_with_window(self, repo):
+        result = run_sampling_rate(repo)
+        assert result.row(1).retained_range_frac > 0.99
+        assert (
+            result.row(300).retained_range_frac
+            < result.row(10).retained_range_frac
+        )
+        with pytest.raises(KeyError):
+            result.row(7)
+
+
+class TestCrossWorkload:
+    def test_regeneration_closes_gap(self, repo):
+        result = run_cross_workload(repo)
+        assert set(result.unseen_dre) == {
+            "sort", "pagerank", "prime", "wordcount"
+        }
+        for workload in result.unseen_dre:
+            assert (
+                result.multiworkload_dre[workload]
+                <= result.unseen_dre[workload] + 0.01
+            )
+        assert "generalization" in result.render()

@@ -1,0 +1,75 @@
+"""Tests for the transcribed paper-reference data and comparison."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_CLAIMS,
+    PAPER_TABLE1_RANGES,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    compare_table4,
+    paper_table4_winner_counts,
+    paper_table4_worst_best_dre,
+)
+from repro.platforms import ALL_PLATFORMS
+
+
+class TestPaperData:
+    def test_table1_matches_specs(self):
+        """The transcription agrees with the PlatformSpec constants."""
+        for platform in ALL_PLATFORMS:
+            idle, peak = PAPER_TABLE1_RANGES[platform.key]
+            assert platform.idle_power_w == idle
+            assert platform.max_power_w == peak
+
+    def test_table4_complete(self):
+        assert len(PAPER_TABLE4) == 24
+        workloads = {w for w, _ in PAPER_TABLE4}
+        assert workloads == {"sort", "pagerank", "prime", "wordcount"}
+
+    def test_table4_headline_values(self):
+        # Worst best-case: Atom/WordCount at 11.4%; under the 12% claim.
+        assert paper_table4_worst_best_dre() == pytest.approx(0.114)
+        assert paper_table4_worst_best_dre() < PAPER_CLAIMS["worst_best_dre"]
+
+    def test_quadratic_dominates_paper_winners(self):
+        counts = paper_table4_winner_counts()
+        quadratic = sum(
+            count for label, count in counts.items()
+            if label.startswith("Q")
+        )
+        assert quadratic >= 18  # QC 15 + QCP 4 + QG 2 = 21
+
+    def test_table3_inversion_present_in_paper_numbers(self):
+        """The transcribed Table III shows the paper's DRE > %err inversion."""
+        for platform in ("core2", "atom"):
+            for _, (rmse, percent_error, dre) in PAPER_TABLE3[platform].items():
+                assert dre > percent_error
+                assert rmse > 0
+
+
+class TestCompareTable4:
+    def test_comparison_on_synthetic_result(self):
+        """compare_table4 works on any object with matching .cells."""
+        from repro.experiments.table4 import Table4Cell, Table4Result
+
+        cells = {}
+        for (workload, platform), (dre, label) in PAPER_TABLE4.items():
+            cells[(platform, workload)] = Table4Cell(
+                platform_key=platform,
+                workload_name=workload,
+                best_label=label,
+                best_dre=dre,
+                sweep=None,
+            )
+        result = Table4Result(cells=cells)
+        comparison = compare_table4(result)
+        assert comparison.n_cells == 24
+        # Feeding the paper's own numbers back: all within bound, and the
+        # quadratic counts agree exactly.
+        assert comparison.n_within_bound == 24
+        assert (
+            comparison.measured_quadratic_wins
+            == comparison.paper_quadratic_wins
+        )
+        assert "paper vs measured" in comparison.render()

@@ -1,0 +1,84 @@
+"""Tests for the CHAOS facade (train_platform_model and helpers)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.framework import (
+    collect_workload_runs,
+    fit_platform_model,
+    train_platform_model,
+)
+from repro.models import cluster_set
+from repro.models.featuresets import CPU_UTILIZATION_COUNTER
+from repro.platforms import ATOM, CORE2
+from repro.workloads import PrimeWorkload, WordCountWorkload
+
+
+class TestCollectWorkloadRuns:
+    def test_custom_suite(self):
+        cluster = Cluster.homogeneous(ATOM, n_machines=2, seed=86)
+        runs = collect_workload_runs(
+            cluster,
+            workloads={"prime": PrimeWorkload()},
+            n_runs=2,
+        )
+        assert set(runs) == {"prime"}
+        assert len(runs["prime"]) == 2
+
+    def test_default_suite_covers_four(self):
+        cluster = Cluster.homogeneous(ATOM, n_machines=2, seed=86)
+        runs = collect_workload_runs(cluster, n_runs=1)
+        assert set(runs) == {"sort", "pagerank", "prime", "wordcount"}
+
+
+class TestFitPlatformModel:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        cluster = Cluster.homogeneous(CORE2, n_machines=2, seed=87)
+        return collect_workload_runs(
+            cluster, workloads={"wordcount": WordCountWorkload()}, n_runs=2
+        )
+
+    def test_single_feature_quadratic_falls_back(self, runs):
+        """The complexity-ladder fallback: Q with one feature becomes P."""
+        feature_set = cluster_set((CPU_UTILIZATION_COUNTER,))
+        platform_model = fit_platform_model(
+            runs, feature_set, platform_key="core2", model_code="Q"
+        )
+        assert platform_model.model.code == "P"
+
+    def test_single_feature_switching_falls_back_to_linear(self, runs):
+        feature_set = cluster_set((CPU_UTILIZATION_COUNTER,))
+        platform_model = fit_platform_model(
+            runs, feature_set, platform_key="core2", model_code="S"
+        )
+        assert platform_model.model.code == "L"
+
+    def test_train_fraction_subsamples(self, runs):
+        feature_set = cluster_set((CPU_UTILIZATION_COUNTER,))
+        full = fit_platform_model(
+            runs, feature_set, platform_key="core2",
+            model_code="L", train_fraction=1.0,
+        )
+        small = fit_platform_model(
+            runs, feature_set, platform_key="core2",
+            model_code="L", train_fraction=0.2,
+        )
+        # Both usable; subsampled coefficients differ slightly.
+        assert full.model.is_fitted and small.model.is_fitted
+
+
+class TestTrainedPlatformProperties:
+    def test_selected_counters_and_key(self):
+        trained = train_platform_model(
+            ATOM,
+            workloads={"wordcount": WordCountWorkload()},
+            n_machines=2,
+            n_runs=2,
+            seed=89,
+        )
+        assert trained.platform_key == "atom"
+        assert trained.selected_counters == trained.selection.selected
+        assert trained.platform_model.feature_set.counters == (
+            trained.selection.selected
+        )

@@ -1,0 +1,140 @@
+"""Tests for the streaming online power predictor."""
+
+import numpy as np
+import pytest
+
+from repro.framework import OnlinePowerPredictor
+from repro.models import (
+    PlatformModel,
+    QuadraticPowerModel,
+    cluster_plus_lagged_frequency,
+    pool_features,
+)
+from repro.models.featuresets import CPU_UTILIZATION_COUNTER, FREQUENCY_COUNTER
+from repro.cluster import Cluster, execute_runs
+from repro.platforms import CORE2
+from repro.workloads import SortWorkload
+
+
+@pytest.fixture(scope="module")
+def trained():
+    cluster = Cluster.homogeneous(CORE2, n_machines=2, seed=88)
+    runs = execute_runs(cluster, SortWorkload(), n_runs=2)
+    feature_set = cluster_plus_lagged_frequency(
+        (CPU_UTILIZATION_COUNTER, FREQUENCY_COUNTER)
+    )
+    design, power = pool_features(runs, feature_set)
+    model = QuadraticPowerModel(feature_set.feature_names).fit(design, power)
+    platform_model = PlatformModel(
+        platform_key="core2", model=model, feature_set=feature_set
+    )
+    return platform_model, runs
+
+
+class TestOnlinePowerPredictor:
+    def test_streaming_matches_batch(self, trained):
+        platform_model, runs = trained
+        log = runs[0].logs[runs[0].machine_ids[0]]
+        batch = platform_model.predict_log(log)
+
+        predictor = OnlinePowerPredictor(platform_model)
+        streamed = []
+        for t in range(log.n_seconds):
+            sample = {
+                name: float(log.column(name)[t])
+                for name in predictor.required_counters
+            }
+            streamed.append(predictor.observe(sample))
+        assert np.asarray(streamed) == pytest.approx(batch)
+
+    def test_required_counters_exclude_lag_duplicates(self, trained):
+        platform_model, _ = trained
+        predictor = OnlinePowerPredictor(platform_model)
+        required = predictor.required_counters
+        assert CPU_UTILIZATION_COUNTER in required
+        assert FREQUENCY_COUNTER in required
+        assert len(required) == 2  # the lagged copy reuses FREQUENCY_COUNTER
+
+    def test_missing_counter_rejected(self, trained):
+        platform_model, _ = trained
+        predictor = OnlinePowerPredictor(platform_model)
+        with pytest.raises(KeyError, match="missing"):
+            predictor.observe({CPU_UTILIZATION_COUNTER: 50.0})
+
+    def test_rolling_statistics(self, trained):
+        platform_model, runs = trained
+        log = runs[0].logs[runs[0].machine_ids[0]]
+        predictor = OnlinePowerPredictor(platform_model, history_seconds=50)
+        for t in range(60):
+            sample = {
+                name: float(log.column(name)[t])
+                for name in predictor.required_counters
+            }
+            predictor.observe(sample)
+        assert predictor.n_observed == 60
+        assert predictor.peak_w() >= predictor.rolling_mean_w()
+        assert predictor.rolling_mean_w(window_seconds=10) > 0
+
+    def test_reset_clears_state(self, trained):
+        platform_model, _ = trained
+        predictor = OnlinePowerPredictor(platform_model)
+        predictor.observe({
+            CPU_UTILIZATION_COUNTER: 50.0, FREQUENCY_COUNTER: 2260.0
+        })
+        predictor.reset()
+        assert predictor.n_observed == 0
+        with pytest.raises(ValueError):
+            predictor.rolling_mean_w()
+
+    def test_empty_history_errors(self, trained):
+        platform_model, _ = trained
+        predictor = OnlinePowerPredictor(platform_model)
+        with pytest.raises(ValueError, match="no samples"):
+            predictor.peak_w()
+
+    def test_bad_history_size_rejected(self, trained):
+        platform_model, _ = trained
+        with pytest.raises(ValueError):
+            OnlinePowerPredictor(platform_model, history_seconds=0)
+
+
+class TestMissingCounterHandling:
+    def _sample(self, util=50.0, freq=2260.0):
+        return {
+            CPU_UTILIZATION_COUNTER: util,
+            FREQUENCY_COUNTER: freq,
+        }
+
+    def test_strict_mode_raises_on_nan(self, trained):
+        platform_model, _ = trained
+        predictor = OnlinePowerPredictor(platform_model)
+        with pytest.raises(KeyError):
+            predictor.observe(self._sample(util=float("nan")))
+
+    def test_allow_missing_patches_from_last_sample(self, trained):
+        platform_model, _ = trained
+        predictor = OnlinePowerPredictor(platform_model, allow_missing=True)
+        first = predictor.observe(self._sample(util=60.0))
+        # Second sample drops the utilization counter entirely.
+        patched = predictor.observe({FREQUENCY_COUNTER: 2260.0})
+        assert np.isfinite(patched)
+        assert predictor.n_patched == 1
+        # Patching reuses the previous utilization, so the prediction
+        # matches a fully-populated repeat of the first sample.
+        repeat = predictor.observe(self._sample(util=60.0))
+        assert patched == pytest.approx(repeat, rel=1e-6)
+        del first
+
+    def test_allow_missing_still_raises_with_no_history(self, trained):
+        platform_model, _ = trained
+        predictor = OnlinePowerPredictor(platform_model, allow_missing=True)
+        with pytest.raises(KeyError):
+            predictor.observe({FREQUENCY_COUNTER: 2260.0})
+
+    def test_reset_clears_patch_count(self, trained):
+        platform_model, _ = trained
+        predictor = OnlinePowerPredictor(platform_model, allow_missing=True)
+        predictor.observe(self._sample())
+        predictor.observe({FREQUENCY_COUNTER: 2260.0})
+        predictor.reset()
+        assert predictor.n_patched == 0

@@ -1,0 +1,113 @@
+"""Tests for the per-phase accuracy breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, execute_runs
+from repro.framework import phase_breakdown
+from repro.framework.phase_analysis import IDLE_PHASE
+from repro.models import (
+    LinearPowerModel,
+    PlatformModel,
+    cluster_set,
+    cpu_only_set,
+    pool_features,
+)
+from repro.platforms import ATHLON
+from repro.workloads import SortWorkload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cluster = Cluster.homogeneous(ATHLON, n_machines=2, seed=47)
+    workload = SortWorkload()
+    runs = execute_runs(cluster, workload, n_runs=2)
+    feature_set = cpu_only_set()
+    design, power = pool_features(runs[:1], feature_set)
+    model = LinearPowerModel(feature_set.feature_names).fit(design, power)
+    platform_model = PlatformModel(
+        platform_key="athlon", model=model, feature_set=feature_set
+    )
+    # Regenerate the latent activity for the evaluated run/machine.
+    traces = workload.generate_run(
+        cluster.machines, run_index=1, seed=cluster.seed
+    )
+    machine_id = cluster.machines[0].machine_id
+    stage_names = [
+        stage.profile.name
+        for stage in workload.stages(
+            np.random.default_rng([cluster.seed, 1, 0]), 2
+        )
+    ]
+    return platform_model, runs[1].logs[machine_id], traces[machine_id]
+
+
+SORT_STAGES = ["read", "shuffle", "sort", "write"]
+
+
+class TestPhaseBreakdown:
+    def test_covers_workload_phases(self, setup):
+        platform_model, log, activity = setup
+        breakdown = phase_breakdown(
+            platform_model, log, activity, SORT_STAGES
+        )
+        names = {entry.phase for entry in breakdown.phases}
+        # The four Sort stages plus barrier idle-waits.
+        assert {"read", "shuffle", "sort", "write"} <= names | {IDLE_PHASE}
+        assert len(names) >= 3
+
+    def test_seconds_sum_to_run_length(self, setup):
+        platform_model, log, activity = setup
+        breakdown = phase_breakdown(
+            platform_model, log, activity, SORT_STAGES, min_phase_seconds=1
+        )
+        total = sum(entry.n_seconds for entry in breakdown.phases)
+        assert total == log.n_seconds
+
+    def test_cpu_only_model_misses_io_phases_more(self, setup):
+        """The Figure 3 mechanism: a CPU-only model's worst phases are the
+        I/O-heavy ones, where power moves without utilization."""
+        platform_model, log, activity = setup
+        breakdown = phase_breakdown(
+            platform_model, log, activity, SORT_STAGES
+        )
+        io_phases = [
+            entry.rmse_w
+            for entry in breakdown.phases
+            if entry.phase in ("read", "shuffle", "write")
+        ]
+        compute = breakdown.phase("sort")
+        assert max(io_phases) > compute.rmse_w * 0.8
+
+    def test_worst_phase_and_lookup(self, setup):
+        platform_model, log, activity = setup
+        breakdown = phase_breakdown(
+            platform_model, log, activity, SORT_STAGES
+        )
+        assert breakdown.worst_phase.rmse_w == max(
+            entry.rmse_w for entry in breakdown.phases
+        )
+        with pytest.raises(KeyError):
+            breakdown.phase("nonexistent")
+
+    def test_render(self, setup):
+        platform_model, log, activity = setup
+        breakdown = phase_breakdown(
+            platform_model, log, activity, SORT_STAGES
+        )
+        text = breakdown.render()
+        assert "phase" in text and "rMSE" in text
+
+    def test_missing_indicator_rejected(self, setup):
+        platform_model, log, activity = setup
+        from repro.activity import idle_activity
+
+        bare = idle_activity(2, log.n_seconds, 1.4)
+        with pytest.raises(ValueError, match="stage indicator"):
+            phase_breakdown(platform_model, log, bare, SORT_STAGES)
+
+    def test_length_mismatch_rejected(self, setup):
+        platform_model, log, activity = setup
+        shorter = activity.slice_seconds(0, 10)
+        with pytest.raises(ValueError, match="lengths differ"):
+            phase_breakdown(platform_model, log, shorter, SORT_STAGES)

@@ -1,0 +1,71 @@
+"""Tests for report rendering and overhead measurement."""
+
+import numpy as np
+import pytest
+
+from repro.activity import idle_activity
+from repro.counters import build_catalog
+from repro.framework import (
+    format_percent,
+    measure_overhead,
+    render_histogram,
+    render_series,
+    render_table,
+)
+from repro.models import LinearPowerModel
+from repro.models.featuresets import CPU_UTILIZATION_COUNTER
+from repro.platforms import CORE2
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["name", "value"],
+            [["alpha", 1], ["b", 22]],
+            title="T",
+        )
+        lines = text.split("\n")
+        assert lines[0] == "T"
+        assert "alpha" in text
+        assert "22" in text
+        # All body lines share the header's width.
+        assert len(set(len(line) for line in lines[1:])) <= 2
+
+
+class TestRenderHistogram:
+    def test_threshold_marker(self):
+        text = render_histogram(
+            {"a": 10.0, "b": 2.0}, threshold=5.0
+        )
+        assert "<selected>" in text
+        assert "a" in text and "b" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_histogram({})
+
+
+class TestRenderSeries:
+    def test_preview_truncates(self):
+        text = render_series({"s": list(range(1000))}, max_points=5)
+        assert "1000 points" in text
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.123) == "12.3%"
+        assert format_percent(0.005, decimals=2) == "0.50%"
+
+
+class TestMeasureOverhead:
+    def test_overhead_well_under_budget(self):
+        catalog = build_catalog(CORE2)
+        names = [CPU_UTILIZATION_COUNTER, r"\Memory\Pages/sec"]
+        activity = idle_activity(CORE2.n_cores, 200, CORE2.min_freq_ghz)
+        design = np.random.default_rng(0).uniform(0, 100, (200, 2))
+        power = 25 + design[:, 0] * 0.2
+        model = LinearPowerModel(names).fit(design, power)
+        report = measure_overhead(model, catalog, activity, repetitions=2)
+        assert report.n_counters_collected == 2
+        assert report.cpu_fraction < 0.01  # the paper's claim, generously
+        assert "CPU" in report.describe()

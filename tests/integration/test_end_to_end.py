@@ -1,0 +1,117 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These exercise the public API the way a downstream user would: train a
+platform model, predict unseen runs, compose heterogeneous clusters.
+They use small clusters and short runs to stay fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, execute_runs
+from repro.framework import (
+    compose_heterogeneous,
+    train_platform_model,
+)
+from repro.metrics import AccuracyReport
+from repro.platforms import ATOM, CORE2, OPTERON
+from repro.workloads import SortWorkload, WordCountWorkload
+
+
+@pytest.fixture(scope="module")
+def trained_core2():
+    return train_platform_model(
+        CORE2,
+        workloads={"sort": SortWorkload(), "wordcount": WordCountWorkload()},
+        n_machines=3,
+        n_runs=3,
+        seed=202,
+    )
+
+
+class TestTrainPlatformModel:
+    def test_pipeline_artifacts(self, trained_core2):
+        assert trained_core2.platform_key == "core2"
+        assert 1 <= len(trained_core2.selected_counters) <= 20
+        assert trained_core2.platform_model.model.is_fitted
+        assert trained_core2.feature_set.name == "C"
+
+    def test_unseen_run_accuracy(self, trained_core2):
+        unseen = execute_runs(
+            trained_core2.cluster, SortWorkload(), n_runs=4,
+            seed=trained_core2.cluster.seed,
+        )[-1]
+        for machine_id in unseen.machine_ids:
+            log = unseen.logs[machine_id]
+            prediction = trained_core2.platform_model.predict_log(log)
+            report = AccuracyReport.from_predictions(log.power_w, prediction)
+            # The paper's bound with margin: DRE < 12% per machine.
+            assert report.dre < 0.15, machine_id
+            assert report.median_relative_error < 0.05
+
+    def test_cluster_sum_is_tighter_than_machines(self, trained_core2):
+        unseen = execute_runs(
+            trained_core2.cluster, SortWorkload(), n_runs=4,
+            seed=trained_core2.cluster.seed,
+        )[-1]
+        machine_dres = []
+        predictions = []
+        for machine_id in unseen.machine_ids:
+            log = unseen.logs[machine_id]
+            prediction = trained_core2.platform_model.predict_log(log)
+            predictions.append(prediction)
+            machine_dres.append(
+                AccuracyReport.from_predictions(log.power_w, prediction).dre
+            )
+        cluster_report = AccuracyReport.from_predictions(
+            unseen.cluster_power(), np.sum(predictions, axis=0)
+        )
+        # Per-machine errors partially cancel in the Eq. 5 sum.
+        assert cluster_report.dre <= max(machine_dres)
+
+
+class TestHeterogeneousComposition:
+    def test_compose_and_predict(self):
+        workloads = {"sort": SortWorkload()}
+        trained = [
+            train_platform_model(
+                spec, workloads=workloads, n_machines=2, n_runs=2, seed=203
+            )
+            for spec in (CORE2, OPTERON)
+        ]
+        mixed = Cluster.heterogeneous([(CORE2, 2), (OPTERON, 2)], seed=203)
+        model = compose_heterogeneous(trained, mixed)
+        run = execute_runs(mixed, SortWorkload(), n_runs=1)[0]
+        report = AccuracyReport.from_predictions(
+            run.cluster_power(), model.predict_cluster(run)
+        )
+        assert report.dre < 0.15
+
+    def test_missing_platform_rejected(self):
+        workloads = {"sort": SortWorkload()}
+        trained = [
+            train_platform_model(
+                CORE2, workloads=workloads, n_machines=2, n_runs=2, seed=203
+            )
+        ]
+        mixed = Cluster.heterogeneous([(CORE2, 1), (ATOM, 1)], seed=203)
+        with pytest.raises(ValueError, match="no trained model"):
+            compose_heterogeneous(trained, mixed)
+
+
+class TestDeterminism:
+    def test_whole_pipeline_reproduces(self):
+        workloads = {"wordcount": WordCountWorkload()}
+        a = train_platform_model(
+            ATOM, workloads=workloads, n_machines=2, n_runs=2, seed=204
+        )
+        b = train_platform_model(
+            ATOM, workloads=workloads, n_machines=2, n_runs=2, seed=204
+        )
+        assert a.selected_counters == b.selected_counters
+        run = a.runs_by_workload["wordcount"][0]
+        log = run.logs[run.machine_ids[0]]
+        assert np.array_equal(
+            a.platform_model.predict_log(log),
+            b.platform_model.predict_log(log),
+        )

@@ -1,0 +1,131 @@
+"""Robustness: pathological inputs the pipeline must survive gracefully.
+
+A production library fails loudly on unusable input and degrades
+gracefully on merely-awkward input; these tests pin down which is which.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics import AccuracyReport
+from repro.models import (
+    LinearPowerModel,
+    QuadraticPowerModel,
+    SwitchingPowerModel,
+)
+from repro.regression import backward_eliminate, fit_lasso_path, fit_mars, fit_ols
+
+NAMES = ["a", "b"]
+
+
+class TestDegenerateTrainingData:
+    def test_constant_power_fits_constant(self):
+        rng = np.random.default_rng(0)
+        design = rng.normal(size=(100, 2))
+        power = np.full(100, 42.0)
+        for model in (
+            LinearPowerModel(NAMES),
+            QuadraticPowerModel(NAMES),
+        ):
+            model.fit(design, power)
+            assert model.predict(design) == pytest.approx(
+                np.full(100, 42.0), abs=1e-6
+            )
+
+    def test_all_constant_features(self):
+        design = np.full((60, 2), 7.0)
+        power = 100.0 + np.random.default_rng(1).normal(0, 1.0, 60)
+        model = LinearPowerModel(NAMES).fit(design, power)
+        prediction = model.predict(np.full((5, 2), 7.0))
+        assert prediction == pytest.approx(
+            np.full(5, power.mean()), abs=0.5
+        )
+
+    def test_single_repeated_row(self):
+        design = np.tile([[1.0, 2.0]], (50, 1))
+        power = np.full(50, 10.0)
+        model = QuadraticPowerModel(NAMES).fit(design, power)
+        assert np.isfinite(model.predict(design)).all()
+
+    def test_switching_with_constant_frequency(self):
+        """An Atom-like case: the switch feature never changes."""
+        rng = np.random.default_rng(2)
+        design = np.column_stack([
+            rng.uniform(0, 100, 200), np.full(200, 1600.0)
+        ])
+        power = 22.0 + 0.04 * design[:, 0]
+        model = SwitchingPowerModel(
+            ["util", "freq"], switch_feature="freq"
+        ).fit(design, power)
+        prediction = model.predict(design)
+        assert np.isfinite(prediction).all()
+        rmse = float(np.sqrt(np.mean((prediction - power) ** 2)))
+        assert rmse < 0.5
+
+
+class TestExtremeInputsAtPredictTime:
+    @pytest.fixture
+    def fitted_models(self):
+        rng = np.random.default_rng(3)
+        design = rng.uniform(0, 100, size=(400, 2))
+        power = 25 + 0.1 * design[:, 0] + 0.05 * design[:, 1]
+        power = power + rng.normal(0, 0.3, 400)
+        return [
+            LinearPowerModel(NAMES).fit(design, power),
+            QuadraticPowerModel(NAMES).fit(design, power),
+            SwitchingPowerModel(NAMES, switch_feature="b").fit(design, power),
+        ], power
+
+    @pytest.mark.parametrize("value", [1e12, -1e12, 0.0])
+    def test_wild_inputs_bounded(self, fitted_models, value):
+        models, power = fitted_models
+        wild = np.full((3, 2), value)
+        for model in models:
+            prediction = model.predict(wild)
+            assert np.isfinite(prediction).all(), type(model).__name__
+            if not isinstance(model, LinearPowerModel):
+                # Clamped families stay near the physical envelope.
+                assert np.all(prediction > power.min() - 20)
+                assert np.all(prediction < power.max() + 20)
+
+
+class TestStatisticalEdgeCases:
+    def test_stepwise_with_more_features_than_informative(self):
+        rng = np.random.default_rng(4)
+        design = rng.normal(size=(60, 20))
+        power = rng.normal(size=60)
+        result = backward_eliminate(design, power, min_features=1)
+        assert 1 <= len(result.selected) <= 20
+
+    def test_lasso_with_single_feature(self):
+        rng = np.random.default_rng(5)
+        design = rng.normal(size=(80, 1))
+        power = 2.0 * design[:, 0]
+        result = fit_lasso_path(design, power)
+        assert result.best.selected.tolist() == [0]
+
+    def test_mars_with_two_distinct_values(self):
+        design = np.repeat([[0.0], [1.0]], 30, axis=0)
+        power = np.repeat([10.0, 20.0], 30)
+        model = fit_mars(design, power, max_degree=1)
+        prediction = model.predict(design)
+        assert np.isfinite(prediction).all()
+
+    def test_ols_minimum_viable_sample(self):
+        design = np.array([[1.0], [2.0], [3.0]])
+        power = np.array([1.0, 2.0, 3.0])
+        fit = fit_ols(design, power)
+        assert fit.slopes[0] == pytest.approx(1.0)
+
+
+class TestAccuracyReportEdgeCases:
+    def test_two_sample_report(self):
+        report = AccuracyReport.from_predictions(
+            [10.0, 20.0], [11.0, 19.0]
+        )
+        assert report.n_samples == 2
+        assert report.dre == pytest.approx(0.1)
+
+    def test_constant_trace_rejected(self):
+        with pytest.raises(ValueError):
+            AccuracyReport.from_predictions([5.0, 5.0], [5.0, 5.0])

@@ -1,0 +1,56 @@
+"""Seed robustness: the paper-shaped conclusions hold across seeds.
+
+The benchmark suite runs at one seed; these tests check (on a reduced
+configuration, so they stay fast) that the *orderings* the reproduction
+asserts are not artifacts of that seed: feature selection beats the
+CPU-only strawman, nonlinear beats linear with selected features, and
+the Atom stays the hardest platform.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, execute_runs
+from repro.framework import cross_validate
+from repro.models import cluster_set, cpu_only_set
+from repro.platforms import ATOM, CORE2
+from repro.selection import run_algorithm1
+from repro.workloads import PrimeWorkload, SortWorkload
+
+SEEDS = (1001, 2002)
+
+
+def _dre_cells(spec, seed):
+    cluster = Cluster.homogeneous(spec, n_machines=3, seed=seed)
+    runs_by_workload = {
+        "sort": execute_runs(cluster, SortWorkload(), n_runs=3),
+        "prime": execute_runs(cluster, PrimeWorkload(), n_runs=3),
+    }
+    selection = run_algorithm1(cluster, runs_by_workload)
+    c_set = cluster_set(selection.selected)
+    u_set = cpu_only_set()
+    runs = runs_by_workload["prime"]
+    cells = {
+        "LU": cross_validate(runs, "L", u_set, seed=seed).mean_machine_dre,
+        "LC": cross_validate(runs, "L", c_set, seed=seed).mean_machine_dre,
+    }
+    if c_set.n_features >= 2:
+        cells["QC"] = cross_validate(
+            runs, "Q", c_set, seed=seed
+        ).mean_machine_dre
+    return cells
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestOrderingsAcrossSeeds:
+    def test_core2_orderings(self, seed):
+        cells = _dre_cells(CORE2, seed)
+        # Selected features beat the strawman on a DVFS platform.
+        assert cells["LC"] < cells["LU"]
+        # The best nonlinear model is at least competitive with linear.
+        if "QC" in cells:
+            assert cells["QC"] < cells["LC"] * 1.15
+
+    def test_atom_is_harder_than_core2(self, seed):
+        atom = _dre_cells(ATOM, seed)
+        core2 = _dre_cells(CORE2, seed)
+        assert min(atom.values()) > min(core2.values())

@@ -1,0 +1,46 @@
+"""Tests for the energy metrics (the prior-work comparison of Section II)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    dynamic_range_error,
+    energy_joules,
+    energy_relative_error,
+)
+
+
+class TestEnergyJoules:
+    def test_constant_power(self):
+        assert energy_joules([100.0] * 60) == pytest.approx(6000.0)
+
+    def test_sample_period_scales(self):
+        assert energy_joules([50.0, 50.0], sample_period_s=2.0) == 200.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            energy_joules([])
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            energy_joules([1.0], sample_period_s=0.0)
+
+
+class TestEnergyRelativeError:
+    def test_perfect_prediction(self):
+        power = np.array([100.0, 120.0, 90.0])
+        assert energy_relative_error(power, power) == 0.0
+
+    def test_ten_percent_bias(self):
+        power = np.full(100, 100.0)
+        assert energy_relative_error(power, power * 1.1) == pytest.approx(0.1)
+
+    def test_energy_metric_is_flattering(self):
+        """Large per-second errors that cancel give ~zero energy error but
+        large DRE — the reason the paper rejects total-energy evaluation."""
+        rng = np.random.default_rng(0)
+        actual = 100.0 + 30.0 * rng.random(1000)
+        wiggle = rng.normal(0.0, 10.0, 1000)
+        predicted = actual + wiggle - wiggle.mean()
+        assert energy_relative_error(actual, predicted) < 0.001
+        assert dynamic_range_error(actual, predicted) > 0.2

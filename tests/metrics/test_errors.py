@@ -1,0 +1,106 @@
+"""Unit tests for the error metrics, including the paper's DRE (Eq. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    dynamic_range,
+    dynamic_range_error,
+    mean_absolute_error,
+    mean_squared_error,
+    median_absolute_error,
+    median_relative_error,
+    percent_error,
+    root_mean_squared_error,
+)
+
+
+class TestBasicMetrics:
+    def test_perfect_prediction_has_zero_error(self):
+        y = np.array([10.0, 20.0, 30.0])
+        assert mean_squared_error(y, y) == 0.0
+        assert root_mean_squared_error(y, y) == 0.0
+        assert mean_absolute_error(y, y) == 0.0
+        assert median_absolute_error(y, y) == 0.0
+        assert median_relative_error(y, y) == 0.0
+
+    def test_constant_offset_error(self):
+        y = np.array([10.0, 20.0, 30.0])
+        yhat = y + 2.0
+        assert mean_squared_error(y, yhat) == pytest.approx(4.0)
+        assert root_mean_squared_error(y, yhat) == pytest.approx(2.0)
+        assert mean_absolute_error(y, yhat) == pytest.approx(2.0)
+
+    def test_percent_error_normalizes_by_mean_power(self):
+        y = np.array([100.0, 100.0])
+        yhat = np.array([110.0, 90.0])
+        assert percent_error(y, yhat) == pytest.approx(0.10)
+
+    def test_median_relative_error(self):
+        y = np.array([100.0, 200.0, 400.0])
+        yhat = np.array([110.0, 220.0, 400.0])
+        assert median_relative_error(y, yhat) == pytest.approx(0.10)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            mean_squared_error([1.0, 2.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            root_mean_squared_error([], [])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            mean_squared_error([1.0, np.nan], [1.0, 2.0])
+
+    def test_nonpositive_power_rejected_for_relative_metrics(self):
+        with pytest.raises(ValueError):
+            percent_error([0.0, -1.0], [0.0, 0.0])
+        with pytest.raises(ValueError):
+            median_relative_error([0.0, 1.0], [0.0, 1.0])
+
+
+class TestDynamicRange:
+    def test_observed_range(self):
+        assert dynamic_range([25.0, 46.0, 30.0]) == pytest.approx(21.0)
+
+    def test_explicit_idle_floor(self):
+        assert dynamic_range([30.0, 46.0], idle_power=25.0) == pytest.approx(21.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dynamic_range([])
+
+
+class TestDRE:
+    def test_equals_rmse_over_range(self):
+        y = np.array([25.0, 35.0, 46.0])
+        yhat = y + np.array([1.0, -1.0, 1.0])
+        expected = root_mean_squared_error(y, yhat) / 21.0
+        assert dynamic_range_error(y, yhat) == pytest.approx(expected)
+
+    def test_constant_trace_rejected(self):
+        with pytest.raises(ValueError, match="constant"):
+            dynamic_range_error([10.0, 10.0], [10.0, 11.0])
+
+    def test_table3_inversion_small_range_platform(self):
+        """A small %err can be a large DRE on a small-dynamic-range system.
+
+        This is the Atom phenomenon of Table III: 2.4% error relative to
+        total power equals ~30% of a 4 W dynamic range.
+        """
+        rng = np.random.default_rng(0)
+        atom_power = 22.0 + 4.0 * rng.random(500)
+        prediction = atom_power + rng.normal(0.0, 0.6, size=500)
+        pe = percent_error(atom_power, prediction)
+        dre = dynamic_range_error(atom_power, prediction)
+        assert pe < 0.05
+        assert dre > 0.10
+        assert dre > 4 * pe
+
+    def test_idle_floor_widens_range_and_lowers_dre(self):
+        y = np.array([30.0, 40.0, 50.0])
+        yhat = y + 1.0
+        without_floor = dynamic_range_error(y, yhat)
+        with_floor = dynamic_range_error(y, yhat, idle_power=20.0)
+        assert with_floor < without_floor

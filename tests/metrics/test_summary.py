@@ -1,0 +1,51 @@
+"""Tests for AccuracyReport and ReportCollection."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import AccuracyReport, ReportCollection
+
+
+def _example_report(seed: int = 0) -> AccuracyReport:
+    rng = np.random.default_rng(seed)
+    actual = 100.0 + 20.0 * rng.random(200)
+    predicted = actual + rng.normal(0.0, 1.0, size=200)
+    return AccuracyReport.from_predictions(actual, predicted)
+
+
+class TestAccuracyReport:
+    def test_fields_are_consistent(self):
+        report = _example_report()
+        assert report.n_samples == 200
+        assert report.rmse > 0
+        assert report.dre == pytest.approx(report.rmse / report.dynamic_range)
+        assert report.percent_error == pytest.approx(
+            report.rmse / report.mean_power
+        )
+
+    def test_describe_mentions_key_metrics(self):
+        text = _example_report().describe()
+        assert "rMSE" in text
+        assert "DRE" in text
+
+    def test_is_frozen(self):
+        report = _example_report()
+        with pytest.raises(AttributeError):
+            report.rmse = 0.0
+
+
+class TestReportCollection:
+    def test_mean_aggregation(self):
+        collection = ReportCollection()
+        for seed in range(5):
+            collection.add(_example_report(seed))
+        assert len(collection) == 5
+        dres = [r.dre for r in collection.reports]
+        assert collection.mean_dre == pytest.approx(np.mean(dres))
+        assert collection.mean_rmse == pytest.approx(
+            np.mean([r.rmse for r in collection.reports])
+        )
+
+    def test_empty_collection_raises(self):
+        with pytest.raises(ValueError):
+            ReportCollection().mean_dre

@@ -1,0 +1,76 @@
+"""Tests for cluster model composition (Eq. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, execute_runs
+from repro.models import (
+    LinearPowerModel,
+    PlatformModel,
+    cluster_set,
+    compose_cluster_model,
+    pool_features,
+)
+from repro.models.featuresets import CPU_UTILIZATION_COUNTER, FREQUENCY_COUNTER
+from repro.platforms import CORE2, OPTERON
+from repro.workloads import PrimeWorkload
+
+
+def _train_platform(spec, seed):
+    cluster = Cluster.homogeneous(spec, n_machines=2, seed=seed)
+    runs = execute_runs(cluster, PrimeWorkload(), n_runs=2)
+    feature_set = cluster_set((CPU_UTILIZATION_COUNTER, FREQUENCY_COUNTER))
+    design, power = pool_features(runs, feature_set)
+    model = LinearPowerModel(feature_set.feature_names).fit(design, power)
+    return PlatformModel(
+        platform_key=spec.key, model=model, feature_set=feature_set
+    ), runs
+
+
+class TestComposition:
+    def test_cluster_prediction_is_sum_of_machines(self):
+        platform_model, runs = _train_platform(CORE2, seed=61)
+        run = runs[0]
+        cluster_model = compose_cluster_model(
+            [platform_model],
+            {machine_id: "core2" for machine_id in run.machine_ids},
+        )
+        total = cluster_model.predict_cluster(run)
+        manual = np.sum(
+            [
+                cluster_model.predict_machine(run, machine_id)
+                for machine_id in run.machine_ids
+            ],
+            axis=0,
+        )
+        assert total == pytest.approx(manual)
+
+    def test_heterogeneous_routing(self):
+        core2_model, _ = _train_platform(CORE2, seed=61)
+        opteron_model, _ = _train_platform(OPTERON, seed=61)
+        mixed = Cluster.heterogeneous([(CORE2, 2), (OPTERON, 2)], seed=61)
+        runs = execute_runs(mixed, PrimeWorkload(), n_runs=1)
+        cluster_model = compose_cluster_model(
+            [core2_model, opteron_model],
+            {m.machine_id: m.spec.key for m in mixed.machines},
+        )
+        prediction = cluster_model.predict_cluster(runs[0])
+        measured = runs[0].cluster_power()
+        assert prediction.shape == measured.shape
+        # Composition should be in the right ballpark out of the box.
+        relative = np.abs(prediction - measured) / measured
+        assert np.median(relative) < 0.15
+
+    def test_missing_platform_model_rejected(self):
+        core2_model, _ = _train_platform(CORE2, seed=61)
+        with pytest.raises(ValueError, match="no platform model"):
+            compose_cluster_model([core2_model], {"x": "opteron"})
+
+    def test_unknown_machine_rejected(self):
+        platform_model, runs = _train_platform(CORE2, seed=61)
+        cluster_model = compose_cluster_model(
+            [platform_model],
+            {machine_id: "core2" for machine_id in runs[0].machine_ids},
+        )
+        with pytest.raises(KeyError, match="unknown machine"):
+            cluster_model.predict_machine(runs[0], "ghost")

@@ -1,0 +1,68 @@
+"""Property-based tests for FeatureSet extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import FeatureSet
+from repro.telemetry import PerfmonLog
+
+
+def _log(n_seconds, n_counters, seed):
+    rng = np.random.default_rng(seed)
+    return PerfmonLog(
+        machine_id="m",
+        counter_names=[f"c{i}" for i in range(n_counters)],
+        counters=rng.uniform(0, 100, size=(n_seconds, n_counters)),
+        power_w=rng.uniform(20, 50, size=n_seconds),
+    )
+
+
+class TestFeatureSetProperties:
+    @given(
+        n_seconds=st.integers(2, 60),
+        n_counters=st.integers(1, 8),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_extract_shape_and_column_identity(
+        self, n_seconds, n_counters, seed
+    ):
+        log = _log(n_seconds, n_counters, seed)
+        names = tuple(log.counter_names)
+        feature_set = FeatureSet(name="t", counters=names)
+        matrix = feature_set.extract(log)
+        assert matrix.shape == (n_seconds, n_counters)
+        assert np.array_equal(matrix, log.counters)
+
+    @given(
+        n_seconds=st.integers(2, 60),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lag_shifts_by_exactly_one(self, n_seconds, seed):
+        log = _log(n_seconds, 2, seed)
+        feature_set = FeatureSet(
+            name="t", counters=("c0",), lagged_counters=("c1",)
+        )
+        matrix = feature_set.extract(log)
+        series = log.column("c1")
+        assert matrix[0, 1] == series[0]
+        assert np.array_equal(matrix[1:, 1], series[:-1])
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_extraction_order_matches_feature_names(self, seed):
+        log = _log(20, 4, seed)
+        feature_set = FeatureSet(name="t", counters=("c2", "c0", "c3"))
+        matrix = feature_set.extract(log)
+        assert np.array_equal(matrix[:, 0], log.column("c2"))
+        assert np.array_equal(matrix[:, 1], log.column("c0"))
+        assert np.array_equal(matrix[:, 2], log.column("c3"))
+
+    def test_unknown_counter_raises(self):
+        log = _log(10, 2, 1)
+        feature_set = FeatureSet(name="t", counters=("ghost",))
+        with pytest.raises(KeyError):
+            feature_set.extract(log)

@@ -1,0 +1,117 @@
+"""Tests for feature sets, lagged extraction and the model registry."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, execute_runs
+from repro.models import (
+    CPU_UTILIZATION_COUNTER,
+    FREQUENCY_COUNTER,
+    FeatureSet,
+    build_model,
+    cluster_plus_lagged_frequency,
+    cluster_set,
+    cpu_only_set,
+    general_set,
+    pool_features,
+    supports_feature_set,
+)
+from repro.platforms import CORE2
+from repro.workloads import WordCountWorkload
+
+
+@pytest.fixture(scope="module")
+def runs():
+    cluster = Cluster.homogeneous(CORE2, n_machines=2, seed=41)
+    return execute_runs(cluster, WordCountWorkload(), n_runs=2)
+
+
+class TestFeatureSetConstruction:
+    def test_cpu_only(self):
+        fs = cpu_only_set()
+        assert fs.name == "U"
+        assert fs.feature_names == [CPU_UTILIZATION_COUNTER]
+
+    def test_cluster_and_general(self):
+        fs = cluster_set(("a", "b"))
+        assert fs.name == "C"
+        assert fs.n_features == 2
+        assert general_set(["x"]).name == "G"
+
+    def test_lagged_set_appends_suffixed_name(self):
+        fs = cluster_plus_lagged_frequency(("a",))
+        assert fs.name == "CP"
+        assert fs.feature_names == ["a", f"{FREQUENCY_COUNTER} (t-1)"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureSet(name="x", counters=())
+
+
+class TestExtraction:
+    def test_extract_shape(self, runs):
+        log = runs[0].logs[runs[0].machine_ids[0]]
+        fs = cpu_only_set()
+        matrix = fs.extract(log)
+        assert matrix.shape == (log.n_seconds, 1)
+
+    def test_lagged_column_is_shifted(self, runs):
+        log = runs[0].logs[runs[0].machine_ids[0]]
+        fs = FeatureSet(
+            name="t",
+            counters=(CPU_UTILIZATION_COUNTER,),
+            lagged_counters=(FREQUENCY_COUNTER,),
+        )
+        matrix = fs.extract(log)
+        frequency = log.column(FREQUENCY_COUNTER)
+        assert matrix[0, 1] == frequency[0]  # first row repeats itself
+        assert np.array_equal(matrix[1:, 1], frequency[:-1])
+
+    def test_pool_features_stacks_machines_and_runs(self, runs):
+        fs = cpu_only_set()
+        design, power = pool_features(runs, fs)
+        expected = sum(r.n_seconds * len(r.machine_ids) for r in runs)
+        assert design.shape == (expected, 1)
+        assert power.shape == (expected,)
+
+    def test_pool_lag_does_not_cross_run_boundary(self, runs):
+        fs = FeatureSet(
+            name="t",
+            counters=(),
+            lagged_counters=(FREQUENCY_COUNTER,),
+        )
+        design, _ = pool_features(runs, fs, machine_ids=[runs[0].machine_ids[0]])
+        # The first sample of the second run must repeat that run's own
+        # first frequency, not carry over the previous run's last value.
+        second_log = runs[1].logs[runs[0].machine_ids[0]]
+        boundary = runs[0].n_seconds
+        assert design[boundary, 0] == second_log.column(FREQUENCY_COUNTER)[0]
+
+
+class TestRegistry:
+    def test_supports_matrix(self):
+        u = cpu_only_set()
+        c = cluster_set((CPU_UTILIZATION_COUNTER, FREQUENCY_COUNTER))
+        assert supports_feature_set("L", u)
+        assert supports_feature_set("P", u)
+        assert not supports_feature_set("Q", u)
+        assert not supports_feature_set("S", u)
+        assert supports_feature_set("Q", c)
+        assert supports_feature_set("S", c)
+
+    def test_switching_needs_frequency(self):
+        no_freq = cluster_set((CPU_UTILIZATION_COUNTER, "other"))
+        assert not supports_feature_set("S", no_freq)
+
+    def test_build_model_codes(self):
+        c = cluster_set((CPU_UTILIZATION_COUNTER, FREQUENCY_COUNTER))
+        for code in ("L", "P", "Q", "S"):
+            assert build_model(code, c).code == code
+
+    def test_build_invalid_combination_rejected(self):
+        with pytest.raises(ValueError, match="does not support"):
+            build_model("Q", cpu_only_set())
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(KeyError):
+            supports_feature_set("Z", cpu_only_set())

@@ -1,0 +1,136 @@
+"""Round-trip tests for model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    LinearPowerModel,
+    PiecewiseLinearPowerModel,
+    PlatformModel,
+    QuadraticPowerModel,
+    SwitchingPowerModel,
+    cluster_set,
+    load_platform_model,
+    model_from_payload,
+    model_to_payload,
+    platform_model_from_payload,
+    platform_model_to_payload,
+    save_platform_model,
+)
+
+NAMES = ["util", "freq"]
+
+
+@pytest.fixture
+def training_data():
+    rng = np.random.default_rng(29)
+    util = rng.uniform(0, 100, 800)
+    freq = np.round(rng.uniform(1000, 2000, 800) / 250) * 250
+    power = 25 + 0.15 * util * (freq / 2000) + rng.normal(0, 0.2, 800)
+    return np.column_stack([util, freq]), power
+
+
+def _roundtrip(model):
+    import json
+
+    payload = model_to_payload(model)
+    # Must survive a real JSON encode/decode cycle.
+    return model_from_payload(json.loads(json.dumps(payload)))
+
+
+class TestModelRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: LinearPowerModel(NAMES),
+            lambda: PiecewiseLinearPowerModel(NAMES),
+            lambda: QuadraticPowerModel(NAMES),
+            lambda: SwitchingPowerModel(NAMES, switch_feature="freq"),
+        ],
+        ids=["linear", "piecewise", "quadratic", "switching"],
+    )
+    def test_predictions_identical(self, factory, training_data):
+        design, power = training_data
+        model = factory().fit(design, power)
+        restored = _roundtrip(model)
+        probe = design[::7]
+        assert restored.predict(probe) == pytest.approx(
+            model.predict(probe)
+        )
+        assert restored.code == model.code
+        assert restored.feature_names == model.feature_names
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError, match="fitted"):
+            model_to_payload(LinearPowerModel(NAMES))
+
+    def test_bad_version_rejected(self, training_data):
+        design, power = training_data
+        payload = model_to_payload(LinearPowerModel(NAMES).fit(design, power))
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            model_from_payload(payload)
+
+    def test_unknown_code_rejected(self, training_data):
+        design, power = training_data
+        payload = model_to_payload(LinearPowerModel(NAMES).fit(design, power))
+        payload["code"] = "Z"
+        with pytest.raises(ValueError, match="unknown model code"):
+            model_from_payload(payload)
+
+
+class TestPlatformModelRoundTrip:
+    def test_payload_roundtrip(self, training_data):
+        design, power = training_data
+        model = QuadraticPowerModel(NAMES).fit(design, power)
+        platform_model = PlatformModel(
+            platform_key="core2",
+            model=model,
+            feature_set=cluster_set(tuple(NAMES)),
+        )
+        restored = platform_model_from_payload(
+            platform_model_to_payload(platform_model)
+        )
+        assert restored.platform_key == "core2"
+        assert restored.feature_set == platform_model.feature_set
+        assert restored.model.predict(design[:10]) == pytest.approx(
+            model.predict(design[:10])
+        )
+
+    def test_file_roundtrip(self, training_data, tmp_path):
+        design, power = training_data
+        model = LinearPowerModel(NAMES).fit(design, power)
+        platform_model = PlatformModel(
+            platform_key="atom",
+            model=model,
+            feature_set=cluster_set(tuple(NAMES)),
+        )
+        path = tmp_path / "model.json"
+        save_platform_model(platform_model, path)
+        restored = load_platform_model(path)
+        assert restored.model.predict(design[:5]) == pytest.approx(
+            model.predict(design[:5])
+        )
+
+    def test_trained_pipeline_model_roundtrips(self, tmp_path):
+        """The real thing: persist a CHAOS-trained platform model."""
+        from repro.framework import train_platform_model
+        from repro.platforms import ATOM
+        from repro.workloads import WordCountWorkload
+
+        trained = train_platform_model(
+            ATOM,
+            workloads={"wordcount": WordCountWorkload()},
+            n_machines=2,
+            n_runs=2,
+            seed=404,
+        )
+        path = tmp_path / "atom.json"
+        save_platform_model(trained.platform_model, path)
+        restored = load_platform_model(path)
+
+        run = trained.runs_by_workload["wordcount"][0]
+        log = run.logs[run.machine_ids[0]]
+        assert restored.predict_log(log) == pytest.approx(
+            trained.platform_model.predict_log(log)
+        )

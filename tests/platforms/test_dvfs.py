@@ -1,0 +1,93 @@
+"""Tests for the DVFS governors."""
+
+import numpy as np
+import pytest
+
+from repro.platforms import (
+    ATOM,
+    CORE2,
+    OPTERON,
+    XEON_SAS,
+    FrequencyGovernor,
+    core0_divergence_fraction,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+def _demand(n_cores, n_seconds, level, rng):
+    base = np.full((n_cores, n_seconds), level)
+    return np.clip(base + rng.normal(0, 0.05, base.shape), 0, 1)
+
+
+class TestFixedGovernor:
+    def test_atom_always_at_base_frequency(self, rng):
+        governor = FrequencyGovernor(ATOM)
+        demand = _demand(2, 100, 0.5, rng)
+        freqs = governor.assign(demand, rng)
+        assert np.all(freqs == 1.6)
+
+
+class TestChipWideGovernor:
+    def test_high_demand_reaches_top_state(self, rng):
+        governor = FrequencyGovernor(CORE2)
+        freqs = governor.assign(_demand(2, 200, 0.95, rng), rng)
+        assert np.median(freqs) == CORE2.max_freq_ghz
+
+    def test_low_demand_stays_at_low_state(self, rng):
+        governor = FrequencyGovernor(CORE2)
+        freqs = governor.assign(_demand(2, 200, 0.1, rng), rng)
+        assert np.median(freqs) <= CORE2.freq_states_ghz[1]
+        assert np.all(freqs >= CORE2.min_freq_ghz)
+
+    def test_cores_agree_almost_always(self, rng):
+        governor = FrequencyGovernor(CORE2)
+        freqs = governor.assign(_demand(2, 5000, 0.6, rng), rng)
+        divergence = core0_divergence_fraction(freqs)
+        assert divergence < 0.02
+
+    def test_never_reports_zero_frequency(self, rng):
+        governor = FrequencyGovernor(CORE2)
+        freqs = governor.assign(_demand(2, 100, 0.0, rng), rng)
+        assert np.all(freqs > 0)
+
+
+class TestPerCoreGovernor:
+    def test_c1_when_all_idle(self, rng):
+        governor = FrequencyGovernor(OPTERON)
+        demand = np.full((8, 50), 0.01)
+        freqs = governor.assign(demand, rng)
+        assert np.all(freqs == 0.0)
+
+    def test_divergence_rate_near_spec(self, rng):
+        governor = FrequencyGovernor(XEON_SAS)
+        demand = _demand(8, 8000, 0.6, rng)
+        freqs = governor.assign(demand, rng)
+        divergence = core0_divergence_fraction(freqs)
+        # Nominal 20%; some divergent draws are invisible at range edges.
+        assert 0.05 < divergence < 0.30
+
+    def test_busy_cores_never_in_c1(self, rng):
+        governor = FrequencyGovernor(OPTERON)
+        demand = _demand(8, 200, 0.7, rng)
+        freqs = governor.assign(demand, rng)
+        assert np.all(freqs > 0)
+
+
+class TestValidation:
+    def test_wrong_core_count_rejected(self, rng):
+        governor = FrequencyGovernor(OPTERON)
+        with pytest.raises(ValueError, match="cores"):
+            governor.assign(np.zeros((2, 10)), rng)
+
+    def test_wrong_rank_rejected(self, rng):
+        governor = FrequencyGovernor(ATOM)
+        with pytest.raises(ValueError, match="n_cores"):
+            governor.assign(np.zeros(10), rng)
+
+    def test_divergence_helper_validates_input(self):
+        with pytest.raises(ValueError):
+            core0_divergence_fraction(np.zeros((1, 10)))

@@ -1,0 +1,113 @@
+"""Tests for ground-truth power synthesis and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.activity import idle_activity
+from repro.platforms import (
+    ALL_PLATFORMS,
+    CORE2,
+    OPTERON,
+    IDENTITY_VARIATION,
+    PowerSynthesizer,
+    PSUCurve,
+    SimulatedMachine,
+    draw_variation,
+)
+from repro.platforms.power import _full_activity
+
+
+class TestPSUCurve:
+    def test_efficiency_peaks_at_optimal_load(self):
+        curve = PSUCurve()
+        loads = np.linspace(0, 1, 101)
+        efficiency = curve.efficiency(loads)
+        peak_load = loads[np.argmax(efficiency)]
+        assert peak_load == pytest.approx(curve.optimal_load, abs=0.02)
+
+    def test_efficiency_bounded(self):
+        curve = PSUCurve()
+        efficiency = curve.efficiency(np.linspace(0, 1.2, 50))
+        assert np.all(efficiency >= curve.floor)
+        assert np.all(efficiency <= 1.0)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("spec", ALL_PLATFORMS, ids=lambda s: s.key)
+    def test_nominal_machine_hits_table1_range(self, spec):
+        synthesizer = PowerSynthesizer(spec, IDENTITY_VARIATION)
+        idle = idle_activity(spec.n_cores, 10, idle_freq_ghz=spec.idle_freq_ghz)
+        full = _full_activity(spec, 10)
+        idle_power = float(np.mean(synthesizer.true_power(idle)))
+        full_power = float(np.mean(synthesizer.true_power(full)))
+        assert idle_power == pytest.approx(spec.idle_power_w, rel=0.02)
+        assert full_power == pytest.approx(spec.max_power_w, rel=0.02)
+
+    def test_power_monotone_in_cpu_activity(self):
+        spec = CORE2
+        synthesizer = PowerSynthesizer(spec, IDENTITY_VARIATION)
+        powers = []
+        for util in (0.2, 0.5, 0.9):
+            activity = idle_activity(spec.n_cores, 10, spec.max_freq_ghz)
+            activity.core_util[:] = util
+            powers.append(float(np.mean(synthesizer.true_power(activity))))
+        assert powers[0] < powers[1] < powers[2]
+
+    def test_power_nonlinear_in_frequency(self):
+        """Power at half frequency is well below half of the dynamic cost.
+
+        u * f * V(f)^2 means the frequency axis is superlinear — this is
+        the nonlinearity that defeats linear models on DVFS platforms.
+        """
+        spec = CORE2
+        synthesizer = PowerSynthesizer(spec, IDENTITY_VARIATION)
+
+        def power_at(freq):
+            activity = idle_activity(spec.n_cores, 10, freq)
+            activity.core_util[:] = 1.0
+            activity.core_freq_ghz[:] = freq
+            return float(np.mean(synthesizer.true_power(activity)))
+
+        low = power_at(spec.min_freq_ghz)   # half of max frequency
+        high = power_at(spec.max_freq_ghz)
+        idle = spec.idle_power_w
+        assert (low - idle) < 0.45 * (high - idle)
+
+
+class TestVariation:
+    def test_different_machines_have_different_power(self):
+        machines = [SimulatedMachine.build(OPTERON, i, seed=9) for i in range(5)]
+        idle = idle_activity(OPTERON.n_cores, 10, OPTERON.idle_freq_ghz)
+        idle_powers = [float(np.mean(m.true_power(idle))) for m in machines]
+        assert np.std(idle_powers) > 0.1
+        spread = (max(idle_powers) - min(idle_powers)) / np.mean(idle_powers)
+        assert spread < 0.15  # bounded, as in the paper (<= ~10%)
+
+    def test_machine_identity_is_deterministic(self):
+        a = SimulatedMachine.build(CORE2, 3, seed=11)
+        b = SimulatedMachine.build(CORE2, 3, seed=11)
+        assert a.variation == b.variation
+
+    def test_variation_draw_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            variation = draw_variation(rng)
+            for factor in variation.component_factors().values():
+                assert 0.9 < factor < 1.1
+
+
+class TestNoise:
+    def test_rng_adds_noise(self):
+        synthesizer = PowerSynthesizer(CORE2, IDENTITY_VARIATION)
+        activity = idle_activity(CORE2.n_cores, 500, CORE2.min_freq_ghz)
+        clean = synthesizer.true_power(activity)
+        noisy = synthesizer.true_power(activity, rng=np.random.default_rng(1))
+        assert np.std(noisy - clean) > 0.01
+        # Noise is a small fraction of the dynamic range.
+        assert np.std(noisy - clean) < 0.05 * CORE2.dynamic_range_w
+
+    def test_power_never_negative(self):
+        synthesizer = PowerSynthesizer(CORE2, IDENTITY_VARIATION)
+        activity = idle_activity(CORE2.n_cores, 100, CORE2.min_freq_ghz)
+        power = synthesizer.true_power(activity, rng=np.random.default_rng(2))
+        assert np.all(power >= 0.0)

@@ -1,0 +1,85 @@
+"""Tests for the Table I platform specifications."""
+
+import pytest
+
+from repro.platforms import (
+    ALL_PLATFORMS,
+    ATOM,
+    CORE2,
+    OPTERON,
+    XEON_SAS,
+    XEON_SATA,
+    DVFSMode,
+    DiskKind,
+    SystemClass,
+    get_platform,
+)
+
+
+class TestTableI:
+    def test_six_platforms(self):
+        assert len(ALL_PLATFORMS) == 6
+
+    def test_power_ranges_match_table1(self):
+        expected = {
+            "atom": (22.0, 26.0),
+            "core2": (25.0, 46.0),
+            "athlon": (54.0, 104.0),
+            "opteron": (135.0, 190.0),
+            "xeon_sata": (250.0, 375.0),
+            "xeon_sas": (260.0, 380.0),
+        }
+        for platform in ALL_PLATFORMS:
+            idle, peak = expected[platform.key]
+            assert platform.idle_power_w == idle
+            assert platform.max_power_w == peak
+
+    def test_core_counts(self):
+        assert ATOM.n_cores == 2
+        assert CORE2.n_cores == 2
+        assert OPTERON.n_cores == 8
+        assert XEON_SATA.n_cores == 8
+
+    def test_disk_configurations(self):
+        assert ATOM.n_disks == 1 and ATOM.disks[0].kind is DiskKind.SSD
+        assert OPTERON.n_disks == 2
+        assert XEON_SATA.n_disks == 4
+        assert XEON_SAS.n_disks == 6
+        assert XEON_SAS.disks[0].kind is DiskKind.SAS_15K
+
+    def test_dvfs_modes_match_section3(self):
+        assert ATOM.dvfs_mode is DVFSMode.NONE
+        assert CORE2.dvfs_mode is DVFSMode.CHIP_WIDE
+        assert OPTERON.dvfs_mode is DVFSMode.PER_CORE
+        assert OPTERON.supports_c1
+        assert not CORE2.supports_c1
+
+    def test_divergence_rates(self):
+        assert OPTERON.core_freq_divergence == pytest.approx(0.12)
+        assert XEON_SATA.core_freq_divergence == pytest.approx(0.20)
+        assert CORE2.core_freq_divergence == pytest.approx(0.002)
+
+    def test_system_classes(self):
+        assert ATOM.system_class is SystemClass.EMBEDDED
+        assert CORE2.system_class is SystemClass.MOBILE
+
+    def test_atom_has_smallest_dynamic_range(self):
+        ranges = {p.key: p.dynamic_range_w for p in ALL_PLATFORMS}
+        assert min(ranges, key=ranges.get) == "atom"
+
+    def test_budget_below_dynamic_range_headroom(self):
+        # Budgets are pre-calibration weights; they should roughly fill the
+        # dynamic range (calibration fixes the exact endpoints).
+        for platform in ALL_PLATFORMS:
+            assert 0.5 * platform.dynamic_range_w < platform.budget.total_w
+            assert platform.budget.total_w < 1.5 * platform.dynamic_range_w
+
+    def test_get_platform_lookup(self):
+        assert get_platform("opteron") is OPTERON
+        with pytest.raises(KeyError, match="unknown platform"):
+            get_platform("sparc")
+
+    def test_idle_frequency(self):
+        assert OPTERON.idle_freq_ghz == 0.0
+        assert CORE2.idle_freq_ghz == CORE2.min_freq_ghz
+        assert ATOM.idle_freq_ghz == pytest.approx(1.6)

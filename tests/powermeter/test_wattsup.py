@@ -1,0 +1,46 @@
+"""Tests for the WattsUp Pro meter simulation."""
+
+import numpy as np
+import pytest
+
+from repro.powermeter import METER_ACCURACY, QUANTIZATION_W, WattsUpPro
+
+
+class TestWattsUpPro:
+    def test_gain_within_rated_accuracy(self):
+        gains = [
+            WattsUpPro.build(index, seed=5).gain for index in range(100)
+        ]
+        assert all(abs(g - 1.0) <= METER_ACCURACY + 1e-9 for g in gains)
+        assert np.std(gains) > 0.001  # meters genuinely differ
+
+    def test_deterministic_manufacture(self):
+        assert WattsUpPro.build(3, seed=9) == WattsUpPro.build(3, seed=9)
+        assert WattsUpPro.build(3, seed=9) != WattsUpPro.build(4, seed=9)
+
+    def test_quantization(self):
+        meter = WattsUpPro(gain=1.0, sample_noise_frac=0.0)
+        readings = meter.sample(
+            np.array([25.123, 46.078]), np.random.default_rng(0)
+        )
+        remainder = np.abs(readings / QUANTIZATION_W
+                           - np.round(readings / QUANTIZATION_W))
+        assert np.all(remainder < 1e-9)
+
+    def test_readings_track_truth(self):
+        meter = WattsUpPro.build(0, seed=1)
+        truth = np.linspace(25.0, 46.0, 500)
+        readings = meter.sample(truth, np.random.default_rng(2))
+        relative = np.abs(readings - truth) / truth
+        assert np.median(relative) < 0.02
+
+    def test_gain_is_systematic(self):
+        meter = WattsUpPro(gain=1.01, sample_noise_frac=0.0)
+        truth = np.full(100, 100.0)
+        readings = meter.sample(truth, np.random.default_rng(0))
+        assert np.mean(readings) == pytest.approx(101.0, abs=0.06)
+
+    def test_negative_power_rejected(self):
+        meter = WattsUpPro.build(0, seed=1)
+        with pytest.raises(ValueError, match="nonnegative"):
+            meter.sample(np.array([-1.0]), np.random.default_rng(0))

@@ -1,0 +1,68 @@
+"""Tests for hinge basis functions."""
+
+import numpy as np
+import pytest
+
+from repro.regression import BasisFunction, Hinge, evaluate_bases
+from repro.regression.hinge import INTERCEPT_BASIS
+
+
+class TestHinge:
+    def test_positive_hinge(self):
+        hinge = Hinge(feature=0, knot=2.0, sign=+1)
+        design = np.array([[1.0], [2.0], [3.5]])
+        assert hinge.evaluate(design) == pytest.approx([0.0, 0.0, 1.5])
+
+    def test_negative_hinge(self):
+        hinge = Hinge(feature=0, knot=2.0, sign=-1)
+        design = np.array([[1.0], [2.0], [3.5]])
+        assert hinge.evaluate(design) == pytest.approx([1.0, 0.0, 0.0])
+
+    def test_linear_identity(self):
+        hinge = Hinge(feature=1, knot=0.0, sign=0)
+        design = np.array([[0.0, 5.0], [0.0, -2.0]])
+        assert hinge.evaluate(design) == pytest.approx([5.0, -2.0])
+
+    def test_reflected_pair_sums_to_absolute_deviation(self):
+        rng = np.random.default_rng(0)
+        design = rng.normal(size=(100, 1))
+        plus = Hinge(0, 0.3, +1).evaluate(design)
+        minus = Hinge(0, 0.3, -1).evaluate(design)
+        assert plus + minus == pytest.approx(np.abs(design[:, 0] - 0.3))
+        assert plus - minus == pytest.approx(design[:, 0] - 0.3)
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(ValueError):
+            Hinge(feature=0, knot=0.0, sign=2)
+
+    def test_describe(self):
+        assert "max(" in Hinge(0, 1.0, +1).describe()
+        assert Hinge(0, 0.0, 0).describe(["cpu"]) == "cpu"
+
+
+class TestBasisFunction:
+    def test_intercept_is_ones(self):
+        design = np.zeros((5, 2))
+        assert INTERCEPT_BASIS.evaluate(design) == pytest.approx(np.ones(5))
+        assert INTERCEPT_BASIS.degree == 0
+
+    def test_product_of_hinges(self):
+        basis = BasisFunction(
+            (Hinge(0, 1.0, +1), Hinge(1, 0.0, -1))
+        )
+        design = np.array([[2.0, -3.0], [0.5, -3.0], [2.0, 1.0]])
+        assert basis.evaluate(design) == pytest.approx([3.0, 0.0, 0.0])
+        assert basis.degree == 2
+        assert basis.features == {0, 1}
+
+    def test_extended_rejects_repeated_feature(self):
+        basis = BasisFunction((Hinge(0, 1.0, +1),))
+        with pytest.raises(ValueError, match="already involves"):
+            basis.extended(Hinge(0, 2.0, -1))
+
+    def test_evaluate_bases_shapes(self):
+        design = np.random.default_rng(0).normal(size=(10, 2))
+        bases = [INTERCEPT_BASIS, BasisFunction((Hinge(0, 0.0, +1),))]
+        matrix = evaluate_bases(bases, design)
+        assert matrix.shape == (10, 2)
+        assert evaluate_bases([], design).shape == (10, 0)

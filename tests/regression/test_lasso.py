@@ -1,0 +1,90 @@
+"""Tests for the coordinate-descent lasso."""
+
+import numpy as np
+import pytest
+
+from repro.regression import fit_lasso, fit_lasso_path, max_alpha, soft_threshold
+
+
+@pytest.fixture
+def sparse_problem():
+    rng = np.random.default_rng(3)
+    design = rng.normal(size=(400, 25))
+    beta = np.zeros(25)
+    beta[[1, 8, 17]] = [3.0, -2.0, 1.5]
+    response = design @ beta + rng.normal(0, 0.1, 400)
+    return design, response, beta
+
+
+class TestSoftThreshold:
+    @pytest.mark.parametrize(
+        "value,threshold,expected",
+        [(5.0, 2.0, 3.0), (-5.0, 2.0, -3.0), (1.0, 2.0, 0.0), (-1.5, 2.0, 0.0)],
+    )
+    def test_cases(self, value, threshold, expected):
+        assert soft_threshold(value, threshold) == expected
+
+
+class TestFitLasso:
+    def test_zero_alpha_matches_least_squares(self, sparse_problem):
+        design, response, beta = sparse_problem
+        fit = fit_lasso(design, response, alpha=0.0)
+        assert fit.coefficients == pytest.approx(beta, abs=0.05)
+
+    def test_alpha_above_max_zeroes_everything(self, sparse_problem):
+        design, response, _ = sparse_problem
+        top = max_alpha(design, response)
+        fit = fit_lasso(design, response, alpha=top * 1.01)
+        assert np.all(fit.coefficients == 0.0)
+        assert fit.intercept == pytest.approx(float(np.mean(response)))
+
+    def test_moderate_alpha_recovers_support(self, sparse_problem):
+        design, response, _ = sparse_problem
+        fit = fit_lasso(design, response, alpha=0.05)
+        assert set(fit.selected.tolist()) == {1, 8, 17}
+
+    def test_shrinkage_is_monotone_in_alpha(self, sparse_problem):
+        design, response, _ = sparse_problem
+        norms = [
+            np.abs(fit_lasso(design, response, alpha=a).coefficients).sum()
+            for a in (0.01, 0.1, 0.5)
+        ]
+        assert norms[0] > norms[1] > norms[2]
+
+    def test_constant_column_never_selected(self):
+        rng = np.random.default_rng(0)
+        design = np.hstack([rng.normal(size=(100, 2)), np.ones((100, 1))])
+        response = design[:, 0] * 2.0
+        fit = fit_lasso(design, response, alpha=0.01)
+        assert 2 not in fit.selected
+
+    def test_negative_alpha_rejected(self, sparse_problem):
+        design, response, _ = sparse_problem
+        with pytest.raises(ValueError):
+            fit_lasso(design, response, alpha=-1.0)
+
+    def test_converged_flag(self, sparse_problem):
+        design, response, _ = sparse_problem
+        assert fit_lasso(design, response, alpha=0.05).converged
+
+
+class TestLassoPath:
+    def test_path_selects_true_support(self, sparse_problem):
+        """BIC screening must keep the true support; a stray small extra is
+        acceptable (stepwise elimination cleans those up in Algorithm 1)."""
+        design, response, _ = sparse_problem
+        result = fit_lasso_path(design, response)
+        selected = set(result.best.selected.tolist())
+        assert {1, 8, 17} <= selected
+        assert len(selected) <= 6
+
+    def test_max_features_cap_respected(self, sparse_problem):
+        design, response, _ = sparse_problem
+        result = fit_lasso_path(design, response, max_features=2)
+        assert len(result.best.selected) <= 2
+
+    def test_degenerate_constant_response(self):
+        design = np.random.default_rng(1).normal(size=(50, 3))
+        result = fit_lasso_path(design, np.full(50, 7.0))
+        assert np.all(result.best.coefficients == 0.0)
+        assert result.best.intercept == pytest.approx(7.0)

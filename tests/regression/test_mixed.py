@@ -1,0 +1,109 @@
+"""Tests for random-intercept models and the pooling-suitability test."""
+
+import numpy as np
+import pytest
+
+from repro.regression import (
+    fit_ols,
+    fit_random_intercept,
+    pooling_suitability,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(23)
+
+
+def _grouped_problem(rng, intercept_spread, n_groups=5, n_per=200):
+    design = rng.normal(size=(n_groups * n_per, 2))
+    groups = np.repeat(np.arange(n_groups), n_per)
+    offsets = rng.normal(0.0, intercept_spread, n_groups)
+    response = (
+        100.0
+        + offsets[groups]
+        + design @ np.array([3.0, -1.5])
+        + rng.normal(0, 0.5, n_groups * n_per)
+    )
+    return design, response, groups, offsets
+
+
+class TestFitRandomIntercept:
+    def test_recovers_shared_slopes(self, rng):
+        design, response, groups, _ = _grouped_problem(rng, 2.0)
+        fit = fit_random_intercept(design, response, groups)
+        assert fit.slopes == pytest.approx([3.0, -1.5], abs=0.05)
+
+    def test_recovers_group_offsets(self, rng):
+        design, response, groups, offsets = _grouped_problem(rng, 2.0)
+        fit = fit_random_intercept(design, response, groups)
+        recovered = np.array(
+            [fit.group_intercepts[g] for g in range(5)]
+        )
+        centered = recovered - recovered.mean()
+        assert centered == pytest.approx(
+            offsets - offsets.mean(), abs=0.15
+        )
+
+    def test_predict_known_and_unknown_groups(self, rng):
+        design, response, groups, _ = _grouped_problem(rng, 2.0)
+        fit = fit_random_intercept(design, response, groups)
+        known = fit.predict(design[:5], groups[:5])
+        assert np.all(np.isfinite(known))
+        unknown = fit.predict(design[:1], np.array([999]))
+        assert unknown[0] == pytest.approx(
+            fit.grand_intercept + design[0] @ fit.slopes
+        )
+
+    def test_length_validation(self, rng):
+        with pytest.raises(ValueError, match="lengths"):
+            fit_random_intercept(np.zeros((5, 1)), np.zeros(5), np.zeros(4))
+
+
+class TestPoolingSuitability:
+    def test_small_offsets_mean_pooling_is_fine(self, rng):
+        design, response, groups, _ = _grouped_problem(rng, 0.05)
+        result = pooling_suitability(design, response, groups)
+        assert result.pooling_is_suitable()
+        assert result.variance_ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_huge_offsets_mean_pooling_loses(self, rng):
+        design, response, groups, _ = _grouped_problem(rng, 10.0)
+        result = pooling_suitability(design, response, groups)
+        assert not result.pooling_is_suitable()
+        assert result.variance_ratio < 0.2
+        assert result.rmse_inflation > 2.0
+        assert result.intercept_spread_w > 3.0
+
+    def test_paper_regime_on_simulated_cluster(self):
+        """The simulated machine variation is small enough that pooling is
+        suitable — the paper's Section IV conclusion."""
+        from repro.cluster import Cluster, execute_runs
+        from repro.models import cluster_set, pool_features
+        from repro.models.featuresets import (
+            CPU_UTILIZATION_COUNTER,
+            FREQUENCY_COUNTER,
+        )
+        from repro.platforms import CORE2
+        from repro.workloads import SortWorkload
+
+        cluster = Cluster.homogeneous(CORE2, seed=91)
+        runs = execute_runs(cluster, SortWorkload(), n_runs=2)
+        fs = cluster_set((CPU_UTILIZATION_COUNTER, FREQUENCY_COUNTER))
+        designs, powers, groups = [], [], []
+        for run in runs:
+            for machine_id in run.machine_ids:
+                log = run.logs[machine_id]
+                matrix = fs.extract(log)
+                designs.append(matrix)
+                powers.append(log.power_w)
+                groups.extend([machine_id] * log.n_seconds)
+        design = np.vstack(designs)
+        power = np.concatenate(powers)
+        result = pooling_suitability(design, power, np.array(groups))
+        assert result.pooling_is_suitable()
+
+    def test_pooled_variance_at_least_mixed(self, rng):
+        design, response, groups, _ = _grouped_problem(rng, 1.0)
+        result = pooling_suitability(design, response, groups)
+        assert result.pooled_variance >= result.mixed_variance * 0.99

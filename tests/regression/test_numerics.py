@@ -1,0 +1,133 @@
+"""Deeper numerical tests for the regression toolkit.
+
+These go past behavioral smoke tests: statistical calibration of the OLS
+inference, structural guarantees of MARS pruning, and the lasso path's
+sparsity monotonicity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.regression import (
+    fit_lasso,
+    fit_mars,
+    fit_ols,
+)
+from repro.regression.mars import _gcv
+
+
+class TestOLSCalibration:
+    def test_wald_test_false_positive_rate(self):
+        """Under the null (pure-noise feature), p < 0.05 should occur in
+        roughly 5% of repetitions — the property stepwise elimination's
+        significance level relies on."""
+        rng = np.random.default_rng(97)
+        rejections = 0
+        trials = 400
+        for _ in range(trials):
+            design = rng.normal(size=(60, 2))
+            response = 1.0 + 2.0 * design[:, 0] + rng.normal(0, 1.0, 60)
+            fit = fit_ols(design, response)
+            if fit.p_values[2] < 0.05:  # feature 1 is pure noise
+                rejections += 1
+        rate = rejections / trials
+        assert 0.02 < rate < 0.09
+
+    def test_standard_errors_match_sampling_spread(self):
+        """The reported SE should approximate the empirical spread of the
+        coefficient across resampled datasets."""
+        rng = np.random.default_rng(98)
+        design = rng.normal(size=(200, 1))
+        estimates = []
+        reported = []
+        for _ in range(200):
+            response = 2.0 * design[:, 0] + rng.normal(0, 1.0, 200)
+            fit = fit_ols(design, response)
+            estimates.append(fit.slopes[0])
+            reported.append(fit.standard_errors[1])
+        empirical = float(np.std(estimates))
+        mean_reported = float(np.mean(reported))
+        assert mean_reported == pytest.approx(empirical, rel=0.2)
+
+    def test_r_squared_bounds(self):
+        rng = np.random.default_rng(99)
+        design = rng.normal(size=(100, 3))
+        response = rng.normal(size=100)
+        fit = fit_ols(design, response)
+        assert 0.0 <= fit.r_squared <= 1.0
+
+
+class TestMARSStructure:
+    def test_backward_pass_prunes_noise_terms(self):
+        """A pure-linear truth plus noise: the forward pass may grow
+        hinges, but GCV pruning should shed most of them."""
+        rng = np.random.default_rng(100)
+        x = rng.uniform(0, 1, size=(400, 1))
+        y = 2.0 * x[:, 0] + rng.normal(0, 0.3, 400)
+        model = fit_mars(x, y, max_degree=1, max_terms=17)
+        assert model.n_terms <= 9
+
+    def test_gcv_penalizes_size(self):
+        assert _gcv(10.0, 100, 3, penalty=3.0) < _gcv(10.0, 100, 9, penalty=3.0)
+
+    def test_gcv_infinite_when_overparameterized(self):
+        assert _gcv(1.0, 10, 10, penalty=3.0) == np.inf
+
+    def test_knots_lie_within_data_range(self):
+        rng = np.random.default_rng(101)
+        x = rng.uniform(-5, 5, size=(300, 2))
+        y = np.abs(x[:, 0]) + rng.normal(0, 0.05, 300)
+        model = fit_mars(x, y, max_degree=1)
+        for knot in model.knots:
+            assert -5.0 <= knot <= 5.0
+
+    def test_prediction_continuous_at_knots(self):
+        """Piecewise-linear models are continuous (Section IV-B contrasts
+        this with the switching model's discontinuities)."""
+        rng = np.random.default_rng(102)
+        x = rng.uniform(0, 1, size=(500, 1))
+        y = 3.0 * np.maximum(x[:, 0] - 0.5, 0) + rng.normal(0, 0.02, 500)
+        model = fit_mars(x, y, max_degree=1)
+        for knot in model.knots:
+            left = model.predict(np.array([[knot - 1e-9]]))[0]
+            right = model.predict(np.array([[knot + 1e-9]]))[0]
+            assert left == pytest.approx(right, abs=1e-6)
+
+
+class TestLassoPathStructure:
+    def test_sparsity_monotone_in_alpha(self):
+        rng = np.random.default_rng(103)
+        design = rng.normal(size=(200, 15))
+        beta = np.zeros(15)
+        beta[:5] = rng.uniform(1, 3, 5)
+        response = design @ beta + rng.normal(0, 0.3, 200)
+        sizes = []
+        for alpha in (0.001, 0.01, 0.1, 1.0):
+            fit = fit_lasso(design, response, alpha=alpha)
+            sizes.append(int(np.count_nonzero(fit.coefficients)))
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_kkt_conditions_at_solution(self):
+        """At the optimum, active coordinates satisfy the stationarity
+        condition and inactive ones the subgradient bound."""
+        rng = np.random.default_rng(104)
+        design = rng.normal(size=(300, 8))
+        response = design[:, 0] * 2.0 + rng.normal(0, 0.2, 300)
+        alpha = 0.05
+        fit = fit_lasso(design, response, alpha=alpha)
+
+        # Reconstruct the standardized problem the solver worked on.
+        mean = design.mean(axis=0)
+        scale = design.std(axis=0)
+        z = (design - mean) / scale
+        y_centered = response - response.mean()
+        beta_std = fit.coefficients * scale
+        residual = y_centered - z @ beta_std
+        gradient = z.T @ residual / response.size
+        for j in range(8):
+            if beta_std[j] != 0:
+                assert gradient[j] == pytest.approx(
+                    alpha * np.sign(beta_std[j]), abs=1e-5
+                )
+            else:
+                assert abs(gradient[j]) <= alpha + 1e-5

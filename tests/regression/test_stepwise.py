@@ -1,0 +1,59 @@
+"""Tests for Wald-test backward elimination."""
+
+import numpy as np
+import pytest
+
+from repro.regression import backward_eliminate
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestBackwardEliminate:
+    def test_keeps_informative_drops_noise(self, rng):
+        design = rng.normal(size=(500, 6))
+        response = 2.0 * design[:, 0] - 1.0 * design[:, 3] + rng.normal(0, 0.5, 500)
+        result = backward_eliminate(design, response)
+        assert set(result.selected) == {0, 3}
+        assert set(result.eliminated) == {1, 2, 4, 5}
+
+    def test_all_significant_removes_nothing(self, rng):
+        design = rng.normal(size=(300, 3))
+        response = design @ np.array([1.0, 1.0, 1.0]) + rng.normal(0, 0.1, 300)
+        result = backward_eliminate(design, response)
+        assert set(result.selected) == {0, 1, 2}
+        assert result.eliminated == ()
+
+    def test_min_features_floor(self, rng):
+        design = rng.normal(size=(200, 4))
+        response = rng.normal(size=200)  # nothing is informative
+        result = backward_eliminate(design, response, min_features=2)
+        assert len(result.selected) == 2
+
+    def test_final_fit_uses_selected_features(self, rng):
+        design = rng.normal(size=(300, 5))
+        response = 3.0 * design[:, 2] + rng.normal(0, 0.2, 300)
+        result = backward_eliminate(design, response)
+        assert result.fit.coefficients.size == len(result.selected) + 1
+
+    def test_history_records_removals_in_order(self, rng):
+        design = rng.normal(size=(300, 4))
+        response = 2.0 * design[:, 0] + rng.normal(0, 0.3, 300)
+        result = backward_eliminate(design, response)
+        removed_indices = [index for index, _ in result.history]
+        assert removed_indices == list(result.eliminated)
+        for _, p_value in result.history:
+            assert p_value > 0.05
+
+    def test_empty_design_rejected(self):
+        with pytest.raises(ValueError, match="no features"):
+            backward_eliminate(np.empty((10, 0)), np.zeros(10))
+
+    def test_collinear_features_pruned(self, rng):
+        base = rng.normal(size=(300, 1))
+        design = np.hstack([base, base * 2.0 + rng.normal(0, 1e-9, (300, 1))])
+        response = base.ravel() + rng.normal(0, 0.1, 300)
+        result = backward_eliminate(design, response)
+        assert len(result.selected) == 1

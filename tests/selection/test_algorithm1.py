@@ -1,0 +1,86 @@
+"""Integration tests for Algorithm 1 end to end.
+
+These run the full six-step pipeline on a small cluster; they are the
+slowest unit-level tests in the suite (a few seconds each).
+"""
+
+import pytest
+
+from repro.cluster import Cluster, execute_runs
+from repro.models.featuresets import CPU_UTILIZATION_COUNTER, FREQUENCY_COUNTER
+from repro.platforms import ATOM, CORE2
+from repro.selection import SelectionConfig, run_algorithm1
+from repro.workloads import PrimeWorkload, SortWorkload
+
+
+@pytest.fixture(scope="module")
+def core2_result():
+    cluster = Cluster.homogeneous(CORE2, n_machines=3, seed=31)
+    runs_by_workload = {
+        "sort": execute_runs(cluster, SortWorkload(), n_runs=3),
+        "prime": execute_runs(cluster, PrimeWorkload(), n_runs=3),
+    }
+    return cluster, run_algorithm1(cluster, runs_by_workload)
+
+
+class TestAlgorithm1:
+    def test_reduces_to_10_20_features(self, core2_result):
+        _, result = core2_result
+        assert 3 <= len(result.selected) <= 20
+
+    def test_step1_removes_a_meaningful_chunk(self, core2_result):
+        cluster, result = core2_result
+        total = len(cluster.catalogs["core2"].names)
+        survivors = len(result.step1_survivors)
+        assert survivors < total * 0.85
+        assert survivors > 30
+
+    def test_cpu_utilization_always_selected(self, core2_result):
+        _, result = core2_result
+        assert CPU_UTILIZATION_COUNTER in result.selected
+
+    def test_frequency_selected_on_dvfs_platform(self, core2_result):
+        _, result = core2_result
+        assert FREQUENCY_COUNTER in result.selected
+
+    def test_histogram_covers_selected(self, core2_result):
+        _, result = core2_result
+        for name in result.selected:
+            assert result.histogram[name] >= result.pooled.effective_threshold
+
+    def test_machine_selections_per_pair(self, core2_result):
+        _, result = core2_result
+        # 3 machines x 2 workloads.
+        assert len(result.machine_selections) == 6
+
+    def test_selected_survive_steps_1_and_2(self, core2_result):
+        _, result = core2_result
+        survivors = set(result.step2.kept)
+        assert set(result.selected) <= survivors
+
+    def test_requires_runs(self, core2_result):
+        cluster, _ = core2_result
+        with pytest.raises(ValueError, match="at least one workload"):
+            run_algorithm1(cluster, {})
+
+    def test_heterogeneous_requires_platform_key(self):
+        from repro.platforms import OPTERON
+
+        mixed = Cluster.heterogeneous([(CORE2, 2), (OPTERON, 2)], seed=5)
+        with pytest.raises(ValueError, match="platform_key"):
+            run_algorithm1(mixed, {"sort": []})
+
+
+class TestAtomSelection:
+    def test_atom_needs_fewer_features(self):
+        """No DVFS and a tiny dynamic range: the Atom model is simple."""
+        cluster = Cluster.homogeneous(ATOM, n_machines=3, seed=31)
+        runs_by_workload = {
+            "sort": execute_runs(cluster, SortWorkload(), n_runs=3),
+        }
+        result = run_algorithm1(
+            cluster, runs_by_workload, config=SelectionConfig()
+        )
+        assert CPU_UTILIZATION_COUNTER in result.selected
+        # Frequency is constant on the Atom and must never be selected.
+        assert FREQUENCY_COUNTER not in result.selected

@@ -1,0 +1,56 @@
+"""Tests for step 2: co-dependence elimination."""
+
+import numpy as np
+import pytest
+
+from repro.counters import CounterCatalog, CounterCategory, CounterDefinition
+from repro.platforms import CORE2
+from repro.selection import eliminate_codependent
+
+
+def _definition(name, sum_of=None):
+    return CounterDefinition(
+        name, CounterCategory.SYSTEM, lambda ctx: np.zeros(1), sum_of=sum_of
+    )
+
+
+@pytest.fixture
+def catalog():
+    catalog = CounterCatalog(spec=CORE2)
+    catalog.add(_definition("b"))
+    catalog.add(_definition("c"))
+    catalog.add(_definition("a", sum_of=("b", "c")))
+    catalog.add(_definition("x"))
+    return catalog
+
+
+class TestEliminateCodependent:
+    def test_removes_sum_and_one_addend(self, catalog):
+        result = eliminate_codependent(["b", "c", "a", "x"], catalog)
+        assert set(result.removed) == {"a", "b"}
+        assert result.kept == ("c", "x")
+
+    def test_sum_absent_means_no_action(self, catalog):
+        result = eliminate_codependent(["b", "c", "x"], catalog)
+        assert result.removed == ()
+        assert result.kept == ("b", "c", "x")
+
+    def test_only_one_addend_left_keeps_sum_removal_only(self, catalog):
+        # 'b' was already pruned (e.g. by step 1): the sum is still
+        # removed, but 'c' must survive since a+c is not redundant.
+        result = eliminate_codependent(["c", "a", "x"], catalog)
+        assert result.removed == ("a",)
+        assert result.kept == ("c", "x")
+
+    def test_order_preserved(self, catalog):
+        result = eliminate_codependent(["x", "c", "b", "a"], catalog)
+        assert result.kept == ("x", "c")
+
+    def test_real_catalog_triples(self):
+        from repro.counters import build_catalog
+
+        catalog = build_catalog(CORE2)
+        result = eliminate_codependent(list(catalog.names), catalog)
+        # Every registered sum must be gone.
+        for total, _, _ in catalog.codependent_triples:
+            assert total not in result.kept

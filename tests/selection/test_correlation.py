@@ -1,0 +1,74 @@
+"""Tests for step 1: correlation pruning."""
+
+import numpy as np
+import pytest
+
+from repro.selection import correlation_matrix, prune_correlated
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(8)
+
+
+class TestCorrelationMatrix:
+    def test_diagonal_is_one(self, rng):
+        corr = correlation_matrix(rng.normal(size=(100, 4)))
+        assert np.diag(corr) == pytest.approx(np.ones(4))
+
+    def test_constant_column_correlates_with_nothing(self, rng):
+        design = np.hstack([rng.normal(size=(50, 2)), np.ones((50, 1))])
+        corr = correlation_matrix(design)
+        assert corr[2, 0] == 0.0
+        assert corr[0, 2] == 0.0
+        assert corr[2, 2] == 1.0
+
+    def test_known_correlation(self, rng):
+        x = rng.normal(size=100)
+        design = np.column_stack([x, 2 * x + 0.01 * rng.normal(size=100)])
+        corr = correlation_matrix(design)
+        assert corr[0, 1] > 0.99
+
+
+class TestPruneCorrelated:
+    def test_keeps_earliest_of_duplicated_group(self, rng):
+        x = rng.normal(size=200)
+        design = np.column_stack([
+            x,
+            rng.normal(size=200),
+            x * 3 + 0.001 * rng.normal(size=200),   # alias of column 0
+            -x + 0.001 * rng.normal(size=200),      # anti-alias of column 0
+        ])
+        pruning = prune_correlated(design)
+        assert pruning.kept == (0, 1)
+        assert set(pruning.removed) == {2, 3}
+        assert pruning.removed_because_of[2] == 0
+        assert pruning.removed_because_of[3] == 0
+
+    def test_independent_features_survive(self, rng):
+        design = rng.normal(size=(300, 6))
+        pruning = prune_correlated(design)
+        assert pruning.kept == tuple(range(6))
+        assert pruning.removed == ()
+
+    def test_threshold_sensitivity(self, rng):
+        x = rng.normal(size=500)
+        mildly_related = 0.9 * x + 0.45 * rng.normal(size=500)  # r ~ 0.9
+        design = np.column_stack([x, mildly_related])
+        strict = prune_correlated(design, threshold=0.95)
+        loose = prune_correlated(design, threshold=0.80)
+        assert strict.removed == ()
+        assert loose.removed == (1,)
+
+    def test_bad_threshold_rejected(self, rng):
+        with pytest.raises(ValueError):
+            prune_correlated(rng.normal(size=(10, 2)), threshold=0.0)
+
+    def test_transitive_groups_keep_one(self, rng):
+        x = rng.normal(size=300)
+        design = np.column_stack(
+            [x + 0.001 * rng.normal(size=300) for _ in range(4)]
+        )
+        pruning = prune_correlated(design)
+        assert len(pruning.kept) == 1
+        assert pruning.kept[0] == 0

@@ -1,0 +1,122 @@
+"""Unit tests for the cross-platform general feature set derivation."""
+
+import numpy as np
+import pytest
+
+from repro.counters import CounterCatalog, CounterCategory, CounterDefinition
+from repro.platforms import ATOM, CORE2
+from repro.selection import derive_general_set
+from repro.selection.algorithm1 import Algorithm1Result, SelectionConfig
+from repro.selection.codependence import CodependenceElimination
+from repro.selection.correlation import CorrelationPruning
+from repro.selection.pooling import PooledSelection
+
+
+def _catalog(spec, names_and_categories):
+    catalog = CounterCatalog(spec=spec)
+    for name, category in names_and_categories:
+        catalog.add(CounterDefinition(
+            name, category, lambda ctx: np.zeros(1)
+        ))
+    return catalog
+
+
+def _result(platform_key, selected):
+    """A minimal Algorithm1Result carrying only the selected set."""
+    selected = tuple(selected)
+    return Algorithm1Result(
+        platform_key=platform_key,
+        config=SelectionConfig(),
+        step1=CorrelationPruning(kept=(), removed=(), removed_because_of={}),
+        step1_survivors=[],
+        step2=CodependenceElimination(kept=selected, removed=()),
+        machine_selections=[],
+        pooled=PooledSelection(
+            histogram={name: 10.0 for name in selected},
+            initial_threshold=5.0,
+            effective_threshold=5.0,
+            candidates=selected,
+            selected=selected,
+            eliminated_in_step6=(),
+        ),
+    )
+
+
+CPU = (r"\Processor(_Total)\% Processor Time", CounterCategory.PROCESSOR)
+FREQ = (r"\Processor Performance(0)\Frequency MHz",
+        CounterCategory.PROCESSOR_PERFORMANCE)
+PAGES = (r"\Memory\Pages/sec", CounterCategory.MEMORY)
+DISK = (r"\PhysicalDisk(_Total)\Disk Bytes/sec",
+        CounterCategory.PHYSICAL_DISK)
+NET = (r"\Network Interface(Ethernet)\Datagrams/sec",
+       CounterCategory.NETWORK)
+EXOTIC = (r"\Processor(7)\% Processor Time", CounterCategory.PROCESSOR)
+
+
+class TestDeriveGeneralSet:
+    def test_majority_features_included(self):
+        shared = [CPU, FREQ, PAGES, DISK, NET]
+        catalogs = [
+            _catalog(CORE2, shared),
+            _catalog(CORE2, shared),
+            _catalog(CORE2, shared),
+        ]
+        results = [
+            _result("a", [CPU[0], FREQ[0], PAGES[0]]),
+            _result("b", [CPU[0], FREQ[0]]),
+            _result("c", [CPU[0], DISK[0]]),
+        ]
+        general = derive_general_set(results, catalogs)
+        # CPU on 3/3 and FREQ on 2/3 clear the half-of-clusters bar.
+        assert CPU[0] in general.features
+        assert FREQ[0] in general.features
+
+    def test_category_fill_covers_unrepresented_categories(self):
+        shared = [CPU, PAGES, NET]
+        catalogs = [_catalog(CORE2, shared)] * 4
+        results = [
+            _result("a", [CPU[0], NET[0]]),
+            _result("b", [CPU[0]]),
+            _result("c", [CPU[0]]),
+            _result("d", [CPU[0]]),
+        ]
+        general = derive_general_set(results, catalogs)
+        # NET appears on only 1/4 clusters (below the bar) but is the only
+        # representative of its category, so the fill adds it.
+        assert NET[0] in general.features
+        assert NET[0] in general.category_fills
+
+    def test_nonportable_counters_excluded(self):
+        # A counter that exists on one platform only can never join the
+        # general set, however popular it is there.
+        big = _catalog(CORE2, [CPU, EXOTIC])
+        small = _catalog(ATOM, [CPU])
+        results = [
+            _result("big", [CPU[0], EXOTIC[0]]),
+            _result("small", [CPU[0]]),
+        ]
+        general = derive_general_set(results, [big, small])
+        assert EXOTIC[0] not in general.features
+        assert CPU[0] in general.features
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            derive_general_set([], [])
+        with pytest.raises(ValueError, match="one catalog"):
+            derive_general_set([_result("a", [])], [])
+
+    def test_explicit_min_votes(self):
+        shared = [CPU, PAGES]
+        catalogs = [_catalog(CORE2, shared)] * 3
+        results = [
+            _result("a", [CPU[0], PAGES[0]]),
+            _result("b", [CPU[0]]),
+            _result("c", [CPU[0]]),
+        ]
+        strict = derive_general_set(results, catalogs, min_votes=3)
+        assert CPU[0] in strict.features
+        # PAGES got 1 vote: excluded from the core; may return as a
+        # category fill since Memory would otherwise be unrepresented.
+        assert PAGES[0] not in strict.features or (
+            PAGES[0] in strict.category_fills
+        )

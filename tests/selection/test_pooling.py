@@ -1,0 +1,93 @@
+"""Tests for steps 5-6: occurrence pooling and cluster refit."""
+
+import numpy as np
+import pytest
+
+from repro.selection import (
+    MachineSelection,
+    occurrence_histogram,
+    pool_and_refine,
+)
+
+
+def _selection(machine, workload, significant=(), marginal=()):
+    return MachineSelection(
+        machine_id=machine,
+        workload_name=workload,
+        significant=tuple(significant),
+        marginal=tuple(marginal),
+    )
+
+
+class TestOccurrenceHistogram:
+    def test_weights(self):
+        selections = [
+            _selection("m0", "sort", significant=("a", "b")),
+            _selection("m1", "sort", significant=("a",), marginal=("b",)),
+            _selection("m0", "prime", marginal=("c",)),
+        ]
+        histogram = occurrence_histogram(selections)
+        assert histogram["a"] == 2.0
+        assert histogram["b"] == 1.5
+        assert histogram["c"] == 0.5
+
+    def test_custom_marginal_weight(self):
+        selections = [_selection("m", "w", marginal=("z",))]
+        histogram = occurrence_histogram(selections, marginal_weight=0.25)
+        assert histogram["z"] == 0.25
+
+
+class TestPoolAndRefine:
+    def _cluster_data(self, rng, informative_indices, n=800, p=6):
+        design = rng.normal(size=(n, p))
+        beta = np.zeros(p)
+        for index in informative_indices:
+            beta[index] = 3.0
+        power = 50.0 + design @ beta + rng.normal(0, 0.4, n)
+        return design, power
+
+    def test_threshold_then_stepwise(self):
+        rng = np.random.default_rng(2)
+        names = [f"f{i}" for i in range(6)]
+        design, power = self._cluster_data(rng, informative_indices=(0, 3))
+        # f0 and f3 are popular and informative; f5 is popular but junk.
+        selections = []
+        for machine in range(5):
+            for workload in ("sort", "prime"):
+                selections.append(_selection(
+                    f"m{machine}", workload,
+                    significant=("f0", "f3", "f5"),
+                ))
+        result = pool_and_refine(
+            selections, design, power, names, threshold=5.0
+        )
+        assert set(result.candidates) == {"f0", "f3", "f5"}
+        assert set(result.selected) == {"f0", "f3"}
+        assert "f5" in result.eliminated_in_step6
+
+    def test_threshold_lowers_until_candidates_exist(self):
+        rng = np.random.default_rng(3)
+        names = [f"f{i}" for i in range(4)]
+        design, power = self._cluster_data(rng, informative_indices=(1,), p=4)
+        selections = [_selection("m0", "sort", significant=("f1",))]
+        result = pool_and_refine(
+            selections, design, power, names, threshold=5.0
+        )
+        assert result.selected == ("f1",)
+        assert result.effective_threshold <= 1.0
+
+    def test_no_selections_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            pool_and_refine([], np.zeros((5, 1)), np.zeros(5), ["a"])
+
+    def test_histogram_preserved_in_result(self):
+        rng = np.random.default_rng(4)
+        names = ["f0", "f1"]
+        design, power = self._cluster_data(rng, informative_indices=(0,), p=2)
+        selections = [
+            _selection("m0", "w", significant=("f0",), marginal=("f1",))
+        ]
+        result = pool_and_refine(
+            selections, design, power, names, threshold=1.0
+        )
+        assert result.histogram == {"f0": 1.0, "f1": 0.5}

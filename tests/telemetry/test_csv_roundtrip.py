@@ -1,0 +1,51 @@
+"""CSV export/import round-trip for Perfmon logs."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import PerfmonLog
+
+
+@pytest.fixture
+def log():
+    rng = np.random.default_rng(7)
+    return PerfmonLog(
+        machine_id="m0",
+        counter_names=[r"\Processor(_Total)\% Processor Time",
+                       r"\Memory\Pages/sec"],
+        counters=rng.uniform(0, 1000, size=(20, 2)),
+        power_w=np.round(rng.uniform(25, 46, size=20), 1),
+    )
+
+
+class TestCSVRoundTrip:
+    def test_roundtrip_preserves_data(self, log):
+        restored = PerfmonLog.from_csv(log.to_csv(), machine_id="m0")
+        assert restored.counter_names == log.counter_names
+        assert restored.counters == pytest.approx(log.counters, rel=1e-9)
+        assert restored.power_w == pytest.approx(log.power_w)
+
+    def test_commas_in_counter_names_survive(self):
+        tricky = PerfmonLog(
+            machine_id="m",
+            counter_names=["weird, name"],
+            counters=np.ones((3, 1)),
+            power_w=np.ones(3),
+        )
+        restored = PerfmonLog.from_csv(tricky.to_csv())
+        assert restored.counter_names == ["weird, name"]
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            PerfmonLog.from_csv('"Wrong"\n1\n')
+
+    def test_ragged_row_rejected(self, log):
+        csv_text = log.to_csv()
+        lines = csv_text.strip().split("\n")
+        lines[1] = lines[1] + ",999"
+        with pytest.raises(ValueError, match="cells"):
+            PerfmonLog.from_csv("\n".join(lines))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            PerfmonLog.from_csv("")

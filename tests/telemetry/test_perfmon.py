@@ -1,0 +1,106 @@
+"""Tests for PerfmonLog and the sampling pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.counters import build_catalog
+from repro.platforms import CORE2, OPTERON, SimulatedMachine
+from repro.powermeter import WattsUpPro
+from repro.telemetry import PerfmonLog, sample_machine_run
+from repro.workloads import WordCountWorkload
+
+
+@pytest.fixture(scope="module")
+def log():
+    machines = [SimulatedMachine.build(CORE2, i, seed=4) for i in range(2)]
+    traces = WordCountWorkload().generate_run(machines, run_index=0, seed=4)
+    return sample_machine_run(
+        machine=machines[0],
+        catalog=build_catalog(CORE2),
+        activity=traces[machines[0].machine_id],
+        meter=WattsUpPro.build(0, seed=4),
+        machine_seed=100,
+        run_index=0,
+    )
+
+
+class TestPerfmonLog:
+    def test_shapes_consistent(self, log):
+        assert log.counters.shape == (log.n_seconds, log.n_counters)
+        assert log.power_w.shape == (log.n_seconds,)
+
+    def test_power_in_platform_band(self, log):
+        assert np.all(log.power_w > 15.0)
+        assert np.all(log.power_w < 60.0)
+
+    def test_column_lookup(self, log):
+        name = log.counter_names[5]
+        assert np.array_equal(log.column(name), log.counters[:, 5])
+        with pytest.raises(KeyError):
+            log.column("no such counter")
+
+    def test_select_preserves_order(self, log):
+        names = [log.counter_names[7], log.counter_names[2]]
+        selected = log.select(names)
+        assert np.array_equal(selected[:, 0], log.counters[:, 7])
+        assert np.array_equal(selected[:, 1], log.counters[:, 2])
+
+    def test_select_unknown_rejected(self, log):
+        with pytest.raises(KeyError):
+            log.select(["missing"])
+
+    def test_csv_export(self, log):
+        csv = log.to_csv(max_rows=3)
+        lines = csv.strip().split("\n")
+        assert len(lines) == 4  # header + 3 rows
+        assert '"Power (W)"' in lines[0]
+        assert lines[1].startswith("0,")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="names"):
+            PerfmonLog(
+                machine_id="m",
+                counter_names=["a"],
+                counters=np.zeros((5, 2)),
+                power_w=np.zeros(5),
+            )
+        with pytest.raises(ValueError, match="length"):
+            PerfmonLog(
+                machine_id="m",
+                counter_names=["a"],
+                counters=np.zeros((5, 1)),
+                power_w=np.zeros(4),
+            )
+
+
+class TestSampler:
+    def test_catalog_platform_mismatch_rejected(self):
+        machines = [SimulatedMachine.build(CORE2, 0, seed=4)]
+        traces = WordCountWorkload().generate_run(machines, 0, seed=4)
+        with pytest.raises(ValueError, match="platform"):
+            sample_machine_run(
+                machine=machines[0],
+                catalog=build_catalog(OPTERON),
+                activity=traces[machines[0].machine_id],
+                meter=WattsUpPro.build(0, seed=4),
+                machine_seed=1,
+                run_index=0,
+            )
+
+    def test_sampling_is_deterministic(self):
+        machines = [SimulatedMachine.build(CORE2, 0, seed=4)]
+        traces = WordCountWorkload().generate_run(machines, 0, seed=4)
+        catalog = build_catalog(CORE2)
+        meter = WattsUpPro.build(0, seed=4)
+        kwargs = dict(
+            machine=machines[0],
+            catalog=catalog,
+            activity=traces[machines[0].machine_id],
+            meter=meter,
+            machine_seed=1,
+            run_index=0,
+        )
+        a = sample_machine_run(**kwargs)
+        b = sample_machine_run(**kwargs)
+        assert np.array_equal(a.power_w, b.power_w)
+        assert np.array_equal(a.counters, b.counters)

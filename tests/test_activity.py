@@ -1,0 +1,83 @@
+"""Tests for the latent ActivityTrace container."""
+
+import numpy as np
+import pytest
+
+from repro.activity import ActivityTrace, idle_activity
+
+
+class TestIdleActivity:
+    def test_shapes(self):
+        trace = idle_activity(4, 30, idle_freq_ghz=1.0)
+        assert trace.n_cores == 4
+        assert trace.n_seconds == 30
+        assert np.all(trace.core_freq_ghz == 1.0)
+
+    def test_c1_idle(self):
+        trace = idle_activity(8, 10)
+        assert np.all(trace.core_freq_ghz == 0.0)
+
+    def test_derived_totals(self):
+        trace = idle_activity(2, 5, 1.6)
+        assert trace.disk_total_bytes == pytest.approx(
+            trace.disk_read_bytes + trace.disk_write_bytes
+        )
+        assert trace.net_total_bytes == pytest.approx(
+            trace.net_sent_bytes + trace.net_recv_bytes
+        )
+
+    def test_cpu_util_is_core_mean(self):
+        trace = idle_activity(2, 5, 1.6)
+        trace.core_util[0, :] = 1.0
+        trace.core_util[1, :] = 0.0
+        assert trace.cpu_util == pytest.approx(np.full(5, 0.5))
+
+
+class TestValidation:
+    def _kwargs(self, n_cores=2, n_seconds=4):
+        trace = idle_activity(n_cores, n_seconds, 1.0)
+        return {
+            field: getattr(trace, field)
+            for field in (
+                "core_util", "core_freq_ghz", "mem_pages_per_sec",
+                "page_faults_per_sec", "cache_faults_per_sec",
+                "committed_bytes", "disk_read_bytes", "disk_write_bytes",
+                "disk_busy_frac", "net_sent_bytes", "net_recv_bytes",
+                "interrupts_per_sec", "dpc_time_frac",
+            )
+        }
+
+    def test_length_mismatch_rejected(self):
+        kwargs = self._kwargs()
+        kwargs["mem_pages_per_sec"] = np.zeros(3)
+        with pytest.raises(ValueError, match="length"):
+            ActivityTrace(**kwargs)
+
+    def test_out_of_range_util_rejected(self):
+        kwargs = self._kwargs()
+        kwargs["core_util"] = np.full((2, 4), 1.5)
+        with pytest.raises(ValueError, match="core_util"):
+            ActivityTrace(**kwargs)
+
+    def test_negative_frequency_rejected(self):
+        kwargs = self._kwargs()
+        kwargs["core_freq_ghz"] = np.full((2, 4), -1.0)
+        with pytest.raises(ValueError, match="nonnegative"):
+            ActivityTrace(**kwargs)
+
+    def test_shape_mismatch_rejected(self):
+        kwargs = self._kwargs()
+        kwargs["core_freq_ghz"] = np.ones((3, 4))
+        with pytest.raises(ValueError, match="shapes differ"):
+            ActivityTrace(**kwargs)
+
+
+class TestSliceSeconds:
+    def test_slice_copies(self):
+        trace = idle_activity(2, 10, 1.0)
+        trace.extras["phase"] = np.arange(10.0)
+        window = trace.slice_seconds(2, 6)
+        assert window.n_seconds == 4
+        assert np.array_equal(window.extras["phase"], [2.0, 3.0, 4.0, 5.0])
+        window.core_util[:] = 0.9
+        assert np.all(trace.core_util[:, 2:6] != 0.9)

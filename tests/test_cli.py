@@ -1,0 +1,138 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestPlatformsCommand:
+    def test_lists_all_six(self):
+        code, text = _run(["platforms"])
+        assert code == 0
+        for key in ("atom", "core2", "athlon", "opteron", "xeon_sata",
+                    "xeon_sas"):
+            assert key in text
+
+
+class TestSelectCommand:
+    def test_prints_feature_set(self):
+        code, text = _run([
+            "select", "--platform", "atom", "--runs", "2", "--seed", "9"
+        ])
+        assert code == 0
+        assert "Algorithm 1" in text
+        assert "% Processor Time" in text
+
+    def test_unknown_platform_fails_cleanly(self):
+        code, text = _run(["select", "--platform", "sparc"])
+        assert code == 1
+        assert "error" in text
+
+
+class TestTrainPredictRoundTrip:
+    def test_train_export_predict(self, tmp_path):
+        model_path = tmp_path / "atom.json"
+        code, text = _run([
+            "train", "--platform", "atom", "--runs", "2", "--seed", "9",
+            "--model", "L", "--out", str(model_path),
+        ])
+        assert code == 0
+        assert model_path.exists()
+        assert "trained L model" in text
+
+        log_path = tmp_path / "log.csv"
+        code, text = _run([
+            "export-log", "--platform", "atom", "--workload", "wordcount",
+            "--machine", "0", "--seed", "9", "--out", str(log_path),
+        ])
+        assert code == 0
+        assert log_path.exists()
+
+        code, text = _run([
+            "predict", "--model-file", str(model_path),
+            "--log", str(log_path),
+        ])
+        assert code == 0
+        assert "rMSE" in text
+
+    def test_export_bad_machine_index(self, tmp_path):
+        code, text = _run([
+            "export-log", "--platform", "atom", "--workload", "wordcount",
+            "--machine", "99", "--out", str(tmp_path / "x.csv"),
+        ])
+        assert code == 2
+        assert "out of range" in text
+
+    def test_predict_missing_file(self):
+        code, text = _run([
+            "predict", "--model-file", "/nonexistent.json",
+            "--log", "/nonexistent.csv",
+        ])
+        assert code == 1
+        assert "error" in text
+
+
+class TestEvaluateCommand:
+    def test_evaluate_reports_dre(self):
+        code, text = _run([
+            "evaluate", "--platform", "atom", "--workload", "wordcount",
+            "--model", "L", "--runs", "2", "--seed", "9",
+        ])
+        assert code == 0
+        assert "DRE" in text
+
+
+class TestCountersCommand:
+    def test_lists_catalog(self):
+        code, text = _run(["counters", "--platform", "atom"])
+        assert code == 0
+        assert "% Processor Time" in text
+        assert "Memory" in text
+
+    def test_category_filter(self):
+        code, text = _run([
+            "counters", "--platform", "atom", "--category", "Memory"
+        ])
+        assert code == 0
+        assert "\\Memory\\" in text
+        assert "PhysicalDisk" not in text
+
+    def test_unknown_category(self):
+        code, text = _run([
+            "counters", "--platform", "atom", "--category", "GPU"
+        ])
+        assert code == 2
+        assert "unknown category" in text
+
+
+class TestReproduceCommand:
+    def test_reproduce_figure1_reduced(self):
+        code, text = _run([
+            "reproduce", "figure1", "--runs", "2", "--machines", "2",
+            "--seed", "3",
+        ])
+        assert code == 0
+        assert "Figure 1" in text
+        assert "2x Core 2 Duo" in text
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "figure99"])
+
+
+class TestArgumentValidation:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["train"])

@@ -1,0 +1,116 @@
+"""Property-based tests on substrate invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.activity import idle_activity
+from repro.metrics import dynamic_range_error
+from repro.platforms import (
+    ALL_PLATFORMS,
+    IDENTITY_VARIATION,
+    PowerSynthesizer,
+    get_platform,
+)
+from repro.workloads import Stage, StageProfile, schedule_job
+
+platform_keys = st.sampled_from([p.key for p in ALL_PLATFORMS])
+
+
+class TestPowerSynthesisProperties:
+    @given(key=platform_keys, util=st.floats(0.0, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_power_within_physical_envelope(self, key, util):
+        spec = get_platform(key)
+        synthesizer = PowerSynthesizer(spec, IDENTITY_VARIATION)
+        activity = idle_activity(spec.n_cores, 4, spec.max_freq_ghz)
+        activity.core_util[:] = util
+        power = synthesizer.true_power(activity)
+        # Deterministic power never leaves the calibrated band by much.
+        assert np.all(power >= spec.idle_power_w * 0.9)
+        assert np.all(power <= spec.max_power_w * 1.05)
+
+    @given(
+        key=platform_keys,
+        low=st.floats(0.0, 0.45),
+        delta=st.floats(0.05, 0.5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_power_monotone_in_utilization(self, key, low, delta):
+        spec = get_platform(key)
+        synthesizer = PowerSynthesizer(spec, IDENTITY_VARIATION)
+
+        def power_at(util):
+            activity = idle_activity(spec.n_cores, 4, spec.max_freq_ghz)
+            activity.core_util[:] = util
+            return float(np.mean(synthesizer.true_power(activity)))
+
+        assert power_at(low) <= power_at(min(low + delta, 1.0)) + 1e-6
+
+
+class TestSchedulerProperties:
+    @given(
+        n_machines=st.integers(1, 8),
+        n_tasks=st.integers(1, 40),
+        duration=st.floats(0.5, 30.0),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_no_machine_overlaps_itself(
+        self, n_machines, n_tasks, duration, seed
+    ):
+        stage = Stage(
+            profile=StageProfile(name="s", cpu_demand=0.5),
+            n_tasks=n_tasks,
+            task_duration_s=duration,
+        )
+        schedule = schedule_job(
+            [stage], n_machines, np.random.default_rng(seed)
+        )
+        for machine in schedule.machine_schedules:
+            intervals = sorted(
+                machine.intervals, key=lambda i: i.start_s
+            )
+            for first, second in zip(intervals, intervals[1:]):
+                assert second.start_s >= first.end_s - 1e-6
+
+    @given(
+        n_machines=st.integers(1, 6),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_bounds(self, n_machines, seed):
+        stage = Stage(
+            profile=StageProfile(name="s", cpu_demand=0.5),
+            n_tasks=12,
+            task_duration_s=5.0,
+            duration_sigma=0.0,  # deterministic durations
+        )
+        schedule = schedule_job(
+            [stage], n_machines, np.random.default_rng(seed)
+        )
+        total_work = 12 * 5.0
+        # Makespan at least the perfectly balanced bound, at most serial.
+        assert schedule.makespan_s >= total_work / n_machines - 1e-6
+        assert schedule.makespan_s <= total_work + 1e-6
+
+
+class TestDREProperties:
+    @given(
+        scale=st.floats(0.1, 100.0),
+        offset=st.floats(-50.0, 50.0),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dre_invariant_under_affine_rescaling(self, scale, offset, seed):
+        """DRE is the metric that survives changing platforms: scaling
+        watts and shifting the static floor leaves it unchanged."""
+        rng = np.random.default_rng(seed)
+        actual = 100.0 + 30.0 * rng.random(200)
+        predicted = actual + rng.normal(0, 2.0, 200)
+        base = dynamic_range_error(actual, predicted)
+        transformed = dynamic_range_error(
+            actual * scale + offset, predicted * scale + offset
+        )
+        assert transformed == pytest.approx(base, rel=1e-9)

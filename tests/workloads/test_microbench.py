@@ -1,0 +1,102 @@
+"""Tests for the characterization microbenchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.platforms import OPTERON, SimulatedMachine
+from repro.workloads import (
+    CPUStress,
+    DiskStress,
+    IdleWorkload,
+    MemoryStress,
+    NetworkStress,
+    characterization_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def machines():
+    return [SimulatedMachine.build(OPTERON, i, seed=71) for i in range(2)]
+
+
+def _mean(trace, attribute):
+    return float(np.mean(getattr(trace, attribute)))
+
+
+def _run(workload, machines):
+    traces = workload.generate_run(machines, run_index=0, seed=71)
+    return traces[machines[0].machine_id]
+
+
+class TestIdleWorkload:
+    def test_everything_near_zero(self, machines):
+        trace = _run(IdleWorkload(duration_s=60.0), machines)
+        assert _mean(trace, "cpu_util") < 0.05
+        assert _mean(trace, "disk_total_bytes") < 1e6
+        assert _mean(trace, "net_total_bytes") < 1e5
+
+    def test_idle_power_near_floor(self, machines):
+        trace = _run(IdleWorkload(duration_s=60.0), machines)
+        power = machines[0].true_power(trace)
+        assert np.mean(power) < OPTERON.idle_power_w * 1.1
+
+
+class TestComponentIsolation:
+    """Each stressor must move its own subsystem and leave others quiet."""
+
+    def test_cpu_stress(self, machines):
+        trace = _run(CPUStress(intensity=0.9), machines)
+        assert _mean(trace, "cpu_util") > 0.6
+        assert _mean(trace, "disk_total_bytes") < 1e6
+
+    def test_disk_stress(self, machines):
+        trace = _run(DiskStress(), machines)
+        assert _mean(trace, "disk_total_bytes") > 50e6
+        assert _mean(trace, "cpu_util") < 0.35
+
+    def test_network_stress(self, machines):
+        trace = _run(NetworkStress(), machines)
+        assert _mean(trace, "net_total_bytes") > 50e6
+        assert _mean(trace, "disk_total_bytes") < 1e6
+
+    def test_memory_stress(self, machines):
+        trace = _run(MemoryStress(), machines)
+        assert _mean(trace, "mem_pages_per_sec") > 3000.0
+
+    def test_intensity_scales_load(self, machines):
+        low = _run(CPUStress(intensity=0.3), machines)
+        high = _run(CPUStress(intensity=0.95), machines)
+        assert _mean(high, "cpu_util") > _mean(low, "cpu_util") + 0.3
+
+    def test_power_ordering_matches_budgets(self, machines):
+        """On the Opteron, CPU stress burns more than disk stress, which
+        burns more than idle — the Table I budget ordering."""
+        machine = machines[0]
+        powers = {
+            name: float(np.mean(machine.true_power(_run(w, machines))))
+            for name, w in characterization_suite().items()
+        }
+        assert powers["cpu-stress"] > powers["disk-stress"] > powers["idle"]
+        assert powers["memory-stress"] > powers["idle"]
+        assert powers["network-stress"] > powers["idle"]
+
+
+class TestValidation:
+    def test_bad_intensity_rejected(self):
+        with pytest.raises(ValueError, match="intensity"):
+            CPUStress(intensity=0.0)
+        with pytest.raises(ValueError, match="intensity"):
+            DiskStress(intensity=1.5)
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            IdleWorkload(duration_s=0)
+        with pytest.raises(ValueError, match="duration"):
+            NetworkStress(duration_s=-5)
+
+    def test_suite_contents(self):
+        suite = characterization_suite(intensity=0.5, duration_s=30.0)
+        assert set(suite) == {
+            "idle", "cpu-stress", "memory-stress", "disk-stress",
+            "network-stress",
+        }

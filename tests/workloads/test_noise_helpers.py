@@ -1,0 +1,56 @@
+"""Statistical properties of the activity-noise helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import ar1_series, positive_noise
+
+
+class TestAR1Series:
+    def test_stationary_standard_deviation(self):
+        rng = np.random.default_rng(61)
+        series = ar1_series(rng, 50_000, sigma=2.0, rho=0.8)
+        assert np.std(series) == pytest.approx(2.0, rel=0.05)
+        assert np.mean(series) == pytest.approx(0.0, abs=0.15)
+
+    def test_autocorrelation_matches_rho(self):
+        rng = np.random.default_rng(62)
+        series = ar1_series(rng, 50_000, sigma=1.0, rho=0.9)
+        lag1 = np.corrcoef(series[:-1], series[1:])[0, 1]
+        assert lag1 == pytest.approx(0.9, abs=0.02)
+
+    def test_empty_series(self):
+        rng = np.random.default_rng(0)
+        assert ar1_series(rng, 0, sigma=1.0).size == 0
+
+    @given(
+        sigma=st.floats(0.01, 5.0),
+        rho=st.floats(0.0, 0.99),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_finite_for_any_parameters(self, sigma, rho, seed):
+        rng = np.random.default_rng(seed)
+        series = ar1_series(rng, 500, sigma=sigma, rho=rho)
+        assert np.all(np.isfinite(series))
+
+
+class TestPositiveNoise:
+    def test_always_positive(self):
+        rng = np.random.default_rng(63)
+        noise = positive_noise(rng, 10_000, sigma=0.5)
+        assert np.all(noise > 0)
+
+    def test_centered_near_one(self):
+        rng = np.random.default_rng(64)
+        noise = positive_noise(rng, 100_000, sigma=0.1)
+        # Lognormal median is 1; mean slightly above.
+        assert np.median(noise) == pytest.approx(1.0, abs=0.02)
+
+    def test_small_sigma_means_small_spread(self):
+        rng = np.random.default_rng(65)
+        tight = positive_noise(rng, 5000, sigma=0.02)
+        loose = positive_noise(rng, 5000, sigma=0.5)
+        assert np.std(tight) < np.std(loose)

@@ -1,0 +1,84 @@
+"""Tests for the Dryad-style stage/task scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import Stage, StageProfile, schedule_job
+
+
+def _stage(name="s", n_tasks=10, duration=5.0, **profile_kwargs):
+    profile = StageProfile(name=name, cpu_demand=0.5, **profile_kwargs)
+    return Stage(profile=profile, n_tasks=n_tasks, task_duration_s=duration)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestScheduleJob:
+    def test_all_tasks_placed(self, rng):
+        schedule = schedule_job([_stage(n_tasks=20)], n_machines=4, rng=rng)
+        total_busy = sum(s.busy_seconds for s in schedule.machine_schedules)
+        # 20 tasks x ~5s each (lognormal jitter), spread over 4 machines.
+        assert total_busy > 60.0
+
+    def test_barriers_are_monotone(self, rng):
+        stages = [_stage("a"), _stage("b"), _stage("c")]
+        schedule = schedule_job(stages, n_machines=3, rng=rng)
+        boundaries = schedule.stage_boundaries
+        assert len(boundaries) == 3
+        assert boundaries[0] < boundaries[1] < boundaries[2]
+
+    def test_stage_never_starts_before_barrier(self, rng):
+        stages = [_stage("a"), _stage("b")]
+        schedule = schedule_job(stages, n_machines=3, rng=rng)
+        first_barrier = schedule.stage_boundaries[0]
+        for machine in schedule.machine_schedules:
+            for interval in machine.intervals:
+                if interval.stage_index == 1:
+                    assert interval.start_s >= first_barrier - 1e-9
+
+    def test_different_runs_differ(self):
+        stages = [_stage(n_tasks=15)]
+        a = schedule_job(stages, 5, np.random.default_rng(1))
+        b = schedule_job(stages, 5, np.random.default_rng(2))
+        assert a.makespan_s != b.makespan_s
+
+    def test_stage_indicator_shape_and_values(self, rng):
+        schedule = schedule_job([_stage("a"), _stage("b")], 2, rng)
+        n_seconds = schedule.n_seconds
+        indicator = schedule.machine_schedules[0].stage_indicator(n_seconds)
+        assert indicator.shape == (n_seconds,)
+        assert set(np.unique(indicator)) <= {-1, 0, 1}
+
+    def test_single_machine_runs_everything(self, rng):
+        schedule = schedule_job([_stage(n_tasks=8)], 1, rng)
+        assert schedule.machine_schedules[0].busy_seconds > 0
+
+    def test_imbalance_creates_idle_tails(self, rng):
+        # With many machines and few tasks, someone must sit idle.
+        schedule = schedule_job([_stage(n_tasks=3, duration=20.0)], 5, rng)
+        busy = [s.busy_seconds for s in schedule.machine_schedules]
+        assert min(busy) == 0.0
+        assert max(busy) > 0.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="at least one machine"):
+            schedule_job([_stage()], 0, rng)
+        with pytest.raises(ValueError, match="at least one stage"):
+            schedule_job([], 3, rng)
+
+
+class TestStageValidation:
+    def test_bad_cpu_demand_rejected(self):
+        with pytest.raises(ValueError, match="cpu_demand"):
+            StageProfile(name="x", cpu_demand=1.5)
+
+    def test_bad_task_count_rejected(self):
+        with pytest.raises(ValueError, match="at least one task"):
+            Stage(StageProfile("x", 0.5), n_tasks=0, task_duration_s=1.0)
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Stage(StageProfile("x", 0.5), n_tasks=1, task_duration_s=0.0)

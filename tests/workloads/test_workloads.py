@@ -1,0 +1,149 @@
+"""Tests for the four workload generators and their paper signatures."""
+
+import numpy as np
+import pytest
+
+from repro.platforms import CORE2, OPTERON, SimulatedMachine
+from repro.workloads import (
+    WORKLOAD_NAMES,
+    PageRankWorkload,
+    PrimeWorkload,
+    SortWorkload,
+    WordCountWorkload,
+    default_suite,
+    get_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def core2_machines():
+    return [SimulatedMachine.build(CORE2, i, seed=7) for i in range(5)]
+
+
+@pytest.fixture(scope="module")
+def traces(core2_machines):
+    """One run of each workload on the mobile cluster."""
+    return {
+        name: workload.generate_run(core2_machines, run_index=0, seed=7)
+        for name, workload in default_suite().items()
+    }
+
+
+class TestSuite:
+    def test_four_workloads(self):
+        assert set(WORKLOAD_NAMES) == {"sort", "pagerank", "prime", "wordcount"}
+        assert set(default_suite()) == set(WORKLOAD_NAMES)
+
+    def test_get_workload(self):
+        assert get_workload("sort").name == "sort"
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("terasort")
+
+
+class TestTraceShape:
+    def test_one_trace_per_machine(self, traces, core2_machines):
+        for per_machine in traces.values():
+            assert set(per_machine) == {m.machine_id for m in core2_machines}
+
+    def test_traces_share_length_within_run(self, traces):
+        for per_machine in traces.values():
+            lengths = {t.n_seconds for t in per_machine.values()}
+            assert len(lengths) == 1
+
+    def test_utilization_in_bounds(self, traces):
+        for per_machine in traces.values():
+            for trace in per_machine.values():
+                assert np.all(trace.core_util >= 0.0)
+                assert np.all(trace.core_util <= 1.0)
+
+    def test_deterministic_given_seed(self, core2_machines):
+        workload = SortWorkload()
+        a = workload.generate_run(core2_machines, 0, seed=3)
+        b = workload.generate_run(core2_machines, 0, seed=3)
+        machine_id = core2_machines[0].machine_id
+        assert np.array_equal(a[machine_id].cpu_util, b[machine_id].cpu_util)
+
+    def test_runs_differ(self, core2_machines):
+        workload = SortWorkload()
+        a = workload.generate_run(core2_machines, 0, seed=3)
+        b = workload.generate_run(core2_machines, 1, seed=3)
+        machine_id = core2_machines[0].machine_id
+        assert not np.array_equal(a[machine_id].cpu_util, b[machine_id].cpu_util)
+
+
+class TestWorkloadSignatures:
+    """Each workload must show its Section III-A resource character."""
+
+    def _mean_over_machines(self, per_machine, attribute):
+        return float(
+            np.mean([getattr(t, attribute).mean() for t in per_machine.values()])
+        )
+
+    def test_sort_is_disk_and_network_heavy(self, traces):
+        sort = traces["sort"]
+        assert self._mean_over_machines(sort, "disk_total_bytes") > 20e6
+        assert self._mean_over_machines(sort, "net_total_bytes") > 10e6
+
+    def test_pagerank_is_network_heavy(self, traces):
+        pagerank = traces["pagerank"]
+        prime = traces["prime"]
+        assert (
+            self._mean_over_machines(pagerank, "net_total_bytes")
+            > 20 * self._mean_over_machines(prime, "net_total_bytes")
+        )
+
+    def test_pagerank_is_longest(self, traces):
+        lengths = {
+            name: next(iter(per_machine.values())).n_seconds
+            for name, per_machine in traces.items()
+        }
+        assert max(lengths, key=lengths.get) == "pagerank"
+
+    def test_prime_is_cpu_bound_with_little_io(self, traces):
+        prime = traces["prime"]
+        assert self._mean_over_machines(prime, "cpu_util") > 0.4
+        assert self._mean_over_machines(prime, "disk_total_bytes") < 5e6
+        assert self._mean_over_machines(prime, "net_total_bytes") < 5e6
+
+    def test_wordcount_has_little_network(self, traces):
+        wordcount = traces["wordcount"]
+        assert self._mean_over_machines(wordcount, "net_total_bytes") < 5e6
+
+    def test_every_workload_touches_full_utilization(self, traces):
+        """All workloads are multithreaded and saturate cores at some point."""
+        for name, per_machine in traces.items():
+            peak = max(t.core_util.max() for t in per_machine.values())
+            assert peak > 0.85, f"{name} never saturates a core"
+
+
+class TestServerPlatformBehaviour:
+    def test_c1_visible_in_idle_tail(self):
+        machines = [SimulatedMachine.build(OPTERON, i, seed=5) for i in range(5)]
+        per_machine = PrimeWorkload().generate_run(machines, 0, seed=5)
+        # Some machine should reach C1 (0 GHz) during idle-waiting seconds.
+        any_c1 = any(
+            (t.core_freq_ghz == 0.0).any() for t in per_machine.values()
+        )
+        assert any_c1
+
+
+class TestParameterValidation:
+    def test_sort_size_positive(self):
+        with pytest.raises(ValueError):
+            SortWorkload(data_gb_per_machine=0)
+
+    def test_pagerank_iterations_positive(self):
+        with pytest.raises(ValueError):
+            PageRankWorkload(n_iterations=0)
+
+    def test_prime_partitions_positive(self):
+        with pytest.raises(ValueError):
+            PrimeWorkload(partitions_per_machine=0)
+
+    def test_wordcount_size_positive(self):
+        with pytest.raises(ValueError):
+            WordCountWorkload(data_mb_per_partition=-1)
+
+    def test_empty_machine_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one machine"):
+            SortWorkload().generate_run([], 0, seed=1)
