@@ -78,10 +78,14 @@ def main() -> None:
 
     print(f"\nrack cap {RACK_CAP_W:.0f} W, throttle threshold "
           f"{controller.threshold_w:.0f} W")
+    true_overshoots = (
+        assessment.missed_overshoot_seconds
+        + assessment.covered_overshoot_seconds
+    )
     print(
         f"measured {measured.min():.0f}-{measured.max():.0f} W over "
         f"{assessment.total_seconds} s; true overshoots: "
-        f"{assessment.missed_overshoot_seconds + assessment.covered_overshoot_seconds} s"
+        f"{true_overshoots} s"
     )
     print(
         f"capper coverage of overshoots: {assessment.coverage:.1%} "

@@ -1,0 +1,38 @@
+"""chaos-lint: static analysis for catalogs, pipelines, and determinism.
+
+Two layers (see ``docs/static_analysis.md``):
+
+* a semantic checker that validates every platform's counter catalog
+  (the co-dependency documentation Algorithm 1 step 2 relies on) and the
+  model pipeline's registry/feature-set invariants;
+* an AST pass over the source tree enforcing the determinism contract
+  (seeded RNG streams, no float equality in experiments) and common
+  Python footguns.
+"""
+
+from repro.analysis.astlint import lint_file, lint_paths, lint_source
+from repro.analysis.findings import RULES, Finding, filter_findings
+from repro.analysis.runner import LintReport, run_lint
+from repro.analysis.semantic import (
+    check_all_platforms,
+    check_catalog,
+    check_feature_sets,
+    check_model_registry,
+    unit_of,
+)
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "LintReport",
+    "check_all_platforms",
+    "check_catalog",
+    "check_feature_sets",
+    "check_model_registry",
+    "filter_findings",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "run_lint",
+    "unit_of",
+]

@@ -1,0 +1,218 @@
+"""AST lint pass: determinism and Python-footgun rules (A3xx).
+
+The data substrate guarantees one RNG stream per (machine, run, counter)
+— see ``repro.counters.derivation`` — so any unseeded or global RNG use
+in this tree silently breaks reproducibility.  Experiment code
+additionally must not compare floats with ``==``/``!=``: thresholds and
+accumulated metrics are never exactly representable.
+
+Rules:
+
+* ``A301`` — ``np.random.default_rng()`` with no seed argument,
+* ``A302`` — ``np.random.seed(...)`` (legacy global reseeding),
+* ``A303`` — float-literal ``==``/``!=`` comparison in experiment code,
+* ``A304`` — mutable default argument,
+* ``A305`` — ``from module import *``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+
+#: Directory names whose files count as "experiment code" for A303.
+EXPERIMENT_DIR_NAMES = ("experiments", "benchmarks", "examples")
+
+#: Default roots scanned by ``repro lint``, relative to the repo root.
+DEFAULT_AST_ROOTS = ("src", "benchmarks", "examples")
+
+_MUTABLE_CONSTRUCTORS = ("list", "dict", "set")
+
+
+def is_experiment_path(path: Path) -> bool:
+    return any(part in EXPERIMENT_DIR_NAMES for part in path.parts)
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for an attribute/name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, experiment_code: bool):
+        self.path = path
+        self.experiment_code = experiment_code
+        self.findings: list[Finding] = []
+        #: Local aliases of numpy.random functions, e.g. imported via
+        #: ``from numpy.random import default_rng``.
+        self.random_aliases: dict[str, str] = {}
+        #: Local aliases of the numpy.random module itself.
+        self.random_modules: set[str] = set()
+
+    def _report(self, code: str, message: str, node: ast.AST) -> None:
+        self.findings.append(Finding(
+            code, message, f"{self.path}:{node.lineno}"
+        ))
+
+    # -- imports --------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "numpy.random":
+                self.random_modules.add(alias.asname or "numpy.random")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            if alias.name == "*":
+                self._report(
+                    "A305",
+                    f"star import from {node.module or '.'!r}",
+                    node,
+                )
+        if node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name in ("default_rng", "seed"):
+                    self.random_aliases[alias.asname or alias.name] = (
+                        alias.name
+                    )
+        elif node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self.random_modules.add(alias.asname or "random")
+        self.generic_visit(node)
+
+    # -- calls ----------------------------------------------------------
+
+    def _resolve_random_call(self, func: ast.AST) -> str | None:
+        """'default_rng' / 'seed' if the call targets numpy.random."""
+        dotted = _dotted_name(func)
+        if dotted is None:
+            return None
+        head, _, tail = dotted.rpartition(".")
+        if tail in ("default_rng", "seed"):
+            if head.endswith(".random") or head == "random":
+                return tail
+            if head in self.random_modules:
+                return tail
+            if not head and self.random_aliases.get(dotted) is not None:
+                return self.random_aliases[dotted]
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self._resolve_random_call(node.func)
+        if target == "default_rng":
+            if not node.args and not node.keywords:
+                self._report(
+                    "A301",
+                    "default_rng() without a seed breaks the "
+                    "per-(machine, run, counter) stream guarantee",
+                    node,
+                )
+        elif target == "seed":
+            self._report(
+                "A302",
+                "np.random.seed reseeds the global legacy RNG; use a "
+                "keyed np.random.default_rng stream instead",
+                node,
+            )
+        self.generic_visit(node)
+
+    # -- comparisons ----------------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self.experiment_code and any(
+            isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+        ):
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(o, ast.Constant) and isinstance(o.value, float)
+                for o in operands
+            ):
+                self._report(
+                    "A303",
+                    "float ==/!= comparison in experiment code; use a "
+                    "tolerance (abs(a - b) < eps)",
+                    node,
+                )
+        self.generic_visit(node)
+
+    # -- defaults -------------------------------------------------------
+
+    def _check_defaults(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        defaults: list[ast.expr] = list(node.args.defaults)
+        defaults += [d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+            if (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CONSTRUCTORS
+            ):
+                mutable = True
+            if mutable:
+                self._report(
+                    "A304",
+                    f"mutable default argument in {node.name}()",
+                    default,
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str, path: str | Path, experiment_code: bool | None = None
+) -> list[Finding]:
+    """AST findings for one module's source text."""
+    path = Path(path)
+    if experiment_code is None:
+        experiment_code = is_experiment_path(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        raise ValueError(f"cannot parse {path}: {error}") from error
+    visitor = _Visitor(str(path), experiment_code)
+    visitor.visit(tree)
+    return visitor.findings
+
+
+def lint_file(path: str | Path) -> list[Finding]:
+    path = Path(path)
+    return lint_source(path.read_text(), path)
+
+
+def iter_python_files(roots: Sequence[str | Path]) -> Iterable[Path]:
+    for root in roots:
+        root = Path(root)
+        if root.is_file() and root.suffix == ".py":
+            yield root
+        elif root.is_dir():
+            yield from sorted(root.rglob("*.py"))
+
+
+def lint_paths(roots: Sequence[str | Path]) -> tuple[list[Finding], int]:
+    """(findings, n_files_scanned) over every .py file under the roots."""
+    findings: list[Finding] = []
+    n_files = 0
+    for path in iter_python_files(roots):
+        n_files += 1
+        findings += lint_file(path)
+    return findings, n_files

@@ -1,0 +1,103 @@
+"""Finding and rule-code vocabulary shared by every chaos-lint layer.
+
+Rule codes are *stable*: tests, CI gates, and ``--select``/``--ignore``
+filters key on them, so a code is never renumbered or reused.  Codes are
+grouped by family:
+
+* ``C1xx`` — counter-catalog semantic invariants (Algorithm 1 step 2
+  depends on the co-dependency documentation being correct),
+* ``M2xx`` — model-pipeline invariants (feature sets and the technique
+  registry),
+* ``A3xx`` — AST-level source rules (determinism contract and Python
+  footguns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: code -> one-line description of what the rule guards.
+RULES: dict[str, str] = {
+    "C101": "duplicate counter name in a catalog",
+    "C102": "sum_of references a counter not defined in the catalog",
+    "C103": "co-dependency (sum_of) graph contains a cycle",
+    "C104": "sum counter and its parts are in different categories",
+    "C105": "sum counter and its parts have inconsistent units",
+    "C106": "counter declares a negative noise level",
+    "C107": "derivation output cannot match the trace's n_seconds",
+    "C108": "catalog name index is out of sync with its definitions",
+    "M201": "feature set references a counter absent from the catalog",
+    "M202": "model registry entry has no working fit implementation",
+    "A301": "np.random.default_rng() called without a seed",
+    "A302": "np.random.seed() reseeds the legacy global RNG",
+    "A303": "float equality (==/!=) comparison in experiment code",
+    "A304": "mutable default argument",
+    "A305": "star import",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, locatable either in source or in a catalog."""
+
+    code: str
+    message: str
+    location: str
+    """``path:line`` for AST findings, ``platform:<key>`` for semantic."""
+
+    context: dict = field(default_factory=dict, compare=False)
+    """Extra machine-readable detail (counter name, rule inputs, ...)."""
+
+    def __post_init__(self) -> None:
+        if self.code not in RULES:
+            raise ValueError(f"unknown rule code {self.code!r}")
+
+    @property
+    def rule(self) -> str:
+        return RULES[self.code]
+
+    def render(self) -> str:
+        return f"{self.location}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "rule": self.rule,
+            "message": self.message,
+            "location": self.location,
+            "context": dict(self.context),
+        }
+
+
+def normalize_codes(raw: str | Iterable[str] | None) -> tuple[str, ...]:
+    """Parse a ``--select``/``--ignore`` value into code prefixes.
+
+    Accepts a comma-separated string or an iterable; prefixes are matched
+    case-insensitively (``--select C`` keeps every catalog rule).
+    """
+    if raw is None:
+        return ()
+    if isinstance(raw, str):
+        parts: Iterable[str] = raw.split(",")
+    else:
+        parts = raw
+    return tuple(p.strip().upper() for p in parts if p.strip())
+
+
+def filter_findings(
+    findings: list[Finding],
+    select: str | Iterable[str] | None = None,
+    ignore: str | Iterable[str] | None = None,
+) -> list[Finding]:
+    """Apply ruff-style prefix filters: select first, then ignore."""
+    selected = normalize_codes(select)
+    ignored = normalize_codes(ignore)
+    kept = []
+    for finding in findings:
+        if selected and not finding.code.startswith(selected):
+            continue
+        if ignored and finding.code.startswith(ignored):
+            continue
+        kept.append(finding)
+    return kept

@@ -1,0 +1,113 @@
+"""chaos-lint orchestration: run every layer, filter, render a report.
+
+``run_lint`` is what both the ``repro lint`` CLI subcommand and the
+tier-1 regression test call; keeping it pure (no process exit, no
+printing) makes the report easy to assert on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.astlint import DEFAULT_AST_ROOTS, lint_paths
+from repro.analysis.findings import RULES, Finding, filter_findings
+from repro.analysis.semantic import check_all_platforms
+
+
+@dataclass
+class LintReport:
+    """Everything one chaos-lint invocation produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    n_files_scanned: int = 0
+    n_platforms_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+    def counts_by_code(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def render_text(self) -> str:
+        lines = []
+        for finding in self.findings:
+            lines.append(finding.render())
+        summary = (
+            f"chaos-lint: {len(self.findings)} finding(s) in "
+            f"{self.n_files_scanned} file(s), "
+            f"{self.n_platforms_checked} platform catalog(s)"
+        )
+        if self.findings:
+            breakdown = ", ".join(
+                f"{code} x{count}"
+                for code, count in self.counts_by_code().items()
+            )
+            summary += f" [{breakdown}]"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "clean": self.clean,
+                "n_files_scanned": self.n_files_scanned,
+                "n_platforms_checked": self.n_platforms_checked,
+                "counts_by_code": self.counts_by_code(),
+                "rules": RULES,
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=2,
+        )
+
+
+def run_lint(
+    root: str | Path | None = None,
+    paths: Sequence[str | Path] | None = None,
+    select: str | Iterable[str] | None = None,
+    ignore: str | Iterable[str] | None = None,
+    semantic: bool = True,
+    ast_pass: bool = True,
+) -> LintReport:
+    """Run chaos-lint and return the (filtered) report.
+
+    ``root`` anchors the default scan roots (``src``, ``benchmarks``,
+    ``examples``); pass explicit ``paths`` to lint arbitrary files or
+    directories instead.  The semantic layer is path-independent: it
+    checks the in-process platform catalogs and model registry.
+    """
+    from repro.platforms.specs import ALL_PLATFORMS
+
+    report = LintReport()
+    findings: list[Finding] = []
+    if semantic:
+        findings += check_all_platforms()
+        report.n_platforms_checked = len(ALL_PLATFORMS)
+    if ast_pass:
+        if paths is None:
+            base = Path(root) if root is not None else Path.cwd()
+            scan = [base / name for name in DEFAULT_AST_ROOTS]
+            scan = [p for p in scan if p.exists()]
+        else:
+            scan = [Path(p) for p in paths]
+            missing = [str(p) for p in scan if not p.exists()]
+            if missing:
+                # A typo'd path in a CI invocation must not pass green.
+                raise ValueError(
+                    "lint path(s) do not exist: " + ", ".join(missing)
+                )
+        ast_findings, n_files = lint_paths(scan)
+        findings += ast_findings
+        report.n_files_scanned = n_files
+    report.findings = filter_findings(findings, select=select, ignore=ignore)
+    return report

@@ -1,0 +1,347 @@
+"""Semantic checks over counter catalogs and the model pipeline.
+
+Step 2 of Algorithm 1 eliminates co-dependent counters purely from the
+catalog's ``sum_of`` documentation, so a wrong catalog silently corrupts
+feature selection without failing any numeric test.  These checks make
+the documented invariants machine-verified:
+
+* every ``sum_of`` reference resolves, the implied dependency graph is
+  acyclic, and a sum agrees with its parts on category and unit;
+* noise levels are nonnegative and every derivation produces one value
+  per second of the probe trace;
+* the feature-set builders and the technique registry stay consistent
+  with what the catalogs actually expose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.activity import idle_activity
+from repro.analysis.findings import Finding
+from repro.counters.definitions import (
+    CounterCatalog,
+    CounterDefinition,
+    DerivationContext,
+)
+from repro.platforms.specs import ALL_PLATFORMS, PlatformSpec
+
+#: Seconds in the tiny probe trace used to exercise derivations.
+PROBE_SECONDS = 8
+
+
+def unit_of(counter_name: str) -> str:
+    """Unit class inferred from a Perfmon-style counter name.
+
+    Perfmon encodes units in the counter leaf name (``% ...``, ``.../sec``,
+    ``... Bytes``); a definitional sum must agree with its parts on this
+    class or the documented identity is dimensionally impossible.
+    """
+    leaf = counter_name.rsplit("\\", 1)[-1]
+    if "%" in leaf:
+        return "percent"
+    kind = "bytes" if "byte" in leaf.lower() else "count"
+    if "/sec" in leaf.lower():
+        return f"{kind}/sec"
+    return kind
+
+
+def _location(spec: PlatformSpec, definition: CounterDefinition | None) -> str:
+    if definition is None:
+        return f"catalog[{spec.key}]"
+    return f"catalog[{spec.key}]:{definition.name}"
+
+
+def _check_names(catalog: CounterCatalog) -> list[Finding]:
+    """C101 duplicates + C108 index desync, from the raw definitions list."""
+    findings = []
+    seen: dict[str, int] = {}
+    for position, definition in enumerate(catalog.definitions):
+        if definition.name in seen:
+            findings.append(Finding(
+                "C101",
+                f"counter {definition.name!r} defined at positions "
+                f"{seen[definition.name]} and {position}",
+                _location(catalog.spec, definition),
+                context={"counter": definition.name},
+            ))
+        else:
+            seen[definition.name] = position
+    for name, position in catalog._index.items():
+        if (
+            position >= len(catalog.definitions)
+            or catalog.definitions[position].name != name
+        ):
+            findings.append(Finding(
+                "C108",
+                f"index entry {name!r} -> {position} does not match the "
+                "definitions list",
+                _location(catalog.spec, None),
+                context={"counter": name},
+            ))
+    return findings
+
+
+def _check_codependencies(catalog: CounterCatalog) -> list[Finding]:
+    """C102 dangling refs, C103 cycles, C104/C105 category/unit mismatch."""
+    findings = []
+    by_name = {d.name: d for d in catalog.definitions}
+
+    edges: dict[str, tuple[str, ...]] = {}
+    for definition in catalog.definitions:
+        if definition.sum_of is None:
+            continue
+        resolved = []
+        for component in definition.sum_of:
+            if component not in by_name:
+                findings.append(Finding(
+                    "C102",
+                    f"declared as sum of undefined counter {component!r}",
+                    _location(catalog.spec, definition),
+                    context={
+                        "counter": definition.name, "missing": component,
+                    },
+                ))
+                continue
+            resolved.append(component)
+            part = by_name[component]
+            if part.category is not definition.category:
+                findings.append(Finding(
+                    "C104",
+                    f"category {definition.category.value!r} but part "
+                    f"{component!r} is {part.category.value!r}",
+                    _location(catalog.spec, definition),
+                    context={
+                        "counter": definition.name, "part": component,
+                    },
+                ))
+            if unit_of(part.name) != unit_of(definition.name):
+                findings.append(Finding(
+                    "C105",
+                    f"unit {unit_of(definition.name)!r} but part "
+                    f"{component!r} is {unit_of(part.name)!r}",
+                    _location(catalog.spec, definition),
+                    context={
+                        "counter": definition.name, "part": component,
+                    },
+                ))
+        edges[definition.name] = tuple(resolved)
+
+    # Cycle detection over the resolved sum_of graph (iterative DFS with
+    # colouring; a counter that is, transitively, a component of itself
+    # makes the step 2 elimination order undefined).
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {name: WHITE for name in edges}
+    reported: set[frozenset] = set()
+    for root in edges:
+        if colour[root] is not WHITE:
+            continue
+        stack: list[tuple[str, int]] = [(root, 0)]
+        colour[root] = GREY
+        path = [root]
+        while stack:
+            name, child_index = stack[-1]
+            children = edges.get(name, ())
+            if child_index < len(children):
+                stack[-1] = (name, child_index + 1)
+                child = children[child_index]
+                if child not in edges:
+                    continue  # leaf counter: not itself a sum
+                if colour[child] is GREY:
+                    cycle = path[path.index(child):] + [child]
+                    key = frozenset(cycle)
+                    if key not in reported:
+                        reported.add(key)
+                        findings.append(Finding(
+                            "C103",
+                            "co-dependency cycle: " + " -> ".join(cycle),
+                            _location(catalog.spec, by_name[child]),
+                            context={"cycle": cycle},
+                        ))
+                elif colour[child] is WHITE:
+                    colour[child] = GREY
+                    stack.append((child, 0))
+                    path.append(child)
+            else:
+                colour[name] = BLACK
+                stack.pop()
+                path.pop()
+    return findings
+
+
+def _check_noise(catalog: CounterCatalog) -> list[Finding]:
+    """C106: negative noise levels (bypass of the dataclass validator)."""
+    findings = []
+    for definition in catalog.definitions:
+        if definition.noise_sigma < 0 or definition.additive_sigma < 0:
+            findings.append(Finding(
+                "C106",
+                f"noise_sigma={definition.noise_sigma}, "
+                f"additive_sigma={definition.additive_sigma}",
+                _location(catalog.spec, definition),
+                context={"counter": definition.name},
+            ))
+    return findings
+
+
+def _check_derivations(
+    catalog: CounterCatalog, probe_seconds: int = PROBE_SECONDS
+) -> list[Finding]:
+    """C107: run every derivation on a probe trace and check its shape."""
+    findings = []
+    activity = idle_activity(catalog.spec.n_cores, probe_seconds)
+    for index, definition in enumerate(catalog.definitions):
+        context = DerivationContext(
+            activity=activity,
+            spec=catalog.spec,
+            rng=np.random.default_rng([7, index]),
+        )
+        try:
+            values = np.asarray(definition.derive(context), dtype=float)
+        except Exception as error:  # any failure is a finding
+            findings.append(Finding(
+                "C107",
+                f"derivation raised {type(error).__name__}: {error}",
+                _location(catalog.spec, definition),
+                context={"counter": definition.name},
+            ))
+            continue
+        if values.shape != (probe_seconds,):
+            findings.append(Finding(
+                "C107",
+                f"derivation returned shape {values.shape}, expected "
+                f"({probe_seconds},)",
+                _location(catalog.spec, definition),
+                context={
+                    "counter": definition.name,
+                    "shape": list(values.shape),
+                },
+            ))
+    return findings
+
+
+def check_catalog(
+    catalog: CounterCatalog, run_derivations: bool = True
+) -> list[Finding]:
+    """All C1xx semantic findings for one platform catalog."""
+    findings = _check_names(catalog)
+    findings += _check_codependencies(catalog)
+    findings += _check_noise(catalog)
+    if run_derivations:
+        findings += _check_derivations(catalog)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Model-pipeline invariants (M2xx)
+# ----------------------------------------------------------------------
+
+def check_feature_sets(catalog: CounterCatalog) -> list[Finding]:
+    """M201: the named feature-set builders must resolve on this catalog."""
+    from repro.models.featuresets import (
+        CPU_UTILIZATION_COUNTER,
+        FREQUENCY_COUNTER,
+        cluster_plus_lagged_frequency,
+        cpu_only_set,
+    )
+
+    findings = []
+    probes = [
+        cpu_only_set(),
+        cluster_plus_lagged_frequency((CPU_UTILIZATION_COUNTER,)),
+    ]
+    for feature_set in probes:
+        referenced = tuple(feature_set.counters) + tuple(
+            feature_set.lagged_counters
+        )
+        for name in referenced:
+            if name not in catalog:
+                findings.append(Finding(
+                    "M201",
+                    f"feature set {feature_set.name!r} references "
+                    f"{name!r}, absent from this catalog",
+                    _location(catalog.spec, None),
+                    context={
+                        "feature_set": feature_set.name, "counter": name,
+                    },
+                ))
+    # The switching model keys on the frequency counter by name.
+    if FREQUENCY_COUNTER not in catalog:
+        findings.append(Finding(
+            "M201",
+            f"switching indicator {FREQUENCY_COUNTER!r} absent from "
+            "this catalog",
+            _location(catalog.spec, None),
+            context={"counter": FREQUENCY_COUNTER},
+        ))
+    return findings
+
+
+def check_model_registry() -> list[Finding]:
+    """M202: every registered technique builds, fits, and predicts."""
+    from repro.models.featuresets import (
+        CPU_UTILIZATION_COUNTER,
+        FREQUENCY_COUNTER,
+        FeatureSet,
+    )
+    from repro.models.registry import MODEL_CODES, MODEL_NAMES, build_model
+
+    findings = []
+    probe = FeatureSet(
+        name="probe",
+        counters=(CPU_UTILIZATION_COUNTER, FREQUENCY_COUNTER),
+    )
+    rng = np.random.default_rng(20260806)
+    design = rng.uniform(0.0, 100.0, size=(32, probe.n_features))
+    power = 50.0 + 0.4 * design[:, 0] + rng.normal(0.0, 1.0, 32)
+    for code in MODEL_CODES:
+        if code not in MODEL_NAMES:
+            findings.append(Finding(
+                "M202",
+                f"technique {code!r} has no entry in MODEL_NAMES",
+                "registry",
+                context={"code": code},
+            ))
+        try:
+            model = build_model(code, probe)
+            model.fit(design, power)
+            predicted = model.predict(design)
+        except Exception as error:  # any failure is a finding
+            findings.append(Finding(
+                "M202",
+                f"technique {code!r} failed to fit/predict: "
+                f"{type(error).__name__}: {error}",
+                "registry",
+                context={"code": code},
+            ))
+            continue
+        if predicted.shape != (design.shape[0],):
+            findings.append(Finding(
+                "M202",
+                f"technique {code!r} predicted shape {predicted.shape} "
+                f"for {design.shape[0]} samples",
+                "registry",
+                context={"code": code},
+            ))
+        if model.code != code:
+            findings.append(Finding(
+                "M202",
+                f"registry code {code!r} built a model reporting "
+                f"code {model.code!r}",
+                "registry",
+                context={"code": code},
+            ))
+    return findings
+
+
+def check_all_platforms(run_derivations: bool = True) -> list[Finding]:
+    """Semantic findings across every simulated platform + the registry."""
+    from repro.counters.catalog import build_catalog
+
+    findings = []
+    for spec in ALL_PLATFORMS:
+        catalog = build_catalog(spec)
+        findings += check_catalog(catalog, run_derivations=run_derivations)
+        findings += check_feature_sets(catalog)
+    findings += check_model_registry()
+    return findings

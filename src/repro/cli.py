@@ -8,6 +8,7 @@ Wraps the library's main entry points for shell use:
 * ``evaluate``   — cross-validate a technique + feature set on a workload
 * ``export-log`` — generate one machine-run's Perfmon CSV
 * ``predict``    — apply a saved model to a Perfmon CSV
+* ``lint``       — chaos-lint static analysis (catalogs + source tree)
 """
 
 from __future__ import annotations
@@ -75,6 +76,39 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     predict.add_argument("--model-file", required=True)
     predict.add_argument("--log", required=True)
+
+    lint = sub.add_parser(
+        "lint", help="run chaos-lint static analysis (catalogs + source)"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories for the AST pass (default: src, "
+        "benchmarks, examples under --root)",
+    )
+    lint.add_argument(
+        "--root", default=".",
+        help="repository root anchoring the default scan paths",
+    )
+    lint.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the report as JSON",
+    )
+    lint.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule-code prefixes to keep (e.g. 'C1,A301')",
+    )
+    lint.add_argument(
+        "--ignore", default=None, metavar="CODES",
+        help="comma-separated rule-code prefixes to drop",
+    )
+    lint.add_argument(
+        "--no-semantic", action="store_true",
+        help="skip the catalog/pipeline semantic checker",
+    )
+    lint.add_argument(
+        "--no-ast", action="store_true",
+        help="skip the source AST pass",
+    )
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate one of the paper's tables/figures"
@@ -274,6 +308,24 @@ def _cmd_predict(args, out) -> int:
     return 0
 
 
+def _cmd_lint(args, out) -> int:
+    from repro.analysis.runner import run_lint
+
+    report = run_lint(
+        root=args.root,
+        paths=args.paths or None,
+        select=args.select,
+        ignore=args.ignore,
+        semantic=not args.no_semantic,
+        ast_pass=not args.no_ast,
+    )
+    if args.as_json:
+        print(report.render_json(), file=out)
+    else:
+        print(report.render_text(), file=out)
+    return report.exit_code
+
+
 #: Artifact name -> experiment driver (resolved lazily to keep CLI startup
 #: light).  Every driver accepts a DataRepository.
 _ARTIFACTS = {
@@ -328,6 +380,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "export-log": _cmd_export_log,
     "predict": _cmd_predict,
+    "lint": _cmd_lint,
     "reproduce": _cmd_reproduce,
 }
 

@@ -73,7 +73,7 @@ class CounterDefinition:
     """Ground truth: does this counter reflect real machine activity?
     (Used by tests and analysis, never by the selection algorithm.)"""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("counter name must be non-empty")
         if self.noise_sigma < 0 or self.additive_sigma < 0:

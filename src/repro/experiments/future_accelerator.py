@@ -28,7 +28,7 @@ from repro.models.featuresets import (
 )
 from repro.models.quadratic import QuadraticPowerModel
 from repro.platforms.specs import OPTERON
-from repro.workloads.base import Workload, ar1_series
+from repro.workloads.base import ar1_series
 from repro.workloads.prime import PrimeWorkload
 
 ACCELERATOR_PEAK_W = 35.0

@@ -95,7 +95,9 @@ def fit_platform_model(
             int(round(design.shape[0] * train_fraction)),
             4 * (feature_set.n_features + 1),
         )
-        rows = rng.choice(design.shape[0], size=min(keep, design.shape[0]), replace=False)
+        rows = rng.choice(
+            design.shape[0], size=min(keep, design.shape[0]), replace=False
+        )
         rows.sort()
         design, power = design[rows], power[rows]
     model = build_model(model_code, feature_set).fit(design, power)

@@ -12,7 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.runner import ClusterRun
-from repro.framework.crossval import DEFAULT_TRAIN_FRACTION, EvaluationResult, cross_validate
+from repro.framework.crossval import (
+    DEFAULT_TRAIN_FRACTION,
+    EvaluationResult,
+    cross_validate,
+)
 from repro.models.featuresets import FeatureSet
 from repro.models.registry import MODEL_CODES, supports_feature_set
 

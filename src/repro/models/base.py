@@ -19,7 +19,7 @@ class PowerModel(abc.ABC):
     #: Short code used in the paper's Table IV labels (L, P, Q, S).
     code: str = "?"
 
-    def __init__(self, feature_names: list[str]):
+    def __init__(self, feature_names: list[str]) -> None:
         if not feature_names:
             raise ValueError("a power model needs at least one feature")
         self.feature_names = list(feature_names)

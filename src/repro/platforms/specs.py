@@ -179,7 +179,9 @@ ATOM = PlatformSpec(
     memory_gb=4,
     memory_type="DDR2-800",
     disks=(DiskSpec(DiskKind.SSD, active_delta_w=0.5, max_bandwidth_bps=200e6),),
-    budget=PowerBudget(cpu_w=2.4, memory_w=0.6, disk_w=0.4, network_w=0.3, board_w=0.3),
+    budget=PowerBudget(
+        cpu_w=2.4, memory_w=0.6, disk_w=0.4, network_w=0.3, board_w=0.3,
+    ),
 )
 
 CORE2 = PlatformSpec(
@@ -198,7 +200,9 @@ CORE2 = PlatformSpec(
     memory_gb=4,
     memory_type="DDR3-1066",
     disks=(DiskSpec(DiskKind.SSD, active_delta_w=0.7, max_bandwidth_bps=220e6),),
-    budget=PowerBudget(cpu_w=14.5, memory_w=2.5, disk_w=1.0, network_w=1.2, board_w=1.8),
+    budget=PowerBudget(
+        cpu_w=14.5, memory_w=2.5, disk_w=1.0, network_w=1.2, board_w=1.8,
+    ),
 )
 
 ATHLON = PlatformSpec(
@@ -217,7 +221,9 @@ ATHLON = PlatformSpec(
     memory_gb=8,
     memory_type="DDR2-800",
     disks=(DiskSpec(DiskKind.SSD, active_delta_w=0.8, max_bandwidth_bps=220e6),),
-    budget=PowerBudget(cpu_w=38.0, memory_w=4.5, disk_w=1.5, network_w=1.5, board_w=4.5),
+    budget=PowerBudget(
+        cpu_w=38.0, memory_w=4.5, disk_w=1.5, network_w=1.5, board_w=4.5,
+    ),
 )
 
 OPTERON = PlatformSpec(
@@ -239,7 +245,9 @@ OPTERON = PlatformSpec(
         DiskSpec(DiskKind.SATA_10K, active_delta_w=3.0, max_bandwidth_bps=90e6)
         for _ in range(2)
     ),
-    budget=PowerBudget(cpu_w=36.0, memory_w=7.0, disk_w=6.0, network_w=2.0, board_w=4.0),
+    budget=PowerBudget(
+        cpu_w=36.0, memory_w=7.0, disk_w=6.0, network_w=2.0, board_w=4.0,
+    ),
     core_freq_divergence=0.12,
 )
 
@@ -262,7 +270,9 @@ XEON_SATA = PlatformSpec(
         DiskSpec(DiskKind.SATA_7200, active_delta_w=5.0, max_bandwidth_bps=70e6)
         for _ in range(4)
     ),
-    budget=PowerBudget(cpu_w=80.0, memory_w=11.0, disk_w=20.0, network_w=4.0, board_w=10.0),
+    budget=PowerBudget(
+        cpu_w=80.0, memory_w=11.0, disk_w=20.0, network_w=4.0, board_w=10.0,
+    ),
     core_freq_divergence=0.20,
 )
 
@@ -285,7 +295,9 @@ XEON_SAS = PlatformSpec(
         DiskSpec(DiskKind.SAS_15K, active_delta_w=4.5, max_bandwidth_bps=120e6)
         for _ in range(6)
     ),
-    budget=PowerBudget(cpu_w=66.0, memory_w=11.0, disk_w=27.0, network_w=4.0, board_w=12.0),
+    budget=PowerBudget(
+        cpu_w=66.0, memory_w=11.0, disk_w=27.0, network_w=4.0, board_w=12.0,
+    ),
     core_freq_divergence=0.20,
 )
 

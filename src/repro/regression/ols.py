@@ -129,7 +129,9 @@ def fit_ols(design: np.ndarray, response: np.ndarray) -> OLSFit:
         # Null-space participation per coefficient: how much of the
         # coefficient's direction was dropped as unidentifiable.
         dropped = ~keep
-        null_participation = (vt[dropped] ** 2).sum(axis=0) if dropped.any() else np.zeros(p)
+        null_participation = (
+            (vt[dropped] ** 2).sum(axis=0) if dropped.any() else np.zeros(p)
+        )
         var_std_diag = (vt.T ** 2 @ inv_singular**2)
     else:
         rank_z = 0

@@ -1,0 +1,148 @@
+"""AST-pass tests: each A3xx rule fires on a seeded fault, with correct
+scoping (A303 only applies to experiment code) and filtering."""
+
+import textwrap
+
+from repro.analysis.astlint import (
+    is_experiment_path,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.findings import filter_findings
+
+
+def _lint(code, path="src/repro/module.py"):
+    return lint_source(textwrap.dedent(code), path)
+
+
+def _codes(findings):
+    return sorted(f.code for f in findings)
+
+
+class TestUnseededRng:
+    def test_a301_attribute_call(self):
+        findings = _lint("""
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+        assert _codes(findings) == ["A301"]
+        assert findings[0].location.endswith(":3")
+
+    def test_a301_direct_import(self):
+        findings = _lint("""
+            from numpy.random import default_rng
+            rng = default_rng()
+        """)
+        assert _codes(findings) == ["A301"]
+
+    def test_seeded_default_rng_is_clean(self):
+        assert _lint("""
+            import numpy as np
+            rng = np.random.default_rng([1, 2, 3])
+            rng2 = np.random.default_rng(seed=7)
+        """) == []
+
+    def test_a302_global_seed(self):
+        findings = _lint("""
+            import numpy as np
+            np.random.seed(42)
+        """)
+        assert _codes(findings) == ["A302"]
+
+    def test_unrelated_seed_method_is_clean(self):
+        assert _lint("""
+            class Sower:
+                def seed(self, value):
+                    return value
+            Sower().seed(3)
+        """) == []
+
+
+class TestFloatEquality:
+    def test_a303_in_benchmark(self):
+        findings = _lint(
+            "ok = value == 5.0\n", path="benchmarks/bench_x.py"
+        )
+        assert _codes(findings) == ["A303"]
+
+    def test_a303_in_experiments_package(self):
+        findings = _lint(
+            "ok = value != 0.25\n",
+            path="src/repro/experiments/figure9.py",
+        )
+        assert _codes(findings) == ["A303"]
+
+    def test_a303_not_applied_to_library_code(self):
+        assert _lint(
+            "selected = coefficients != 0.0\n",
+            path="src/repro/regression/lasso.py",
+        ) == []
+
+    def test_int_equality_is_clean(self):
+        assert _lint(
+            "ok = count == 5\n", path="benchmarks/bench_x.py"
+        ) == []
+
+    def test_inequalities_are_clean(self):
+        assert _lint(
+            "ok = value >= 5.0\n", path="benchmarks/bench_x.py"
+        ) == []
+
+
+class TestFootguns:
+    def test_a304_mutable_default(self):
+        findings = _lint("""
+            def collect(into=[]):
+                return into
+        """)
+        assert _codes(findings) == ["A304"]
+
+    def test_a304_kwonly_dict_constructor(self):
+        findings = _lint("""
+            def collect(*, cache=dict()):
+                return cache
+        """)
+        assert _codes(findings) == ["A304"]
+
+    def test_none_default_is_clean(self):
+        assert _lint("""
+            def collect(into=None):
+                return into or []
+        """) == []
+
+    def test_a305_star_import(self):
+        findings = _lint("from numpy import *\n")
+        assert _codes(findings) == ["A305"]
+
+
+class TestScopingAndFiltering:
+    def test_is_experiment_path(self):
+        from pathlib import Path
+
+        assert is_experiment_path(Path("benchmarks/bench_x.py"))
+        assert is_experiment_path(Path("examples/quickstart.py"))
+        assert is_experiment_path(Path("src/repro/experiments/t.py"))
+        assert not is_experiment_path(Path("src/repro/models/base.py"))
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        bench = tmp_path / "benchmarks"
+        bench.mkdir()
+        (bench / "bench_bad.py").write_text(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        (bench / "notes.txt").write_text("not python")
+        findings, n_files = lint_paths([tmp_path])
+        assert n_files == 1
+        assert _codes(findings) == ["A301"]
+
+    def test_select_and_ignore_prefixes(self):
+        findings = _lint("""
+            from numpy import *
+            import numpy as np
+            np.random.seed(1)
+        """)
+        assert _codes(findings) == ["A302", "A305"]
+        assert _codes(filter_findings(findings, select="A305")) == ["A305"]
+        assert _codes(filter_findings(findings, ignore="A302")) == ["A305"]
+        assert filter_findings(findings, ignore="A30") == []
+        assert filter_findings(findings, select="C") == []

@@ -1,0 +1,97 @@
+"""Tier-1 gate: the shipped tree is chaos-lint clean, and seeded faults
+are detected end-to-end through the ``repro lint`` CLI."""
+
+import io
+import json
+from pathlib import Path
+
+from repro.analysis.runner import run_lint
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestCleanTree:
+    def test_repository_is_lint_clean(self):
+        report = run_lint(root=REPO_ROOT)
+        assert report.findings == [], report.render_text()
+        assert report.exit_code == 0
+        assert report.n_platforms_checked == 6
+        assert report.n_files_scanned > 100
+
+    def test_cli_exits_zero_on_clean_tree(self):
+        code, text = _run_cli(["lint", "--root", str(REPO_ROOT)])
+        assert code == 0
+        assert "0 finding(s)" in text
+
+
+class TestSeededFaults:
+    """Acceptance: each seeded fault is caught with a distinct code."""
+
+    def test_unseeded_default_rng_in_benchmark(self, tmp_path):
+        bad = tmp_path / "benchmarks" / "bench_seeded_fault.py"
+        bad.parent.mkdir()
+        bad.write_text(
+            "import numpy as np\n"
+            "rng = np.random.default_rng()\n"
+        )
+        code, text = _run_cli(["lint", "--no-semantic", str(bad)])
+        assert code == 1
+        assert "A301" in text
+
+    def test_global_seed_and_float_eq(self, tmp_path):
+        bad = tmp_path / "examples" / "fault.py"
+        bad.parent.mkdir()
+        bad.write_text(
+            "import numpy as np\n"
+            "np.random.seed(0)\n"
+            "done = progress == 1.0\n"
+        )
+        code, text = _run_cli(["lint", "--no-semantic", str(bad)])
+        assert code == 1
+        assert "A302" in text and "A303" in text
+
+    def test_select_restricts_codes(self, tmp_path):
+        bad = tmp_path / "examples" / "fault.py"
+        bad.parent.mkdir()
+        bad.write_text(
+            "import numpy as np\n"
+            "np.random.seed(0)\n"
+            "done = progress == 1.0\n"
+        )
+        code, text = _run_cli([
+            "lint", "--no-semantic", "--select", "A302", str(bad)
+        ])
+        assert code == 1
+        assert "A302" in text and "A303" not in text
+        code, _ = _run_cli([
+            "lint", "--no-semantic", "--ignore", "A3", str(bad)
+        ])
+        assert code == 0
+
+    def test_nonexistent_path_fails_instead_of_passing_green(self):
+        code, text = _run_cli([
+            "lint", "--no-semantic", "/nonexistent/lint/target"
+        ])
+        assert code == 1
+        assert "do not exist" in text
+
+    def test_json_report_round_trips(self, tmp_path):
+        bad = tmp_path / "benchmarks" / "bench_fault.py"
+        bad.parent.mkdir()
+        bad.write_text("from numpy import *\n")
+        code, text = _run_cli([
+            "lint", "--no-semantic", "--json", str(bad)
+        ])
+        assert code == 1
+        payload = json.loads(text)
+        assert payload["clean"] is False
+        assert payload["counts_by_code"] == {"A305": 1}
+        assert payload["findings"][0]["code"] == "A305"
+        assert "A305" in payload["rules"]

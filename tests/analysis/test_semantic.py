@@ -1,0 +1,211 @@
+"""Semantic-checker tests: every C1xx/M2xx rule fires on a seeded fault
+and stays silent on the real catalogs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.findings import Finding
+from repro.analysis.semantic import (
+    check_all_platforms,
+    check_catalog,
+    check_feature_sets,
+    check_model_registry,
+    unit_of,
+)
+from repro.counters.catalog import build_catalog
+from repro.counters.definitions import (
+    CounterCatalog,
+    CounterCategory,
+    CounterDefinition,
+)
+from repro.platforms.specs import get_platform
+
+SPEC = get_platform("atom")
+
+
+def _definition(name, category=CounterCategory.MEMORY, sum_of=None):
+    def derive(ctx):
+        return np.zeros(ctx.activity.n_seconds)
+
+    return CounterDefinition(name, category, derive, sum_of=sum_of)
+
+
+def _catalog(*definitions):
+    """Catalog built WITHOUT add(): how a broken one enters the world."""
+    return CounterCatalog(spec=SPEC, definitions=list(definitions))
+
+
+def _codes(findings):
+    return sorted({f.code for f in findings})
+
+
+class TestCatalogConstructionGuards:
+    """Regression: CounterCatalog.add rejects the faults outright."""
+
+    def test_duplicate_name_raises_value_error(self):
+        catalog = CounterCatalog(spec=SPEC)
+        catalog.add(_definition("a"))
+        with pytest.raises(ValueError, match="duplicate counter name"):
+            catalog.add(_definition("a"))
+
+    def test_dangling_sum_of_raises_value_error(self):
+        catalog = CounterCatalog(spec=SPEC)
+        catalog.add(_definition("a"))
+        with pytest.raises(ValueError, match="unknown"):
+            catalog.add(_definition("s", sum_of=("a", "ghost")))
+
+
+class TestCatalogRules:
+    def test_clean_catalog_has_no_findings(self):
+        assert check_catalog(build_catalog(SPEC)) == []
+
+    def test_c101_duplicate_name(self):
+        findings = check_catalog(
+            _catalog(_definition("a"), _definition("a")),
+            run_derivations=False,
+        )
+        assert _codes(findings) == ["C101"]
+        assert "positions 0 and 1" in findings[0].message
+
+    def test_c102_dangling_sum_of(self):
+        findings = check_catalog(
+            _catalog(
+                _definition("a"),
+                _definition("s", sum_of=("a", "ghost")),
+            ),
+            run_derivations=False,
+        )
+        assert _codes(findings) == ["C102"]
+        assert findings[0].context["missing"] == "ghost"
+
+    def test_c103_cycle(self):
+        findings = check_catalog(
+            _catalog(
+                _definition("c"),
+                _definition("a", sum_of=("b", "c")),
+                _definition("b", sum_of=("a", "c")),
+            ),
+            run_derivations=False,
+        )
+        assert "C103" in _codes(findings)
+        [cycle_finding] = [f for f in findings if f.code == "C103"]
+        assert set(cycle_finding.context["cycle"]) >= {"a", "b"}
+
+    def test_c103_self_reference(self):
+        findings = check_catalog(
+            _catalog(
+                _definition("a"),
+                _definition("s", sum_of=("s", "a")),
+            ),
+            run_derivations=False,
+        )
+        assert "C103" in _codes(findings)
+
+    def test_c104_category_mismatch(self):
+        findings = check_catalog(
+            _catalog(
+                _definition("a", category=CounterCategory.NETWORK),
+                _definition("b", category=CounterCategory.MEMORY),
+                _definition(
+                    "s",
+                    category=CounterCategory.MEMORY,
+                    sum_of=("a", "b"),
+                ),
+            ),
+            run_derivations=False,
+        )
+        assert _codes(findings) == ["C104"]
+
+    def test_c105_unit_mismatch(self):
+        findings = check_catalog(
+            _catalog(
+                _definition(r"\Memory\Reads/sec"),
+                _definition(r"\Memory\Write Bytes"),
+                _definition(
+                    r"\Memory\Total/sec",
+                    sum_of=(r"\Memory\Reads/sec", r"\Memory\Write Bytes"),
+                ),
+            ),
+            run_derivations=False,
+        )
+        assert _codes(findings) == ["C105"]
+
+    def test_c106_negative_noise_bypassing_validator(self):
+        definition = _definition("a")
+        object.__setattr__(definition, "noise_sigma", -0.5)
+        findings = check_catalog(
+            _catalog(definition), run_derivations=False
+        )
+        assert _codes(findings) == ["C106"]
+
+    def test_c107_wrong_shape_derivation(self):
+        def bad_derive(ctx):
+            return np.zeros(ctx.activity.n_seconds + 3)
+
+        definition = CounterDefinition(
+            "bad", CounterCategory.MEMORY, bad_derive
+        )
+        findings = check_catalog(_catalog(definition))
+        assert _codes(findings) == ["C107"]
+        assert "shape" in findings[0].message
+
+    def test_c107_raising_derivation(self):
+        def bad_derive(ctx):
+            raise RuntimeError("boom")
+
+        definition = CounterDefinition(
+            "bad", CounterCategory.MEMORY, bad_derive
+        )
+        findings = check_catalog(_catalog(definition))
+        assert _codes(findings) == ["C107"]
+        assert "boom" in findings[0].message
+
+    def test_c108_index_desync(self):
+        catalog = CounterCatalog(spec=SPEC)
+        catalog.add(_definition("a"))
+        catalog.add(_definition("b"))
+        catalog._index["a"], catalog._index["b"] = 1, 0
+        findings = check_catalog(catalog, run_derivations=False)
+        assert _codes(findings) == ["C108"]
+
+
+class TestUnitInference:
+    @pytest.mark.parametrize("name, unit", [
+        (r"\Processor(_Total)\% Processor Time", "percent"),
+        (r"\PhysicalDisk(_Total)\Disk Reads/sec", "count/sec"),
+        (r"\PhysicalDisk(_Total)\Disk Read Bytes/sec", "bytes/sec"),
+        (r"\Memory\Committed Bytes", "bytes"),
+        (r"\System\Threads", "count"),
+    ])
+    def test_unit_of(self, name, unit):
+        assert unit_of(name) == unit
+
+
+class TestPipelineRules:
+    def test_registry_is_clean(self):
+        assert check_model_registry() == []
+
+    def test_feature_sets_resolve_on_real_catalog(self):
+        assert check_feature_sets(build_catalog(SPEC)) == []
+
+    def test_m201_missing_counter(self):
+        findings = check_feature_sets(_catalog(_definition("a")))
+        assert _codes(findings) == ["M201"]
+        # CPU-only set, CP set (counter + lagged freq), and the switching
+        # indicator are all unresolvable on this one-counter catalog.
+        assert len(findings) >= 3
+
+    def test_all_platforms_clean(self):
+        # The tier-1 gate: the shipped catalogs and registry never regress.
+        assert check_all_platforms(run_derivations=False) == []
+
+
+class TestFindingBasics:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule code"):
+            Finding("Z999", "nope", "nowhere")
+
+    def test_render_mentions_code_and_location(self):
+        finding = Finding("C101", "dup", "catalog[atom]:x")
+        assert "C101" in finding.render()
+        assert "catalog[atom]:x" in finding.render()

@@ -90,7 +90,11 @@ class TestValidation:
 class TestGeneralization:
     def test_out_of_sample_accuracy(self, rng):
         def truth(x):
-            return 2 + 3 * np.maximum(x[:, 0] - 0.5, 0) - 2 * np.maximum(0.3 - x[:, 1], 0)
+            return (
+                2
+                + 3 * np.maximum(x[:, 0] - 0.5, 0)
+                - 2 * np.maximum(0.3 - x[:, 1], 0)
+            )
 
         x_train = rng.uniform(0, 1, size=(1000, 2))
         y_train = truth(x_train) + rng.normal(0, 0.05, 1000)
