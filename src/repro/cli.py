@@ -9,6 +9,13 @@ Wraps the library's main entry points for shell use:
 * ``export-log`` — generate one machine-run's Perfmon CSV
 * ``predict``    — apply a saved model to a Perfmon CSV
 * ``lint``       — chaos-lint static analysis (catalogs + source tree)
+* ``sweep``      — run the technique x feature-set grid via the engine
+* ``cache``      — inspect/clear the engine's artifact cache
+
+Engine flags (``sweep``, ``reproduce``): ``--jobs N`` runs independent
+tasks on N worker processes with bit-identical results; ``--cache-dir``
+points the content-addressed artifact cache somewhere other than
+``.repro-cache``; ``--no-cache`` disables it.  See ``docs/engine.md``.
 """
 
 from __future__ import annotations
@@ -131,7 +138,68 @@ def _build_parser() -> argparse.ArgumentParser:
         "--export", default=None, metavar="DIR",
         help="also write the artifact's data as CSV into DIR",
     )
+    _add_engine_flags(reproduce)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="cross-validate the technique x feature-set grid "
+        "(parallel + cached via the experiment engine)",
+    )
+    sweep.add_argument("--platform", required=True)
+    sweep.add_argument("--workload", required=True, choices=WORKLOAD_NAMES)
+    sweep.add_argument(
+        "--features", default="U,C", metavar="SETS",
+        help="comma-separated feature sets to evaluate: U (CPU-only), "
+        "C (Algorithm 1 cluster set), CP (cluster + lagged MHz) "
+        "(default: U,C)",
+    )
+    sweep.add_argument(
+        "--runs", type=int, default=5,
+        help="runs per workload (paper: 5; lower is faster)",
+    )
+    sweep.add_argument(
+        "--machines", type=int, default=5,
+        help="machines per cluster (paper: 5)",
+    )
+    sweep.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    sweep.add_argument(
+        "--telemetry", action="store_true",
+        help="print per-task timing and cache hit-rate after the grid",
+    )
+    _add_engine_flags(sweep)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the engine's artifact cache"
+    )
+    cache.add_argument(
+        "action", choices=["stats", "clear"],
+        help="'stats' prints entry count and size; 'clear' deletes "
+        "every entry",
+    )
+    cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
     return parser
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """The experiment-engine knobs shared by sweep/reproduce."""
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for independent tasks (default: "
+        "$REPRO_JOBS or 1); results are bit-identical for any N",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact-cache directory (default: $REPRO_CACHE_DIR, "
+        "else .repro-cache); warm reruns only recompute invalidated "
+        "cells",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the artifact cache for this invocation",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -308,6 +376,136 @@ def _cmd_predict(args, out) -> int:
     return 0
 
 
+def _resolve_cache_dir(args) -> str | None:
+    """--no-cache beats --cache-dir beats $REPRO_CACHE_DIR beats default."""
+    import os
+
+    from repro.engine import DEFAULT_CACHE_DIR
+    from repro.engine.options import ENV_CACHE_DIR
+
+    if getattr(args, "no_cache", False):
+        return None
+    if args.cache_dir is not None:
+        return args.cache_dir
+    return os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
+
+
+def _engine_defaults(args):
+    """Context manager installing the CLI's engine flags as the
+    process-wide defaults, so every sweep inside a driver honors them."""
+    import contextlib
+
+    from repro.engine import (
+        reset_default_options,
+        resolve_jobs,
+        set_default_options,
+    )
+
+    @contextlib.contextmanager
+    def _installed():
+        set_default_options(
+            jobs=resolve_jobs(args.jobs),
+            cache_dir=_resolve_cache_dir(args),
+        )
+        try:
+            yield
+        finally:
+            reset_default_options()
+
+    return _installed()
+
+
+def _cmd_sweep(args, out) -> int:
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.runner import execute_runs
+    from repro.framework.chaos import collect_workload_runs
+    from repro.framework.reports import format_percent, render_table
+    from repro.framework.sweep import sweep_models
+    from repro.models.featuresets import (
+        cluster_plus_lagged_frequency,
+        cluster_set,
+        cpu_only_set,
+    )
+    from repro.selection.algorithm1 import run_algorithm1
+    from repro.telemetry import EngineTelemetry
+    from repro.workloads.suite import get_workload
+
+    wanted = [name.strip().upper() for name in args.features.split(",")]
+    unknown = set(wanted) - {"U", "C", "CP"}
+    if unknown:
+        print(f"unknown feature sets: {sorted(unknown)} "
+              "(choose from U, C, CP)", file=out)
+        return 2
+
+    spec = get_platform(args.platform)
+    cluster = Cluster.homogeneous(
+        spec, n_machines=args.machines, seed=args.seed
+    )
+    with _engine_defaults(args):
+        feature_sets = []
+        if "U" in wanted:
+            feature_sets.append(cpu_only_set())
+        if "C" in wanted or "CP" in wanted:
+            selection = run_algorithm1(
+                cluster, collect_workload_runs(cluster, n_runs=args.runs)
+            )
+            if "C" in wanted:
+                feature_sets.append(cluster_set(selection.selected))
+            if "CP" in wanted:
+                feature_sets.append(
+                    cluster_plus_lagged_frequency(selection.selected)
+                )
+        runs = execute_runs(
+            cluster, get_workload(args.workload), n_runs=args.runs
+        )
+        telemetry = EngineTelemetry()
+        sweep = sweep_models(runs, feature_sets, seed=args.seed,
+                             telemetry=telemetry)
+
+    feature_names = sorted(
+        {e.feature_set_name for e in sweep.evaluations},
+        key=lambda n: ("U", "C", "CP", "G").index(n),
+    )
+    rows = []
+    for code in ("L", "P", "Q", "S"):
+        row = [code]
+        for fs_name in feature_names:
+            try:
+                cell = sweep.cell(code, fs_name)
+                row.append(format_percent(cell.mean_machine_dre))
+            except KeyError:
+                row.append("n/a")
+        rows.append(row)
+    print(render_table(
+        ["model"] + [f"features={n}" for n in feature_names],
+        rows,
+        title=(
+            f"{spec.display_name} / {args.workload}: mean machine DRE "
+            f"({sweep.n_models_built} models cross-validated)"
+        ),
+    ), file=out)
+    best = sweep.best()
+    print(f"best cell: {best.label} "
+          f"(DRE {best.mean_machine_dre:.1%})", file=out)
+    if args.telemetry:
+        print(telemetry.render(), file=out)
+    return 0
+
+
+def _cmd_cache(args, out) -> int:
+    from repro.engine import ArtifactCache
+
+    cache_dir = _resolve_cache_dir(args)
+    cache = ArtifactCache(cache_dir)
+    if args.action == "stats":
+        print(cache.stats().render(), file=out)
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.root}",
+              file=out)
+    return 0
+
+
 def _cmd_lint(args, out) -> int:
     from repro.analysis.runner import run_lint
 
@@ -359,7 +557,8 @@ def _cmd_reproduce(args, out) -> int:
         "...",
         file=out,
     )
-    result = driver(repository=repository)
+    with _engine_defaults(args):
+        result = driver(repository=repository)
     print(result.render(), file=out)
     if args.export is not None:
         from repro.experiments.export import export_result
@@ -382,6 +581,8 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "lint": _cmd_lint,
     "reproduce": _cmd_reproduce,
+    "sweep": _cmd_sweep,
+    "cache": _cmd_cache,
 }
 
 

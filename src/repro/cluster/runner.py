@@ -9,6 +9,7 @@ makes the paper's train-on-one-run / test-on-others protocol meaningful.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -49,45 +50,122 @@ class ClusterRun:
         """(T,) total metered AC power across all machines."""
         return np.sum([log.power_w for log in self.logs.values()], axis=0)
 
+    def content_digest(self) -> str:
+        """SHA-256 over every log's counters and power (cache identity)."""
+        digest = hashlib.sha256()
+        digest.update(
+            f"{self.cluster_name}/{self.workload_name}/"
+            f"{self.run_index}".encode()
+        )
+        for machine_id in self.machine_ids:
+            log = self.logs[machine_id]
+            digest.update(machine_id.encode())
+            digest.update("\x00".join(log.counter_names).encode())
+            digest.update(np.ascontiguousarray(log.counters).tobytes())
+            digest.update(np.ascontiguousarray(log.power_w).tobytes())
+        return digest.hexdigest()
+
+
+def runs_content_digest(runs: list[ClusterRun]) -> str:
+    """One digest covering a whole measurement campaign, in run order."""
+    digest = hashlib.sha256()
+    for run in runs:
+        digest.update(run.content_digest().encode())
+    return digest.hexdigest()
+
+
+def generate_run(
+    cluster: Cluster,
+    workload: Workload,
+    run_index: int,
+    base_seed: int,
+) -> ClusterRun:
+    """Generate one run's telemetry; self-contained and order-independent.
+
+    Every machine's sampling seed derives from ``(base_seed, machine
+    index)`` and the workload trace from ``(base_seed, run_index)``, so
+    runs compute bit-identical logs whether generated serially or as
+    parallel engine tasks.
+    """
+    traces = workload.generate_run(
+        cluster.machines, run_index=run_index, seed=base_seed
+    )
+    logs: dict[str, PerfmonLog] = {}
+    for machine_index, machine in enumerate(cluster.machines):
+        catalog = cluster.catalog_for(machine.spec.key)
+        meter = cluster.meters[machine.machine_id]
+        machine_seed = _machine_sampling_seed(base_seed, machine_index)
+        logs[machine.machine_id] = sample_machine_run(
+            machine=machine,
+            catalog=catalog,
+            activity=traces[machine.machine_id],
+            meter=meter,
+            machine_seed=machine_seed,
+            run_index=run_index,
+        )
+    return ClusterRun(
+        cluster_name=cluster.name,
+        workload_name=workload.name,
+        run_index=run_index,
+        logs=logs,
+    )
+
+
+def run_task(config: dict, payload, deps, seed) -> ClusterRun:
+    """Engine task: generate one cluster run.
+
+    Not cacheable (the result is an in-memory dataclass, and generation
+    is cheap relative to model fitting); determinism comes from the
+    explicit seeds in ``config``, not the engine-derived ``seed``.
+    """
+    del deps, seed
+    cluster, workload = payload
+    return generate_run(
+        cluster, workload, config["run_index"], config["base_seed"]
+    )
+
 
 def execute_runs(
     cluster: Cluster,
     workload: Workload,
     n_runs: int = 5,
     seed: int | None = None,
+    jobs: int | None = None,
 ) -> list[ClusterRun]:
-    """Run a workload ``n_runs`` times on a cluster, collecting telemetry."""
+    """Run a workload ``n_runs`` times on a cluster, collecting telemetry.
+
+    With ``jobs > 1`` the runs are generated as parallel engine tasks
+    (bit-identical to the serial order); ``jobs=None`` follows the
+    process-wide engine options.
+    """
+    from repro.engine import TaskGraph, TaskSpec, resolve_jobs, run_graph
+
     if n_runs < 1:
         raise ValueError("need at least one run")
     base_seed = cluster.seed if seed is None else seed
+    jobs = resolve_jobs(jobs)
 
-    runs: list[ClusterRun] = []
-    for run_index in range(n_runs):
-        traces = workload.generate_run(
-            cluster.machines, run_index=run_index, seed=base_seed
+    if jobs == 1 or n_runs == 1:
+        return [
+            generate_run(cluster, workload, run_index, base_seed)
+            for run_index in range(n_runs)
+        ]
+
+    graph = TaskGraph([
+        TaskSpec(
+            key=f"{cluster.name}/{workload.name}/run{run_index}",
+            fn="repro.cluster.runner:run_task",
+            config={"run_index": run_index, "base_seed": base_seed},
+            payload=(cluster, workload),
+            cacheable=False,
         )
-        logs: dict[str, PerfmonLog] = {}
-        for machine_index, machine in enumerate(cluster.machines):
-            catalog = cluster.catalog_for(machine.spec.key)
-            meter = cluster.meters[machine.machine_id]
-            machine_seed = _machine_sampling_seed(base_seed, machine_index)
-            logs[machine.machine_id] = sample_machine_run(
-                machine=machine,
-                catalog=catalog,
-                activity=traces[machine.machine_id],
-                meter=meter,
-                machine_seed=machine_seed,
-                run_index=run_index,
-            )
-        runs.append(
-            ClusterRun(
-                cluster_name=cluster.name,
-                workload_name=workload.name,
-                run_index=run_index,
-                logs=logs,
-            )
-        )
-    return runs
+        for run_index in range(n_runs)
+    ])
+    results = run_graph(graph, jobs=jobs, root_seed=base_seed)
+    return [
+        results[f"{cluster.name}/{workload.name}/run{run_index}"]
+        for run_index in range(n_runs)
+    ]
 
 
 def _machine_sampling_seed(base_seed: int, machine_index: int) -> int:

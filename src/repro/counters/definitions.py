@@ -123,6 +123,15 @@ class CounterCatalog:
         except KeyError:
             raise KeyError(f"unknown counter {name!r}")
 
+    def __reduce__(self):
+        # Derivations are closures, which cannot cross a process
+        # boundary; catalogs are deterministic functions of their spec,
+        # so pickling ships the spec and rebuilds on the other side
+        # (process-pool workers of the experiment engine rely on this).
+        from repro.counters.catalog import build_catalog
+
+        return (build_catalog, (self.spec,))
+
     def definition(self, name: str) -> CounterDefinition:
         return self.definitions[self.index_of(name)]
 

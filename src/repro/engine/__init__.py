@@ -1,0 +1,61 @@
+"""The parallel experiment engine.
+
+Decomposes experiment pipelines into a work graph of declaratively
+specified tasks, executes them serially or on a process pool with
+bit-identical results, and backs cacheable tasks with a checksummed,
+content-addressed on-disk artifact cache.  See ``docs/engine.md``.
+"""
+
+from repro.engine.cache import (
+    DEFAULT_CACHE_DIR,
+    MISS,
+    ArtifactCache,
+    CacheStats,
+    atomic_write_json,
+)
+from repro.engine.codeversion import code_version
+from repro.engine.executor import TaskError, derive_task_seeds, run_graph
+from repro.engine.graph import GraphError, TaskGraph
+from repro.engine.hashing import (
+    cache_key,
+    canonical_json,
+    canonical_payload,
+    digest_arrays,
+    sha256_hex,
+)
+from repro.engine.options import (
+    EngineOptions,
+    default_options,
+    reset_default_options,
+    resolve_cache,
+    resolve_jobs,
+    set_default_options,
+)
+from repro.engine.spec import TaskSpec, resolve_callable
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "MISS",
+    "ArtifactCache",
+    "CacheStats",
+    "EngineOptions",
+    "GraphError",
+    "TaskError",
+    "TaskGraph",
+    "TaskSpec",
+    "atomic_write_json",
+    "cache_key",
+    "canonical_json",
+    "canonical_payload",
+    "code_version",
+    "default_options",
+    "derive_task_seeds",
+    "digest_arrays",
+    "reset_default_options",
+    "resolve_cache",
+    "resolve_callable",
+    "resolve_jobs",
+    "run_graph",
+    "set_default_options",
+    "sha256_hex",
+]

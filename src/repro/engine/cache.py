@@ -1,0 +1,142 @@
+"""Content-addressed on-disk artifact cache.
+
+Entries live at ``<root>/<key[:2]>/<key>.json`` and wrap the task result
+with a SHA-256 checksum of its canonical JSON.  Reads verify the checksum
+and treat any mismatch, truncation or parse error as a miss (the corrupt
+file is removed so the recomputed artifact replaces it).  Writes go
+through a temp file in the same directory followed by ``os.replace``, so
+a crash mid-write can never leave a half-written entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.hashing import canonical_json, sha256_hex
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+MISS = object()
+"""Sentinel returned by :meth:`ArtifactCache.get` for absent entries."""
+
+_ENTRY_FORMAT = 1
+
+
+def atomic_write_json(path: str | os.PathLike, payload: Any) -> None:
+    """Write JSON so readers see either the old file or the new one.
+
+    The payload is serialized to a temporary file in the target's
+    directory and atomically renamed over the destination; on any
+    failure the temp file is removed and nothing is left at ``path``.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Size summary for one cache directory."""
+
+    root: str
+    n_entries: int
+    total_bytes: int
+
+    def render(self) -> str:
+        return (
+            f"artifact cache at {self.root}: {self.n_entries} entries, "
+            f"{self.total_bytes / 1024:.1f} KiB"
+        )
+
+
+class ArtifactCache:
+    """A directory of checksummed, atomically-written task artifacts."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Any:
+        """The cached result for ``key``, or :data:`MISS`.
+
+        A corrupted entry (bad JSON, wrong shape, or checksum mismatch)
+        is deleted and reported as a miss so it gets recomputed, never
+        served.
+        """
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            return MISS
+        except (OSError, json.JSONDecodeError):
+            self._evict(path)
+            return MISS
+        if (
+            not isinstance(entry, dict)
+            or entry.get("format") != _ENTRY_FORMAT
+            or entry.get("key") != key
+            or "result" not in entry
+            or entry.get("checksum")
+            != sha256_hex(canonical_json(entry["result"], strict=False))
+        ):
+            self._evict(path)
+            return MISS
+        return entry["result"]
+
+    def put(self, key: str, result: Any) -> None:
+        """Store ``result`` (must be JSON-serializable) atomically."""
+        atomic_write_json(self._path(key), {
+            "format": _ENTRY_FORMAT,
+            "key": key,
+            "checksum": sha256_hex(canonical_json(result, strict=False)),
+            "result": result,
+        })
+
+    @staticmethod
+    def _evict(path: pathlib.Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _entries(self) -> list[pathlib.Path]:
+        return sorted(self.root.glob("*/*.json"))
+
+    def stats(self) -> CacheStats:
+        entries = self._entries()
+        return CacheStats(
+            root=str(self.root),
+            n_entries=len(entries),
+            total_bytes=sum(path.stat().st_size for path in entries),
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        entries = self._entries()
+        for path in entries:
+            self._evict(path)
+        for bucket in self.root.glob("*"):
+            if bucket.is_dir() and not any(bucket.iterdir()):
+                bucket.rmdir()
+        return len(entries)

@@ -1,0 +1,247 @@
+"""The executor: run a task graph serially or on a process pool.
+
+Determinism contract: a task's result depends only on (config, payload,
+dependency results, derived seed) — never on scheduling.  Per-task seeds
+are spawned from the root seed with ``numpy.random.SeedSequence`` against
+the *sorted* task keys, so adding workers, reordering completions, or
+resuming from a warm cache cannot change any task's random stream.  The
+serial path (``jobs=1``) and the pool path execute the identical task
+function, which is what the golden-result suite pins bit-for-bit.
+
+Failure contract: the first task that raises aborts the run with a
+:class:`TaskError` naming the task and carrying the worker traceback;
+in-flight siblings are cancelled, nothing hangs, and the failed task
+writes nothing to the cache (writes happen only after success, atomically).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any
+
+from numpy.random import SeedSequence
+
+from repro.engine.cache import MISS, ArtifactCache
+from repro.engine.codeversion import code_version
+from repro.engine.graph import TaskGraph
+from repro.engine.hashing import cache_key
+from repro.engine.spec import TaskSpec, resolve_callable
+from repro.telemetry.engine_stats import (
+    OUTCOME_CACHE_HIT,
+    OUTCOME_COMPUTED,
+    EngineTelemetry,
+)
+
+
+class TaskError(RuntimeError):
+    """A task failed; carries the task key and the worker's traceback."""
+
+    def __init__(self, key: str, fn: str, detail: str):
+        self.key = key
+        self.fn = fn
+        self.detail = detail
+        super().__init__(
+            f"task {key!r} ({fn}) failed:\n{detail}"
+        )
+
+
+def derive_task_seeds(
+    root_seed: int, keys: list[str]
+) -> dict[str, SeedSequence]:
+    """Independent, collision-free seed streams, one per task.
+
+    Children are spawned from ``SeedSequence(root_seed)`` against the
+    sorted key list, so the mapping depends only on the *set* of keys
+    and the root seed — not on declaration order, worker count, or which
+    tasks were cache hits.
+    """
+    ordered = sorted(set(keys))
+    if len(ordered) != len(keys):
+        raise ValueError("task keys must be unique")
+    children = SeedSequence(root_seed).spawn(len(ordered))
+    return dict(zip(ordered, children))
+
+
+def _execute(
+    fn_path: str,
+    config: dict,
+    payload: Any,
+    deps: dict[str, Any],
+    seed: SeedSequence,
+) -> tuple[Any, float]:
+    """Run one task (in a worker or inline); returns (result, seconds)."""
+    started = time.perf_counter()
+    fn = resolve_callable(fn_path)
+    result = fn(config=config, payload=payload, deps=deps, seed=seed)
+    return result, time.perf_counter() - started
+
+
+def run_graph(
+    graph: TaskGraph,
+    jobs: int = 1,
+    cache: ArtifactCache | None = None,
+    root_seed: int = 0,
+    telemetry: EngineTelemetry | None = None,
+) -> dict[str, Any]:
+    """Execute every task; returns ``{task key: result}``.
+
+    ``jobs=1`` runs inline in topological order; ``jobs>1`` uses a
+    ``ProcessPoolExecutor``, scheduling a task as soon as its
+    dependencies are done.  Either way, cacheable tasks are first looked
+    up in ``cache`` (missing/corrupt entries are recomputed) and stored
+    after success.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    order = graph.topological_order()
+    seeds = derive_task_seeds(root_seed, [task.key for task in order])
+    version = code_version() if cache is not None else ""
+    telemetry = telemetry if telemetry is not None else EngineTelemetry()
+    started = time.perf_counter()
+
+    results: dict[str, Any] = {}
+    try:
+        if jobs == 1 or len(order) <= 1:
+            _run_serial(
+                order, seeds, cache, version, root_seed, results, telemetry
+            )
+        else:
+            _run_pool(
+                graph, order, seeds, cache, version, root_seed, results,
+                telemetry, jobs,
+            )
+    finally:
+        telemetry.wall_seconds += time.perf_counter() - started
+    return results
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+def _artifact_key(task: TaskSpec, root_seed_version: tuple[int, str]) -> str:
+    root_seed, version = root_seed_version
+    return cache_key(
+        fn=task.fn,
+        config=task.config,
+        seed=root_seed,
+        code_version=version,
+        task_key=task.key,
+    )
+
+
+def _try_cache(
+    task: TaskSpec,
+    cache: ArtifactCache | None,
+    version: str,
+    root_seed: int,
+) -> tuple[str | None, Any]:
+    """(artifact key or None, cached result or MISS)."""
+    if cache is None or not task.cacheable:
+        return None, MISS
+    key = _artifact_key(task, (root_seed, version))
+    return key, cache.get(key)
+
+
+def _run_serial(
+    order, seeds, cache, version, root_seed, results, telemetry
+) -> None:
+    for task in order:
+        artifact_key, cached = _try_cache(task, cache, version, root_seed)
+        if cached is not MISS:
+            results[task.key] = cached
+            telemetry.record(
+                task.key, task.fn, 0.0, OUTCOME_CACHE_HIT, "inline"
+            )
+            continue
+        deps = {dep: results[dep] for dep in task.deps}
+        try:
+            result, seconds = _execute(
+                task.fn, task.config, task.payload, deps, seeds[task.key]
+            )
+        except Exception as error:
+            raise TaskError(
+                task.key, task.fn, traceback.format_exc()
+            ) from error
+        results[task.key] = result
+        if artifact_key is not None:
+            cache.put(artifact_key, result)
+        telemetry.record(
+            task.key, task.fn, seconds, OUTCOME_COMPUTED, "inline"
+        )
+
+
+def _run_pool(
+    graph, order, seeds, cache, version, root_seed, results, telemetry, jobs
+) -> None:
+    dependents = graph.dependents()
+    waiting = {task.key: len(task.deps) for task in order}
+    specs = {task.key: task for task in order}
+    ready = [task.key for task in order if not task.deps]
+    artifact_keys: dict[str, str] = {}
+
+    def _resolve_done(key: str) -> list[str]:
+        """Mark ``key`` done; return newly-ready dependents in order."""
+        released = []
+        for dependent in dependents[key]:
+            waiting[dependent] -= 1
+            if waiting[dependent] == 0:
+                released.append(dependent)
+        return released
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {}
+        while ready or futures:
+            # Launch everything currently ready (cache hits short-circuit
+            # without touching the pool and may release dependents).
+            while ready:
+                key = ready.pop(0)
+                task = specs[key]
+                artifact_key, cached = _try_cache(
+                    task, cache, version, root_seed
+                )
+                if artifact_key is not None:
+                    artifact_keys[key] = artifact_key
+                if cached is not MISS:
+                    results[key] = cached
+                    telemetry.record(
+                        key, task.fn, 0.0, OUTCOME_CACHE_HIT, "pool"
+                    )
+                    ready.extend(_resolve_done(key))
+                    continue
+                deps = {dep: results[dep] for dep in task.deps}
+                future = pool.submit(
+                    _execute,
+                    task.fn,
+                    task.config,
+                    task.payload,
+                    deps,
+                    seeds[key],
+                )
+                futures[future] = key
+            if not futures:
+                continue
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                key = futures.pop(future)
+                task = specs[key]
+                error = future.exception()
+                if error is not None:
+                    for pending in futures:
+                        pending.cancel()
+                    detail = "".join(
+                        traceback.format_exception(
+                            type(error), error, error.__traceback__
+                        )
+                    )
+                    raise TaskError(key, task.fn, detail) from error
+                result, seconds = future.result()
+                results[key] = result
+                if task.cacheable and cache is not None:
+                    cache.put(artifact_keys[key], result)
+                telemetry.record(
+                    key, task.fn, seconds, OUTCOME_COMPUTED, "pool"
+                )
+                ready.extend(_resolve_done(key))

@@ -1,0 +1,104 @@
+"""Canonical hashing: the engine's content-addressed identities.
+
+Every cached artifact is keyed by a SHA-256 over a *canonical* JSON
+rendering of (task function, config, root seed, code version).  Canonical
+means: dict insertion order never matters, tuples and lists are
+interchangeable, and numpy scalars collapse to their Python equivalents —
+so two configs that compare equal always hash equal, while changing any
+single field changes the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any
+
+import numpy as np
+
+
+def canonical_payload(value: Any, strict: bool = True) -> Any:
+    """Normalize ``value`` into plain JSON types, deterministically.
+
+    Mappings keep only their (string-keyed) items, sequences become
+    lists, numpy scalars become Python scalars.  With ``strict`` (the
+    config rule) non-finite floats are rejected loudly rather than
+    hashed ambiguously; results use ``strict=False`` so a NaN metric is
+    still representable.
+    """
+    if isinstance(value, dict):
+        normalized = {}
+        for key in value:
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"config keys must be strings, got {type(key).__name__}"
+                )
+            normalized[key] = canonical_payload(value[key], strict)
+        return normalized
+    if isinstance(value, (list, tuple)):
+        return [canonical_payload(item, strict) for item in value]
+    if isinstance(value, np.generic):
+        return canonical_payload(value.item(), strict)
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if strict and not math.isfinite(value):
+            raise ValueError("non-finite floats cannot be hashed canonically")
+        return value
+    if isinstance(value, str):
+        return value
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__} for hashing"
+    )
+
+
+def canonical_json(value: Any, strict: bool = True) -> str:
+    """The unique JSON string for ``value`` (sorted keys, no whitespace)."""
+    return json.dumps(
+        canonical_payload(value, strict),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=not strict,
+    )
+
+
+def sha256_hex(text: str | bytes) -> str:
+    if isinstance(text, str):
+        text = text.encode("utf-8")
+    return hashlib.sha256(text).hexdigest()
+
+
+def cache_key(
+    fn: str,
+    config: dict,
+    seed: int,
+    code_version: str,
+    task_key: str = "",
+) -> str:
+    """The content address of one task's artifact.
+
+    Covers everything that determines the result: the task function, its
+    full config, the run's root seed, the task's own key (which selects
+    its derived seed stream), and the code version.
+    """
+    return sha256_hex(canonical_json({
+        "fn": fn,
+        "config": config,
+        "seed": seed,
+        "task_key": task_key,
+        "code_version": code_version,
+    }))
+
+
+def digest_arrays(*arrays: np.ndarray) -> str:
+    """SHA-256 over the shapes, dtypes and raw bytes of numpy arrays."""
+    digest = hashlib.sha256()
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        digest.update(str(array.shape).encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()

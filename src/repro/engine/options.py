@@ -1,0 +1,86 @@
+"""Process-wide engine defaults: parallelism and cache location.
+
+Library entry points (``sweep_models``, ``cross_validate``,
+``execute_runs``) accept explicit ``jobs``/``cache`` arguments; when a
+caller passes ``None`` they fall back to the defaults here, which the
+CLI sets from ``--jobs``/``--cache-dir``/``--no-cache`` and CI sets from
+the ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` environment variables.  That
+lets a flag on ``repro reproduce`` parallelize every sweep inside an
+experiment driver without threading arguments through each one.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.engine.cache import ArtifactCache
+
+ENV_JOBS = "REPRO_JOBS"
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Resolved engine defaults."""
+
+    jobs: int = 1
+    cache_dir: str | None = None
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+
+    def open_cache(self) -> ArtifactCache | None:
+        if self.cache_dir is None:
+            return None
+        return ArtifactCache(self.cache_dir)
+
+
+_default: EngineOptions | None = None
+
+
+def set_default_options(
+    jobs: int = 1, cache_dir: str | None = None
+) -> EngineOptions:
+    """Install process-wide defaults (the CLI's engine flags)."""
+    global _default
+    _default = EngineOptions(jobs=jobs, cache_dir=cache_dir)
+    return _default
+
+
+def reset_default_options() -> None:
+    global _default
+    _default = None
+
+
+def default_options() -> EngineOptions:
+    """The installed defaults, else environment-derived ones."""
+    if _default is not None:
+        return _default
+    jobs_text = os.environ.get(ENV_JOBS, "")
+    try:
+        jobs = max(1, int(jobs_text))
+    except ValueError:
+        jobs = 1
+    return EngineOptions(
+        jobs=jobs, cache_dir=os.environ.get(ENV_CACHE_DIR) or None
+    )
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    return default_options().jobs if jobs is None else max(1, jobs)
+
+
+def resolve_cache(cache: ArtifactCache | None | bool) -> ArtifactCache | None:
+    """Resolve a caller's cache argument.
+
+    ``None`` means "use the default" (which is no cache unless a default
+    cache dir is configured); ``False`` means "explicitly no cache";
+    an :class:`ArtifactCache` is used as-is.
+    """
+    if cache is False:
+        return None
+    if cache is None:
+        return default_options().open_cache()
+    return cache

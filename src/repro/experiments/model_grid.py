@@ -89,7 +89,16 @@ def run_model_grid(
     title: str,
     repository: DataRepository | None = None,
     seed: int = 1,
+    jobs: int | None = None,
+    cache=None,
+    telemetry=None,
 ) -> ModelGridResult:
+    """Sweep the full grid for one workload through the experiment engine.
+
+    ``jobs``/``cache``/``telemetry`` pass straight to
+    :func:`repro.framework.sweep.sweep_models`; ``None`` follows the
+    process-wide engine options (the CLI's ``--jobs``/``--cache-dir``).
+    """
     repo = repository if repository is not None else get_repository()
     selected = repo.selection(platform_key).selected
     feature_sets = repo.feature_sets(platform_key, include_lagged=False)
@@ -103,7 +112,14 @@ def run_model_grid(
     ]
     del selected  # cluster set already included via repo.feature_sets
     runs = repo.runs(platform_key, workload_name)
-    sweep = sweep_models(runs, feature_sets, seed=seed)
+    sweep = sweep_models(
+        runs,
+        feature_sets,
+        seed=seed,
+        jobs=jobs,
+        cache=cache,
+        telemetry=telemetry,
+    )
     return ModelGridResult(
         platform_key=platform_key,
         workload_name=workload_name,

@@ -5,20 +5,28 @@ cluster using different combinations of predictors and modeling
 techniques."  The sweep enumerates the valid grid (quadratic/switching
 need multiple features), cross-validates each cell, and reports the winner
 per workload — the machinery behind Figures 3-4 and Table IV.
+
+The sweep is embarrassingly parallel, so it compiles to one engine work
+graph with a task per (cell, fold) and executes with any worker count —
+``repro sweep --jobs N`` — producing bit-identical metrics, with each
+task backed by the content-addressed artifact cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cluster.runner import ClusterRun
+from repro.cluster.runner import ClusterRun, runs_content_digest
+from repro.engine import TaskGraph, resolve_cache, resolve_jobs, run_graph
 from repro.framework.crossval import (
     DEFAULT_TRAIN_FRACTION,
     EvaluationResult,
-    cross_validate,
+    assemble_evaluation,
+    fold_task_specs,
 )
 from repro.models.featuresets import FeatureSet
 from repro.models.registry import MODEL_CODES, supports_feature_set
+from repro.telemetry.engine_stats import EngineTelemetry
 
 
 @dataclass
@@ -58,23 +66,59 @@ def sweep_models(
     machine_ids: list[str] | None = None,
     train_fraction: float = DEFAULT_TRAIN_FRACTION,
     seed: int = 0,
+    jobs: int | None = None,
+    cache=None,
+    telemetry: EngineTelemetry | None = None,
 ) -> SweepResult:
-    """Cross-validate every valid technique x feature-set combination."""
+    """Cross-validate every valid technique x feature-set combination.
+
+    Compiles the grid to one engine work graph — a task per (cell, fold)
+    — and runs it with ``jobs`` workers against the artifact ``cache``
+    (both default to the process-wide engine options).  Metrics are
+    bit-identical for any worker count and for warm-cache reruns.
+    """
     if not runs:
         raise ValueError("need runs to sweep")
-    result = SweepResult(workload_name=runs[0].workload_name)
-    for code in model_codes:
-        for feature_set in feature_sets:
-            if not supports_feature_set(code, feature_set):
-                continue
-            result.evaluations.append(
-                cross_validate(
-                    runs,
-                    model_code=code,
-                    feature_set=feature_set,
-                    machine_ids=machine_ids,
-                    train_fraction=train_fraction,
-                    seed=seed,
-                )
+    jobs = resolve_jobs(jobs)
+    cache = resolve_cache(cache)
+    workload_name = runs[0].workload_name
+    digest = runs_content_digest(runs) if cache is not None else ""
+
+    cells = [
+        (code, feature_set)
+        for code in model_codes
+        for feature_set in feature_sets
+        if supports_feature_set(code, feature_set)
+    ]
+    graph = TaskGraph()
+    cell_specs = []
+    for code, feature_set in cells:
+        specs = fold_task_specs(
+            runs,
+            model_code=code,
+            feature_set=feature_set,
+            machine_ids=machine_ids,
+            train_fraction=train_fraction,
+            seed=seed,
+            runs_digest=digest,
+            key_prefix=f"{workload_name}/{code}{feature_set.name}",
+        )
+        for spec in specs:
+            graph.add(spec)
+        cell_specs.append((code, feature_set, specs))
+
+    results = run_graph(
+        graph, jobs=jobs, cache=cache, root_seed=seed, telemetry=telemetry
+    )
+
+    sweep = SweepResult(workload_name=workload_name)
+    for code, feature_set, specs in cell_specs:
+        sweep.evaluations.append(
+            assemble_evaluation(
+                workload_name,
+                code,
+                feature_set.name,
+                [results[spec.key] for spec in specs],
             )
-    return result
+        )
+    return sweep

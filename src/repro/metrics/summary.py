@@ -6,7 +6,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -61,6 +61,15 @@ class AccuracyReport:
             f"n={self.n_samples}"
         )
 
+    # -- JSON round-trip (engine artifact cache) -----------------------
+    def to_payload(self) -> dict:
+        """Plain-JSON form; floats survive the round-trip bit-for-bit."""
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "AccuracyReport":
+        return cls(**payload)
+
 
 @dataclass
 class ReportCollection:
@@ -95,3 +104,13 @@ class ReportCollection:
     @property
     def mean_median_relative_error(self) -> float:
         return self._mean_of("median_relative_error")
+
+    # -- JSON round-trip (engine artifact cache) -----------------------
+    def to_payload(self) -> list[dict]:
+        return [report.to_payload() for report in self.reports]
+
+    @classmethod
+    def from_payload(cls, payload: list[dict]) -> "ReportCollection":
+        return cls(
+            reports=[AccuracyReport.from_payload(item) for item in payload]
+        )

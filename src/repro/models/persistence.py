@@ -225,9 +225,11 @@ def platform_model_from_payload(payload: dict) -> PlatformModel:
 
 
 def save_platform_model(platform_model: PlatformModel, path) -> None:
-    """Write a platform model to a JSON file."""
-    with open(path, "w") as handle:
-        json.dump(platform_model_to_payload(platform_model), handle)
+    """Write a platform model to a JSON file (atomically, like the
+    engine's artifact cache, so a crash never leaves a torn model)."""
+    from repro.engine.cache import atomic_write_json
+
+    atomic_write_json(path, platform_model_to_payload(platform_model))
 
 
 def load_platform_model(path) -> PlatformModel:

@@ -1,6 +1,12 @@
-"""ETW/Perfmon-style 1 Hz telemetry collection."""
+"""ETW/Perfmon-style 1 Hz telemetry collection + engine run telemetry."""
 
+from repro.telemetry.engine_stats import EngineTelemetry, TaskRecord
 from repro.telemetry.perfmon import PerfmonLog
 from repro.telemetry.sampler import sample_machine_run
 
-__all__ = ["PerfmonLog", "sample_machine_run"]
+__all__ = [
+    "EngineTelemetry",
+    "PerfmonLog",
+    "TaskRecord",
+    "sample_machine_run",
+]

@@ -1,0 +1,97 @@
+"""Per-task telemetry for the experiment engine.
+
+The executor records one :class:`TaskRecord` per task — how long it took,
+whether it was computed or served from the artifact cache, and where it
+ran — and :class:`EngineTelemetry` aggregates them into the hit-rate and
+timing summary the CLI prints after a sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+OUTCOME_COMPUTED = "computed"
+OUTCOME_CACHE_HIT = "cache-hit"
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """What happened to one task."""
+
+    key: str
+    fn: str
+    seconds: float
+    outcome: str
+    worker: str
+    """``inline`` for in-process execution, ``pool`` for a pool worker."""
+
+
+@dataclass
+class EngineTelemetry:
+    """Accumulated task records for one engine run (or several)."""
+
+    records: list[TaskRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def record(
+        self, key: str, fn: str, seconds: float, outcome: str, worker: str
+    ) -> None:
+        self.records.append(
+            TaskRecord(
+                key=key,
+                fn=fn,
+                seconds=seconds,
+                outcome=outcome,
+                worker=worker,
+            )
+        )
+
+    # -- aggregates ----------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_cache_hits(self) -> int:
+        return sum(
+            1 for r in self.records if r.outcome == OUTCOME_CACHE_HIT
+        )
+
+    @property
+    def n_computed(self) -> int:
+        return sum(
+            1 for r in self.records if r.outcome == OUTCOME_COMPUTED
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of tasks served from the cache (0.0 with no tasks)."""
+        if not self.records:
+            return 0.0
+        return self.n_cache_hits / len(self.records)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total task time (sums across workers, so can exceed wall)."""
+        return float(sum(r.seconds for r in self.records))
+
+    def slowest(self, n: int = 5) -> list[TaskRecord]:
+        return sorted(
+            self.records, key=lambda r: r.seconds, reverse=True
+        )[:n]
+
+    def render(self) -> str:
+        """A short, human-readable run summary."""
+        lines = [
+            f"engine: {self.n_tasks} tasks "
+            f"({self.n_computed} computed, {self.n_cache_hits} cache hits, "
+            f"hit rate {self.hit_rate:.0%})",
+            f"  task time {self.busy_seconds:.2f}s, "
+            f"wall {self.wall_seconds:.2f}s",
+        ]
+        for record in self.slowest(3):
+            lines.append(
+                f"  {record.seconds:7.3f}s  {record.outcome:<9}  "
+                f"{record.key}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Shared pytest configuration for the test suite."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden-result fixtures in tests/golden/ "
+        "from the current code instead of asserting against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def regen_golden(request) -> bool:
+    """True when this run should rewrite the golden fixtures."""
+    return request.config.getoption("--regen-golden")

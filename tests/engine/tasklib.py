@@ -1,0 +1,58 @@
+"""Task functions for the engine tests.
+
+Pool workers resolve task functions by dotted path, so anything a
+parallel test runs must live at module level in an importable module —
+lambdas and closures inside test functions cannot cross the process
+boundary.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+ADD = "tests.engine.tasklib:add"
+DRAW = "tests.engine.tasklib:draw"
+TOTAL = "tests.engine.tasklib:total"
+BOOM = "tests.engine.tasklib:boom"
+SLEEPY = "tests.engine.tasklib:sleepy_identity"
+PAYLOAD_SIZE = "tests.engine.tasklib:payload_size"
+
+
+def add(config, payload, deps, seed):
+    """Pure function of config: ``a + b``."""
+    del payload, deps, seed
+    return config["a"] + config["b"]
+
+
+def draw(config, payload, deps, seed):
+    """One draw from the task's derived seed stream, scaled by config."""
+    del payload, deps
+    rng = np.random.default_rng(seed)
+    return float(rng.random()) * config.get("scale", 1.0)
+
+
+def total(config, payload, deps, seed):
+    """Sum of all dependency results (dict-order independent)."""
+    del config, payload, seed
+    return sum(deps[key] for key in sorted(deps))
+
+
+def boom(config, payload, deps, seed):
+    """Always fails — the fault-injection probe."""
+    del payload, deps, seed
+    raise RuntimeError(config.get("message", "injected failure"))
+
+
+def sleepy_identity(config, payload, deps, seed):
+    """Hold a pool worker busy briefly, then return ``value``."""
+    del payload, deps, seed
+    time.sleep(config.get("seconds", 0.05))
+    return config["value"]
+
+
+def payload_size(config, payload, deps, seed):
+    """Length of the (unhashed) payload — exercises payload shipping."""
+    del config, deps, seed
+    return len(payload)

@@ -1,0 +1,149 @@
+"""Artifact cache: round-trips, corruption detection, atomic writes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import MISS, ArtifactCache, atomic_write_json
+
+KEY = "ab" + "0" * 62
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "cache")
+
+
+def tmp_files(root):
+    return list(root.rglob("*.tmp"))
+
+
+# ----------------------------------------------------------------------
+# Round-trip and bookkeeping
+# ----------------------------------------------------------------------
+
+def test_get_without_put_is_a_miss(cache):
+    assert cache.get(KEY) is MISS
+
+
+def test_put_get_roundtrip_preserves_floats_exactly(cache):
+    result = {"dre": 0.1 + 0.2, "nested": [1, {"x": 1e-300}], "nan_ok": None}
+    cache.put(KEY, result)
+    assert cache.get(KEY) == result
+
+
+def test_entries_are_sharded_by_key_prefix(cache):
+    cache.put(KEY, 1)
+    assert (cache.root / KEY[:2] / f"{KEY}.json").exists()
+
+
+def test_stats_counts_entries_and_bytes(cache):
+    assert cache.stats().n_entries == 0
+    cache.put(KEY, {"x": 1})
+    cache.put("cd" + "0" * 62, {"y": 2})
+    stats = cache.stats()
+    assert stats.n_entries == 2
+    assert stats.total_bytes > 0
+    assert "2 entries" in stats.render()
+
+
+def test_clear_removes_everything(cache):
+    cache.put(KEY, 1)
+    cache.put("cd" + "0" * 62, 2)
+    assert cache.clear() == 2
+    assert cache.stats().n_entries == 0
+    assert cache.get(KEY) is MISS
+
+
+# ----------------------------------------------------------------------
+# Corruption detection: never serve a damaged artifact
+# ----------------------------------------------------------------------
+
+def entry_path(cache):
+    return cache.root / KEY[:2] / f"{KEY}.json"
+
+
+def test_truncated_entry_is_evicted_and_missed(cache):
+    cache.put(KEY, {"x": 1})
+    path = entry_path(cache)
+    path.write_text(path.read_text()[:10])
+    assert cache.get(KEY) is MISS
+    assert not path.exists()
+
+
+def test_tampered_result_fails_checksum(cache):
+    cache.put(KEY, {"dre": 0.25})
+    path = entry_path(cache)
+    entry = json.loads(path.read_text())
+    entry["result"]["dre"] = 0.999  # checksum now stale
+    path.write_text(json.dumps(entry))
+    assert cache.get(KEY) is MISS
+    assert not path.exists()
+
+
+def test_entry_for_wrong_key_is_rejected(cache):
+    other = "ab" + "f" * 62
+    cache.put(KEY, {"x": 1})
+    # Simulate a mis-filed entry: copy KEY's bytes to another address.
+    target = cache.root / other[:2] / f"{other}.json"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(entry_path(cache).read_text())
+    assert cache.get(other) is MISS
+    assert not target.exists()
+
+
+def test_wrong_format_version_is_rejected(cache):
+    cache.put(KEY, {"x": 1})
+    path = entry_path(cache)
+    entry = json.loads(path.read_text())
+    entry["format"] = 999
+    path.write_text(json.dumps(entry))
+    assert cache.get(KEY) is MISS
+
+
+def test_corrupt_entry_is_recomputable(cache):
+    """After eviction, a fresh put repopulates the same address."""
+    cache.put(KEY, {"x": 1})
+    entry_path(cache).write_text("{not json")
+    assert cache.get(KEY) is MISS
+    cache.put(KEY, {"x": 2})
+    assert cache.get(KEY) == {"x": 2}
+
+
+# ----------------------------------------------------------------------
+# Atomic writes: a failed write leaves no trace
+# ----------------------------------------------------------------------
+
+def test_atomic_write_failure_leaves_no_file_and_no_temp(tmp_path, monkeypatch):
+    target = tmp_path / "out.json"
+
+    def explode(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(json, "dump", explode)
+    with pytest.raises(OSError, match="disk full"):
+        atomic_write_json(target, {"x": 1})
+    assert not target.exists()
+    assert tmp_files(tmp_path) == []
+
+
+def test_atomic_write_failure_preserves_previous_entry(tmp_path, monkeypatch):
+    target = tmp_path / "out.json"
+    atomic_write_json(target, {"version": 1})
+
+    def explode(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(json, "dump", explode)
+    with pytest.raises(OSError):
+        atomic_write_json(target, {"version": 2})
+    assert json.loads(target.read_text()) == {"version": 1}
+    assert tmp_files(tmp_path) == []
+
+
+def test_atomic_write_creates_parent_directories(tmp_path):
+    target = tmp_path / "a" / "b" / "out.json"
+    atomic_write_json(target, [1, 2, 3])
+    assert json.loads(target.read_text()) == [1, 2, 3]

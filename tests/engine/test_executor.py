@@ -1,0 +1,248 @@
+"""Executor contract: serial == parallel, faults fail loudly and cleanly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    MISS,
+    ArtifactCache,
+    TaskError,
+    TaskGraph,
+    TaskSpec,
+    cache_key,
+    run_graph,
+)
+from repro.engine.codeversion import code_version
+from repro.telemetry.engine_stats import (
+    OUTCOME_CACHE_HIT,
+    OUTCOME_COMPUTED,
+    EngineTelemetry,
+)
+from tests.engine import tasklib
+
+
+def diamond_graph() -> TaskGraph:
+    """Two seeded draws feeding a sum feeding a final sum — exercises
+    seed derivation, dependency passing, and ordering at once."""
+    return TaskGraph([
+        TaskSpec(key="draw/a", fn=tasklib.DRAW, config={"scale": 2.0}),
+        TaskSpec(key="draw/b", fn=tasklib.DRAW, config={"scale": 3.0}),
+        TaskSpec(key="mid", fn=tasklib.TOTAL, deps=("draw/a", "draw/b")),
+        TaskSpec(key="leaf", fn=tasklib.ADD, config={"a": 1, "b": 2}),
+        TaskSpec(key="final", fn=tasklib.TOTAL, deps=("mid", "leaf")),
+    ])
+
+
+# ----------------------------------------------------------------------
+# Determinism: scheduling never leaks into results
+# ----------------------------------------------------------------------
+
+def test_serial_and_parallel_results_bit_identical():
+    serial = run_graph(diamond_graph(), jobs=1, root_seed=7)
+    pooled = run_graph(diamond_graph(), jobs=3, root_seed=7)
+    assert serial == pooled
+    assert serial["final"] == serial["mid"] + 3
+    assert serial["mid"] == serial["draw/a"] + serial["draw/b"]
+
+
+def test_root_seed_changes_seeded_tasks_only():
+    a = run_graph(diamond_graph(), jobs=1, root_seed=0)
+    b = run_graph(diamond_graph(), jobs=1, root_seed=1)
+    assert a["draw/a"] != b["draw/a"]
+    assert a["leaf"] == b["leaf"]
+
+
+def test_payload_is_shipped_to_workers_not_hashed():
+    graph = TaskGraph([
+        TaskSpec(key="p", fn=tasklib.PAYLOAD_SIZE, payload=[10, 20, 30]),
+    ])
+    assert run_graph(graph, jobs=2) == {"p": 3}
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError, match="jobs"):
+        run_graph(diamond_graph(), jobs=0)
+
+
+# ----------------------------------------------------------------------
+# Cache integration
+# ----------------------------------------------------------------------
+
+def test_warm_cache_rerun_hits_every_cacheable_task(tmp_path):
+    cache = ArtifactCache(tmp_path / "cache")
+    cold_stats = EngineTelemetry()
+    cold = run_graph(
+        diamond_graph(), jobs=1, cache=cache, root_seed=7,
+        telemetry=cold_stats,
+    )
+    assert cold_stats.n_computed == 5
+    assert cold_stats.hit_rate == 0.0
+
+    warm_stats = EngineTelemetry()
+    warm = run_graph(
+        diamond_graph(), jobs=1, cache=cache, root_seed=7,
+        telemetry=warm_stats,
+    )
+    assert warm == cold
+    assert warm_stats.n_cache_hits == 5
+    assert warm_stats.hit_rate == 1.0
+
+
+def test_warm_cache_hits_short_circuit_the_pool(tmp_path):
+    cache = ArtifactCache(tmp_path / "cache")
+    cold = run_graph(diamond_graph(), jobs=2, cache=cache, root_seed=7)
+    warm_stats = EngineTelemetry()
+    warm = run_graph(
+        diamond_graph(), jobs=2, cache=cache, root_seed=7,
+        telemetry=warm_stats,
+    )
+    assert warm == cold
+    assert {r.outcome for r in warm_stats.records} == {OUTCOME_CACHE_HIT}
+
+
+def test_non_cacheable_tasks_are_always_recomputed(tmp_path):
+    cache = ArtifactCache(tmp_path / "cache")
+    graph = [
+        TaskSpec(
+            key="t", fn=tasklib.ADD, config={"a": 1, "b": 1},
+            cacheable=False,
+        ),
+    ]
+    run_graph(TaskGraph(graph), jobs=1, cache=cache)
+    stats = EngineTelemetry()
+    run_graph(TaskGraph(graph), jobs=1, cache=cache, telemetry=stats)
+    assert stats.n_computed == 1
+    assert cache.stats().n_entries == 0
+
+
+def test_different_root_seeds_do_not_share_cache_entries(tmp_path):
+    cache = ArtifactCache(tmp_path / "cache")
+    run_graph(diamond_graph(), jobs=1, cache=cache, root_seed=0)
+    stats = EngineTelemetry()
+    run_graph(
+        diamond_graph(), jobs=1, cache=cache, root_seed=1, telemetry=stats
+    )
+    assert stats.n_cache_hits == 0
+
+
+def test_corrupted_cache_entry_is_recomputed_transparently(tmp_path):
+    cache = ArtifactCache(tmp_path / "cache")
+    cold = run_graph(diamond_graph(), jobs=1, cache=cache, root_seed=7)
+    # Damage every entry on disk.
+    for path in cache.root.glob("*/*.json"):
+        path.write_text(path.read_text()[:-8])
+    stats = EngineTelemetry()
+    warm = run_graph(
+        diamond_graph(), jobs=1, cache=cache, root_seed=7, telemetry=stats
+    )
+    assert warm == cold
+    assert stats.n_computed == 5
+    assert cache.stats().n_entries == 5  # repopulated
+
+
+# ----------------------------------------------------------------------
+# Fault injection: failures are loud, attributed, and leave no debris
+# ----------------------------------------------------------------------
+
+def failing_graph() -> TaskGraph:
+    """One doomed task among busy siblings, plus a downstream dependent."""
+    return TaskGraph([
+        TaskSpec(
+            key="ok/0", fn=tasklib.SLEEPY,
+            config={"value": 0, "seconds": 0.02},
+        ),
+        TaskSpec(
+            key="ok/1", fn=tasklib.SLEEPY,
+            config={"value": 1, "seconds": 0.02},
+        ),
+        TaskSpec(
+            key="doomed", fn=tasklib.BOOM,
+            config={"message": "injected failure"},
+        ),
+        TaskSpec(key="after", fn=tasklib.TOTAL, deps=("doomed",)),
+    ])
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_failure_raises_task_error_naming_the_task(jobs):
+    with pytest.raises(TaskError) as excinfo:
+        run_graph(failing_graph(), jobs=jobs)
+    assert excinfo.value.key == "doomed"
+    assert excinfo.value.fn == tasklib.BOOM
+    assert "injected failure" in excinfo.value.detail
+    # The worker traceback is preserved for debugging.
+    assert "RuntimeError" in excinfo.value.detail
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_failed_task_writes_nothing_to_the_cache(tmp_path, jobs):
+    cache = ArtifactCache(tmp_path / "cache")
+    with pytest.raises(TaskError):
+        run_graph(failing_graph(), jobs=jobs, cache=cache)
+    # Only tasks that *succeeded before the failure surfaced* may have
+    # entries; the doomed task and its dependent never appear, and no
+    # temp files are left behind by interrupted writes.
+    entries = [p.name for p in cache.root.glob("*/*.json")]
+    assert len(entries) <= 2
+    assert list(cache.root.rglob("*.tmp")) == []
+    for key in ("doomed", "after"):
+        task = failing_graph().get(key)
+        artifact = cache_key(
+            fn=task.fn,
+            config=task.config,
+            seed=0,
+            code_version=code_version(),
+            task_key=task.key,
+        )
+        assert cache.get(artifact) is MISS
+    # Re-running against the same cache still fails (nothing poisoned
+    # the cache into serving a result for the doomed task).
+    with pytest.raises(TaskError):
+        run_graph(failing_graph(), jobs=jobs, cache=cache)
+
+
+def test_failure_cancels_pending_work_and_does_not_hang():
+    """A failing task among slow siblings aborts promptly at jobs=2;
+    completing at all (under the suite timeout) is the no-hang check."""
+    graph = TaskGraph(
+        [
+            TaskSpec(
+                key=f"slow/{i}", fn=tasklib.SLEEPY,
+                config={"value": i, "seconds": 0.05},
+            )
+            for i in range(6)
+        ]
+        + [TaskSpec(key="doomed", fn=tasklib.BOOM)]
+    )
+    with pytest.raises(TaskError, match="doomed"):
+        run_graph(graph, jobs=2)
+
+
+def test_telemetry_still_counts_tasks_finished_before_the_failure():
+    stats = EngineTelemetry()
+    with pytest.raises(TaskError):
+        run_graph(failing_graph(), jobs=1, telemetry=stats)
+    # Serial order: ok/0 and ok/1 complete before doomed raises.
+    assert stats.n_computed == 2
+    assert {r.outcome for r in stats.records} == {OUTCOME_COMPUTED}
+
+
+# ----------------------------------------------------------------------
+# Telemetry
+# ----------------------------------------------------------------------
+
+def test_telemetry_records_outcomes_timings_and_render(tmp_path):
+    cache = ArtifactCache(tmp_path / "cache")
+    run_graph(diamond_graph(), jobs=1, cache=cache, root_seed=7)
+    stats = EngineTelemetry()
+    run_graph(
+        diamond_graph(), jobs=2, cache=cache, root_seed=7, telemetry=stats
+    )
+    assert stats.n_tasks == 5
+    assert stats.n_cache_hits == 5
+    assert stats.busy_seconds >= 0.0
+    assert stats.wall_seconds > 0.0
+    assert len(stats.slowest(3)) == 3
+    rendered = stats.render()
+    assert "cache" in rendered

@@ -1,0 +1,83 @@
+"""Process-wide engine defaults: flags, environment, and resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    ArtifactCache,
+    EngineOptions,
+    default_options,
+    reset_default_options,
+    resolve_cache,
+    resolve_jobs,
+    set_default_options,
+)
+from repro.engine.options import ENV_CACHE_DIR, ENV_JOBS
+
+
+@pytest.fixture(autouse=True)
+def clean_defaults(monkeypatch):
+    """Isolate each test from installed defaults and the environment."""
+    monkeypatch.delenv(ENV_JOBS, raising=False)
+    monkeypatch.delenv(ENV_CACHE_DIR, raising=False)
+    reset_default_options()
+    yield
+    reset_default_options()
+
+
+def test_baseline_is_serial_and_cacheless():
+    options = default_options()
+    assert options.jobs == 1
+    assert options.cache_dir is None
+    assert options.open_cache() is None
+
+
+def test_set_default_options_wins_over_environment(monkeypatch):
+    monkeypatch.setenv(ENV_JOBS, "8")
+    set_default_options(jobs=2)
+    assert default_options().jobs == 2
+    reset_default_options()
+    assert default_options().jobs == 8
+
+
+def test_env_jobs_parsed_and_clamped(monkeypatch):
+    monkeypatch.setenv(ENV_JOBS, "3")
+    assert default_options().jobs == 3
+    monkeypatch.setenv(ENV_JOBS, "0")
+    assert default_options().jobs == 1
+    monkeypatch.setenv(ENV_JOBS, "not-a-number")
+    assert default_options().jobs == 1
+
+
+def test_env_cache_dir_opens_a_cache_there(monkeypatch, tmp_path):
+    monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path / "envcache"))
+    cache = default_options().open_cache()
+    assert isinstance(cache, ArtifactCache)
+    assert cache.root == tmp_path / "envcache"
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(4) == 4
+    assert resolve_jobs(0) == 1  # explicit values are clamped
+    assert resolve_jobs(None) == 1  # falls back to defaults
+    set_default_options(jobs=6)
+    assert resolve_jobs(None) == 6
+    assert resolve_jobs(2) == 2  # explicit beats default
+
+
+def test_resolve_cache_semantics(tmp_path):
+    explicit = ArtifactCache(tmp_path / "explicit")
+    assert resolve_cache(explicit) is explicit
+    assert resolve_cache(False) is None  # explicitly off
+    assert resolve_cache(None) is None  # no default configured
+    set_default_options(cache_dir=str(tmp_path / "default"))
+    resolved = resolve_cache(None)
+    assert isinstance(resolved, ArtifactCache)
+    assert resolved.root == tmp_path / "default"
+    assert resolve_cache(False) is None  # off even with a default
+
+
+def test_options_reject_nonpositive_jobs():
+    with pytest.raises(ValueError, match="jobs"):
+        EngineOptions(jobs=0)
