@@ -1,18 +1,31 @@
-"""chaos-lint: static analysis for catalogs, pipelines, and determinism.
+"""chaos-lint + chaos-flow: static analysis for the modeling pipeline.
 
-Two layers (see ``docs/static_analysis.md``):
+Three layers (see ``docs/static_analysis.md``):
 
 * a semantic checker that validates every platform's counter catalog
   (the co-dependency documentation Algorithm 1 step 2 relies on) and the
   model pipeline's registry/feature-set invariants;
 * an AST pass over the source tree enforcing the determinism contract
   (seeded RNG streams, no float equality in experiments) and common
-  Python footguns.
+  Python footguns;
+* chaos-flow: flow-sensitive intraprocedural dataflow analyses — a CFG
+  builder (``cfg``), a generic fixpoint engine (``dataflow``), and the
+  taint/leakage (L4xx) and physical-unit (U5xx) analyses built on them,
+  driven by the API contracts in ``signatures``.
 """
 
 from repro.analysis.astlint import lint_file, lint_paths, lint_source
+from repro.analysis.cfg import CFG, BasicBlock, build_cfg, iter_function_units
+from repro.analysis.dataflow import (
+    Analysis,
+    DataflowResult,
+    FixpointDiverged,
+    run_forward,
+)
 from repro.analysis.findings import RULES, Finding, filter_findings
+from repro.analysis.leakage import check_leakage_source
 from repro.analysis.runner import LintReport, run_lint
+from repro.analysis.sarif import render_sarif
 from repro.analysis.semantic import (
     check_all_platforms,
     check_catalog,
@@ -20,19 +33,31 @@ from repro.analysis.semantic import (
     check_model_registry,
     unit_of,
 )
+from repro.analysis.units import check_units_source
 
 __all__ = [
-    "RULES",
+    "Analysis",
+    "BasicBlock",
+    "CFG",
+    "DataflowResult",
     "Finding",
+    "FixpointDiverged",
     "LintReport",
+    "RULES",
+    "build_cfg",
     "check_all_platforms",
     "check_catalog",
     "check_feature_sets",
+    "check_leakage_source",
     "check_model_registry",
+    "check_units_source",
     "filter_findings",
+    "iter_function_units",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "render_sarif",
+    "run_forward",
     "run_lint",
     "unit_of",
 ]

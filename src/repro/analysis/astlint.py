@@ -49,7 +49,7 @@ def _dotted_name(node: ast.AST) -> str | None:
 
 
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, path: str, experiment_code: bool):
+    def __init__(self, path: str, experiment_code: bool) -> None:
         self.path = path
         self.experiment_code = experiment_code
         self.findings: list[Finding] = []

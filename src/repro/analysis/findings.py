@@ -9,7 +9,12 @@ grouped by family:
 * ``M2xx`` — model-pipeline invariants (feature sets and the technique
   registry),
 * ``A3xx`` — AST-level source rules (determinism contract and Python
-  footguns).
+  footguns),
+* ``L4xx`` — chaos-flow taint/leakage dataflow rules (train/test
+  separation; see :mod:`repro.analysis.leakage`),
+* ``U5xx`` — chaos-flow physical-unit dataflow rules (DRE terms in
+  watts, rates vs. cumulative counters; see
+  :mod:`repro.analysis.units`).
 """
 
 from __future__ import annotations
@@ -34,6 +39,14 @@ RULES: dict[str, str] = {
     "A303": "float equality (==/!=) comparison in experiment code",
     "A304": "mutable default argument",
     "A305": "star import",
+    "L401": "test-split data flows into a model fit call",
+    "L402": "test-split or whole-dataset data flows into feature selection",
+    "L403": "fit/preprocessing consumes the unsplit dataset next to a split",
+    "L404": "fold-loop data escapes its loop into a later fit/selection",
+    "U501": "arithmetic or comparison mixes incompatible physical units",
+    "U502": "call argument unit contradicts the API signature",
+    "U503": "cumulative counter used where a rate is expected",
+    "U504": "assigned value disagrees with the name's unit suffix",
 }
 
 

@@ -1,0 +1,256 @@
+"""Shared AST plumbing for environment-based dataflow analyses.
+
+Both chaos-flow analyses (taint in :mod:`repro.analysis.leakage`, units
+in :mod:`repro.analysis.units`) abstract a function as an *environment*
+mapping variable names to lattice values.  This module factors out what
+they share so each analysis only supplies expression evaluation and the
+value lattice:
+
+* :class:`EnvAnalysis` — a :class:`~repro.analysis.dataflow.Analysis`
+  over ``dict[str, V]`` implementing the transfer function for every
+  binding statement form (assignments, loop targets, ``with`` targets,
+  mutation-style method calls), honoring the CFG's header-only
+  convention for compound statements;
+* :func:`header_exprs` — the expressions a header-only statement
+  actually evaluates (an ``ast.If`` contributes its test, never its
+  body);
+* :func:`walk_calls` — every call site inside those expressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Callable, Dict, Generic, Iterator, List, Optional, TypeVar
+
+from repro.analysis.cfg import CFG, FunctionUnit
+from repro.analysis.dataflow import Analysis, run_forward
+from repro.analysis.findings import Finding
+
+V = TypeVar("V")
+
+#: Mutating method names treated as "bind the receiver to the union of
+#: itself and the arguments" — models ``parts.append(fold_data)``.
+MUTATING_METHODS = frozenset({
+    "append", "extend", "add", "update", "insert", "setdefault",
+})
+
+
+def header_exprs(stmt: ast.stmt) -> List[ast.expr]:
+    """The expressions evaluated by ``stmt``'s header (bodies excluded)."""
+    if isinstance(stmt, ast.Assign):
+        return [stmt.value]
+    if isinstance(stmt, ast.AnnAssign):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ast.AugAssign):
+        return [stmt.value]
+    if isinstance(stmt, ast.Expr):
+        return [stmt.value]
+    if isinstance(stmt, ast.Return):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Assert):
+        exprs = [stmt.test]
+        if stmt.msg is not None:
+            exprs.append(stmt.msg)
+        return exprs
+    if isinstance(stmt, ast.Raise):
+        return [e for e in (stmt.exc, stmt.cause) if e is not None]
+    return []
+
+
+def walk_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Every call node inside the statement's header expressions."""
+    for expr in header_exprs(stmt):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                yield node
+
+
+def target_names(target: ast.expr) -> List[str]:
+    """Plain names bound by an assignment target (nested tuples too)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, ast.Starred):
+        return target_names(target.value)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for element in target.elts:
+            names.extend(target_names(element))
+        return names
+    return []
+
+
+class EnvAnalysis(Analysis, Generic[V]):
+    """Forward analysis over variable environments ``dict[str, V]``.
+
+    Subclasses provide the value lattice (:meth:`join_value`,
+    :meth:`default_value`) and expression evaluation (:meth:`eval`);
+    the statement dispatch below is shared.
+    """
+
+    def __init__(self, unit: FunctionUnit) -> None:
+        self.unit = unit
+        self.cfg = unit.cfg
+
+    # -- value lattice ---------------------------------------------------
+
+    def default_value(self) -> V:
+        raise NotImplementedError
+
+    def join_value(self, left: V, right: V) -> V:
+        raise NotImplementedError
+
+    def eval(self, expr: ast.expr, env: Dict[str, V]) -> V:
+        raise NotImplementedError
+
+    def element_of(self, value: V, stmt: ast.stmt) -> V:
+        """Value of one element when iterating ``value`` (For targets)."""
+        return value
+
+    def aug_value(self, old: V, op: ast.operator, rhs: V) -> V:
+        return self.join_value(old, rhs)
+
+    def seed_param(self, name: str) -> V:
+        """Initial value of a function parameter."""
+        return self.default_value()
+
+    # -- Analysis interface ----------------------------------------------
+
+    def bottom(self) -> Dict[str, V]:
+        return {}
+
+    def entry_state(self, cfg: CFG) -> Dict[str, V]:
+        del cfg
+        env: Dict[str, V] = {}
+        for arg in _all_args(self.unit.args):
+            env[arg.arg] = self.seed_param(arg.arg)
+        return env
+
+    def join(
+        self, left: Dict[str, V], right: Dict[str, V]
+    ) -> Dict[str, V]:
+        if not left:
+            return dict(right)
+        if not right:
+            return dict(left)
+        merged = dict(left)
+        for name, value in right.items():
+            if name in merged:
+                merged[name] = self.join_value(merged[name], value)
+            else:
+                merged[name] = value
+        return merged
+
+    def transfer(self, state: Dict[str, V], stmt: Any) -> Dict[str, V]:
+        env = dict(state)
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, value, env)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind(stmt.target, self.eval(stmt.value, env), env)
+        elif isinstance(stmt, ast.AugAssign):
+            rhs = self.eval(stmt.value, env)
+            # Store-context targets evaluate fine as reads: eval() keys
+            # on node structure, not expr_context.
+            read = self.eval(stmt.target, env)
+            self._bind(
+                stmt.target, self.aug_value(read, stmt.op, rhs), env
+            )
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            element = self.element_of(self.eval(stmt.iter, env), stmt)
+            self._bind(stmt.target, element, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._bind(
+                        item.optional_vars,
+                        self.eval(item.context_expr, env),
+                        env,
+                    )
+        elif isinstance(stmt, ast.Expr):
+            self._mutation_effect(stmt.value, env)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            env[stmt.name] = self.default_value()
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        return env
+
+    # -- binding helpers -------------------------------------------------
+
+    def _bind(
+        self, target: ast.expr, value: V, env: Dict[str, V]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, value, env)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, value, env)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            # Weak update: mutating one slot taints the whole container.
+            base = target.value
+            while isinstance(base, (ast.Subscript, ast.Attribute)):
+                base = base.value
+            if isinstance(base, ast.Name):
+                old = env.get(base.id, self.default_value())
+                env[base.id] = self.join_value(old, value)
+
+    def _mutation_effect(
+        self, expr: ast.expr, env: Dict[str, V]
+    ) -> None:
+        """``parts.append(x)`` joins x into parts (weak update)."""
+        if not (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in MUTATING_METHODS
+            and isinstance(expr.func.value, ast.Name)
+        ):
+            return
+        receiver = expr.func.value.id
+        value = env.get(receiver, self.default_value())
+        for arg in expr.args:
+            value = self.join_value(value, self.eval(arg, env))
+        for keyword in expr.keywords:
+            value = self.join_value(value, self.eval(keyword.value, env))
+        env[receiver] = value
+
+
+def _all_args(args: Optional[ast.arguments]) -> List[ast.arg]:
+    if args is None:
+        return []
+    collected = list(args.posonlyargs) if hasattr(args, "posonlyargs") else []
+    collected += list(args.args)
+    if args.vararg is not None:
+        collected.append(args.vararg)
+    collected += list(args.kwonlyargs)
+    if args.kwarg is not None:
+        collected.append(args.kwarg)
+    return collected
+
+
+def check_function(
+    unit: FunctionUnit,
+    analysis: EnvAnalysis,
+    check_stmt: Callable[..., List[Finding]],
+) -> List[Finding]:
+    """Fixpoint + a reporting walk: ``check_stmt(stmt, pre_state, block)``
+    is called for every statement with the state holding just before it,
+    and returns findings."""
+    result = run_forward(unit.cfg, analysis)
+    findings: List[Finding] = []
+    for block in unit.cfg.blocks:
+        state = result.block_in[block.index]
+        for stmt in block.stmts:
+            findings.extend(check_stmt(stmt, state, block))
+            state = analysis.transfer(state, stmt)
+    return findings

@@ -1,0 +1,347 @@
+"""Taint analysis for train/test leakage (rule family ``L4xx``).
+
+CHAOS's accuracy numbers (Tables III/IV) rest on the paper's Section V
+protocol: models are fit on one run's subsampled data and judged on
+*disjoint* runs.  Nothing enforces that at runtime — a fold that feeds
+test data into ``fit`` produces beautifully small DREs and no error.
+This analysis tracks, flow-sensitively and per function, which values
+derive from test splits, the unsplit dataset, or a fold-loop iteration,
+and reports when such a value reaches a training-side sink.
+
+Labels
+------
+* ``test`` — derived from a test split (``fold.test_runs``, any
+  ``test_*``/``*_test`` name, or indexing with a test index),
+* ``full`` — the whole dataset, before any split (parameters named
+  ``runs``/``dataset``, ``DataRepository.runs(...)``).  Any subscript
+  (slice or index) *sheds* this label: taking a subset is precisely
+  what splitting means,
+* ``("fold", loop_id)`` — bound inside fold-loop ``loop_id``; values
+  carrying it after that loop exits are stale fold data.
+
+Rules
+-----
+* ``L401`` — test-split data flows into a model/preprocessing ``fit``,
+* ``L402`` — test-split or whole-dataset data flows into a
+  feature-selection call,
+* ``L403`` — a fit/preprocessing call consumes the whole dataset inside
+  a function that also splits it (scaler-before-split),
+* ``L404`` — fold-loop data escapes its loop into a later fit/selection
+  call.
+
+``L402``'s and ``L403``'s whole-dataset arm only fires in functions
+that *also* split data (folds, ``train_``/``test_`` names): fitting on
+everything you were given is legitimate in a selection-only helper and
+a bug next to a cross-validation loop.  That scoping is what an
+intraprocedural analysis can honestly claim.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+from repro.analysis.cfg import BasicBlock, FunctionUnit, iter_function_units
+from repro.analysis.findings import Finding
+from repro.analysis.flowast import EnvAnalysis, check_function, walk_calls
+from repro.analysis.signatures import (
+    FOLD_SOURCE_CALLS,
+    FULL_PARAM_NAMES,
+    FULL_SOURCE_CALLS,
+    call_target,
+    is_fold_iterable_name,
+    is_test_name,
+    sink_kind,
+)
+
+TEST = "test"
+TEST_INDEX = "test-index"
+FULL = "full"
+
+Label = Union[str, Tuple[str, int]]
+Taint = FrozenSet[Label]
+
+EMPTY: Taint = frozenset()
+_TEST_TAINT: Taint = frozenset({TEST, TEST_INDEX})
+
+#: Unwrapped when looking for a fold iterable under e.g. ``enumerate``.
+_ITER_WRAPPERS = frozenset({
+    "enumerate", "zip", "reversed", "list", "tuple", "sorted", "iter",
+})
+
+
+def _is_train_name(name: str) -> bool:
+    lowered = name.lower().strip("_")
+    return (
+        lowered.startswith("train_")
+        or lowered.endswith("_train")
+        or lowered == "train"
+    )
+
+
+class TaintAnalysis(EnvAnalysis):
+    """Forward may-taint analysis over one function's CFG."""
+
+    def default_value(self) -> Taint:
+        return EMPTY
+
+    def join_value(self, left: Taint, right: Taint) -> Taint:
+        return left | right
+
+    def seed_param(self, name: str) -> Taint:
+        if name in FULL_PARAM_NAMES:
+            return frozenset({FULL})
+        if is_test_name(name):
+            return _TEST_TAINT
+        return EMPTY
+
+    def element_of(self, value: Taint, stmt: ast.stmt) -> Taint:
+        loop_id = self.cfg.loop_id_of(stmt)
+        if loop_id is not None and _is_fold_iterable(stmt.iter):
+            return value | frozenset({("fold", loop_id)})
+        return value
+
+    # -- expression evaluation ------------------------------------------
+
+    def eval(self, expr: ast.expr, env: Dict[str, Taint]) -> Taint:
+        if expr is None:
+            return EMPTY
+        if isinstance(expr, ast.Name):
+            taint = env.get(expr.id, EMPTY)
+            if is_test_name(expr.id):
+                taint = taint | _TEST_TAINT
+            return taint
+        if isinstance(expr, ast.Attribute):
+            base = self.eval(expr.value, env)
+            if is_test_name(expr.attr):
+                return base | _TEST_TAINT
+            if _is_train_name(expr.attr):
+                # Selecting the training side sheds the whole-dataset
+                # label but keeps fold provenance.
+                return base - frozenset({FULL})
+            return base
+        if isinstance(expr, ast.Subscript):
+            base = self.eval(expr.value, env)
+            index = self.eval(expr.slice, env)
+            taint = base - frozenset({FULL})
+            if TEST_INDEX in index or TEST in index:
+                taint = taint | frozenset({TEST})
+            taint = taint | frozenset(
+                label for label in index
+                if isinstance(label, tuple) and label[0] == "fold"
+            )
+            return taint
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        if isinstance(expr, ast.IfExp):
+            return self.eval(expr.body, env) | self.eval(expr.orelse, env)
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comprehension(expr, [expr.elt], env)
+        if isinstance(expr, ast.DictComp):
+            return self._eval_comprehension(
+                expr, [expr.key, expr.value], env
+            )
+        if isinstance(expr, ast.Lambda):
+            return EMPTY
+        if isinstance(expr, ast.Constant):
+            return EMPTY
+        if isinstance(expr, ast.Starred):
+            return self.eval(expr.value, env)
+        if isinstance(expr, ast.Slice):
+            taint = EMPTY
+            for part in (expr.lower, expr.upper, expr.step):
+                if part is not None:
+                    taint = taint | self.eval(part, env)
+            return taint
+        # Generic fallback: union over child expressions (BinOp, BoolOp,
+        # Compare, Tuple, List, Set, Dict, UnaryOp, JoinedStr, Await...).
+        taint = EMPTY
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                taint = taint | self.eval(child, env)
+        return taint
+
+    def _eval_call(self, call: ast.Call, env: Dict[str, Taint]) -> Taint:
+        target = call_target(call.func)
+        if target in FULL_SOURCE_CALLS:
+            return frozenset({FULL})
+        if target in FOLD_SOURCE_CALLS:
+            return EMPTY
+        taint = EMPTY
+        if isinstance(call.func, ast.Attribute):
+            taint = taint | self.eval(call.func.value, env)
+        for arg in call.args:
+            taint = taint | self.eval(arg, env)
+        for keyword in call.keywords:
+            taint = taint | self.eval(keyword.value, env)
+        return taint
+
+    def _eval_comprehension(
+        self, node: ast.expr, results: List[ast.expr], env: Dict[str, Taint]
+    ) -> Taint:
+        scope = dict(env)
+        for generator in node.generators:
+            element = self.eval(generator.iter, scope)
+            self._bind(generator.target, element, scope)
+        taint = EMPTY
+        for result in results:
+            taint = taint | self.eval(result, scope)
+        return taint
+
+
+def _is_fold_iterable(expr: ast.expr) -> bool:
+    """Does this iterable yield cross-validation folds?"""
+    if isinstance(expr, ast.Call):
+        target = call_target(expr.func)
+        if target in FOLD_SOURCE_CALLS:
+            return True
+        if target in _ITER_WRAPPERS:
+            return any(_is_fold_iterable(arg) for arg in expr.args)
+        return False
+    if isinstance(expr, ast.Name):
+        return is_fold_iterable_name(expr.id)
+    if isinstance(expr, ast.Attribute):
+        return is_fold_iterable_name(expr.attr)
+    return False
+
+
+def _has_split_context(tree: ast.AST) -> bool:
+    """Does this function also split data (folds / train / test names)?"""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.arg):
+            name = node.arg
+        elif isinstance(node, ast.Call):
+            target = call_target(node.func)
+            if target in FOLD_SOURCE_CALLS or target == "Fold":
+                return True
+            continue
+        else:
+            continue
+        if is_test_name(name) or _is_train_name(name):
+            return True
+        if name in ("fold", "folds") or is_fold_iterable_name(name):
+            return True
+    return False
+
+
+class _LeakageChecker:
+    def __init__(
+        self, path: str, unit: FunctionUnit, split_context: bool
+    ) -> None:
+        self.path = path
+        self.unit = unit
+        self.split_context = split_context
+        self.analysis = TaintAnalysis(unit)
+        self._seen: set = set()
+
+    def run(self) -> List[Finding]:
+        return check_function(self.unit, self.analysis, self._check_stmt)
+
+    def _check_stmt(
+        self, stmt: ast.stmt, state: Dict[str, Taint], block: BasicBlock
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for call in walk_calls(stmt):
+            kind = sink_kind(call.func)
+            if kind is None:
+                continue
+            taint = EMPTY
+            for arg in call.args:
+                taint = taint | self.analysis.eval(arg, state)
+            for keyword in call.keywords:
+                taint = taint | self.analysis.eval(keyword.value, state)
+            findings.extend(self._judge(call, kind, taint, block))
+        return findings
+
+    def _judge(
+        self, call: ast.Call, kind: str, taint: Taint, block: BasicBlock
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        target = call_target(call.func) or "<call>"
+        escaped = [
+            label for label in taint
+            if isinstance(label, tuple)
+            and label[0] == "fold"
+            and label[1] not in block.loops
+        ]
+        if TEST in taint:
+            code = "L402" if kind == "select" else "L401"
+            findings.append(self._finding(
+                code, call,
+                f"test-split data reaches {target}() — the "
+                f"{'selection' if kind == 'select' else 'training'} side "
+                "must only ever see training folds",
+            ))
+        if FULL in taint and self.split_context:
+            if kind == "select":
+                findings.append(self._finding(
+                    "L402", call,
+                    f"feature selection ({target}()) sees the whole "
+                    "dataset in a function that also splits it; select "
+                    "on the training side of the split",
+                ))
+            else:
+                findings.append(self._finding(
+                    "L403", call,
+                    f"{target}() is fit on the unsplit dataset in a "
+                    "function that also splits it; fit after splitting, "
+                    "on the training side only",
+                ))
+        if escaped:
+            findings.append(self._finding(
+                "L404", call,
+                f"data bound inside a fold loop reaches {target}() "
+                "after the loop exited; fold-scoped values must not be "
+                "reused across folds",
+            ))
+        return findings
+
+    def _finding(
+        self, code: str, call: ast.Call, message: str
+    ) -> Optional[Finding]:
+        key = (code, call.lineno, call.col_offset)
+        if key in self._seen:
+            return None
+        self._seen.add(key)
+        return Finding(
+            code,
+            message,
+            f"{self.path}:{call.lineno}",
+            context={"function": self.unit.qualname},
+        )
+
+    # check_function extends with the list _judge returns; filter Nones.
+
+
+def check_leakage_source(
+    source: str, path: Union[str, Path]
+) -> List[Finding]:
+    """L4xx findings for one module's source text."""
+    path = Path(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        raise ValueError(f"cannot parse {path}: {error}") from error
+    findings: List[Finding] = []
+    for unit in iter_function_units(tree):
+        if unit.node is not None:
+            split = _has_split_context(unit.node)
+        else:
+            # Module scope: judge only top-level statements, not the
+            # bodies of the functions defined in it.
+            split = any(
+                _has_split_context(stmt)
+                for stmt in tree.body
+                if not isinstance(
+                    stmt,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                )
+            )
+        checker = _LeakageChecker(str(path), unit, split_context=split)
+        findings.extend(f for f in checker.run() if f is not None)
+    return findings

@@ -3,6 +3,14 @@
 ``run_lint`` is what both the ``repro lint`` CLI subcommand and the
 tier-1 regression test call; keeping it pure (no process exit, no
 printing) makes the report easy to assert on.
+
+Three layers run by default:
+
+* the semantic checker over the in-process catalogs/registry (C1xx,
+  M2xx),
+* the single-pass AST lint (A3xx),
+* the chaos-flow dataflow analyses — taint/leakage (L4xx) and physical
+  units (U5xx) — over the same source roots.
 """
 
 from __future__ import annotations
@@ -12,9 +20,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.analysis.astlint import DEFAULT_AST_ROOTS, lint_paths
+from repro.analysis.astlint import (
+    DEFAULT_AST_ROOTS,
+    iter_python_files,
+    lint_paths,
+)
 from repro.analysis.findings import RULES, Finding, filter_findings
+from repro.analysis.leakage import check_leakage_source
 from repro.analysis.semantic import check_all_platforms
+from repro.analysis.units import check_units_source
 
 
 @dataclass
@@ -24,6 +38,7 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     n_files_scanned: int = 0
     n_platforms_checked: int = 0
+    n_files_flow_analyzed: int = 0
 
     @property
     def clean(self) -> bool:
@@ -46,7 +61,8 @@ class LintReport:
         summary = (
             f"chaos-lint: {len(self.findings)} finding(s) in "
             f"{self.n_files_scanned} file(s), "
-            f"{self.n_platforms_checked} platform catalog(s)"
+            f"{self.n_platforms_checked} platform catalog(s), "
+            f"{self.n_files_flow_analyzed} file(s) dataflow-analyzed"
         )
         if self.findings:
             breakdown = ", ".join(
@@ -63,12 +79,57 @@ class LintReport:
                 "clean": self.clean,
                 "n_files_scanned": self.n_files_scanned,
                 "n_platforms_checked": self.n_platforms_checked,
+                "n_files_flow_analyzed": self.n_files_flow_analyzed,
                 "counts_by_code": self.counts_by_code(),
                 "rules": RULES,
                 "findings": [f.to_dict() for f in self.findings],
             },
             indent=2,
         )
+
+    def render_sarif(self, root: str | Path | None = None) -> str:
+        from repro.analysis.sarif import render_sarif
+
+        return render_sarif(self, root=root)
+
+    def render(
+        self, format: str = "text", root: str | Path | None = None
+    ) -> str:
+        if format == "json":
+            return self.render_json()
+        if format == "sarif":
+            return self.render_sarif(root=root)
+        if format == "text":
+            return self.render_text()
+        raise ValueError(f"unknown lint report format {format!r}")
+
+
+def _flow_findings(paths: Sequence[Path]) -> tuple[list[Finding], int]:
+    findings: list[Finding] = []
+    n_files = 0
+    for path in iter_python_files(paths):
+        n_files += 1
+        source = path.read_text()
+        findings += check_leakage_source(source, path)
+        findings += check_units_source(source, path)
+    return findings, n_files
+
+
+def _resolve_scan_paths(
+    root: str | Path | None, paths: Sequence[str | Path] | None
+) -> list[Path]:
+    if paths is None:
+        base = Path(root) if root is not None else Path.cwd()
+        scan = [base / name for name in DEFAULT_AST_ROOTS]
+        return [p for p in scan if p.exists()]
+    scan = [Path(p) for p in paths]
+    missing = [str(p) for p in scan if not p.exists()]
+    if missing:
+        # A typo'd path in a CI invocation must not pass green.
+        raise ValueError(
+            "lint path(s) do not exist: " + ", ".join(missing)
+        )
+    return scan
 
 
 def run_lint(
@@ -78,6 +139,7 @@ def run_lint(
     ignore: str | Iterable[str] | None = None,
     semantic: bool = True,
     ast_pass: bool = True,
+    dataflow: bool = True,
 ) -> LintReport:
     """Run chaos-lint and return the (filtered) report.
 
@@ -85,6 +147,7 @@ def run_lint(
     ``examples``); pass explicit ``paths`` to lint arbitrary files or
     directories instead.  The semantic layer is path-independent: it
     checks the in-process platform catalogs and model registry.
+    ``dataflow=False`` skips the (more expensive) chaos-flow pass.
     """
     from repro.platforms.specs import ALL_PLATFORMS
 
@@ -93,21 +156,16 @@ def run_lint(
     if semantic:
         findings += check_all_platforms()
         report.n_platforms_checked = len(ALL_PLATFORMS)
+    scan: list[Path] | None = None
+    if ast_pass or dataflow:
+        scan = _resolve_scan_paths(root, paths)
     if ast_pass:
-        if paths is None:
-            base = Path(root) if root is not None else Path.cwd()
-            scan = [base / name for name in DEFAULT_AST_ROOTS]
-            scan = [p for p in scan if p.exists()]
-        else:
-            scan = [Path(p) for p in paths]
-            missing = [str(p) for p in scan if not p.exists()]
-            if missing:
-                # A typo'd path in a CI invocation must not pass green.
-                raise ValueError(
-                    "lint path(s) do not exist: " + ", ".join(missing)
-                )
         ast_findings, n_files = lint_paths(scan)
         findings += ast_findings
         report.n_files_scanned = n_files
+    if dataflow:
+        flow_findings, n_flow = _flow_findings(scan)
+        findings += flow_findings
+        report.n_files_flow_analyzed = n_flow
     report.findings = filter_findings(findings, select=select, ignore=ignore)
     return report

@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 rendering of a chaos-lint report.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: ``repro lint --format sarif`` uploaded via
+``codeql-action/upload-sarif`` turns every finding into an inline PR
+annotation.  Only the small stable subset of the spec is emitted — one
+run, one driver, one result per finding.
+
+Findings carry their location as a plain string: ``path:line`` for
+source rules, ``catalog[key]:counter`` for semantic rules.  The former
+becomes a ``physicalLocation``; the latter has no artifact on disk and
+is mapped to a ``logicalLocations`` entry, which renders in SARIF
+viewers without claiming a file that does not exist.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Tuple, Union
+
+from repro.analysis.findings import RULES, Finding
+
+if TYPE_CHECKING:
+    from repro.analysis.runner import LintReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "chaos-lint"
+TOOL_URI = "docs/static_analysis.md"
+
+
+def split_location(location: str) -> Tuple[str, Optional[int]]:
+    """``'src/x.py:12'`` -> ``('src/x.py', 12)``; non-file locations
+    (no trailing integer) return ``(location, None)``."""
+    head, sep, tail = location.rpartition(":")
+    if sep and tail.isdigit():
+        return head, int(tail)
+    return location, None
+
+
+def _result(finding: Finding, root: Optional[Path]) -> dict:
+    path, line = split_location(finding.location)
+    result = {
+        "ruleId": finding.code,
+        "level": "error",
+        "message": {"text": finding.message},
+    }
+    if line is not None:
+        uri = path
+        if root is not None:
+            try:
+                uri = str(Path(path).resolve().relative_to(root.resolve()))
+            except ValueError:
+                uri = path
+        result["locations"] = [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": uri.replace("\\", "/")},
+                "region": {"startLine": line},
+            },
+        }]
+    else:
+        result["locations"] = [{
+            "logicalLocations": [{"fullyQualifiedName": finding.location}],
+        }]
+    return result
+
+
+def render_sarif(
+    report: "LintReport", root: Union[str, Path, None] = None
+) -> str:
+    """Serialize a :class:`~repro.analysis.runner.LintReport` as SARIF.
+
+    ``root`` (a path) relativizes source locations so annotations line
+    up with repository paths on the code-scanning side.
+    """
+    root = Path(root) if root is not None else None
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": description},
+            "helpUri": TOOL_URI,
+        }
+        for code, description in sorted(RULES.items())
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri": TOOL_URI,
+                    "rules": rules,
+                },
+            },
+            "results": [
+                _result(finding, root) for finding in report.findings
+            ],
+        }],
+    }
+    return json.dumps(payload, indent=2)

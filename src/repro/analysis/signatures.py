@@ -1,0 +1,272 @@
+"""API contracts driving chaos-flow: unit signatures and taint roles.
+
+This registry is the single place where ``repro``'s public entry points
+are annotated for the dataflow analyses:
+
+* :data:`FUNCTION_UNITS` — physical-unit contracts (return unit and
+  per-parameter expected units) for ``repro.metrics``, ``repro.framework``
+  and friends.  ``units.py`` checks call arguments against these (U502)
+  and propagates return units through expressions.
+* :data:`NAME_UNIT_SUFFIXES` — the naming convention the tree already
+  follows (``power_w``, ``duration_s``, ``freq_ghz`` ...), used to seed
+  units for variables, attributes, and parameters.
+* Taint roles — which callables *produce* whole-dataset values
+  (:data:`FULL_SOURCE_CALLS`), which parameter names denote the whole
+  dataset (:data:`FULL_PARAM_NAMES`), and which calls are *sinks* that
+  must never consume test-fold or unsplit data
+  (:func:`sink_kind`): model fits, feature selection, preprocessing.
+
+To annotate a new API, add one entry here — both analyses pick it up;
+``docs/static_analysis.md`` ("Annotating new APIs") walks through it.
+
+Matching is by the *last dotted segment* of the call target, with
+leading underscores ignored, so ``repro.metrics.errors.dynamic_range``,
+``errors.dynamic_range`` and a bare ``dynamic_range`` all match the same
+contract.  That keeps the registry import-style-agnostic at the cost of
+treating same-named functions alike — acceptable for a lint.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+# ----------------------------------------------------------------------
+# Units
+# ----------------------------------------------------------------------
+
+WATTS = "watts"
+WATTS_SQ = "watts^2"
+JOULES = "joules"
+SECONDS = "seconds"
+HERTZ = "hertz"
+PERCENT = "percent"
+BYTES = "bytes"
+COUNT = "count"
+RATE = "count/sec"
+BYTES_RATE = "bytes/sec"
+CUMULATIVE = "cumulative-count"
+DIMENSIONLESS = "dimensionless"
+
+#: Name suffix -> unit, longest suffix checked first.  Applied to
+#: variable names, attribute names, and function parameters.
+NAME_UNIT_SUFFIXES: Dict[str, str] = {
+    "_watts": WATTS,
+    "_w": WATTS,
+    "power": WATTS,
+    "_joules": JOULES,
+    "_j": JOULES,
+    "_seconds": SECONDS,
+    "_sec": SECONDS,
+    "_s": SECONDS,
+    "_hz": HERTZ,
+    "_ghz": HERTZ,
+    "_mhz": HERTZ,
+    "_percent": PERCENT,
+    "_pct": PERCENT,
+    "_bytes": BYTES,
+    "_per_sec": RATE,
+    "_cumulative": CUMULATIVE,
+    "_cum_total": CUMULATIVE,
+}
+
+_SUFFIXES_BY_LENGTH = sorted(
+    NAME_UNIT_SUFFIXES, key=len, reverse=True
+)
+
+
+def unit_from_name(name: str) -> Optional[str]:
+    """Unit implied by an identifier's suffix, or None.
+
+    ``power_w`` -> watts, ``sample_period_s`` -> seconds,
+    ``mem_pages_per_sec`` -> count/sec (the longer suffix wins over
+    ``_sec``), ``design`` -> None.
+    """
+    lowered = name.lower()
+    for suffix in _SUFFIXES_BY_LENGTH:
+        if lowered == suffix.lstrip("_") or lowered.endswith(suffix):
+            return NAME_UNIT_SUFFIXES[suffix]
+    return None
+
+
+@dataclass(frozen=True)
+class UnitSignature:
+    """Unit contract of one callable."""
+
+    returns: Optional[str] = None
+    params: Dict[str, str] = field(default_factory=dict)
+    """Positional index (as str) or keyword name -> expected unit."""
+
+    def expected_for(
+        self, position: int, keyword: Optional[str]
+    ) -> Optional[str]:
+        if keyword is not None:
+            return self.params.get(keyword)
+        return self.params.get(str(position))
+
+
+def _sig(returns: Optional[str] = None, **params: str) -> UnitSignature:
+    return UnitSignature(
+        returns=returns,
+        params={str(k)[1:] if str(k).startswith("p") and str(k)[1:].isdigit()
+                else k: v for k, v in params.items()},
+    )
+
+
+#: Callable (last dotted segment) -> unit contract.  Positional
+#: parameters are keyed ``p0``, ``p1``, ... in ``_sig``.
+FUNCTION_UNITS: Dict[str, UnitSignature] = {
+    # repro.metrics.errors — everything takes power series in watts.
+    "mean_squared_error": _sig(WATTS_SQ, p0=WATTS, p1=WATTS),
+    "root_mean_squared_error": _sig(WATTS, p0=WATTS, p1=WATTS),
+    "percent_error": _sig(DIMENSIONLESS, p0=WATTS, p1=WATTS),
+    "mean_absolute_error": _sig(WATTS, p0=WATTS, p1=WATTS),
+    "median_absolute_error": _sig(WATTS, p0=WATTS, p1=WATTS),
+    "median_relative_error": _sig(DIMENSIONLESS, p0=WATTS, p1=WATTS),
+    "dynamic_range": _sig(WATTS, p0=WATTS, idle_power=WATTS),
+    "dynamic_range_error": _sig(
+        DIMENSIONLESS, p0=WATTS, p1=WATTS, idle_power=WATTS
+    ),
+    # repro.metrics.energy — the one deliberate watts/joules boundary.
+    "energy_joules": _sig(
+        JOULES, p0=WATTS, power_w=WATTS, sample_period_s=SECONDS
+    ),
+    "energy_relative_error": _sig(
+        DIMENSIONLESS, p0=WATTS, p1=WATTS, sample_period_s=SECONDS
+    ),
+    # repro.metrics.summary / repro.framework — report constructors
+    # consume measured/predicted power in watts.
+    "from_predictions": _sig(None, p0=WATTS, p1=WATTS),
+    "cluster_power": _sig(WATTS),
+    # repro.activity probes.
+    "idle_activity": _sig(None, n_seconds=SECONDS),
+}
+
+#: Calls that preserve the unit of their first argument (reductions,
+#: conversions, elementwise shims).  Matched like FUNCTION_UNITS.
+UNIT_PRESERVING_CALLS = frozenset({
+    "mean", "median", "sum", "min", "max", "abs", "absolute",
+    "asarray", "array", "ravel", "sort", "sorted", "copy", "float",
+    "quantile", "percentile", "average_windows",
+})
+
+#: Calls preserving the unit of the *receiver* (ndarray methods).
+UNIT_PRESERVING_METHODS = frozenset({
+    "mean", "sum", "min", "max", "ravel", "copy", "astype", "clip",
+})
+
+#: sqrt maps squared units back (watts^2 -> watts); anything else is
+#: unknown.
+SQRT_CALLS = frozenset({"sqrt"})
+
+#: BinOp unit algebra: (left, op, right) -> result.  Only listed
+#: combinations produce a concrete unit; everything else is unknown.
+MUL_TABLE: Dict[Tuple[str, str], str] = {
+    (WATTS, SECONDS): JOULES,
+    (SECONDS, WATTS): JOULES,
+    (WATTS, WATTS): WATTS_SQ,
+    (RATE, SECONDS): COUNT,
+    (SECONDS, RATE): COUNT,
+    (BYTES_RATE, SECONDS): BYTES,
+    (SECONDS, BYTES_RATE): BYTES,
+    (HERTZ, SECONDS): COUNT,
+    (SECONDS, HERTZ): COUNT,
+}
+
+DIV_TABLE: Dict[Tuple[str, str], str] = {
+    (JOULES, SECONDS): WATTS,
+    (JOULES, WATTS): SECONDS,
+    (COUNT, SECONDS): RATE,
+    (BYTES, SECONDS): BYTES_RATE,
+    (WATTS_SQ, WATTS): WATTS,
+}
+
+
+# ----------------------------------------------------------------------
+# Taint roles
+# ----------------------------------------------------------------------
+
+#: Call targets (last dotted segment) returning the *whole dataset*:
+#: every run of a workload, before any split.
+FULL_SOURCE_CALLS = frozenset({"runs", "runs_by_workload"})
+
+#: Parameter names seeded as whole-dataset at function entry.
+FULL_PARAM_NAMES = frozenset({"runs", "all_runs", "dataset"})
+
+#: Feature-selection entry points (repro.selection + Algorithm 1).
+SELECT_SINKS = frozenset({
+    "prune_correlated",
+    "eliminate_codependent",
+    "select_machine_features",
+    "pool_and_refine",
+    "run_algorithm1",
+    "select_features",
+    "select_general_features",
+})
+
+#: Preprocessing fits: anything learning statistics from data that must
+#: therefore only ever see the training split.
+PREPROCESS_SINKS = frozenset({
+    "standardize", "fit_scaler", "fit_transform", "scale_features",
+})
+
+#: Method names treated as model-fit sinks.
+FIT_METHODS = frozenset({"fit"})
+
+
+def call_target(func: ast.AST) -> Optional[str]:
+    """Last dotted segment of a call target, leading underscores
+    stripped: ``repro.metrics.errors._dre`` -> ``dre``."""
+    if isinstance(func, ast.Attribute):
+        tail = func.attr
+    elif isinstance(func, ast.Name):
+        tail = func.id
+    else:
+        return None
+    return tail.lstrip("_") or tail
+
+
+def is_method_call(func: ast.AST) -> bool:
+    return isinstance(func, ast.Attribute)
+
+
+def sink_kind(func: ast.AST) -> Optional[str]:
+    """'fit' | 'select' | 'preprocess' if the call is a leakage sink."""
+    target = call_target(func)
+    if target is None:
+        return None
+    if is_method_call(func) and func.attr.lstrip("_") in FIT_METHODS:
+        return "fit"
+    if target in SELECT_SINKS:
+        return "select"
+    if target in PREPROCESS_SINKS:
+        return "preprocess"
+    return None
+
+
+def unit_signature(func: ast.AST) -> Optional[UnitSignature]:
+    target = call_target(func)
+    if target is None:
+        return None
+    return FUNCTION_UNITS.get(target)
+
+
+#: Identifier patterns marking test-split data by naming convention.
+def is_test_name(name: str) -> bool:
+    lowered = name.lower().strip("_")
+    return (
+        lowered == "test"
+        or lowered.startswith("test_")
+        or lowered.endswith("_test")
+        or "_test_" in lowered
+    )
+
+
+def is_fold_iterable_name(name: str) -> bool:
+    lowered = name.lower().strip("_")
+    return lowered == "folds" or lowered.endswith("_folds")
+
+
+#: Calls producing the fold list a cross-validation loop iterates.
+FOLD_SOURCE_CALLS = frozenset({"runwise_folds", "kfold", "make_folds"})

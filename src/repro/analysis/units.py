@@ -1,0 +1,353 @@
+"""Physical-unit dataflow analysis (rule family ``U5xx``).
+
+DRE = rMSE / (P_max − P_idle) is only the paper's Eq. 6 if every term
+is in watts; feed the denominator joules (an energy total) or a
+cumulative counter where a rate belongs and the number still computes,
+just means nothing.  This analysis assigns abstract physical units to
+values — from the tree's naming convention (``power_w``, ``duration_s``,
+``pages_per_sec``) and from the API contracts in
+:mod:`repro.analysis.signatures` — propagates them through assignments
+and arithmetic, and reports dimensional nonsense.
+
+The value lattice is flat: unknown-yet (bottom, absent from the
+environment), one concrete unit, or ``top`` (conflicting paths).
+Nothing is reported unless *both* sides of an operation carry concrete
+units, so an unannotated value can never create a false positive.
+
+Rules
+-----
+* ``U501`` — ``+``/``-``/comparison mixes incompatible units
+  (watts + joules, seconds < hertz),
+* ``U502`` — a call argument's unit contradicts the API signature (or a
+  unit-suffixed keyword): joules passed to ``dynamic_range_error``'s
+  watts-typed ``idle_power``,
+* ``U503`` — a cumulative counter used where a rate is expected,
+* ``U504`` — a value assigned to a name whose unit suffix disagrees
+  (``energy_j = power_w`` without integrating over time).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.analysis.cfg import BasicBlock, FunctionUnit, iter_function_units
+from repro.analysis.findings import Finding
+from repro.analysis.flowast import EnvAnalysis, check_function, header_exprs
+from repro.analysis.signatures import (
+    BYTES_RATE,
+    CUMULATIVE,
+    DIMENSIONLESS,
+    DIV_TABLE,
+    MUL_TABLE,
+    RATE,
+    SQRT_CALLS,
+    UNIT_PRESERVING_CALLS,
+    UNIT_PRESERVING_METHODS,
+    WATTS,
+    WATTS_SQ,
+    call_target,
+    unit_from_name,
+    unit_signature,
+)
+
+#: Top of the flat lattice: reachable with conflicting/unknown units.
+TOP = "?"
+
+Unit = str
+_RATES = frozenset({RATE, BYTES_RATE})
+
+
+def join_unit(left: Unit, right: Unit) -> Unit:
+    if left == right:
+        return left
+    return TOP
+
+
+def is_concrete(unit: Optional[Unit]) -> bool:
+    return unit is not None and unit != TOP
+
+
+class UnitAnalysis(EnvAnalysis):
+    """Forward unit inference over one function's CFG."""
+
+    def default_value(self) -> Unit:
+        return TOP
+
+    def join_value(self, left: Unit, right: Unit) -> Unit:
+        return join_unit(left, right)
+
+    def seed_param(self, name: str) -> Unit:
+        return unit_from_name(name) or TOP
+
+    def aug_value(self, old: Unit, op: ast.operator, rhs: Unit) -> Unit:
+        return _binop_unit(old, op, rhs)
+
+    # -- expression evaluation ------------------------------------------
+
+    def eval(self, expr: ast.expr, env: Dict[str, Unit]) -> Unit:
+        if expr is None:
+            return TOP
+        if isinstance(expr, ast.Name):
+            if expr.id in env:
+                return env[expr.id]
+            return unit_from_name(expr.id) or TOP
+        if isinstance(expr, ast.Attribute):
+            return unit_from_name(expr.attr) or TOP
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        if isinstance(expr, ast.BinOp):
+            return _binop_unit(
+                self.eval(expr.left, env),
+                expr.op,
+                self.eval(expr.right, env),
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return self.eval(expr.operand, env)
+        if isinstance(expr, ast.IfExp):
+            return join_unit(
+                self.eval(expr.body, env), self.eval(expr.orelse, env)
+            )
+        if isinstance(expr, ast.Subscript):
+            # One element of a homogeneous container keeps its unit.
+            return self.eval(expr.value, env)
+        if isinstance(expr, ast.Starred):
+            return self.eval(expr.value, env)
+        if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+            units = [self.eval(element, env) for element in expr.elts]
+            concrete = [unit for unit in units if is_concrete(unit)]
+            if concrete and all(u == concrete[0] for u in concrete) and (
+                len(concrete) == len(units)
+            ):
+                return concrete[0]
+            return TOP
+        return TOP
+
+    def _eval_call(self, call: ast.Call, env: Dict[str, Unit]) -> Unit:
+        signature = unit_signature(call.func)
+        if signature is not None and signature.returns is not None:
+            return signature.returns
+        target = call_target(call.func)
+        if target in SQRT_CALLS and call.args:
+            inner = self.eval(call.args[0], env)
+            return WATTS if inner == WATTS_SQ else TOP
+        if target in UNIT_PRESERVING_CALLS and call.args:
+            return self.eval(call.args[0], env)
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in UNIT_PRESERVING_METHODS
+        ):
+            return self.eval(call.func.value, env)
+        return TOP
+
+
+def _binop_unit(left: Unit, op: ast.operator, right: Unit) -> Unit:
+    if not (is_concrete(left) and is_concrete(right)):
+        return TOP
+    if isinstance(op, (ast.Add, ast.Sub)):
+        return left if left == right else TOP
+    if isinstance(op, ast.Mult):
+        if left == DIMENSIONLESS:
+            return right
+        if right == DIMENSIONLESS:
+            return left
+        return MUL_TABLE.get((left, right), TOP)
+    if isinstance(op, (ast.Div, ast.FloorDiv)):
+        if left == right:
+            return DIMENSIONLESS
+        if right == DIMENSIONLESS:
+            return left
+        return DIV_TABLE.get((left, right), TOP)
+    if isinstance(op, ast.Mod):
+        return left if left == right else TOP
+    if isinstance(op, ast.Pow):
+        return WATTS_SQ if left == WATTS else TOP
+    return TOP
+
+
+def _mismatch_code(expected: Unit, actual: Unit) -> str:
+    """U503 for the cumulative-vs-rate confusion, U501/U502 otherwise."""
+    pair = {expected, actual}
+    if CUMULATIVE in pair and pair & _RATES:
+        return "U503"
+    return ""
+
+
+class _UnitChecker:
+    def __init__(self, path: str, unit: FunctionUnit) -> None:
+        self.path = path
+        self.unit = unit
+        self.analysis = UnitAnalysis(unit)
+        self._seen: set = set()
+
+    def run(self) -> List[Finding]:
+        return check_function(self.unit, self.analysis, self._check_stmt)
+
+    def _check_stmt(
+        self, stmt: ast.stmt, state: Dict[str, Unit], block: BasicBlock
+    ) -> List[Finding]:
+        del block
+        findings: List[Finding] = []
+        for expr in header_exprs(stmt):
+            for node in ast.walk(expr):
+                if isinstance(node, ast.BinOp) and isinstance(
+                    node.op, (ast.Add, ast.Sub)
+                ):
+                    findings.extend(self._check_arith(node, state))
+                elif isinstance(node, ast.Compare):
+                    findings.extend(self._check_compare(node, state))
+                elif isinstance(node, ast.Call):
+                    findings.extend(self._check_call(node, state))
+        findings.extend(self._check_assignment(stmt, state))
+        return findings
+
+    # -- U501: incompatible arithmetic ----------------------------------
+
+    def _check_arith(
+        self, node: ast.BinOp, state: Dict[str, Unit]
+    ) -> List[Finding]:
+        left = self.analysis.eval(node.left, state)
+        right = self.analysis.eval(node.right, state)
+        if is_concrete(left) and is_concrete(right) and left != right:
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            code = _mismatch_code(left, right) or "U501"
+            return self._emit(
+                code, node,
+                f"'{op}' mixes {left} and {right}; convert one side "
+                "before combining",
+            )
+        return []
+
+    def _check_compare(
+        self, node: ast.Compare, state: Dict[str, Unit]
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        operands = [node.left, *node.comparators]
+        units = [self.analysis.eval(o, state) for o in operands]
+        for (a_unit, b_unit) in zip(units, units[1:]):
+            if (
+                is_concrete(a_unit)
+                and is_concrete(b_unit)
+                and a_unit != b_unit
+            ):
+                code = _mismatch_code(a_unit, b_unit) or "U501"
+                findings.extend(self._emit(
+                    code, node,
+                    f"comparison mixes {a_unit} and {b_unit}",
+                ))
+        return findings
+
+    # -- U502/U503: call arguments vs signature -------------------------
+
+    def _check_call(
+        self, call: ast.Call, state: Dict[str, Unit]
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        signature = unit_signature(call.func)
+        target = call_target(call.func) or "<call>"
+        for position, arg in enumerate(call.args):
+            expected = (
+                signature.expected_for(position, None)
+                if signature is not None
+                else None
+            )
+            findings.extend(self._check_arg(
+                call, target, arg, expected, f"argument {position + 1}",
+                state,
+            ))
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                continue
+            expected = None
+            if signature is not None:
+                expected = signature.expected_for(-1, keyword.arg)
+            if expected is None:
+                # Unit-suffixed keywords are contracts even without a
+                # registry entry: `sample_period_s=` expects seconds.
+                expected = unit_from_name(keyword.arg)
+            findings.extend(self._check_arg(
+                call, target, keyword.value, expected,
+                f"keyword '{keyword.arg}'", state,
+            ))
+        return findings
+
+    def _check_arg(
+        self,
+        call: ast.Call,
+        target: str,
+        arg: ast.expr,
+        expected: Optional[Unit],
+        where: str,
+        state: Dict[str, Unit],
+    ) -> List[Finding]:
+        if expected is None:
+            return []
+        actual = self.analysis.eval(arg, state)
+        if not is_concrete(actual) or actual == expected:
+            return []
+        code = _mismatch_code(expected, actual) or "U502"
+        return self._emit(
+            code, call,
+            f"{target}() expects {expected} for {where}, got {actual}",
+        )
+
+    # -- U504: assignment vs name suffix --------------------------------
+
+    def _check_assignment(
+        self, stmt: ast.stmt, state: Dict[str, Unit]
+    ) -> List[Finding]:
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            return []
+        actual = self.analysis.eval(value, state)
+        if not is_concrete(actual):
+            return []
+        findings: List[Finding] = []
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            declared = unit_from_name(target.id)
+            if declared is None or declared == actual:
+                continue
+            code = _mismatch_code(declared, actual) or "U504"
+            findings.extend(self._emit(
+                code, target,
+                f"'{target.id}' declares {declared} by its suffix but "
+                f"is assigned {actual}",
+            ))
+        return findings
+
+    def _emit(
+        self, code: str, node: ast.AST, message: str
+    ) -> List[Finding]:
+        key = (code, node.lineno, node.col_offset)
+        if key in self._seen:
+            return []
+        self._seen.add(key)
+        return [Finding(
+            code,
+            message,
+            f"{self.path}:{node.lineno}",
+            context={"function": self.unit.qualname},
+        )]
+
+
+def check_units_source(
+    source: str, path: Union[str, Path]
+) -> List[Finding]:
+    """U5xx findings for one module's source text."""
+    path = Path(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        raise ValueError(f"cannot parse {path}: {error}") from error
+    findings: List[Finding] = []
+    for unit in iter_function_units(tree):
+        findings.extend(_UnitChecker(str(path), unit).run())
+    return findings

@@ -98,7 +98,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--json", action="store_true", dest="as_json",
-        help="emit the report as JSON",
+        help="emit the report as JSON (alias for --format json)",
+    )
+    lint.add_argument(
+        "--format", default=None, dest="format",
+        choices=["text", "json", "sarif"],
+        help="report format; 'sarif' emits SARIF 2.1.0 for GitHub "
+        "code scanning",
     )
     lint.add_argument(
         "--select", default=None, metavar="CODES",
@@ -115,6 +121,10 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--no-ast", action="store_true",
         help="skip the source AST pass",
+    )
+    lint.add_argument(
+        "--no-dataflow", action="store_true",
+        help="skip the chaos-flow dataflow analyses (L4xx/U5xx)",
     )
 
     reproduce = sub.add_parser(
@@ -516,11 +526,10 @@ def _cmd_lint(args, out) -> int:
         ignore=args.ignore,
         semantic=not args.no_semantic,
         ast_pass=not args.no_ast,
+        dataflow=not args.no_dataflow,
     )
-    if args.as_json:
-        print(report.render_json(), file=out)
-    else:
-        print(report.render_text(), file=out)
+    format = args.format or ("json" if args.as_json else "text")
+    print(report.render(format, root=args.root), file=out)
     return report.exit_code
 
 

@@ -12,11 +12,12 @@ cancel.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.metrics.errors import _as_aligned_arrays
 
 
-def energy_joules(power_w, sample_period_s: float = 1.0) -> float:
+def energy_joules(power_w: ArrayLike, sample_period_s: float = 1.0) -> float:
     """Total energy of a power series sampled at a fixed period."""
     power = np.asarray(power_w, dtype=float).ravel()
     if power.size == 0:
@@ -27,7 +28,9 @@ def energy_joules(power_w, sample_period_s: float = 1.0) -> float:
 
 
 def energy_relative_error(
-    actual_power, predicted_power, sample_period_s: float = 1.0
+    actual_power: ArrayLike,
+    predicted_power: ArrayLike,
+    sample_period_s: float = 1.0,
 ) -> float:
     """|predicted energy - actual energy| / actual energy."""
     actual, predicted = _as_aligned_arrays(actual_power, predicted_power)

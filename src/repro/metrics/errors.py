@@ -18,9 +18,12 @@ relative error.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 
-def _as_aligned_arrays(actual, predicted):
+def _as_aligned_arrays(
+    actual: ArrayLike, predicted: ArrayLike
+) -> tuple[NDArray[np.float64], NDArray[np.float64]]:
     """Validate and convert inputs to equal-length float arrays."""
     y = np.asarray(actual, dtype=float).ravel()
     yhat = np.asarray(predicted, dtype=float).ravel()
@@ -36,18 +39,20 @@ def _as_aligned_arrays(actual, predicted):
     return y, yhat
 
 
-def mean_squared_error(actual, predicted) -> float:
+def mean_squared_error(actual: ArrayLike, predicted: ArrayLike) -> float:
     """Mean squared prediction error in watts squared."""
     y, yhat = _as_aligned_arrays(actual, predicted)
     return float(np.mean((y - yhat) ** 2))
 
 
-def root_mean_squared_error(actual, predicted) -> float:
+def root_mean_squared_error(
+    actual: ArrayLike, predicted: ArrayLike
+) -> float:
     """Root-mean-squared prediction error (rMSE), in watts."""
     return float(np.sqrt(mean_squared_error(actual, predicted)))
 
 
-def percent_error(actual, predicted) -> float:
+def percent_error(actual: ArrayLike, predicted: ArrayLike) -> float:
     """rMSE divided by average measured power (the '% Err' of Table III)."""
     y, yhat = _as_aligned_arrays(actual, predicted)
     mean_power = float(np.mean(y))
@@ -56,19 +61,23 @@ def percent_error(actual, predicted) -> float:
     return root_mean_squared_error(y, yhat) / mean_power
 
 
-def mean_absolute_error(actual, predicted) -> float:
+def mean_absolute_error(actual: ArrayLike, predicted: ArrayLike) -> float:
     """Mean absolute prediction error, in watts."""
     y, yhat = _as_aligned_arrays(actual, predicted)
     return float(np.mean(np.abs(y - yhat)))
 
 
-def median_absolute_error(actual, predicted) -> float:
+def median_absolute_error(
+    actual: ArrayLike, predicted: ArrayLike
+) -> float:
     """Median absolute prediction error, in watts."""
     y, yhat = _as_aligned_arrays(actual, predicted)
     return float(np.median(np.abs(y - yhat)))
 
 
-def median_relative_error(actual, predicted) -> float:
+def median_relative_error(
+    actual: ArrayLike, predicted: ArrayLike
+) -> float:
     """Median of |error| / measured power.
 
     The paper reports 0.5-2.5% median relative error for its models; this is
@@ -80,7 +89,9 @@ def median_relative_error(actual, predicted) -> float:
     return float(np.median(np.abs(y - yhat) / y))
 
 
-def dynamic_range(actual, idle_power: float | None = None) -> float:
+def dynamic_range(
+    actual: ArrayLike, idle_power: float | None = None
+) -> float:
     """Dynamic power range P_max - P_idle of a measured power series.
 
     If ``idle_power`` is given (e.g. from a platform's calibration), it is
@@ -94,7 +105,11 @@ def dynamic_range(actual, idle_power: float | None = None) -> float:
     return float(np.max(y)) - floor
 
 
-def dynamic_range_error(actual, predicted, idle_power: float | None = None) -> float:
+def dynamic_range_error(
+    actual: ArrayLike,
+    predicted: ArrayLike,
+    idle_power: float | None = None,
+) -> float:
     """Dynamic Range Error (Eq. 6): rMSE / (P_max - P_idle).
 
     Raises ``ValueError`` when the series has no dynamic range (a constant

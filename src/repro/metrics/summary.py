@@ -9,6 +9,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.metrics.errors import (
     dynamic_range,
@@ -37,7 +38,10 @@ class AccuracyReport:
 
     @classmethod
     def from_predictions(
-        cls, actual, predicted, idle_power: float | None = None
+        cls,
+        actual: ArrayLike,
+        predicted: ArrayLike,
+        idle_power: float | None = None,
     ) -> "AccuracyReport":
         """Compute every metric from a (measured, predicted) pair of series."""
         y = np.asarray(actual, dtype=float).ravel()

@@ -1,0 +1,313 @@
+"""Property tests for the chaos-flow fixpoint engine.
+
+Two halves of the termination contract (see ``dataflow.py``):
+
+* the engine terminates and produces a *sound* fixpoint on arbitrary
+  CFG shapes, given a finite-height lattice — checked on randomly
+  generated graphs with a powerset lattice;
+* the shipped taint and unit transfer functions are monotone, so the
+  per-block chains those analyses produce can only ascend — checked on
+  random environments pushed through real parsed statements.
+
+The engine itself is statement-agnostic, so the random CFGs carry plain
+integers as "statements".
+"""
+
+import ast
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cfg import CFG, BasicBlock, iter_function_units
+from repro.analysis.dataflow import (
+    Analysis,
+    FixpointDiverged,
+    join_env,
+    run_forward,
+)
+from repro.analysis.leakage import FULL, TEST, TEST_INDEX, TaintAnalysis
+from repro.analysis.units import TOP, UnitAnalysis
+
+
+# ----------------------------------------------------------------------
+# Random CFGs over a powerset lattice
+# ----------------------------------------------------------------------
+
+
+class ReachingStmts(Analysis):
+    """Collect the set of statement payloads seen on some path."""
+
+    def entry_state(self, cfg):
+        return frozenset({"entry"})
+
+    def bottom(self):
+        return frozenset()
+
+    def join(self, left, right):
+        return left | right
+
+    def transfer(self, state, stmt):
+        return state | {stmt}
+
+
+def _make_cfg(n_blocks, edges, payloads):
+    blocks = [BasicBlock(index=i) for i in range(n_blocks)]
+    for src, dst in edges:
+        if dst not in blocks[src].succs:
+            blocks[src].succs.append(dst)
+            blocks[dst].preds.append(src)
+    for index, payload in enumerate(payloads):
+        blocks[index].stmts = list(payload)
+    return CFG(name="<random>", blocks=blocks, entry=0, exit=n_blocks - 1)
+
+
+@st.composite
+def random_cfgs(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    n_edges = draw(st.integers(min_value=0, max_value=2 * n))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            min_size=n_edges,
+            max_size=n_edges,
+        )
+    )
+    # Always connect block 0 onward so the graph is not trivially empty.
+    edges.append((0, draw(st.integers(0, n - 1))))
+    payloads = draw(
+        st.lists(
+            st.lists(st.integers(0, 9), max_size=3),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return _make_cfg(n, edges, payloads)
+
+
+@settings(max_examples=120, deadline=None)
+@given(cfg=random_cfgs())
+def test_fixpoint_terminates_and_is_sound(cfg):
+    """Arbitrary graphs (cycles, self-loops, unreachable blocks) reach a
+    sound fixpoint: every edge satisfies out[src] <= in[dst]."""
+    analysis = ReachingStmts()
+    result = run_forward(cfg, analysis)
+    assert result.iterations <= max(1024, 256 * len(cfg.blocks))
+    reachable = set(cfg.rpo())
+    for block in cfg.blocks:
+        # in-state joined over predecessors is covered by block_in.
+        # (Unreachable predecessors contribute bottom, so this holds
+        # for every edge.)
+        for pred in block.preds:
+            assert result.block_out[pred] <= result.block_in[block.index]
+        if block.index not in reachable:
+            continue
+        # out-state is exactly transfer applied through the block.
+        state = result.block_in[block.index]
+        for stmt in block.stmts:
+            state = analysis.transfer(state, stmt)
+        assert state == result.block_out[block.index]
+    # Entry seeding survives the fixpoint.
+    assert "entry" in result.block_in[cfg.entry]
+
+
+@settings(max_examples=60, deadline=None)
+@given(cfg=random_cfgs())
+def test_fixpoint_is_deterministic(cfg):
+    first = run_forward(cfg, ReachingStmts())
+    second = run_forward(cfg, ReachingStmts())
+    assert first.block_in == second.block_in
+    assert first.block_out == second.block_out
+
+
+class _Unbounded(Analysis):
+    """Infinite-height lattice: each visit strictly increases the state,
+    so a loop never stabilizes and the iteration cap must trip."""
+
+    def entry_state(self, cfg):
+        return 0
+
+    def bottom(self):
+        return 0
+
+    def join(self, left, right):
+        return max(left, right)
+
+    def transfer(self, state, stmt):
+        return state + 1
+
+
+def test_divergence_raises_instead_of_hanging():
+    # A self-loop keeps requeueing the block; the cap must trip.
+    cfg = _make_cfg(2, [(0, 0), (0, 1)], [["s"], []])
+    with pytest.raises(FixpointDiverged):
+        run_forward(cfg, _Unbounded(), max_iterations=64)
+
+
+# ----------------------------------------------------------------------
+# Monotonicity of the shipped transfer functions
+# ----------------------------------------------------------------------
+
+_TAINT_LABELS = [TEST, TEST_INDEX, FULL, ("fold", 2)]
+_UNIT_VALUES = ["watts", "joules", "seconds", "count/sec", TOP]
+_VAR_NAMES = ["a", "b", "design", "power_w", "test_runs", "runs"]
+
+# Statement pool exercising every transfer arm: assignments, augmented
+# assignment, subscripts, calls, mutation, loop headers.
+_STMT_POOL = [
+    ast.parse(snippet).body[0]
+    for snippet in [
+        "a = b",
+        "a = b[0]",
+        "a = test_runs",
+        "a = runs",
+        "a, b = b, a",
+        "a += b",
+        "a = pool_features(b)",
+        "a.append(b)",
+        "a = [x for x in b]",
+        "power_w = a + b",
+        "a = b.train_runs",
+        "a = b.test_runs",
+        "del a",
+        "a = energy_joules(b, sample_period_s=power_w)",
+    ]
+]
+
+
+def _unit_for(analysis_cls):
+    tree = ast.parse("def f(a, b):\n    pass\n")
+    unit = [u for u in iter_function_units(tree) if u.node is not None][0]
+    return analysis_cls(unit)
+
+
+def _taint_leq(left, right):
+    return all(
+        value <= right.get(name, frozenset())
+        for name, value in left.items()
+    )
+
+
+@st.composite
+def taint_env_pairs(draw):
+    """(lower, upper) environment pairs with lower <= upper pointwise."""
+    lower = {}
+    upper = {}
+    for name in draw(st.lists(st.sampled_from(_VAR_NAMES), unique=True)):
+        small = frozenset(
+            draw(st.lists(st.sampled_from(_TAINT_LABELS), max_size=3))
+        )
+        extra = frozenset(
+            draw(st.lists(st.sampled_from(_TAINT_LABELS), max_size=2))
+        )
+        lower[name] = small
+        upper[name] = small | extra
+    return lower, upper
+
+
+@settings(max_examples=150, deadline=None)
+@given(pair=taint_env_pairs(), stmt_index=st.integers(0, len(_STMT_POOL) - 1))
+def test_taint_transfer_is_monotone(pair, stmt_index):
+    lower, upper = pair
+    analysis = _unit_for(TaintAnalysis)
+    stmt = _STMT_POOL[stmt_index]
+    out_lower = analysis.transfer(lower, stmt)
+    out_upper = analysis.transfer(upper, stmt)
+    assert _taint_leq(out_lower, out_upper)
+
+
+@settings(max_examples=150, deadline=None)
+@given(pair=taint_env_pairs())
+def test_taint_join_is_lub(pair):
+    lower, upper = pair
+    analysis = _unit_for(TaintAnalysis)
+    joined = analysis.join(lower, upper)
+    assert _taint_leq(lower, joined)
+    assert _taint_leq(upper, joined)
+    # Idempotent and commutative (order-insensitive fixpoints need both).
+    assert analysis.join(joined, joined) == joined
+    assert analysis.join(upper, lower) == joined
+
+
+def _unit_leq(left, right):
+    """Flat lattice order: bottom (absent) <= concrete <= TOP."""
+    return all(
+        name in right and (value == right[name] or right[name] == TOP)
+        for name, value in left.items()
+    )
+
+
+@st.composite
+def unit_env_pairs(draw):
+    """(lower, upper) with identical key sets, upper raised toward TOP.
+
+    The unit environment reads *unbound* names through their suffix
+    convention rather than as bottom, so monotonicity is stated over
+    same-keyed environments — exactly what the fixpoint produces, since
+    ``join_env`` only ever grows the key set along one ascending chain.
+    """
+    lower = {}
+    upper = {}
+    for name in draw(st.lists(st.sampled_from(_VAR_NAMES), unique=True)):
+        value = draw(st.sampled_from(_UNIT_VALUES))
+        lower[name] = value
+        upper[name] = value if draw(st.booleans()) else TOP
+    return lower, upper
+
+
+@settings(max_examples=150, deadline=None)
+@given(pair=unit_env_pairs(), stmt_index=st.integers(0, len(_STMT_POOL) - 1))
+def test_unit_transfer_is_monotone(pair, stmt_index):
+    lower, upper = pair
+    analysis = _unit_for(UnitAnalysis)
+    stmt = _STMT_POOL[stmt_index]
+    out_lower = analysis.transfer(lower, stmt)
+    out_upper = analysis.transfer(upper, stmt)
+    assert _unit_leq(out_lower, out_upper)
+
+
+@settings(max_examples=100, deadline=None)
+@given(pair=unit_env_pairs())
+def test_unit_join_is_lub(pair):
+    lower, upper = pair
+    analysis = _unit_for(UnitAnalysis)
+    joined = analysis.join(lower, upper)
+    assert _unit_leq(lower, joined)
+    assert _unit_leq(upper, joined)
+    assert analysis.join(upper, lower) == joined
+
+
+def test_join_env_keeps_one_sided_bindings():
+    merged = join_env({"a": 1}, {"b": 2}, max)
+    assert merged == {"a": 1, "b": 2}
+    assert join_env({}, {"a": 3}, max) == {"a": 3}
+    assert join_env({"a": 1}, {"a": 4}, max) == {"a": 4}
+
+
+@settings(max_examples=40, deadline=None)
+@given(source=st.sampled_from([
+    "def f(runs):\n"
+    "    for fold in runwise_folds(runs):\n"
+    "        train = fold.train_runs\n"
+    "    return train\n",
+    "def f(xs):\n"
+    "    while xs:\n"
+    "        xs = xs[1:]\n"
+    "    return xs\n",
+    "def f(c, runs):\n"
+    "    if c:\n"
+    "        data = runs\n"
+    "    else:\n"
+    "        data = []\n"
+    "    return data\n",
+]))
+def test_real_functions_reach_fixpoint(source):
+    tree = ast.parse(source)
+    for unit in iter_function_units(tree):
+        if unit.node is None:
+            continue
+        for cls in (TaintAnalysis, UnitAnalysis):
+            result = run_forward(unit.cfg, cls(unit))
+            assert result.iterations <= 256 * len(unit.cfg.blocks) + 1024

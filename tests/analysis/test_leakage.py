@@ -1,0 +1,238 @@
+"""Fixture tests for the L4xx leakage rules.
+
+Every rule gets a seeded-bug snippet that must fire and a corrected
+twin that must stay silent — the acceptance criterion for chaos-flow.
+Snippets mirror the tree's real idioms (``runwise_folds``,
+``pool_features``, ``model.fit``), not synthetic strawmen.
+"""
+
+from repro.analysis.leakage import check_leakage_source
+
+
+def _codes(source):
+    return sorted(
+        f.code for f in check_leakage_source(source, "snippet.py")
+    )
+
+
+class TestL401FitOnTestData:
+    BAD = (
+        "def evaluate(runs):\n"
+        "    for fold in runwise_folds(runs):\n"
+        "        test = [runs[i] for i in fold.test_runs]\n"
+        "        design, power = pool_features(test)\n"
+        "        model.fit(design, power)\n"
+    )
+    GOOD = (
+        "def evaluate(runs):\n"
+        "    for fold in runwise_folds(runs):\n"
+        "        train = [runs[i] for i in fold.train_runs]\n"
+        "        design, power = pool_features(train)\n"
+        "        model.fit(design, power)\n"
+    )
+
+    def test_fires_on_fit_fed_test_split(self):
+        assert "L401" in _codes(self.BAD)
+
+    def test_silent_on_training_side(self):
+        assert _codes(self.GOOD) == []
+
+    def test_fires_through_attribute_access(self):
+        source = (
+            "def evaluate(fold):\n"
+            "    data = fold.test_runs\n"
+            "    model.fit(data)\n"
+        )
+        assert "L401" in _codes(source)
+
+    def test_fires_on_test_indexed_subscript(self):
+        source = (
+            "def evaluate(runs, fold):\n"
+            "    rows = runs[fold.test_runs]\n"
+            "    scaler.fit(rows)\n"
+        )
+        assert "L401" in _codes(source)
+
+    def test_branch_merge_keeps_taint(self):
+        # Taint must survive a join: one path assigns test data.
+        source = (
+            "def evaluate(fold, flag):\n"
+            "    if flag:\n"
+            "        data = fold.test_runs\n"
+            "    else:\n"
+            "        data = fold.train_runs\n"
+            "    model.fit(data)\n"
+        )
+        assert "L401" in _codes(source)
+
+    def test_rebinding_clears_taint(self):
+        # Flow sensitivity: overwriting with clean data is fine.
+        source = (
+            "def evaluate(fold):\n"
+            "    data = fold.test_runs\n"
+            "    data = fold.train_runs\n"
+            "    model.fit(data)\n"
+        )
+        assert _codes(source) == []
+
+
+class TestL402SelectionSeesTestOrFull:
+    BAD_TEST = (
+        "def pick(fold):\n"
+        "    pool = fold.test_runs\n"
+        "    return prune_correlated(pool)\n"
+    )
+    BAD_FULL = (
+        "def pick(runs):\n"
+        "    folds = runwise_folds(runs)\n"
+        "    kept = prune_correlated(runs)\n"
+        "    return kept, folds\n"
+    )
+    GOOD = (
+        "def pick(fold):\n"
+        "    pool = fold.train_runs\n"
+        "    return prune_correlated(pool)\n"
+    )
+
+    def test_fires_on_test_data_into_selection(self):
+        assert "L402" in _codes(self.BAD_TEST)
+
+    def test_fires_on_whole_dataset_next_to_split(self):
+        assert "L402" in _codes(self.BAD_FULL)
+
+    def test_silent_on_training_side_selection(self):
+        assert _codes(self.GOOD) == []
+
+    def test_whole_dataset_fine_without_split_context(self):
+        # Algorithm 1's per-machine selection legitimately pools every
+        # run it was handed; without a split in sight that is not a bug.
+        source = (
+            "def select_for_machine(runs):\n"
+            "    pooled = pool_features(runs)\n"
+            "    return prune_correlated(pooled)\n"
+        )
+        assert _codes(source) == []
+
+    def test_subscript_sheds_full_label(self):
+        # Taking a subset IS splitting; selection on a slice is fine.
+        source = (
+            "def pick(runs):\n"
+            "    folds = runwise_folds(runs)\n"
+            "    head = runs[:3]\n"
+            "    return prune_correlated(head), folds\n"
+        )
+        assert _codes(source) == []
+
+
+class TestL403FitOnUnsplitDataset:
+    BAD = (
+        "def run(runs):\n"
+        "    scaled = standardize(runs)\n"
+        "    folds = runwise_folds(scaled)\n"
+        "    return folds\n"
+    )
+    GOOD = (
+        "def run(runs):\n"
+        "    folds = runwise_folds(runs)\n"
+        "    for fold in folds:\n"
+        "        train = fold.train_runs\n"
+        "        scaled = standardize(train)\n"
+    )
+
+    def test_fires_on_scaler_before_split(self):
+        assert "L403" in _codes(self.BAD)
+
+    def test_silent_when_scaling_training_fold(self):
+        assert _codes(self.GOOD) == []
+
+    def test_fires_on_full_source_call_result(self):
+        source = (
+            "def run(repo):\n"
+            "    data = repo.runs('blast')\n"
+            "    folds = runwise_folds(data)\n"
+            "    scaler.fit(data)\n"
+        )
+        assert "L403" in _codes(source)
+
+    def test_module_level_split_context_is_top_level_only(self):
+        # A module whose *functions* split data but whose top level
+        # only fits on its input must not inherit split context.
+        source = (
+            "def helper(runs):\n"
+            "    return runwise_folds(runs)\n"
+            "\n"
+            "dataset = load()\n"
+            "scaler.fit(dataset)\n"
+        )
+        assert _codes(source) == []
+
+
+class TestL404FoldDataEscapesLoop:
+    BAD = (
+        "def run(runs):\n"
+        "    parts = []\n"
+        "    for fold in runwise_folds(runs):\n"
+        "        train = fold.train_runs\n"
+        "        parts.append(train)\n"
+        "    model.fit(parts)\n"
+    )
+    GOOD = (
+        "def run(runs):\n"
+        "    for fold in runwise_folds(runs):\n"
+        "        train = fold.train_runs\n"
+        "        model.fit(train)\n"
+    )
+
+    def test_fires_when_fold_data_used_after_loop(self):
+        assert "L404" in _codes(self.BAD)
+
+    def test_silent_inside_the_loop(self):
+        assert _codes(self.GOOD) == []
+
+    def test_fires_through_enumerate_wrapper(self):
+        source = (
+            "def run(runs):\n"
+            "    kept = None\n"
+            "    for i, fold in enumerate(runwise_folds(runs)):\n"
+            "        kept = fold.train_runs\n"
+            "    model.fit(kept)\n"
+        )
+        assert "L404" in _codes(source)
+
+    def test_nested_loop_inner_escape_into_outer(self):
+        # Data from the inner fold loop used in the outer loop (but
+        # outside the inner one) has escaped its loop.
+        source = (
+            "def run(machines, runs):\n"
+            "    for machine in machines:\n"
+            "        stale = None\n"
+            "        for fold in runwise_folds(runs):\n"
+            "            stale = fold.train_runs\n"
+            "        model.fit(stale)\n"
+        )
+        assert "L404" in _codes(source)
+
+
+class TestDiagnostics:
+    def test_location_and_context(self):
+        findings = check_leakage_source(
+            TestL401FitOnTestData.BAD, "src/repro/framework/xv.py"
+        )
+        fit_findings = [f for f in findings if f.code == "L401"]
+        assert fit_findings
+        finding = fit_findings[0]
+        assert finding.location == "src/repro/framework/xv.py:5"
+        assert finding.context["function"] == "evaluate"
+
+    def test_no_duplicate_findings_per_call_site(self):
+        findings = check_leakage_source(
+            TestL401FitOnTestData.BAD, "snippet.py"
+        )
+        keys = [(f.code, f.location) for f in findings]
+        assert len(keys) == len(set(keys))
+
+    def test_syntax_error_raises_value_error(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="cannot parse"):
+            check_leakage_source("def broken(:\n", "bad.py")

@@ -24,11 +24,25 @@ class TestCleanTree:
         assert report.exit_code == 0
         assert report.n_platforms_checked == 6
         assert report.n_files_scanned > 100
+        assert report.n_files_flow_analyzed > 100
 
     def test_cli_exits_zero_on_clean_tree(self):
         code, text = _run_cli(["lint", "--root", str(REPO_ROOT)])
         assert code == 0
         assert "0 finding(s)" in text
+
+    def test_dataflow_families_clean_on_tree(self):
+        # The acceptance gate for chaos-flow: no leakage or unit
+        # findings anywhere in src/benchmarks/examples.
+        code, text = _run_cli([
+            "lint", "--root", str(REPO_ROOT), "--select", "L,U"
+        ])
+        assert code == 0, text
+
+    def test_no_dataflow_skips_flow_pass(self):
+        report = run_lint(root=REPO_ROOT, dataflow=False)
+        assert report.n_files_flow_analyzed == 0
+        assert report.exit_code == 0
 
 
 class TestSeededFaults:
@@ -95,3 +109,91 @@ class TestSeededFaults:
         assert payload["counts_by_code"] == {"A305": 1}
         assert payload["findings"][0]["code"] == "A305"
         assert "A305" in payload["rules"]
+
+    def test_seeded_leakage_fault_through_cli(self, tmp_path):
+        bad = tmp_path / "fault.py"
+        bad.write_text(
+            "def evaluate(runs):\n"
+            "    for fold in runwise_folds(runs):\n"
+            "        test = [runs[i] for i in fold.test_runs]\n"
+            "        model.fit(test)\n"
+        )
+        code, text = _run_cli(["lint", "--no-semantic", str(bad)])
+        assert code == 1
+        assert "L401" in text
+
+    def test_seeded_unit_fault_through_cli(self, tmp_path):
+        bad = tmp_path / "fault.py"
+        bad.write_text(
+            "def energy(power_w, energy_j):\n"
+            "    return power_w + energy_j\n"
+        )
+        code, text = _run_cli(["lint", "--no-semantic", str(bad)])
+        assert code == 1
+        assert "U501" in text
+
+    def test_no_dataflow_flag_suppresses_flow_findings(self, tmp_path):
+        bad = tmp_path / "fault.py"
+        bad.write_text(
+            "def energy(power_w, energy_j):\n"
+            "    return power_w + energy_j\n"
+        )
+        code, _ = _run_cli([
+            "lint", "--no-semantic", "--no-dataflow", str(bad)
+        ])
+        assert code == 0
+
+
+class TestSarifOutput:
+    def _sarif(self, argv):
+        code, text = _run_cli(argv)
+        payload = json.loads(text)
+        assert payload["version"] == "2.1.0"
+        (run,) = payload["runs"]
+        assert run["tool"]["driver"]["name"] == "chaos-lint"
+        return code, run
+
+    def test_sarif_physical_location(self, tmp_path):
+        bad = tmp_path / "fault.py"
+        bad.write_text(
+            "def energy(power_w, energy_j):\n"
+            "    return power_w + energy_j\n"
+        )
+        code, run = self._sarif([
+            "lint", "--no-semantic", "--format", "sarif",
+            "--root", str(tmp_path), str(bad),
+        ])
+        assert code == 1
+        (result,) = run["results"]
+        assert result["ruleId"] == "U501"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "fault.py"
+        assert location["region"]["startLine"] == 2
+
+    def test_sarif_rules_catalogue_is_complete(self, tmp_path):
+        clean = tmp_path / "ok.py"
+        clean.write_text("x = 1\n")
+        code, run = self._sarif([
+            "lint", "--no-semantic", "--format", "sarif", str(clean)
+        ])
+        assert code == 0
+        assert run["results"] == []
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        from repro.analysis.findings import RULES
+
+        assert rule_ids == set(RULES)
+
+    def test_sarif_logical_location_for_semantic_findings(self):
+        # Semantic findings have no file on disk; they must become
+        # logicalLocations, not fake artifact URIs.
+        from repro.analysis.findings import Finding
+        from repro.analysis.runner import LintReport
+
+        report = LintReport(findings=[
+            Finding("C101", "dup", "catalog[amd]:cycles"),
+        ])
+        payload = json.loads(report.render("sarif"))
+        (result,) = payload["runs"][0]["results"]
+        assert "physicalLocation" not in result["locations"][0]
+        logical = result["locations"][0]["logicalLocations"][0]
+        assert logical["fullyQualifiedName"] == "catalog[amd]:cycles"

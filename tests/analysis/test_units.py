@@ -1,0 +1,232 @@
+"""Fixture tests for the U5xx physical-unit rules.
+
+Each rule: one seeded dimensional bug that must fire, one corrected
+twin that must not.  Also covers the inference paths the rules depend
+on (suffix seeding, unit algebra, signature returns, unit-preserving
+reductions) and the no-false-positive guarantees (unknown values never
+report; literals carry no unit).
+"""
+
+import ast
+
+from repro.analysis.cfg import iter_function_units
+from repro.analysis.units import UnitAnalysis, check_units_source
+
+
+def _codes(source):
+    return sorted(
+        f.code for f in check_units_source(source, "snippet.py")
+    )
+
+
+def _infer(source, expression):
+    """Unit of ``expression`` at the end of function ``f``'s entry env."""
+    tree = ast.parse(source)
+    unit = [
+        u for u in iter_function_units(tree) if u.qualname == "f"
+    ][0]
+    analysis = UnitAnalysis(unit)
+    env = analysis.entry_state(unit.cfg)
+    for stmt in unit.node.body:
+        env = analysis.transfer(env, stmt)
+    return analysis.eval(ast.parse(expression, mode="eval").body, env)
+
+
+class TestU501IncompatibleArithmetic:
+    def test_fires_on_watts_plus_joules(self):
+        assert "U501" in _codes(
+            "def f(power_w, energy_j):\n"
+            "    return power_w + energy_j\n"
+        )
+
+    def test_silent_on_matching_units(self):
+        assert _codes(
+            "def f(power_w, idle_w):\n"
+            "    return power_w - idle_w\n"
+        ) == []
+
+    def test_fires_on_comparison_mixing_units(self):
+        assert "U501" in _codes(
+            "def f(duration_s, freq_hz):\n"
+            "    return duration_s < freq_hz\n"
+        )
+
+    def test_literals_never_report(self):
+        # `x <= 0` style guards are everywhere; constants are unknown.
+        assert _codes(
+            "def f(sample_period_s):\n"
+            "    if sample_period_s <= 0:\n"
+            "        raise ValueError\n"
+            "    return sample_period_s * 2\n"
+        ) == []
+
+    def test_unknown_operand_never_reports(self):
+        assert _codes(
+            "def f(power_w, design):\n"
+            "    return power_w + design\n"
+        ) == []
+
+
+class TestU502SignatureViolations:
+    def test_fires_on_joules_into_watts_keyword(self):
+        assert "U502" in _codes(
+            "def f(measured_w, predicted_w, energy_j):\n"
+            "    return dynamic_range_error(\n"
+            "        measured_w, predicted_w, idle_power=energy_j\n"
+            "    )\n"
+        )
+
+    def test_fires_on_positional_unit_mismatch(self):
+        assert "U502" in _codes(
+            "def f(energy_j, predicted_w):\n"
+            "    return root_mean_squared_error(energy_j, predicted_w)\n"
+        )
+
+    def test_fires_on_suffixed_keyword_contract(self):
+        # No registry entry needed: `sample_period_s=` expects seconds.
+        assert "U502" in _codes(
+            "def f(power_w):\n"
+            "    return report(sample_period_s=power_w)\n"
+        )
+
+    def test_silent_on_correct_units(self):
+        assert _codes(
+            "def f(measured_w, predicted_w, idle_w):\n"
+            "    return dynamic_range_error(\n"
+            "        measured_w, predicted_w, idle_power=idle_w\n"
+            "    )\n"
+        ) == []
+
+    def test_silent_on_unannotated_argument(self):
+        assert _codes(
+            "def f(series, other):\n"
+            "    return root_mean_squared_error(series, other)\n"
+        ) == []
+
+
+class TestU503CumulativeVsRate:
+    def test_fires_on_cumulative_into_rate_keyword(self):
+        assert "U503" in _codes(
+            "def f(pages_cumulative):\n"
+            "    return report(mem_pages_per_sec=pages_cumulative)\n"
+        )
+
+    def test_fires_on_rate_assigned_cumulative(self):
+        assert "U503" in _codes(
+            "def f(faults_cum_total):\n"
+            "    faults_per_sec = faults_cum_total\n"
+            "    return faults_per_sec\n"
+        )
+
+    def test_silent_after_differencing_to_a_rate(self):
+        assert _codes(
+            "def f(count, duration_s):\n"
+            "    faults_per_sec = count / duration_s\n"
+            "    return faults_per_sec\n"
+        ) == []
+
+
+class TestU504SuffixContractOnAssignment:
+    def test_fires_on_power_assigned_to_energy_name(self):
+        assert "U504" in _codes(
+            "def f(power_w):\n"
+            "    total_j = power_w\n"
+            "    return total_j\n"
+        )
+
+    def test_silent_when_integrated_over_time(self):
+        assert _codes(
+            "def f(power_w, sample_period_s):\n"
+            "    total_j = power_w * sample_period_s\n"
+            "    return total_j\n"
+        ) == []
+
+    def test_silent_on_unknown_value(self):
+        assert _codes(
+            "def f(samples):\n"
+            "    total_j = integrate(samples)\n"
+            "    return total_j\n"
+        ) == []
+
+    def test_flow_sensitive_rebinding(self):
+        # The offending binding is overwritten before the suffixed name
+        # is ever assigned a wrong unit — still fires at the bad line,
+        # exactly once.
+        findings = check_units_source(
+            "def f(power_w, sample_period_s):\n"
+            "    total_j = power_w\n"
+            "    total_j = power_w * sample_period_s\n"
+            "    return total_j\n",
+            "snippet.py",
+        )
+        assert [(f.code, f.location) for f in findings] == [
+            ("U504", "snippet.py:2"),
+        ]
+
+
+class TestInference:
+    def test_suffix_seeding_longest_wins(self):
+        source = "def f(mem_pages_per_sec):\n    return mem_pages_per_sec\n"
+        assert _infer(source, "mem_pages_per_sec") == "count/sec"
+
+    def test_watts_times_seconds_is_joules(self):
+        source = "def f(power_w, duration_s):\n    pass\n"
+        assert _infer(source, "power_w * duration_s") == "joules"
+
+    def test_joules_over_seconds_is_watts(self):
+        source = "def f(energy_j, duration_s):\n    pass\n"
+        assert _infer(source, "energy_j / duration_s") == "watts"
+
+    def test_same_unit_ratio_is_dimensionless(self):
+        source = "def f(power_w, idle_w):\n    pass\n"
+        assert _infer(source, "power_w / idle_w") == "dimensionless"
+
+    def test_sqrt_unsquares_watts(self):
+        source = "def f(measured_w, predicted_w):\n    pass\n"
+        assert _infer(
+            source, "sqrt(mean_squared_error(measured_w, predicted_w))"
+        ) == "watts"
+
+    def test_signature_return_unit(self):
+        source = "def f(power_w, duration_s):\n    pass\n"
+        assert _infer(
+            source, "energy_joules(power_w, sample_period_s=duration_s)"
+        ) == "joules"
+
+    def test_unit_preserving_reduction(self):
+        source = "def f(power_w):\n    pass\n"
+        assert _infer(source, "mean(power_w)") == "watts"
+        assert _infer(source, "power_w.max()") == "watts"
+
+    def test_conflicting_paths_join_to_top(self):
+        source = (
+            "def f(flag, power_w, energy_j):\n"
+            "    if flag:\n"
+            "        x = power_w\n"
+            "    else:\n"
+            "        x = energy_j\n"
+        )
+        assert _codes(source) == []  # top never reports
+
+    def test_homogeneous_list_keeps_unit(self):
+        source = "def f(power_w, idle_w):\n    pass\n"
+        assert _infer(source, "[power_w, idle_w]") == "watts"
+        assert _infer(source, "[power_w, 3]") == "?"
+
+
+class TestWholeFileBehaviour:
+    def test_clean_realistic_metric_code(self):
+        # A faithful Eq. 6 implementation must be silent.
+        source = (
+            "def dre(measured_w, predicted_w, idle_w):\n"
+            "    rmse_w = root_mean_squared_error(measured_w, predicted_w)\n"
+            "    span_w = max(measured_w) - idle_w\n"
+            "    return rmse_w / span_w\n"
+        )
+        assert _codes(source) == []
+
+    def test_syntax_error_raises_value_error(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="cannot parse"):
+            check_units_source("def broken(:\n", "bad.py")
