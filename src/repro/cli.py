@@ -15,7 +15,10 @@ Wraps the library's main entry points for shell use:
 Engine flags (``sweep``, ``reproduce``): ``--jobs N`` runs independent
 tasks on N worker processes with bit-identical results; ``--cache-dir``
 points the content-addressed artifact cache somewhere other than
-``.repro-cache``; ``--no-cache`` disables it.  See ``docs/engine.md``.
+``.repro-cache``; ``--no-cache`` disables it; ``--failure-policy
+continue`` finishes every independent task past a failure and reports
+the failed subgraph; ``--resume`` replays an interrupted run against the
+warm cache, recomputing only missing tasks.  See ``docs/engine.md``.
 """
 
 from __future__ import annotations
@@ -209,6 +212,20 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the artifact cache for this invocation",
+    )
+    parser.add_argument(
+        "--failure-policy", default=None,
+        choices=["fail_fast", "continue"], dest="failure_policy",
+        help="fail_fast (default) aborts on the first task failure; "
+        "continue finishes every independent task, skips dependents of "
+        "failed ones, and reports the failed subgraph (default: "
+        "$REPRO_FAILURE_POLICY or fail_fast)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted run: replay the task graph against "
+        "the warm artifact cache, recomputing only missing or failed "
+        "tasks (requires the cache; incompatible with --no-cache)",
     )
 
 
@@ -407,6 +424,7 @@ def _engine_defaults(args):
 
     from repro.engine import (
         reset_default_options,
+        resolve_failure_policy,
         resolve_jobs,
         set_default_options,
     )
@@ -416,6 +434,9 @@ def _engine_defaults(args):
         set_default_options(
             jobs=resolve_jobs(args.jobs),
             cache_dir=_resolve_cache_dir(args),
+            failure_policy=resolve_failure_policy(
+                getattr(args, "failure_policy", None)
+            ),
         )
         try:
             yield
@@ -423,6 +444,25 @@ def _engine_defaults(args):
             reset_default_options()
 
     return _installed()
+
+
+def _check_resume(args, out) -> bool:
+    """Validate --resume: it needs the artifact cache to replay against.
+
+    Resuming is the warm-cache replay the engine already guarantees:
+    completed tasks hit the cache, only missing or failed ones are
+    recomputed.  Returns False (and prints a message) on misuse.
+    """
+    if not getattr(args, "resume", False):
+        return True
+    if getattr(args, "no_cache", False):
+        print("error: --resume needs the artifact cache "
+              "(drop --no-cache)", file=out)
+        return False
+    cache_dir = _resolve_cache_dir(args)
+    print(f"resuming against cache at {cache_dir}: completed tasks are "
+          "served warm, missing/failed ones recomputed", file=out)
+    return True
 
 
 def _cmd_sweep(args, out) -> int:
@@ -447,6 +487,8 @@ def _cmd_sweep(args, out) -> int:
               "(choose from U, C, CP)", file=out)
         return 2
 
+    if not _check_resume(args, out):
+        return 2
     spec = get_platform(args.platform)
     cluster = Cluster.homogeneous(
         spec, n_machines=args.machines, seed=args.seed
@@ -494,12 +536,21 @@ def _cmd_sweep(args, out) -> int:
             f"({sweep.n_models_built} models cross-validated)"
         ),
     ), file=out)
-    best = sweep.best()
-    print(f"best cell: {best.label} "
-          f"(DRE {best.mean_machine_dre:.1%})", file=out)
+    if sweep.incomplete_cells:
+        print(
+            "incomplete cells (a fold failed or was skipped): "
+            + ", ".join(sweep.incomplete_cells),
+            file=out,
+        )
+        if sweep.report is not None:
+            print(sweep.report.render(), file=out)
+    if sweep.evaluations:
+        best = sweep.best()
+        print(f"best cell: {best.label} "
+              f"(DRE {best.mean_machine_dre:.1%})", file=out)
     if args.telemetry:
         print(telemetry.render(), file=out)
-    return 0
+    return 0 if not sweep.incomplete_cells else 1
 
 
 def _cmd_cache(args, out) -> int:
@@ -559,6 +610,8 @@ def _cmd_reproduce(args, out) -> int:
     repository = experiments.DataRepository(
         seed=args.seed, n_runs=args.runs, n_machines=args.machines
     )
+    if not _check_resume(args, out):
+        return 2
     driver = getattr(experiments, _ARTIFACTS[args.artifact])
     print(
         f"regenerating {args.artifact} "

@@ -2,8 +2,10 @@
 
 Decomposes experiment pipelines into a work graph of declaratively
 specified tasks, executes them serially or on a process pool with
-bit-identical results, and backs cacheable tasks with a checksummed,
-content-addressed on-disk artifact cache.  See ``docs/engine.md``.
+bit-identical results, retries flaky tasks with deterministic backoff,
+bounds hung tasks with wall-clock timeouts, and backs cacheable tasks
+with a checksummed, content-addressed on-disk artifact cache — which is
+also what makes interrupted runs resumable.  See ``docs/engine.md``.
 """
 
 from repro.engine.cache import (
@@ -14,12 +16,25 @@ from repro.engine.cache import (
     atomic_write_json,
 )
 from repro.engine.codeversion import code_version
-from repro.engine.executor import TaskError, derive_task_seeds, run_graph
+from repro.engine.executor import (
+    CONTINUE,
+    FAIL_FAST,
+    FAILURE_POLICIES,
+    RunReport,
+    TaskError,
+    TaskFailure,
+    TaskTimeout,
+    derive_task_seeds,
+    retry_delay,
+    run_graph,
+    run_graph_report,
+)
 from repro.engine.graph import GraphError, TaskGraph
 from repro.engine.hashing import (
     cache_key,
     canonical_json,
     canonical_payload,
+    canonical_result,
     digest_arrays,
     sha256_hex,
 )
@@ -28,25 +43,33 @@ from repro.engine.options import (
     default_options,
     reset_default_options,
     resolve_cache,
+    resolve_failure_policy,
     resolve_jobs,
     set_default_options,
 )
 from repro.engine.spec import TaskSpec, resolve_callable
 
 __all__ = [
+    "CONTINUE",
     "DEFAULT_CACHE_DIR",
+    "FAIL_FAST",
+    "FAILURE_POLICIES",
     "MISS",
     "ArtifactCache",
     "CacheStats",
     "EngineOptions",
     "GraphError",
+    "RunReport",
     "TaskError",
+    "TaskFailure",
     "TaskGraph",
     "TaskSpec",
+    "TaskTimeout",
     "atomic_write_json",
     "cache_key",
     "canonical_json",
     "canonical_payload",
+    "canonical_result",
     "code_version",
     "default_options",
     "derive_task_seeds",
@@ -54,8 +77,11 @@ __all__ = [
     "reset_default_options",
     "resolve_cache",
     "resolve_callable",
+    "resolve_failure_policy",
     "resolve_jobs",
+    "retry_delay",
     "run_graph",
+    "run_graph_report",
     "set_default_options",
     "sha256_hex",
 ]

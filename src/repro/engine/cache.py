@@ -17,7 +17,7 @@ import tempfile
 from dataclasses import dataclass
 from typing import Any
 
-from repro.engine.hashing import canonical_json, sha256_hex
+from repro.engine.hashing import canonical_json, canonical_result, sha256_hex
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
@@ -31,8 +31,11 @@ def atomic_write_json(path: str | os.PathLike, payload: Any) -> None:
     """Write JSON so readers see either the old file or the new one.
 
     The payload is serialized to a temporary file in the target's
-    directory and atomically renamed over the destination; on any
-    failure the temp file is removed and nothing is left at ``path``.
+    directory, flushed and ``fsync``'d so the bytes are durable *before*
+    the atomic rename — otherwise a crash between ``os.replace`` and the
+    kernel writeback could leave an entry whose checksum the next read
+    has to evict — then renamed over the destination.  On any failure
+    the temp file is removed and nothing is left at ``path``.
     """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -42,6 +45,8 @@ def atomic_write_json(path: str | os.PathLike, payload: Any) -> None:
     try:
         with os.fdopen(fd, "w") as handle:
             json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -105,7 +110,13 @@ class ArtifactCache:
         return entry["result"]
 
     def put(self, key: str, result: Any) -> None:
-        """Store ``result`` (must be JSON-serializable) atomically."""
+        """Store ``result`` (must be JSON-serializable) atomically.
+
+        The result is normalized through the canonical JSON round-trip
+        first, so what lands on disk is exactly what :meth:`get` will
+        parse back — no tuple/list or int-key/str-key divergence.
+        """
+        result = canonical_result(result)
         atomic_write_json(self._path(key), {
             "format": _ENTRY_FORMAT,
             "key": key,

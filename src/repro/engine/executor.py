@@ -3,48 +3,175 @@
 Determinism contract: a task's result depends only on (config, payload,
 dependency results, derived seed) — never on scheduling.  Per-task seeds
 are spawned from the root seed with ``numpy.random.SeedSequence`` against
-the *sorted* task keys, so adding workers, reordering completions, or
-resuming from a warm cache cannot change any task's random stream.  The
-serial path (``jobs=1``) and the pool path execute the identical task
-function, which is what the golden-result suite pins bit-for-bit.
+the *sorted* task keys, so adding workers, reordering completions,
+retrying a flaky task, or resuming from a warm cache cannot change any
+task's random stream.  The serial path (``jobs=1``) and the pool path
+execute the identical task function, and every cacheable result is
+normalized through the canonical JSON round-trip before it is returned
+or cached, so cold computes and warm-cache replays are bit-identical —
+which is what the golden-result suite pins.
 
-Failure contract: the first task that raises aborts the run with a
-:class:`TaskError` naming the task and carrying the worker traceback;
-in-flight siblings are cancelled, nothing hangs, and the failed task
-writes nothing to the cache (writes happen only after success, atomically).
+Failure contract: each task gets ``1 + max_retries`` attempts, separated
+by deterministic exponential backoff (:func:`retry_delay`); a retried
+task re-runs with the *same* derived seed, so an eventual success is
+bit-identical to a never-failing run.  On the pool path each attempt is
+bounded by the task's wall-clock ``timeout`` (timeouts are terminal — a
+hung worker is killed and the pool rebuilt).  What happens after a task
+exhausts its attempts is the run's ``failure_policy``:
+
+* ``"fail_fast"`` (default, the historical behavior): abort immediately
+  with a :class:`TaskError` naming the task and carrying the worker
+  traceback.  Queued siblings are cancelled with ``cancel_futures`` and
+  the pool is shut down *without waiting* for running siblings, so the
+  error surfaces promptly even behind a slow task.
+* ``"continue"``: record the failure, transitively skip the failed
+  task's dependents, and keep executing every independent subgraph.
+  :func:`run_graph_report` then returns a :class:`RunReport` listing
+  succeeded/failed/skipped tasks with per-task tracebacks.
+
+Either way a failed task writes nothing to the cache (writes happen only
+after success, atomically), so ``repro sweep --resume`` can replay the
+graph against the warm cache and recompute only missing or failed tasks.
 """
 
 from __future__ import annotations
 
+import math
 import time
 import traceback
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Any
 
-from numpy.random import SeedSequence
+from numpy.random import SeedSequence, default_rng
 
 from repro.engine.cache import MISS, ArtifactCache
 from repro.engine.codeversion import code_version
 from repro.engine.graph import TaskGraph
-from repro.engine.hashing import cache_key
+from repro.engine.hashing import cache_key, canonical_result
 from repro.engine.spec import TaskSpec, resolve_callable
 from repro.telemetry.engine_stats import (
     OUTCOME_CACHE_HIT,
     OUTCOME_COMPUTED,
+    OUTCOME_FAILED,
+    OUTCOME_SKIPPED,
+    OUTCOME_TIMEOUT,
     EngineTelemetry,
 )
+
+FAIL_FAST = "fail_fast"
+CONTINUE = "continue"
+FAILURE_POLICIES = (FAIL_FAST, CONTINUE)
+
+#: TaskFailure.kind values.
+KIND_ERROR = "error"
+KIND_TIMEOUT = "timeout"
+KIND_SKIPPED = "skipped"
+
+_RETRY_SALT = 0x52455452  # 'RETR': keeps backoff draws off task streams.
 
 
 class TaskError(RuntimeError):
     """A task failed; carries the task key and the worker's traceback."""
 
-    def __init__(self, key: str, fn: str, detail: str):
+    def __init__(self, key: str, fn: str, detail: str, attempts: int = 1):
         self.key = key
         self.fn = fn
         self.detail = detail
+        self.attempts = attempts
+        tries = f" after {attempts} attempts" if attempts > 1 else ""
         super().__init__(
-            f"task {key!r} ({fn}) failed:\n{detail}"
+            f"task {key!r} ({fn}) failed{tries}:\n{detail}"
         )
+
+
+class TaskTimeout(TaskError):
+    """A task exceeded its wall-clock timeout on the pool path."""
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that did not produce a result."""
+
+    key: str
+    fn: str
+    kind: str
+    """``error`` (raised), ``timeout`` (exceeded its budget), or
+    ``skipped`` (an upstream dependency died)."""
+
+    attempts: int
+    """Execution attempts made (0 for skipped tasks)."""
+
+    detail: str
+    """The last attempt's traceback, or the skip/timeout reason."""
+
+
+@dataclass
+class RunReport:
+    """The full outcome of one graph execution.
+
+    ``results`` holds every produced result (cache hits included);
+    ``failed`` and ``skipped`` carry a :class:`TaskFailure` per dead
+    task.  ``succeeded + failed + skipped`` covers the whole graph
+    (unless a ``fail_fast`` abort cut the run short).
+    """
+
+    succeeded: list[str] = field(default_factory=list)
+    failed: list[TaskFailure] = field(default_factory=list)
+    skipped: list[TaskFailure] = field(default_factory=list)
+    results: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed and not self.skipped
+
+    @property
+    def failed_keys(self) -> list[str]:
+        return [failure.key for failure in self.failed]
+
+    @property
+    def skipped_keys(self) -> list[str]:
+        return [failure.key for failure in self.skipped]
+
+    def raise_if_failed(self) -> None:
+        """Re-raise the first failure as a :class:`TaskError`."""
+        if not self.failed:
+            return
+        first = self.failed[0]
+        error = TaskTimeout if first.kind == KIND_TIMEOUT else TaskError
+        raise error(first.key, first.fn, first.detail, first.attempts)
+
+    def render(self) -> str:
+        """Human-readable summary with one line per dead task."""
+        lines = [
+            f"run report: {len(self.succeeded)} succeeded, "
+            f"{len(self.failed)} failed, {len(self.skipped)} skipped"
+        ]
+        for failure in self.failed:
+            last = failure.detail.strip().splitlines()[-1:]
+            lines.append(
+                f"  FAILED  {failure.key} ({failure.fn}) "
+                f"[{failure.kind}, {failure.attempts} attempt(s)]: "
+                f"{last[0] if last else ''}"
+            )
+        for failure in self.skipped:
+            lines.append(f"  skipped {failure.key}: {failure.detail}")
+        return "\n".join(lines)
+
+
+def retry_delay(task: TaskSpec, seed: SeedSequence, attempt: int) -> float:
+    """Backoff before retry ``attempt`` (0-based): exponential + jitter.
+
+    The jitter draw is seeded from the task's own ``SeedSequence`` state
+    plus the attempt index (without consuming the task's stream), so
+    retry schedules are reproducible run to run while distinct tasks
+    still de-synchronize.
+    """
+    words = [int(word) for word in seed.generate_state(4)]
+    rng = default_rng(words + [_RETRY_SALT, attempt])
+    return task.retry_delay * (2 ** attempt) * (0.5 + rng.random())
 
 
 def derive_task_seeds(
@@ -84,37 +211,78 @@ def run_graph(
     cache: ArtifactCache | None = None,
     root_seed: int = 0,
     telemetry: EngineTelemetry | None = None,
+    failure_policy: str = FAIL_FAST,
 ) -> dict[str, Any]:
     """Execute every task; returns ``{task key: result}``.
+
+    Raises :class:`TaskError` if any task ultimately failed — under
+    ``failure_policy="continue"`` only after every independent subgraph
+    has finished (and cached its results, which is what makes a
+    subsequent ``--resume`` cheap).  Callers that need the partial
+    results and the failure breakdown use :func:`run_graph_report`.
+    """
+    report = run_graph_report(
+        graph,
+        jobs=jobs,
+        cache=cache,
+        root_seed=root_seed,
+        telemetry=telemetry,
+        failure_policy=failure_policy,
+    )
+    report.raise_if_failed()
+    return report.results
+
+
+def run_graph_report(
+    graph: TaskGraph,
+    jobs: int = 1,
+    cache: ArtifactCache | None = None,
+    root_seed: int = 0,
+    telemetry: EngineTelemetry | None = None,
+    failure_policy: str = FAIL_FAST,
+) -> RunReport:
+    """Execute the graph and report per-task outcomes.
 
     ``jobs=1`` runs inline in topological order; ``jobs>1`` uses a
     ``ProcessPoolExecutor``, scheduling a task as soon as its
     dependencies are done.  Either way, cacheable tasks are first looked
     up in ``cache`` (missing/corrupt entries are recomputed) and stored
-    after success.
+    after success.  Under ``failure_policy="fail_fast"`` the first
+    terminal failure raises; under ``"continue"`` failures land in the
+    returned :class:`RunReport` instead.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if failure_policy not in FAILURE_POLICIES:
+        raise ValueError(
+            f"failure_policy must be one of {FAILURE_POLICIES}, "
+            f"got {failure_policy!r}"
+        )
     order = graph.topological_order()
     seeds = derive_task_seeds(root_seed, [task.key for task in order])
     version = code_version() if cache is not None else ""
     telemetry = telemetry if telemetry is not None else EngineTelemetry()
+    report = RunReport()
     started = time.perf_counter()
 
-    results: dict[str, Any] = {}
     try:
-        if jobs == 1 or len(order) <= 1:
+        # No single-task serial shortcut: with jobs > 1 the caller gets
+        # pool semantics (timeout enforcement, crash isolation) even for
+        # a one-task graph — a crashing task must kill a worker, never
+        # the calling process.
+        if jobs == 1:
             _run_serial(
-                order, seeds, cache, version, root_seed, results, telemetry
+                order, seeds, cache, version, root_seed, report, telemetry,
+                failure_policy,
             )
         else:
             _run_pool(
-                graph, order, seeds, cache, version, root_seed, results,
-                telemetry, jobs,
+                graph, order, seeds, cache, version, root_seed, report,
+                telemetry, jobs, failure_policy,
             )
     finally:
         telemetry.wall_seconds += time.perf_counter() - started
-    return results
+    return report
 
 
 # ----------------------------------------------------------------------
@@ -145,42 +313,117 @@ def _try_cache(
     return key, cache.get(key)
 
 
+def _skip_failure(task: TaskSpec, cause: TaskFailure) -> TaskFailure:
+    return TaskFailure(
+        key=task.key,
+        fn=task.fn,
+        kind=KIND_SKIPPED,
+        attempts=0,
+        detail=f"upstream task {cause.key!r} {cause.kind}",
+    )
+
+
 def _run_serial(
-    order, seeds, cache, version, root_seed, results, telemetry
+    order, seeds, cache, version, root_seed, report, telemetry,
+    failure_policy,
 ) -> None:
+    results = report.results
+    # Root-cause failure for every dead (failed or skipped) task key.
+    dead: dict[str, TaskFailure] = {}
     for task in order:
+        blocked = next((d for d in task.deps if d in dead), None)
+        if blocked is not None:
+            failure = _skip_failure(task, dead[blocked])
+            dead[task.key] = dead[blocked]
+            report.skipped.append(failure)
+            telemetry.record(
+                task.key, task.fn, 0.0, OUTCOME_SKIPPED, "inline"
+            )
+            continue
         artifact_key, cached = _try_cache(task, cache, version, root_seed)
         if cached is not MISS:
             results[task.key] = cached
+            report.succeeded.append(task.key)
             telemetry.record(
                 task.key, task.fn, 0.0, OUTCOME_CACHE_HIT, "inline"
             )
             continue
         deps = {dep: results[dep] for dep in task.deps}
-        try:
-            result, seconds = _execute(
-                task.fn, task.config, task.payload, deps, seeds[task.key]
-            )
-        except Exception as error:
-            raise TaskError(
-                task.key, task.fn, traceback.format_exc()
-            ) from error
+        n_failed = 0
+        while True:
+            try:
+                result, seconds = _execute(
+                    task.fn, task.config, task.payload, deps,
+                    seeds[task.key],
+                )
+                break
+            except Exception as error:
+                n_failed += 1
+                detail = traceback.format_exc()
+                if n_failed <= task.max_retries:
+                    time.sleep(
+                        retry_delay(task, seeds[task.key], n_failed - 1)
+                    )
+                    continue
+                telemetry.record(
+                    task.key, task.fn, 0.0, OUTCOME_FAILED, "inline",
+                    retries=n_failed - 1,
+                )
+                if failure_policy == FAIL_FAST:
+                    raise TaskError(
+                        task.key, task.fn, detail, attempts=n_failed
+                    ) from error
+                failure = TaskFailure(
+                    task.key, task.fn, KIND_ERROR, n_failed, detail
+                )
+                report.failed.append(failure)
+                dead[task.key] = failure
+                result = None
+                break
+        if task.key in dead:
+            continue
+        if task.cacheable:
+            result = canonical_result(result)
         results[task.key] = result
         if artifact_key is not None:
             cache.put(artifact_key, result)
+        report.succeeded.append(task.key)
         telemetry.record(
-            task.key, task.fn, seconds, OUTCOME_COMPUTED, "inline"
+            task.key, task.fn, seconds, OUTCOME_COMPUTED, "inline",
+            retries=n_failed,
         )
 
 
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Forcibly kill a pool's worker processes (hung-task recovery)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:
+            pass
+    for process in list(processes.values()):
+        try:
+            process.join(timeout=1.0)
+        except Exception:
+            pass
+
+
 def _run_pool(
-    graph, order, seeds, cache, version, root_seed, results, telemetry, jobs
+    graph, order, seeds, cache, version, root_seed, report, telemetry,
+    jobs, failure_policy,
 ) -> None:
     dependents = graph.dependents()
     waiting = {task.key: len(task.deps) for task in order}
     specs = {task.key: task for task in order}
-    ready = [task.key for task in order if not task.deps]
+    ready = deque(task.key for task in order if not task.deps)
+    results = report.results
     artifact_keys: dict[str, str] = {}
+    attempts: dict[str, int] = {}
+    # Tasks in deterministic backoff: (monotonic wake time, key).
+    sleeping: list[tuple[float, str]] = []
+    # Root-cause failure for every dead (failed or skipped) task key.
+    dead: dict[str, TaskFailure] = {}
 
     def _resolve_done(key: str) -> list[str]:
         """Mark ``key`` done; return newly-ready dependents in order."""
@@ -191,13 +434,66 @@ def _run_pool(
                 released.append(dependent)
         return released
 
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {}
-        while ready or futures:
+    def _kill_subgraph(root_failure: TaskFailure) -> None:
+        """Transitively skip every dependent of a dead task."""
+        stack = list(dependents[root_failure.key])
+        while stack:
+            key = stack.pop()
+            if key in dead:
+                continue
+            dead[key] = root_failure
+            report.skipped.append(_skip_failure(specs[key], root_failure))
+            telemetry.record(
+                key, specs[key].fn, 0.0, OUTCOME_SKIPPED, "pool"
+            )
+            stack.extend(dependents[key])
+
+    def _terminal_failure(
+        key: str, kind: str, n_attempts: int, detail: str, seconds: float
+    ) -> None:
+        task = specs[key]
+        outcome = OUTCOME_TIMEOUT if kind == KIND_TIMEOUT else OUTCOME_FAILED
+        telemetry.record(
+            key, task.fn, seconds, outcome, "pool", retries=n_attempts - 1
+        )
+        failure = TaskFailure(key, task.fn, kind, n_attempts, detail)
+        report.failed.append(failure)
+        dead[key] = failure
+        _kill_subgraph(failure)
+
+    def _finish_success(key: str, result: Any, seconds: float) -> None:
+        task = specs[key]
+        if task.cacheable:
+            result = canonical_result(result)
+        results[key] = result
+        if task.cacheable and cache is not None:
+            cache.put(artifact_keys[key], result)
+        report.succeeded.append(key)
+        telemetry.record(
+            key, task.fn, seconds, OUTCOME_COMPUTED, "pool",
+            retries=attempts.get(key, 0),
+        )
+        ready.extend(_resolve_done(key))
+
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    futures: dict[Any, str] = {}
+    deadlines: dict[Any, float] = {}
+    try:
+        while ready or futures or sleeping:
+            # Promote retries whose backoff has elapsed.
+            if sleeping:
+                now = time.monotonic()
+                due = [entry for entry in sleeping if entry[0] <= now]
+                if due:
+                    sleeping = [e for e in sleeping if e[0] > now]
+                    ready.extend(key for _, key in due)
+
             # Launch everything currently ready (cache hits short-circuit
             # without touching the pool and may release dependents).
             while ready:
-                key = ready.pop(0)
+                key = ready.popleft()
+                if key in dead:
+                    continue
                 task = specs[key]
                 artifact_key, cached = _try_cache(
                     task, cache, version, root_seed
@@ -206,6 +502,7 @@ def _run_pool(
                     artifact_keys[key] = artifact_key
                 if cached is not MISS:
                     results[key] = cached
+                    report.succeeded.append(key)
                     telemetry.record(
                         key, task.fn, 0.0, OUTCOME_CACHE_HIT, "pool"
                     )
@@ -221,27 +518,137 @@ def _run_pool(
                     seeds[key],
                 )
                 futures[future] = key
+                deadlines[future] = (
+                    time.monotonic() + task.timeout
+                    if task.timeout is not None else math.inf
+                )
+
             if not futures:
+                if not ready and sleeping:
+                    # Everything live is backing off; sleep to the first
+                    # wake-up instead of spinning.
+                    wake = min(entry[0] for entry in sleeping)
+                    pause = wake - time.monotonic()
+                    if pause > 0:
+                        time.sleep(pause)
                 continue
-            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+
+            # Wait for a completion, the nearest timeout deadline, or
+            # the nearest retry wake-up — whichever comes first.
+            horizons = [d for d in deadlines.values() if d != math.inf]
+            horizons.extend(entry[0] for entry in sleeping)
+            wait_timeout = (
+                max(0.0, min(horizons) - time.monotonic())
+                if horizons else None
+            )
+            done, _ = wait(
+                futures, timeout=wait_timeout, return_when=FIRST_COMPLETED
+            )
+
+            if not done:
+                now = time.monotonic()
+                expired = [f for f, dl in deadlines.items() if dl <= now]
+                if not expired:
+                    continue  # a retry came due; loop back and launch it
+                for future in expired:
+                    key = futures.pop(future)
+                    deadlines.pop(future)
+                    task = specs[key]
+                    n_attempts = attempts.get(key, 0) + 1
+                    attempts[key] = n_attempts
+                    detail = (
+                        f"task exceeded its {task.timeout}s wall-clock "
+                        "timeout on the pool path"
+                    )
+                    if failure_policy == FAIL_FAST:
+                        telemetry.record(
+                            key, task.fn, task.timeout, OUTCOME_TIMEOUT,
+                            "pool", retries=n_attempts - 1,
+                        )
+                        # The hung worker would block interpreter exit
+                        # (non-daemon pool processes); kill it before
+                        # surfacing the timeout.
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        _terminate_workers(pool)
+                        raise TaskTimeout(
+                            key, task.fn, detail, attempts=n_attempts
+                        )
+                    _terminal_failure(
+                        key, KIND_TIMEOUT, n_attempts, detail, task.timeout
+                    )
+                # The hung workers are unrecoverable: harvest any results
+                # that finished meanwhile, kill the pool, and reschedule
+                # the innocent in-flight tasks on a fresh one.
+                survivors = []
+                for future in list(futures):
+                    key = futures.pop(future)
+                    deadlines.pop(future)
+                    if future.done() and future.exception() is None:
+                        result, seconds = future.result()
+                        _finish_success(key, result, seconds)
+                    else:
+                        survivors.append(key)
+                pool.shutdown(wait=False, cancel_futures=True)
+                _terminate_workers(pool)
+                pool = ProcessPoolExecutor(max_workers=jobs)
+                ready.extend(k for k in survivors if k not in dead)
+                continue
+
+            pool_broken = False
             for future in done:
                 key = futures.pop(future)
+                deadlines.pop(future)
                 task = specs[key]
                 error = future.exception()
-                if error is not None:
-                    for pending in futures:
-                        pending.cancel()
+                if error is None:
+                    result, seconds = future.result()
+                    _finish_success(key, result, seconds)
+                    continue
+                pool_broken = pool_broken or isinstance(
+                    error, BrokenProcessPool
+                )
+                n_attempts = attempts.get(key, 0) + 1
+                attempts[key] = n_attempts
+                if isinstance(error, BrokenProcessPool):
+                    detail = f"worker process died: {error}"
+                else:
                     detail = "".join(
                         traceback.format_exception(
                             type(error), error, error.__traceback__
                         )
                     )
-                    raise TaskError(key, task.fn, detail) from error
-                result, seconds = future.result()
-                results[key] = result
-                if task.cacheable and cache is not None:
-                    cache.put(artifact_keys[key], result)
-                telemetry.record(
-                    key, task.fn, seconds, OUTCOME_COMPUTED, "pool"
-                )
-                ready.extend(_resolve_done(key))
+                if n_attempts <= task.max_retries:
+                    wake = time.monotonic() + retry_delay(
+                        task, seeds[key], n_attempts - 1
+                    )
+                    sleeping.append((wake, key))
+                    continue
+                if failure_policy == FAIL_FAST:
+                    telemetry.record(
+                        key, task.fn, 0.0, OUTCOME_FAILED, "pool",
+                        retries=n_attempts - 1,
+                    )
+                    raise TaskError(
+                        key, task.fn, detail, attempts=n_attempts
+                    ) from error
+                _terminal_failure(key, KIND_ERROR, n_attempts, detail, 0.0)
+            if pool_broken:
+                # A dead worker poisons every in-flight future; requeue
+                # what BrokenProcessPool swept away on a fresh pool.
+                survivors = [
+                    k for k in futures.values() if k not in dead
+                ]
+                futures.clear()
+                deadlines.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                _terminate_workers(pool)
+                pool = ProcessPoolExecutor(max_workers=jobs)
+                ready.extend(survivors)
+    except BaseException:
+        # Surface the error promptly: cancel queued siblings and do NOT
+        # wait for running ones (a slow sibling must never delay the
+        # TaskError) — workers wind down in the background.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    else:
+        pool.shutdown(wait=True)

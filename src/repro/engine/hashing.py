@@ -55,6 +55,32 @@ def canonical_payload(value: Any, strict: bool = True) -> Any:
     )
 
 
+def _json_default(value: Any) -> Any:
+    """``json.dumps`` fallback: collapse numpy values to Python ones."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(
+        f"task result of type {type(value).__name__} is not JSON-serializable"
+    )
+
+
+def canonical_result(value: Any) -> Any:
+    """Round-trip ``value`` through the cache's exact JSON encoding.
+
+    A computed task result may contain tuples, int-keyed dicts, or numpy
+    scalars; its warm-cache replay cannot (JSON has neither), so serving
+    the raw object cold and the parsed JSON warm would violate the
+    engine's "cold == warm bit-for-bit" contract.  The executor passes
+    every cacheable result through this round-trip *before* returning or
+    caching it, so both paths observe the identical canonical form
+    (tuple → list, ``{1: ...}`` → ``{"1": ...}``, ``np.float64`` →
+    ``float``).
+    """
+    return json.loads(json.dumps(value, allow_nan=True, default=_json_default))
+
+
 def canonical_json(value: Any, strict: bool = True) -> str:
     """The unique JSON string for ``value`` (sorted keys, no whitespace)."""
     return json.dumps(

@@ -1,11 +1,12 @@
-"""Process-wide engine defaults: parallelism and cache location.
+"""Process-wide engine defaults: parallelism, cache location, failure policy.
 
 Library entry points (``sweep_models``, ``cross_validate``,
-``execute_runs``) accept explicit ``jobs``/``cache`` arguments; when a
-caller passes ``None`` they fall back to the defaults here, which the
-CLI sets from ``--jobs``/``--cache-dir``/``--no-cache`` and CI sets from
-the ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` environment variables.  That
-lets a flag on ``repro reproduce`` parallelize every sweep inside an
+``execute_runs``) accept explicit ``jobs``/``cache``/``failure_policy``
+arguments; when a caller passes ``None`` they fall back to the defaults
+here, which the CLI sets from ``--jobs``/``--cache-dir``/``--no-cache``/
+``--failure-policy`` and CI sets from the ``REPRO_JOBS`` /
+``REPRO_CACHE_DIR`` / ``REPRO_FAILURE_POLICY`` environment variables.
+That lets a flag on ``repro reproduce`` parallelize every sweep inside an
 experiment driver without threading arguments through each one.
 """
 
@@ -15,9 +16,11 @@ import os
 from dataclasses import dataclass
 
 from repro.engine.cache import ArtifactCache
+from repro.engine.executor import FAIL_FAST, FAILURE_POLICIES
 
 ENV_JOBS = "REPRO_JOBS"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_FAILURE_POLICY = "REPRO_FAILURE_POLICY"
 
 
 @dataclass(frozen=True)
@@ -26,10 +29,16 @@ class EngineOptions:
 
     jobs: int = 1
     cache_dir: str | None = None
+    failure_policy: str = FAIL_FAST
 
     def __post_init__(self):
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.failure_policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {self.failure_policy!r}"
+            )
 
     def open_cache(self) -> ArtifactCache | None:
         if self.cache_dir is None:
@@ -41,11 +50,15 @@ _default: EngineOptions | None = None
 
 
 def set_default_options(
-    jobs: int = 1, cache_dir: str | None = None
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    failure_policy: str = FAIL_FAST,
 ) -> EngineOptions:
     """Install process-wide defaults (the CLI's engine flags)."""
     global _default
-    _default = EngineOptions(jobs=jobs, cache_dir=cache_dir)
+    _default = EngineOptions(
+        jobs=jobs, cache_dir=cache_dir, failure_policy=failure_policy
+    )
     return _default
 
 
@@ -63,8 +76,13 @@ def default_options() -> EngineOptions:
         jobs = max(1, int(jobs_text))
     except ValueError:
         jobs = 1
+    policy = os.environ.get(ENV_FAILURE_POLICY, "") or FAIL_FAST
+    if policy not in FAILURE_POLICIES:
+        policy = FAIL_FAST
     return EngineOptions(
-        jobs=jobs, cache_dir=os.environ.get(ENV_CACHE_DIR) or None
+        jobs=jobs,
+        cache_dir=os.environ.get(ENV_CACHE_DIR) or None,
+        failure_policy=policy,
     )
 
 
@@ -84,3 +102,16 @@ def resolve_cache(cache: ArtifactCache | None | bool) -> ArtifactCache | None:
     if cache is None:
         return default_options().open_cache()
     return cache
+
+
+def resolve_failure_policy(failure_policy: str | None) -> str:
+    """``None`` means the process-wide default (``fail_fast`` unless
+    configured); anything else must be a valid policy name."""
+    if failure_policy is None:
+        return default_options().failure_policy
+    if failure_policy not in FAILURE_POLICIES:
+        raise ValueError(
+            f"failure_policy must be one of {FAILURE_POLICIES}, "
+            f"got {failure_policy!r}"
+        )
+    return failure_policy

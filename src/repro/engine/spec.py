@@ -38,6 +38,25 @@ class TaskSpec:
     cacheable: bool = True
     """Whether the (JSON-serializable) result may be cached on disk."""
 
+    max_retries: int = 0
+    """Extra attempts after a failed execution (0 = fail immediately).
+
+    Retries re-run the task with the *same* derived seed, so a task that
+    eventually succeeds returns a result bit-identical to a run where it
+    never failed.  Retry scheduling (exponential backoff + jitter) is
+    derived deterministically from the task's seed stream — see
+    :func:`repro.engine.executor.retry_delay`.
+    """
+
+    retry_delay: float = 0.05
+    """Base backoff in seconds; attempt *k* waits ~``retry_delay * 2**k``
+    (jittered deterministically)."""
+
+    timeout: float | None = None
+    """Wall-clock budget in seconds for one attempt, enforced on the
+    process-pool path (``jobs > 1``); ``None`` means unbounded.  The
+    serial path cannot interrupt a running call and ignores it."""
+
     def __post_init__(self):
         if not self.key:
             raise ValueError("task key must be non-empty")
@@ -45,6 +64,12 @@ class TaskSpec:
             raise ValueError(
                 f"task fn must be a 'module:callable' path, got {self.fn!r}"
             )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_delay < 0:
+            raise ValueError("retry_delay must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
         if not isinstance(self.deps, tuple):
             object.__setattr__(self, "deps", tuple(self.deps))
 

@@ -39,7 +39,14 @@ class ModelGridResult:
                 try:
                     row.append(format_percent(self.cell_dre(code, fs_name)))
                 except KeyError:
-                    row.append("n/a")  # Q/S cannot use CPU-only features
+                    # Q/S cannot use CPU-only features; under
+                    # failure_policy="continue" a cell may also have
+                    # been dropped because a fold failed.
+                    label = f"{code}{fs_name}"
+                    if label in self.sweep.incomplete_cells:
+                        row.append("failed")
+                    else:
+                        row.append("n/a")
             rows.append(row)
         self._feature_names = feature_names
         return rows
@@ -92,12 +99,15 @@ def run_model_grid(
     jobs: int | None = None,
     cache=None,
     telemetry=None,
+    failure_policy: str | None = None,
 ) -> ModelGridResult:
     """Sweep the full grid for one workload through the experiment engine.
 
-    ``jobs``/``cache``/``telemetry`` pass straight to
+    ``jobs``/``cache``/``telemetry``/``failure_policy`` pass straight to
     :func:`repro.framework.sweep.sweep_models`; ``None`` follows the
-    process-wide engine options (the CLI's ``--jobs``/``--cache-dir``).
+    process-wide engine options (the CLI's ``--jobs``/``--cache-dir``/
+    ``--failure-policy``).  Under ``"continue"`` a failed cell renders
+    as ``failed`` instead of aborting the whole grid.
     """
     repo = repository if repository is not None else get_repository()
     selected = repo.selection(platform_key).selected
@@ -119,6 +129,7 @@ def run_model_grid(
         jobs=jobs,
         cache=cache,
         telemetry=telemetry,
+        failure_policy=failure_policy,
     )
     return ModelGridResult(
         platform_key=platform_key,

@@ -24,8 +24,9 @@ from repro.engine import (
     TaskGraph,
     TaskSpec,
     resolve_cache,
+    resolve_failure_policy,
     resolve_jobs,
-    run_graph,
+    run_graph_report,
 )
 from repro.metrics.summary import AccuracyReport, ReportCollection
 from repro.models.featuresets import FeatureSet, pool_features
@@ -251,12 +252,20 @@ def cross_validate(
     jobs: int | None = None,
     cache=None,
     telemetry: EngineTelemetry | None = None,
+    failure_policy: str | None = None,
 ) -> EvaluationResult:
     """Evaluate a technique + feature set with run-wise cross-validation.
 
-    ``jobs``/``cache`` default to the process-wide engine options (see
-    :mod:`repro.engine.options`); results are bit-identical for any
-    worker count, and warm-cache reruns skip completed folds.
+    ``jobs``/``cache``/``failure_policy`` default to the process-wide
+    engine options (see :mod:`repro.engine.options`); results are
+    bit-identical for any worker count, and warm-cache reruns skip
+    completed folds.
+
+    Every fold is required to assemble the evaluation, so a failed fold
+    always raises :class:`repro.engine.TaskError` — but under
+    ``failure_policy="continue"`` the surviving folds finish (and cache)
+    first, so a rerun against the warm cache recomputes only the fold
+    that failed.
     """
     if not runs:
         raise ValueError("need runs to evaluate")
@@ -264,6 +273,7 @@ def cross_validate(
         raise ValueError("train_fraction must be in (0, 1]")
     jobs = resolve_jobs(jobs)
     cache = resolve_cache(cache)
+    failure_policy = resolve_failure_policy(failure_policy)
     workload_name = runs[0].workload_name
     digest = runs_content_digest(runs) if cache is not None else ""
     specs = fold_task_specs(
@@ -277,12 +287,14 @@ def cross_validate(
         key_prefix=f"{workload_name}/{model_code}{feature_set.name}",
     )
     graph = TaskGraph(specs)
-    results = run_graph(
-        graph, jobs=jobs, cache=cache, root_seed=seed, telemetry=telemetry
+    report = run_graph_report(
+        graph, jobs=jobs, cache=cache, root_seed=seed, telemetry=telemetry,
+        failure_policy=failure_policy,
     )
+    report.raise_if_failed()
     return assemble_evaluation(
         workload_name,
         model_code,
         feature_set.name,
-        [results[spec.key] for spec in specs],
+        [report.results[spec.key] for spec in specs],
     )

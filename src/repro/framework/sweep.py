@@ -17,7 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.runner import ClusterRun, runs_content_digest
-from repro.engine import TaskGraph, resolve_cache, resolve_jobs, run_graph
+from repro.engine import (
+    RunReport,
+    TaskGraph,
+    resolve_cache,
+    resolve_failure_policy,
+    resolve_jobs,
+    run_graph_report,
+)
 from repro.framework.crossval import (
     DEFAULT_TRAIN_FRACTION,
     EvaluationResult,
@@ -35,6 +42,13 @@ class SweepResult:
 
     workload_name: str
     evaluations: list[EvaluationResult] = field(default_factory=list)
+
+    incomplete_cells: list[str] = field(default_factory=list)
+    """Cell labels dropped because a fold failed or was skipped (only
+    possible under ``failure_policy="continue"``)."""
+
+    report: RunReport | None = None
+    """The engine's per-task outcome report for this sweep's graph."""
 
     @property
     def n_models_built(self) -> int:
@@ -69,6 +83,7 @@ def sweep_models(
     jobs: int | None = None,
     cache=None,
     telemetry: EngineTelemetry | None = None,
+    failure_policy: str | None = None,
 ) -> SweepResult:
     """Cross-validate every valid technique x feature-set combination.
 
@@ -76,11 +91,19 @@ def sweep_models(
     — and runs it with ``jobs`` workers against the artifact ``cache``
     (both default to the process-wide engine options).  Metrics are
     bit-identical for any worker count and for warm-cache reruns.
+
+    With ``failure_policy="continue"`` a failed fold no longer aborts
+    the grid: its cell is dropped (recorded in ``incomplete_cells``),
+    every other cell still evaluates and caches, and the engine's
+    :class:`RunReport` lands on the result for inspection.  The default
+    (``fail_fast``) raises :class:`repro.engine.TaskError` on the first
+    failure, as before.
     """
     if not runs:
         raise ValueError("need runs to sweep")
     jobs = resolve_jobs(jobs)
     cache = resolve_cache(cache)
+    failure_policy = resolve_failure_policy(failure_policy)
     workload_name = runs[0].workload_name
     digest = runs_content_digest(runs) if cache is not None else ""
 
@@ -107,12 +130,19 @@ def sweep_models(
             graph.add(spec)
         cell_specs.append((code, feature_set, specs))
 
-    results = run_graph(
-        graph, jobs=jobs, cache=cache, root_seed=seed, telemetry=telemetry
+    # Under fail_fast the executor raises TaskError on the first terminal
+    # failure; under "continue" the report carries the failed subgraph.
+    report = run_graph_report(
+        graph, jobs=jobs, cache=cache, root_seed=seed, telemetry=telemetry,
+        failure_policy=failure_policy,
     )
 
-    sweep = SweepResult(workload_name=workload_name)
+    sweep = SweepResult(workload_name=workload_name, report=report)
+    results = report.results
     for code, feature_set, specs in cell_specs:
+        if any(spec.key not in results for spec in specs):
+            sweep.incomplete_cells.append(f"{code}{feature_set.name}")
+            continue
         sweep.evaluations.append(
             assemble_evaluation(
                 workload_name,

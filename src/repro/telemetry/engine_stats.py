@@ -1,9 +1,10 @@
 """Per-task telemetry for the experiment engine.
 
 The executor records one :class:`TaskRecord` per task — how long it took,
-whether it was computed or served from the artifact cache, and where it
-ran — and :class:`EngineTelemetry` aggregates them into the hit-rate and
-timing summary the CLI prints after a sweep.
+whether it was computed, served from the artifact cache, failed, timed
+out, or was skipped behind a failed dependency, how many retries it
+needed, and where it ran — and :class:`EngineTelemetry` aggregates them
+into the hit-rate, retry and timing summary the CLI prints after a sweep.
 """
 
 from __future__ import annotations
@@ -12,6 +13,12 @@ from dataclasses import dataclass, field
 
 OUTCOME_COMPUTED = "computed"
 OUTCOME_CACHE_HIT = "cache-hit"
+OUTCOME_FAILED = "failed"
+OUTCOME_TIMEOUT = "timeout"
+OUTCOME_SKIPPED = "skipped"
+
+#: Outcomes that mean the task produced a result.
+SUCCESS_OUTCOMES = frozenset({OUTCOME_COMPUTED, OUTCOME_CACHE_HIT})
 
 
 @dataclass(frozen=True)
@@ -25,6 +32,9 @@ class TaskRecord:
     worker: str
     """``inline`` for in-process execution, ``pool`` for a pool worker."""
 
+    retries: int = 0
+    """Failed attempts before this outcome (0 = first try)."""
+
 
 @dataclass
 class EngineTelemetry:
@@ -34,7 +44,13 @@ class EngineTelemetry:
     wall_seconds: float = 0.0
 
     def record(
-        self, key: str, fn: str, seconds: float, outcome: str, worker: str
+        self,
+        key: str,
+        fn: str,
+        seconds: float,
+        outcome: str,
+        worker: str,
+        retries: int = 0,
     ) -> None:
         self.records.append(
             TaskRecord(
@@ -43,6 +59,7 @@ class EngineTelemetry:
                 seconds=seconds,
                 outcome=outcome,
                 worker=worker,
+                retries=retries,
             )
         )
 
@@ -51,17 +68,37 @@ class EngineTelemetry:
     def n_tasks(self) -> int:
         return len(self.records)
 
+    def _count(self, outcome: str) -> int:
+        return sum(1 for r in self.records if r.outcome == outcome)
+
     @property
     def n_cache_hits(self) -> int:
-        return sum(
-            1 for r in self.records if r.outcome == OUTCOME_CACHE_HIT
-        )
+        return self._count(OUTCOME_CACHE_HIT)
 
     @property
     def n_computed(self) -> int:
-        return sum(
-            1 for r in self.records if r.outcome == OUTCOME_COMPUTED
-        )
+        return self._count(OUTCOME_COMPUTED)
+
+    @property
+    def n_failed(self) -> int:
+        return self._count(OUTCOME_FAILED)
+
+    @property
+    def n_timeouts(self) -> int:
+        return self._count(OUTCOME_TIMEOUT)
+
+    @property
+    def n_skipped(self) -> int:
+        return self._count(OUTCOME_SKIPPED)
+
+    @property
+    def n_retried_tasks(self) -> int:
+        """Tasks that needed at least one retry (whatever the outcome)."""
+        return sum(1 for r in self.records if r.retries > 0)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.records)
 
     @property
     def hit_rate(self) -> float:
@@ -89,6 +126,16 @@ class EngineTelemetry:
             f"  task time {self.busy_seconds:.2f}s, "
             f"wall {self.wall_seconds:.2f}s",
         ]
+        if self.n_failed or self.n_timeouts or self.n_skipped:
+            lines.append(
+                f"  {self.n_failed} failed, {self.n_timeouts} timed out, "
+                f"{self.n_skipped} skipped"
+            )
+        if self.total_retries:
+            lines.append(
+                f"  {self.total_retries} retries across "
+                f"{self.n_retried_tasks} tasks"
+            )
         for record in self.slowest(3):
             lines.append(
                 f"  {record.seconds:7.3f}s  {record.outcome:<9}  "

@@ -8,7 +8,9 @@ boundary.
 
 from __future__ import annotations
 
+import os
 import time
+import uuid
 
 import numpy as np
 
@@ -18,6 +20,10 @@ TOTAL = "tests.engine.tasklib:total"
 BOOM = "tests.engine.tasklib:boom"
 SLEEPY = "tests.engine.tasklib:sleepy_identity"
 PAYLOAD_SIZE = "tests.engine.tasklib:payload_size"
+FLAKY_DRAW = "tests.engine.tasklib:flaky_draw"
+HANG = "tests.engine.tasklib:hang"
+CRASH = "tests.engine.tasklib:crash_worker"
+NON_CANONICAL = "tests.engine.tasklib:non_canonical"
 
 
 def add(config, payload, deps, seed):
@@ -56,3 +62,84 @@ def payload_size(config, payload, deps, seed):
     """Length of the (unhashed) payload — exercises payload shipping."""
     del config, deps, seed
     return len(payload)
+
+
+def flaky_draw(config, payload, deps, seed):
+    """Fail the first ``fail_times`` invocations, then act like ``draw``.
+
+    Attempts are counted with marker files under ``config['scratch']``
+    (pool workers share no memory), so the count survives both process
+    boundaries and engine re-runs — which is exactly what the resume
+    tests need.  An eventual success must be bit-identical to ``draw``
+    with the same key/seed, proving retries never disturb seed streams.
+    """
+    del payload, deps
+    scratch = config["scratch"]
+    os.makedirs(scratch, exist_ok=True)
+    already = len(os.listdir(scratch))
+    if already < config.get("fail_times", 0):
+        with open(os.path.join(scratch, uuid.uuid4().hex), "w"):
+            pass
+        raise RuntimeError(
+            f"flaky failure {already + 1}/{config['fail_times']}"
+        )
+    rng = np.random.default_rng(seed)
+    return float(rng.random()) * config.get("scale", 1.0)
+
+
+def hang(config, payload, deps, seed):
+    """Sleep far past any test timeout — the hung-worker probe."""
+    del payload, deps, seed
+    time.sleep(config.get("seconds", 60.0))
+    return "never returned in time"
+
+
+def crash_worker(config, payload, deps, seed):
+    """Kill the worker process outright (simulates a lost machine)."""
+    del config, payload, deps, seed
+    os._exit(17)
+
+
+def non_canonical(config, payload, deps, seed):
+    """Rebuild a deliberately non-JSON-canonical value from a spec.
+
+    ``config['spec']`` is itself JSON (so it is hashable), and describes
+    a value containing tuples, int-keyed dicts, and numpy scalars — the
+    shapes whose cold/warm cache round-trip used to diverge.
+    """
+    del payload, deps, seed
+    return build_non_canonical(config["spec"])
+
+
+def build_non_canonical(spec):
+    """Interpret a JSON spec into the non-canonical value it describes."""
+    kind = spec["kind"]
+    if kind == "int":
+        return int(spec["value"])
+    if kind == "float":
+        return float(spec["value"])
+    if kind == "np-int":
+        return np.int64(spec["value"])
+    if kind == "np-float":
+        return np.float64(spec["value"])
+    if kind == "str":
+        return spec["value"]
+    if kind == "none":
+        return None
+    if kind == "bool":
+        return bool(spec["value"])
+    if kind == "list":
+        return [build_non_canonical(item) for item in spec["items"]]
+    if kind == "tuple":
+        return tuple(build_non_canonical(item) for item in spec["items"])
+    if kind == "dict":
+        return {
+            key: build_non_canonical(value)
+            for key, value in spec["items"]
+        }
+    if kind == "int-dict":
+        return {
+            int(key): build_non_canonical(value)
+            for key, value in spec["items"]
+        }
+    raise ValueError(f"unknown spec kind {kind!r}")

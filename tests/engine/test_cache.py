@@ -147,3 +147,54 @@ def test_atomic_write_creates_parent_directories(tmp_path):
     target = tmp_path / "a" / "b" / "out.json"
     atomic_write_json(target, [1, 2, 3])
     assert json.loads(target.read_text()) == [1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# Durability: bytes hit the disk before the rename publishes them
+# ----------------------------------------------------------------------
+
+def test_atomic_write_fsyncs_before_replace(tmp_path, monkeypatch):
+    import os
+
+    events = []
+    real_fsync, real_replace = os.fsync, os.replace
+    monkeypatch.setattr(
+        os, "fsync", lambda fd: (events.append("fsync"), real_fsync(fd))[1]
+    )
+    monkeypatch.setattr(
+        os, "replace",
+        lambda src, dst: (events.append("replace"),
+                          real_replace(src, dst))[1],
+    )
+    atomic_write_json(tmp_path / "out.json", {"x": 1})
+    assert events == ["fsync", "replace"]
+
+
+def test_fsync_failure_leaves_no_file_and_no_temp(tmp_path, monkeypatch):
+    import os
+
+    def explode(fd):
+        raise OSError("fsync: I/O error")
+
+    monkeypatch.setattr(os, "fsync", explode)
+    target = tmp_path / "out.json"
+    with pytest.raises(OSError, match="I/O error"):
+        atomic_write_json(target, {"x": 1})
+    assert not target.exists()
+    assert tmp_files(tmp_path) == []
+
+
+def test_fsync_failure_preserves_previous_entry(tmp_path, monkeypatch):
+    import os
+
+    target = tmp_path / "out.json"
+    atomic_write_json(target, {"version": 1})
+
+    def explode(fd):
+        raise OSError("fsync: I/O error")
+
+    monkeypatch.setattr(os, "fsync", explode)
+    with pytest.raises(OSError):
+        atomic_write_json(target, {"version": 2})
+    assert json.loads(target.read_text()) == {"version": 1}
+    assert tmp_files(tmp_path) == []

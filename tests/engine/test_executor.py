@@ -17,6 +17,7 @@ from repro.engine.codeversion import code_version
 from repro.telemetry.engine_stats import (
     OUTCOME_CACHE_HIT,
     OUTCOME_COMPUTED,
+    OUTCOME_FAILED,
     EngineTelemetry,
 )
 from tests.engine import tasklib
@@ -44,6 +45,36 @@ def test_serial_and_parallel_results_bit_identical():
     assert serial == pooled
     assert serial["final"] == serial["mid"] + 3
     assert serial["mid"] == serial["draw/a"] + serial["draw/b"]
+
+
+def wide_layered_graph(width=40) -> TaskGraph:
+    """Many roots feeding per-column sums feeding one total — wide enough
+    that the ready-queue discipline (FIFO deque) actually matters."""
+    tasks = [
+        TaskSpec(key=f"draw/{i:02d}", fn=tasklib.DRAW,
+                 config={"scale": float(i % 7 + 1)})
+        for i in range(width)
+    ]
+    tasks += [
+        TaskSpec(key=f"pair/{i:02d}", fn=tasklib.TOTAL,
+                 deps=(f"draw/{2 * i:02d}", f"draw/{2 * i + 1:02d}"))
+        for i in range(width // 2)
+    ]
+    tasks.append(TaskSpec(
+        key="grand", fn=tasklib.TOTAL,
+        deps=tuple(f"pair/{i:02d}" for i in range(width // 2)),
+    ))
+    return TaskGraph(tasks)
+
+
+def test_ready_queue_order_never_leaks_into_results():
+    """Results are invariant to scheduling: serial, and pools of several
+    widths, all produce bit-identical values on a wide layered graph
+    (pins the deque-based ready queue's FIFO behavior)."""
+    serial = run_graph(wide_layered_graph(), jobs=1, root_seed=11)
+    for jobs in (2, 3, 5):
+        assert run_graph(wide_layered_graph(), jobs=jobs,
+                         root_seed=11) == serial
 
 
 def test_root_seed_changes_seeded_tasks_only():
@@ -223,9 +254,13 @@ def test_telemetry_still_counts_tasks_finished_before_the_failure():
     stats = EngineTelemetry()
     with pytest.raises(TaskError):
         run_graph(failing_graph(), jobs=1, telemetry=stats)
-    # Serial order: ok/0 and ok/1 complete before doomed raises.
+    # Serial order: ok/0 and ok/1 complete before doomed raises, and the
+    # doomed task itself gets a 'failed' record.
     assert stats.n_computed == 2
-    assert {r.outcome for r in stats.records} == {OUTCOME_COMPUTED}
+    assert stats.n_failed == 1
+    assert {r.outcome for r in stats.records} == {
+        OUTCOME_COMPUTED, OUTCOME_FAILED,
+    }
 
 
 # ----------------------------------------------------------------------

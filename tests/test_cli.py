@@ -136,3 +136,46 @@ class TestArgumentValidation:
     def test_missing_required_rejected(self):
         with pytest.raises(SystemExit):
             main(["train"])
+
+
+class TestEngineFailureFlags:
+    SWEEP = [
+        "sweep", "--platform", "atom", "--workload", "wordcount",
+        "--features", "U", "--runs", "2", "--machines", "2", "--seed", "3",
+    ]
+
+    def test_resume_is_incompatible_with_no_cache(self):
+        code, text = _run(self.SWEEP + ["--resume", "--no-cache"])
+        assert code == 2
+        assert "drop --no-cache" in text
+
+    def test_invalid_failure_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.SWEEP + ["--failure-policy", "best_effort"])
+
+    def test_failure_policy_continue_is_accepted(self, tmp_path):
+        code, text = _run(self.SWEEP + [
+            "--failure-policy", "continue",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        assert "best cell" in text
+
+    def test_resume_replays_against_the_warm_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, cold_text = _run(self.SWEEP + ["--cache-dir", cache_dir])
+        assert code == 0
+        code, warm_text = _run(self.SWEEP + [
+            "--cache-dir", cache_dir, "--resume", "--telemetry",
+        ])
+        assert code == 0
+        assert "resuming against cache" in warm_text
+        # Every fold is served warm on resume.
+        assert "hit rate 100%" in warm_text
+        # The reported grid is identical to the cold run's.
+        best = [line for line in cold_text.splitlines()
+                if line.startswith("best cell")]
+        assert best and best == [
+            line for line in warm_text.splitlines()
+            if line.startswith("best cell")
+        ]
