@@ -7,16 +7,29 @@ the *sorted* task keys, so adding workers, reordering completions,
 retrying a flaky task, or resuming from a warm cache cannot change any
 task's random stream.  The serial path (``jobs=1``) and the pool path
 execute the identical task function, and every cacheable result is
-normalized through the canonical JSON round-trip before it is returned
-or cached, so cold computes and warm-cache replays are bit-identical —
-which is what the golden-result suite pins.
+normalized through the canonical JSON round-trip *inside the attempt
+itself*, so cold computes and warm-cache replays are bit-identical —
+which is what the golden-result suite pins — and a cacheable task that
+returns a non-JSON-serializable value fails like any other task (retries
+and the failure policy apply; mark the task ``cacheable=False`` to
+return arbitrary objects).
 
 Failure contract: each task gets ``1 + max_retries`` attempts, separated
 by deterministic exponential backoff (:func:`retry_delay`); a retried
 task re-runs with the *same* derived seed, so an eventual success is
 bit-identical to a never-failing run.  On the pool path each attempt is
-bounded by the task's wall-clock ``timeout`` (timeouts are terminal — a
-hung worker is killed and the pool rebuilt).  What happens after a task
+bounded by the task's wall-clock ``timeout``.  The timeout clock starts
+at ``pool.submit()``, and the scheduler keeps at most ``jobs`` futures
+in flight, so submission coincides with a free worker and queue-wait is
+never billed against a task's budget.  Timeouts are terminal — the hung
+worker is killed and the pool rebuilt; in-flight siblings that already
+finished are settled normally (a completed failure is charged its
+attempt) and unfinished ones are requeued without being charged.  When
+a worker *dies* (``BrokenProcessPool``) every in-flight future is
+poisoned and the scheduler cannot tell the killer from bystanders: all
+victims are requeued uncharged and quarantined to re-run one at a time,
+so a repeat crash happens with exactly one task in flight and that task
+is charged a (retryable) failed attempt.  What happens after a task
 exhausts its attempts is the run's ``failure_policy``:
 
 * ``"fail_fast"`` (default, the historical behavior): abort immediately
@@ -197,12 +210,30 @@ def _execute(
     payload: Any,
     deps: dict[str, Any],
     seed: SeedSequence,
+    canonicalize: bool = False,
 ) -> tuple[Any, float]:
-    """Run one task (in a worker or inline); returns (result, seconds)."""
+    """Run one task (in a worker or inline); returns (result, seconds).
+
+    ``canonicalize`` (set for cacheable tasks) round-trips the result
+    through the canonical JSON encoding *inside* the attempt, so a
+    non-serializable result is an ordinary task failure — captured,
+    retried, and subject to the run's failure policy like any exception
+    the task body raises — on the serial and pool paths alike, whether
+    or not a cache is attached.
+    """
     started = time.perf_counter()
     fn = resolve_callable(fn_path)
     result = fn(config=config, payload=payload, deps=deps, seed=seed)
+    if canonicalize:
+        result = canonical_result(result)
     return result, time.perf_counter() - started
+
+
+def _format_error(error: BaseException) -> str:
+    """The full traceback string for an exception object."""
+    return "".join(
+        traceback.format_exception(type(error), error, error.__traceback__)
+    )
 
 
 def run_graph(
@@ -354,7 +385,7 @@ def _run_serial(
             try:
                 result, seconds = _execute(
                     task.fn, task.config, task.payload, deps,
-                    seeds[task.key],
+                    seeds[task.key], task.cacheable,
                 )
                 break
             except Exception as error:
@@ -382,8 +413,6 @@ def _run_serial(
                 break
         if task.key in dead:
             continue
-        if task.cacheable:
-            result = canonical_result(result)
         results[task.key] = result
         if artifact_key is not None:
             cache.put(artifact_key, result)
@@ -424,6 +453,10 @@ def _run_pool(
     sleeping: list[tuple[float, str]] = []
     # Root-cause failure for every dead (failed or skipped) task key.
     dead: dict[str, TaskFailure] = {}
+    # Tasks swept off a broken pool (worker death poisons every in-flight
+    # future, so guilt is unattributable).  They re-run strictly one at a
+    # time: a repeat crash then has a single possible culprit.
+    quarantine: deque[str] = deque()
 
     def _resolve_done(key: str) -> list[str]:
         """Mark ``key`` done; return newly-ready dependents in order."""
@@ -463,8 +496,6 @@ def _run_pool(
 
     def _finish_success(key: str, result: Any, seconds: float) -> None:
         task = specs[key]
-        if task.cacheable:
-            result = canonical_result(result)
         results[key] = result
         if task.cacheable and cache is not None:
             cache.put(artifact_keys[key], result)
@@ -475,11 +506,68 @@ def _run_pool(
         )
         ready.extend(_resolve_done(key))
 
+    def _charge_failure(
+        key: str, detail: str, error: BaseException | None = None
+    ) -> None:
+        """Account one failed attempt: back off, abort, or settle."""
+        task = specs[key]
+        n_attempts = attempts.get(key, 0) + 1
+        attempts[key] = n_attempts
+        if n_attempts <= task.max_retries:
+            wake = time.monotonic() + retry_delay(
+                task, seeds[key], n_attempts - 1
+            )
+            sleeping.append((wake, key))
+            return
+        if failure_policy == FAIL_FAST:
+            telemetry.record(
+                key, task.fn, 0.0, OUTCOME_FAILED, "pool",
+                retries=n_attempts - 1,
+            )
+            raise TaskError(
+                key, task.fn, detail, attempts=n_attempts
+            ) from error
+        _terminal_failure(key, KIND_ERROR, n_attempts, detail, 0.0)
+
+    def _launch(key: str) -> None:
+        """Cache-check ``key`` and submit it to the pool on a miss."""
+        task = specs[key]
+        artifact_key, cached = _try_cache(task, cache, version, root_seed)
+        if artifact_key is not None:
+            artifact_keys[key] = artifact_key
+        if cached is not MISS:
+            results[key] = cached
+            report.succeeded.append(key)
+            telemetry.record(key, task.fn, 0.0, OUTCOME_CACHE_HIT, "pool")
+            ready.extend(_resolve_done(key))
+            return
+        deps = {dep: results[dep] for dep in task.deps}
+        future = pool.submit(
+            _execute,
+            task.fn,
+            task.config,
+            task.payload,
+            deps,
+            seeds[key],
+            task.cacheable,
+        )
+        futures[future] = key
+        deadlines[future] = (
+            time.monotonic() + task.timeout
+            if task.timeout is not None else math.inf
+        )
+
+    def _rebuild_pool() -> None:
+        nonlocal pool
+        pool.shutdown(wait=False, cancel_futures=True)
+        _terminate_workers(pool)
+        pool = ProcessPoolExecutor(max_workers=jobs)
+
     pool = ProcessPoolExecutor(max_workers=jobs)
     futures: dict[Any, str] = {}
     deadlines: dict[Any, float] = {}
     try:
-        while ready or futures or sleeping:
+        while ready or quarantine or futures or sleeping:
             # Promote retries whose backoff has elapsed.
             if sleeping:
                 now = time.monotonic()
@@ -488,40 +576,33 @@ def _run_pool(
                     sleeping = [e for e in sleeping if e[0] > now]
                     ready.extend(key for _, key in due)
 
-            # Launch everything currently ready (cache hits short-circuit
-            # without touching the pool and may release dependents).
-            while ready:
-                key = ready.popleft()
+            # Launch work.  Quarantined suspects run strictly alone so
+            # the next worker death has a single possible culprit; while
+            # any are pending, nothing else is submitted.  Normal
+            # launches are throttled to at most ``jobs`` in-flight
+            # futures: a task's timeout clock starts at submit, so
+            # letting submissions queue behind busy workers would bill
+            # queue-wait against the task's wall-clock budget.  Cache
+            # hits short-circuit without touching the pool and may
+            # release dependents.
+            while quarantine and not futures:
+                key = quarantine.popleft()
                 if key in dead:
                     continue
-                task = specs[key]
-                artifact_key, cached = _try_cache(
-                    task, cache, version, root_seed
-                )
-                if artifact_key is not None:
-                    artifact_keys[key] = artifact_key
-                if cached is not MISS:
-                    results[key] = cached
-                    report.succeeded.append(key)
-                    telemetry.record(
-                        key, task.fn, 0.0, OUTCOME_CACHE_HIT, "pool"
-                    )
-                    ready.extend(_resolve_done(key))
-                    continue
-                deps = {dep: results[dep] for dep in task.deps}
-                future = pool.submit(
-                    _execute,
-                    task.fn,
-                    task.config,
-                    task.payload,
-                    deps,
-                    seeds[key],
-                )
-                futures[future] = key
-                deadlines[future] = (
-                    time.monotonic() + task.timeout
-                    if task.timeout is not None else math.inf
-                )
+                _launch(key)
+            if not quarantine:
+                while ready:
+                    key = ready.popleft()
+                    if key in dead:
+                        # A dead (skipped) task is re-queued by
+                        # _resolve_done when its *other* parents finish;
+                        # this filter is the only guard against running
+                        # a task already reported in report.skipped.
+                        continue
+                    if len(futures) >= jobs:
+                        ready.appendleft(key)
+                        break
+                    _launch(key)
 
             if not futures:
                 if not ready and sleeping:
@@ -576,74 +657,78 @@ def _run_pool(
                     _terminal_failure(
                         key, KIND_TIMEOUT, n_attempts, detail, task.timeout
                     )
-                # The hung workers are unrecoverable: harvest any results
-                # that finished meanwhile, kill the pool, and reschedule
-                # the innocent in-flight tasks on a fresh one.
+                # The hung workers are unrecoverable.  Snapshot every
+                # other in-flight future *before* killing the pool: a
+                # future that already finished is settled exactly as the
+                # normal completion path would — a success succeeds, a
+                # completed failure is charged its attempt (a timeout
+                # elsewhere must never grant a sibling a free retry) —
+                # while unfinished tasks are requeued on the fresh pool
+                # without being charged, since they never got to finish.
+                finished: list[tuple[str, BaseException | None, Any, float]]
+                finished = []
                 survivors = []
                 for future in list(futures):
                     key = futures.pop(future)
                     deadlines.pop(future)
-                    if future.done() and future.exception() is None:
+                    if not future.done():
+                        survivors.append(key)
+                        continue
+                    error = future.exception()
+                    if error is None:
                         result, seconds = future.result()
+                        finished.append((key, None, result, seconds))
+                    elif isinstance(error, BrokenProcessPool):
+                        # The pool died under it; guilt is unknowable, so
+                        # treat it like an unfinished survivor.
+                        survivors.append(key)
+                    else:
+                        finished.append((key, error, None, 0.0))
+                _rebuild_pool()
+                for key, error, result, seconds in finished:
+                    if error is None:
                         _finish_success(key, result, seconds)
                     else:
-                        survivors.append(key)
-                pool.shutdown(wait=False, cancel_futures=True)
-                _terminate_workers(pool)
-                pool = ProcessPoolExecutor(max_workers=jobs)
+                        _charge_failure(key, _format_error(error), error)
                 ready.extend(k for k in survivors if k not in dead)
                 continue
 
-            pool_broken = False
+            broken: list[tuple[str, BaseException]] = []
             for future in done:
                 key = futures.pop(future)
                 deadlines.pop(future)
-                task = specs[key]
                 error = future.exception()
                 if error is None:
                     result, seconds = future.result()
                     _finish_success(key, result, seconds)
-                    continue
-                pool_broken = pool_broken or isinstance(
-                    error, BrokenProcessPool
-                )
-                n_attempts = attempts.get(key, 0) + 1
-                attempts[key] = n_attempts
-                if isinstance(error, BrokenProcessPool):
-                    detail = f"worker process died: {error}"
+                elif isinstance(error, BrokenProcessPool):
+                    broken.append((key, error))
                 else:
-                    detail = "".join(
-                        traceback.format_exception(
-                            type(error), error, error.__traceback__
-                        )
-                    )
-                if n_attempts <= task.max_retries:
-                    wake = time.monotonic() + retry_delay(
-                        task, seeds[key], n_attempts - 1
-                    )
-                    sleeping.append((wake, key))
-                    continue
-                if failure_policy == FAIL_FAST:
-                    telemetry.record(
-                        key, task.fn, 0.0, OUTCOME_FAILED, "pool",
-                        retries=n_attempts - 1,
-                    )
-                    raise TaskError(
-                        key, task.fn, detail, attempts=n_attempts
-                    ) from error
-                _terminal_failure(key, KIND_ERROR, n_attempts, detail, 0.0)
-            if pool_broken:
-                # A dead worker poisons every in-flight future; requeue
-                # what BrokenProcessPool swept away on a fresh pool.
-                survivors = [
-                    k for k in futures.values() if k not in dead
-                ]
+                    _charge_failure(key, _format_error(error), error)
+            if broken:
+                # A dead worker poisons every in-flight future with
+                # BrokenProcessPool, so the scheduler cannot tell the
+                # worker-killer from innocent bystanders.  With several
+                # victims, sweep them all off the dead pool uncharged
+                # and quarantine them: the launch loop re-runs suspects
+                # one at a time, so a repeat crash lands in the
+                # single-victim branch below and is charged — bystanders
+                # keep their full retry budget, and a deterministic
+                # killer still converges to a terminal failure.
+                victims = [key for key, _ in broken]
+                victims.extend(futures.values())
                 futures.clear()
                 deadlines.clear()
-                pool.shutdown(wait=False, cancel_futures=True)
-                _terminate_workers(pool)
-                pool = ProcessPoolExecutor(max_workers=jobs)
-                ready.extend(survivors)
+                _rebuild_pool()
+                if len(victims) == 1:
+                    # Alone in flight when the worker died: charge it a
+                    # normal (retryable) failed attempt.
+                    key, error = broken[0]
+                    _charge_failure(
+                        key, f"worker process died: {error}", error
+                    )
+                else:
+                    quarantine.extend(k for k in victims if k not in dead)
     except BaseException:
         # Surface the error promptly: cancel queued siblings and do NOT
         # wait for running ones (a slow sibling must never delay the

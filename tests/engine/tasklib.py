@@ -23,6 +23,10 @@ PAYLOAD_SIZE = "tests.engine.tasklib:payload_size"
 FLAKY_DRAW = "tests.engine.tasklib:flaky_draw"
 HANG = "tests.engine.tasklib:hang"
 CRASH = "tests.engine.tasklib:crash_worker"
+FLAKY_CRASH = "tests.engine.tasklib:flaky_crash"
+DELAYED_BOOM = "tests.engine.tasklib:delayed_boom"
+RECORD_RUN = "tests.engine.tasklib:record_run"
+UNSERIALIZABLE = "tests.engine.tasklib:unserializable"
 NON_CANONICAL = "tests.engine.tasklib:non_canonical"
 
 
@@ -98,6 +102,52 @@ def crash_worker(config, payload, deps, seed):
     """Kill the worker process outright (simulates a lost machine)."""
     del config, payload, deps, seed
     os._exit(17)
+
+
+def flaky_crash(config, payload, deps, seed):
+    """Kill the worker the first ``fail_times`` invocations, then draw.
+
+    Marker files under ``config['scratch']`` count invocations across
+    process boundaries, like ``flaky_draw`` — but the failure mode is a
+    worker death (``BrokenProcessPool``), not an exception.
+    """
+    del payload, deps
+    scratch = config["scratch"]
+    os.makedirs(scratch, exist_ok=True)
+    already = len(os.listdir(scratch))
+    if already < config.get("fail_times", 0):
+        with open(os.path.join(scratch, uuid.uuid4().hex), "w"):
+            pass
+        os._exit(23)
+    rng = np.random.default_rng(seed)
+    return float(rng.random()) * config.get("scale", 1.0)
+
+
+def delayed_boom(config, payload, deps, seed):
+    """Work for ``seconds``, record the attempt, then raise."""
+    del payload, deps, seed
+    time.sleep(config.get("seconds", 0.1))
+    scratch = config["scratch"]
+    os.makedirs(scratch, exist_ok=True)
+    with open(os.path.join(scratch, uuid.uuid4().hex), "w"):
+        pass
+    raise RuntimeError(config.get("message", "delayed failure"))
+
+
+def record_run(config, payload, deps, seed):
+    """Touch one marker file per invocation — counts actual executions."""
+    del payload, deps, seed
+    scratch = config["scratch"]
+    os.makedirs(scratch, exist_ok=True)
+    with open(os.path.join(scratch, uuid.uuid4().hex), "w"):
+        pass
+    return config.get("value", 1)
+
+
+def unserializable(config, payload, deps, seed):
+    """Return a value JSON cannot encode (canonicalization must fail)."""
+    del config, payload, deps, seed
+    return object()
 
 
 def non_canonical(config, payload, deps, seed):

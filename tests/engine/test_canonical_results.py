@@ -22,8 +22,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine import ArtifactCache, TaskGraph, TaskSpec, canonical_result
-from repro.engine import run_graph
+from repro.engine import ArtifactCache, TaskError, TaskGraph, TaskSpec
+from repro.engine import canonical_result, run_graph, run_graph_report
 from repro.telemetry.engine_stats import EngineTelemetry
 from tests.engine import tasklib
 
@@ -185,3 +185,37 @@ def test_canonical_result_keeps_nan_representable():
 def test_canonical_result_rejects_unserializable_results():
     with pytest.raises(TypeError, match="not JSON-serializable"):
         canonical_result({"handle": object()})
+
+
+# ----------------------------------------------------------------------
+# Canonicalization failures are *task* failures, not scheduler crashes
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_unserializable_cacheable_result_is_a_task_failure(jobs):
+    """A cacheable task returning a non-JSON value fails through the
+    normal failure machinery — a TaskError carrying the traceback, never
+    a raw TypeError escaping the scheduler — cache attached or not."""
+    graph = TaskGraph([TaskSpec(key="t", fn=tasklib.UNSERIALIZABLE)])
+    with pytest.raises(TaskError) as excinfo:
+        run_graph(graph, jobs=jobs)
+    assert excinfo.value.key == "t"
+    assert "not JSON-serializable" in excinfo.value.detail
+
+
+def test_unserializable_result_respects_continue_policy():
+    report = run_graph_report(TaskGraph([
+        TaskSpec(key="t", fn=tasklib.UNSERIALIZABLE),
+        TaskSpec(key="ok", fn=tasklib.ADD, config={"a": 1, "b": 2}),
+    ]), jobs=1, failure_policy="continue")
+    assert report.results == {"ok": 3}
+    assert report.failed_keys == ["t"]
+    assert "TypeError" in report.failed[0].detail
+
+
+def test_non_cacheable_tasks_may_return_arbitrary_objects():
+    """Opting out of the cache opts out of canonicalization too."""
+    results = run_graph(TaskGraph([
+        TaskSpec(key="t", fn=tasklib.UNSERIALIZABLE, cacheable=False),
+    ]), jobs=1)
+    assert type(results["t"]) is object

@@ -176,6 +176,60 @@ def test_fast_tasks_with_timeouts_never_trip_them():
     assert results == {f"quick/{i}": i + 1 for i in range(6)}
 
 
+def test_queued_tasks_never_burn_timeout_budget_while_waiting():
+    """Six 0.4s tasks, two workers, 1.0s timeout each: the last pair
+    only *starts* ~0.8s in.  The deadline must start when the attempt
+    reaches a free worker (submissions are throttled to ``jobs``
+    in-flight futures), so queue-wait is never billed against the
+    task's wall-clock budget and nothing falsely times out."""
+    graph = TaskGraph([
+        TaskSpec(key=f"busy/{i}", fn=tasklib.SLEEPY,
+                 config={"value": i, "seconds": 0.4}, timeout=1.0)
+        for i in range(6)
+    ])
+    results = run_graph(graph, jobs=2, root_seed=0)
+    assert results == {f"busy/{i}": i for i in range(6)}
+
+
+def test_timeout_harvest_charges_completed_sibling_failures(
+    tmp_path, monkeypatch
+):
+    """A sibling that *finished failing* while a timeout was being
+    processed is charged its attempt in the harvest — not requeued for
+    a free extra retry (which would also re-execute it)."""
+    from repro.engine import executor as executor_mod
+
+    real_wait = executor_mod.wait
+
+    def stalling_wait(fs, timeout=None, return_when=None):
+        outcome = real_wait(fs, timeout=timeout, return_when=return_when)
+        if not outcome.done:
+            # Hold the scheduler through the timeout expiry long enough
+            # for the delayed failer to finish, so the harvest sees a
+            # done-with-exception future.
+            time.sleep(1.5)
+        return outcome
+
+    monkeypatch.setattr(executor_mod, "wait", stalling_wait)
+    scratch = tmp_path / "failer-runs"
+    graph = TaskGraph([
+        TaskSpec(key="hung", fn=tasklib.HANG,
+                 config={"seconds": 30.0}, timeout=0.3),
+        TaskSpec(key="failer", fn=tasklib.DELAYED_BOOM,
+                 config={"seconds": 0.5, "scratch": str(scratch)}),
+    ])
+    report = run_graph_report(
+        graph, jobs=2, root_seed=0, failure_policy="continue"
+    )
+    failures = {failure.key: failure for failure in report.failed}
+    assert failures["hung"].kind == "timeout"
+    assert failures["failer"].kind == "error"
+    assert failures["failer"].attempts == 1
+    # Exactly one execution: the completed failure was settled by the
+    # harvest, not silently rerun on the fresh pool.
+    assert len(list(scratch.iterdir())) == 1
+
+
 # ----------------------------------------------------------------------
 # failure_policy="continue": independent subgraphs finish, report tells all
 # ----------------------------------------------------------------------
@@ -231,6 +285,32 @@ def test_invalid_failure_policy_rejected():
 
 
 @pytest.mark.parametrize("jobs", [1, 2])
+def test_skipped_dependent_with_one_live_parent_never_executes(
+    tmp_path, jobs
+):
+    """Diamond bottom under ``continue``: one parent dies instantly (the
+    dependent is reported skipped right then), the other finishes later
+    and decrements the dependent's dependency countdown.  The dead-key
+    launch filter is the only guard against re-running an
+    already-reported-skipped task: it must execute zero times and appear
+    exactly once in ``report.skipped``."""
+    scratch = tmp_path / f"bottom-runs-{jobs}"
+    graph = TaskGraph([
+        TaskSpec(key="boom", fn=tasklib.BOOM),
+        TaskSpec(key="slow", fn=tasklib.SLEEPY,
+                 config={"value": 3, "seconds": 0.4}),
+        TaskSpec(key="bottom", fn=tasklib.RECORD_RUN,
+                 config={"scratch": str(scratch)},
+                 deps=("boom", "slow")),
+    ])
+    report = run_graph_report(graph, jobs=jobs, failure_policy="continue")
+    assert report.results["slow"] == 3
+    assert report.failed_keys == ["boom"]
+    assert report.skipped_keys == ["bottom"]
+    assert not scratch.exists()  # zero executions recorded
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
 def test_continue_policy_caches_survivors_for_resume(tmp_path, jobs):
     cache = ArtifactCache(tmp_path / f"cache{jobs}")
     report = run_graph_report(
@@ -280,6 +360,66 @@ def test_worker_crash_under_continue_spares_other_tasks():
     )
     assert report.results["ok"] == 4
     assert "crash" in report.failed_keys
+
+
+def test_worker_crash_does_not_charge_innocent_in_flight_siblings():
+    """A dead worker poisons every in-flight future; the swept sibling
+    must be requeued *uncharged* — with max_retries=0 it still succeeds
+    — while the crasher alone is charged and reported."""
+    graph = TaskGraph([
+        TaskSpec(key="crash", fn=tasklib.CRASH),
+        TaskSpec(key="slow", fn=tasklib.SLEEPY,
+                 config={"value": 5, "seconds": 0.5}),
+    ])
+    stats = EngineTelemetry()
+    report = run_graph_report(
+        graph, jobs=2, root_seed=0, failure_policy="continue",
+        telemetry=stats,
+    )
+    assert report.results["slow"] == 5
+    assert report.failed_keys == ["crash"]
+    assert report.failed[0].attempts == 1
+    assert "worker process died" in report.failed[0].detail
+    record = next(r for r in stats.records if r.key == "slow")
+    assert record.outcome == OUTCOME_COMPUTED
+    assert record.retries == 0
+
+
+def test_worker_crash_fail_fast_names_the_crasher_not_a_bystander():
+    """Under fail_fast the TaskError must name the worker-killer, never
+    an innocent sibling that happened to share the broken pool."""
+    graph = TaskGraph([
+        TaskSpec(key="crash", fn=tasklib.CRASH),
+        TaskSpec(key="slow", fn=tasklib.SLEEPY,
+                 config={"value": 1, "seconds": 0.5}),
+    ])
+    with pytest.raises(TaskError) as excinfo:
+        run_graph(graph, jobs=2, root_seed=0)
+    assert excinfo.value.key == "crash"
+
+
+def test_worker_crash_recovers_under_retry_bit_identical(tmp_path):
+    """A task that kills its worker twice then succeeds completes under
+    retry, bit-identical to a never-crashing run with the same seed."""
+    stats = EngineTelemetry()
+    crashing = run_graph(
+        TaskGraph([TaskSpec(
+            key="flaky", fn=tasklib.FLAKY_CRASH,
+            config={
+                "scratch": str(tmp_path / "crashes"),
+                "fail_times": 2, "scale": 2.0,
+            },
+            max_retries=2, retry_delay=0.001,
+        )]),
+        jobs=2, root_seed=7, telemetry=stats,
+    )
+    clean = run_graph(
+        TaskGraph([clean_draw_spec()]), jobs=1, root_seed=7
+    )
+    assert crashing == clean
+    record = next(r for r in stats.records if r.key == "flaky")
+    assert record.outcome == OUTCOME_COMPUTED
+    assert record.retries == 2
 
 
 # ----------------------------------------------------------------------
