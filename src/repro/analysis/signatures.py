@@ -141,6 +141,15 @@ FUNCTION_UNITS: Dict[str, UnitSignature] = {
     "cluster_power": _sig(WATTS),
     # repro.activity probes.
     "idle_activity": _sig(None, n_seconds=SECONDS),
+    # repro.serving — the online scoring surface.  Predictions, meter
+    # readings and idle floors are watts; batch latencies are seconds.
+    "make_bundle": _sig(None, idle_power_w=WATTS),
+    "offline_reference": _sig(WATTS),
+    "max_deviation_w": _sig(WATTS),
+    "rolling_mean_w": _sig(WATTS, window_seconds=SECONDS),
+    "peak_w": _sig(WATTS),
+    "commit": _sig(WATTS, p0=WATTS, prediction_w=WATTS),
+    "record_batch": _sig(None, latency_s=SECONDS),
 }
 
 #: Calls that preserve the unit of their first argument (reductions,
@@ -206,9 +215,12 @@ SELECT_SINKS = frozenset({
 })
 
 #: Preprocessing fits: anything learning statistics from data that must
-#: therefore only ever see the training split.
+#: therefore only ever see the training split.  ``make_bundle`` belongs
+#: here because the serving drift envelope is per-feature quantiles
+#: learned from its ``training_design`` argument.
 PREPROCESS_SINKS = frozenset({
     "standardize", "fit_scaler", "fit_transform", "scale_features",
+    "make_bundle",
 })
 
 #: Method names treated as model-fit sinks.

@@ -11,6 +11,11 @@ Wraps the library's main entry points for shell use:
 * ``lint``       — chaos-lint static analysis (catalogs + source tree)
 * ``sweep``      — run the technique x feature-set grid via the engine
 * ``cache``      — inspect/clear the engine's artifact cache
+* ``serve``      — run the chaos-serve prediction server from a registry
+* ``replay``     — stream a recorded/simulated cluster through a live
+  server at a speed multiple and verify online == offline
+* ``publish``    — push a serving bundle through the registry's
+  shadow-scoring DRE gate
 
 Engine flags (``sweep``, ``reproduce``): ``--jobs N`` runs independent
 tasks on N worker processes with bit-identical results; ``--cache-dir``
@@ -62,6 +67,11 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=DEFAULT_SEED)
     train.add_argument("--model", default="Q", choices=["L", "P", "Q", "S"])
     train.add_argument("--out", required=True, help="output JSON path")
+    train.add_argument(
+        "--bundle-out", default=None, metavar="PATH",
+        help="also write a serving bundle (model + drift envelope + "
+        "idle floor) for `repro publish`",
+    )
 
     evaluate = sub.add_parser(
         "evaluate", help="cross-validate a model on one workload"
@@ -180,6 +190,74 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print per-task timing and cache hit-rate after the grid",
     )
     _add_engine_flags(sweep)
+
+    serve = sub.add_parser(
+        "serve", help="run the chaos-serve online prediction server"
+    )
+    serve.add_argument(
+        "--registry", required=True, metavar="DIR",
+        help="model registry directory (see `repro publish`)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7380)
+    serve.add_argument(
+        "--tick-interval", type=float, default=1.0, metavar="SECONDS",
+        dest="tick_interval_s",
+        help="scoring tick period (1.0 matches the 1 Hz counter streams)",
+    )
+
+    rep = sub.add_parser(
+        "replay",
+        help="stream a recorded or simulated cluster through a live "
+        "server at a speed multiple",
+    )
+    source = rep.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--fixture", default=None, metavar="FILE",
+        help="replay fixture JSON (bundle + machine logs)",
+    )
+    source.add_argument(
+        "--bundle", default=None, metavar="FILE",
+        help="serving bundle JSON; machines are simulated "
+        "(--workload/--machines/--seed)",
+    )
+    rep.add_argument("--workload", default="sort", choices=WORKLOAD_NAMES)
+    rep.add_argument("--machines", type=int, default=2)
+    rep.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    rep.add_argument(
+        "--speed", type=float, default=10.0, metavar="X",
+        help="speed multiple over real time (10 = ten simulated "
+        "seconds per wall second)",
+    )
+    rep.add_argument(
+        "--stats-out", default=None, metavar="FILE",
+        help="write the final telemetry snapshot as JSON",
+    )
+    rep.add_argument(
+        "--verify", action="store_true",
+        help="check every non-patched online prediction is bit-identical "
+        "to the offline PlatformModel.predict_log reference",
+    )
+
+    publish = sub.add_parser(
+        "publish",
+        help="push a serving bundle through the registry's shadow gate",
+    )
+    publish.add_argument("--bundle", required=True, metavar="FILE")
+    publish.add_argument("--registry", required=True, metavar="DIR")
+    publish.add_argument(
+        "--replay-log", default=None, metavar="CSV",
+        help="held-out Perfmon CSV (with metered power) to shadow-score "
+        "the candidate against the live model; omitting skips the gate",
+    )
+    publish.add_argument(
+        "--max-regression", type=float, default=None, metavar="DRE",
+        help="max tolerated DRE regression vs live (default 0.02)",
+    )
+    publish.add_argument(
+        "--force", action="store_true",
+        help="publish even when the gate rejects",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the engine's artifact cache"
@@ -315,6 +393,32 @@ def _cmd_train(args, out) -> int:
         f"{len(trained.selected_counters)} counters -> {args.out}",
         file=out,
     )
+    if args.bundle_out is not None:
+        from repro.models.featuresets import pool_features
+        from repro.serving import make_bundle, save_bundle
+
+        runs = [
+            run
+            for workload_runs in trained.runs_by_workload.values()
+            for run in workload_runs
+        ]
+        design, _ = pool_features(runs, trained.feature_set)
+        bundle = make_bundle(
+            trained.platform_model,
+            design,
+            idle_power_w=spec.idle_power_w,
+            meta={
+                "platform": spec.key,
+                "model": args.model,
+                "seed": args.seed,
+                "runs": args.runs,
+            },
+        )
+        save_bundle(bundle, args.bundle_out)
+        print(
+            f"serving bundle {bundle.digest()[:12]} -> {args.bundle_out}",
+            file=out,
+        )
     return 0
 
 
@@ -553,6 +657,159 @@ def _cmd_sweep(args, out) -> int:
     return 0 if not sweep.incomplete_cells else 1
 
 
+def _cmd_serve(args, out) -> int:
+    import asyncio
+
+    from repro.serving import ModelRegistry, PowerServer
+
+    registry = ModelRegistry(args.registry)
+    platforms = registry.platforms()
+    if not platforms:
+        print(
+            f"error: registry at {args.registry} has no published "
+            "models (see `repro publish`)",
+            file=out,
+        )
+        return 2
+
+    async def _run() -> None:
+        server = PowerServer(
+            registry=registry,
+            host=args.host,
+            port=args.port,
+            tick_interval_s=args.tick_interval_s,
+        )
+        await server.start()
+        print(
+            f"chaos-serve listening on {server.host}:{server.port} "
+            f"({len(platforms)} platform(s): {', '.join(platforms)}); "
+            "Ctrl-C to stop",
+            file=out,
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("stopped", file=out)
+    return 0
+
+
+def _cmd_replay(args, out) -> int:
+    import json
+
+    from repro.serving import (
+        ReplayMachine,
+        load_bundle,
+        load_replay_fixture,
+        max_deviation_w,
+        replay,
+    )
+
+    if args.fixture is not None:
+        bundle, machines = load_replay_fixture(args.fixture)
+    else:
+        from repro.cluster.cluster import Cluster
+        from repro.cluster.runner import execute_runs
+        from repro.workloads.suite import get_workload
+
+        bundle = load_bundle(args.bundle)
+        spec = get_platform(bundle.platform_key)
+        cluster = Cluster.homogeneous(
+            spec, n_machines=args.machines, seed=args.seed
+        )
+        run = execute_runs(
+            cluster, get_workload(args.workload), n_runs=1, seed=args.seed
+        )[0]
+        machines = [
+            ReplayMachine(
+                machine_id=machine_id,
+                platform_key=bundle.platform_key,
+                log=run.logs[machine_id],
+            )
+            for machine_id in run.machine_ids
+        ]
+
+    logs = {machine.machine_id: machine.log for machine in machines}
+    result = replay(
+        machines,
+        static_bundles={
+            bundle.platform_key: (
+                f"{bundle.platform_key}@file-{bundle.digest()[:12]}",
+                bundle,
+            )
+        },
+        speed=args.speed,
+    )
+    print(
+        f"replayed {len(machines)} machine(s) at {args.speed:g}x: "
+        f"{result.total_scored} samples scored, "
+        f"{result.total_dropped} dropped, "
+        f"batch p99 {result.telemetry['batch_latency_s']['p99']*1e3:.2f} ms",
+        file=out,
+    )
+    if args.stats_out is not None:
+        with open(args.stats_out, "w") as handle:
+            json.dump(result.telemetry, handle, indent=2)
+        print(f"telemetry -> {args.stats_out}", file=out)
+    if args.verify:
+        worst = max(
+            max_deviation_w(machine_result, bundle, logs[machine_id])
+            for machine_id, machine_result in result.machines.items()
+        )
+        if worst > 0.0:
+            print(
+                f"VERIFY FAILED: online deviates from offline by up to "
+                f"{worst:.3e} W",
+                file=out,
+            )
+            return 1
+        print("verify: online == offline bit-for-bit on every "
+              "non-patched sample", file=out)
+    return 0
+
+
+def _cmd_publish(args, out) -> int:
+    from repro.serving import ModelRegistry, RegistryError, load_bundle
+    from repro.serving.registry import DEFAULT_MAX_DRE_REGRESSION
+    from repro.telemetry.perfmon import PerfmonLog
+
+    bundle = load_bundle(args.bundle)
+    registry = ModelRegistry(args.registry)
+    replay_log = None
+    if args.replay_log is not None:
+        with open(args.replay_log) as handle:
+            replay_log = PerfmonLog.from_csv(handle.read())
+    try:
+        version, gate = registry.publish(
+            bundle,
+            replay_log=replay_log,
+            max_dre_regression=(
+                args.max_regression
+                if args.max_regression is not None
+                else DEFAULT_MAX_DRE_REGRESSION
+            ),
+            force=args.force,
+        )
+    except RegistryError as error:
+        print(f"publish rejected: {error}", file=out)
+        return 1
+    if gate is not None:
+        print(gate.describe(), file=out)
+    else:
+        print("ungated publish (no --replay-log)", file=out)
+    print(
+        f"published {version.label} "
+        f"(generation {version.generation}); live for "
+        f"{version.platform_key}",
+        file=out,
+    )
+    return 0
+
+
 def _cmd_cache(args, out) -> int:
     from repro.engine import ArtifactCache
 
@@ -645,6 +902,9 @@ _COMMANDS = {
     "reproduce": _cmd_reproduce,
     "sweep": _cmd_sweep,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
+    "replay": _cmd_replay,
+    "publish": _cmd_publish,
 }
 
 

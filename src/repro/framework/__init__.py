@@ -13,7 +13,7 @@ from repro.framework.crossval import (
     cross_validate,
 )
 from repro.framework.drift import DriftVerdict, InputDriftDetector
-from repro.framework.online import OnlinePowerPredictor
+from repro.framework.online import OnlinePowerPredictor, StaleSampleError
 from repro.framework.overhead import OverheadReport, measure_overhead
 from repro.framework.phase_analysis import (
     PhaseAccuracy,
@@ -37,6 +37,7 @@ __all__ = [
     "OverheadReport",
     "PhaseAccuracy",
     "PhaseBreakdown",
+    "StaleSampleError",
     "SweepResult",
     "TrainedPlatform",
     "collect_workload_runs",

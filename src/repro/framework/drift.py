@@ -89,6 +89,20 @@ class InputDriftDetector:
         per_feature = 2.0 * (1.0 - self.envelope_quantile)
         return min(per_feature * len(self.feature_names), 1.0)
 
+    @property
+    def envelope_low(self) -> np.ndarray:
+        """Per-feature lower envelope bound (fitted detectors only)."""
+        if self._low is None:
+            raise RuntimeError("detector is not fitted")
+        return self._low
+
+    @property
+    def envelope_high(self) -> np.ndarray:
+        """Per-feature upper envelope bound (fitted detectors only)."""
+        if self._high is None:
+            raise RuntimeError("detector is not fitted")
+        return self._high
+
     def fit(self, training_design: np.ndarray) -> "InputDriftDetector":
         """Record the training envelope from the model's design matrix."""
         design = np.asarray(training_design, dtype=float)
@@ -101,6 +115,42 @@ class InputDriftDetector:
         self._low = np.quantile(design, 1.0 - self.envelope_quantile, axis=0)
         self._high = np.quantile(design, self.envelope_quantile, axis=0)
         return self
+
+    @classmethod
+    def from_envelope(
+        cls,
+        feature_names: list[str],
+        low: np.ndarray,
+        high: np.ndarray,
+        envelope_quantile: float = 0.995,
+        window_seconds: int = 120,
+        trigger_ratio: float = 8.0,
+        min_samples: int = 30,
+    ) -> "InputDriftDetector":
+        """Rebuild a fitted detector from stored envelope bounds.
+
+        A serving bundle persists the training-time envelope alongside
+        the model parameters; production hosts reconstruct the detector
+        without ever seeing the training design matrix.
+        """
+        detector = cls(
+            feature_names=list(feature_names),
+            envelope_quantile=envelope_quantile,
+            window_seconds=window_seconds,
+            trigger_ratio=trigger_ratio,
+            min_samples=min_samples,
+        )
+        low = np.asarray(low, dtype=float).ravel()
+        high = np.asarray(high, dtype=float).ravel()
+        if low.shape != (len(detector.feature_names),) or low.shape != high.shape:
+            raise ValueError(
+                f"envelope bounds must be ({len(detector.feature_names)},)"
+            )
+        if np.any(low > high):
+            raise ValueError("envelope low bound exceeds high bound")
+        detector._low = low
+        detector._high = high
+        return detector
 
     # ------------------------------------------------------------------
     def observe(self, sample: np.ndarray) -> DriftVerdict:

@@ -28,6 +28,7 @@ from repro.regression.hinge import (
     Hinge,
     evaluate_bases,
 )
+from repro.regression.kernels import matvec
 
 _EPS = 1e-10
 
@@ -67,7 +68,9 @@ class MARSModel:
         if design.ndim != 2:
             raise ValueError("design matrix must be 2-D")
         matrix = evaluate_bases(self.bases, design)
-        return matrix @ self.coefficients
+        # Batch-size-invariant kernel: serving scores the same rows in
+        # arbitrary micro-batch groupings and must get identical watts.
+        return matvec(matrix, self.coefficients)
 
     def describe(self, feature_names=None) -> str:
         parts = []

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats
 
+from repro.regression.kernels import matvec
+
 _RCOND = 1e-8
 """Relative singular-value cutoff; below this a direction is unidentified."""
 
@@ -81,7 +83,9 @@ class OLSFit:
                 f"design has {design.shape[1]} features but the model was "
                 f"fitted with {self.coefficients.size - 1}"
             )
-        return self.intercept + design @ self.slopes
+        # Batch-size-invariant kernel: serving scores the same rows in
+        # arbitrary micro-batch groupings and must get identical watts.
+        return self.intercept + matvec(design, self.slopes)
 
 
 def fit_ols(design: np.ndarray, response: np.ndarray) -> OLSFit:

@@ -1,0 +1,84 @@
+"""Micro-batched scoring: one vectorized predict per model per tick.
+
+Each server tick the batcher sweeps every session, drains its ready
+samples (strict per-session ``t`` order), and coalesces the resulting
+feature rows into one matrix per ``(platform, model-version)`` group —
+so a thousand 1 Hz machines sharing one model cost one ``predict`` call
+per second, not a thousand.
+
+Correctness does not depend on batch composition: the model predict
+kernels are batch-size-invariant (``regression/kernels.py``), so a
+sample's watts are bit-identical whether it was scored alone, with its
+session's backlog, or in a fleet-wide batch — which is what makes
+``repro replay``'s online == offline guarantee possible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.serving.session import MachineSession, ScoredSample
+from repro.serving.stats import ServingStats
+
+
+@dataclass
+class MicroBatchScorer:
+    """Coalesces ready samples across sessions into grouped predicts."""
+
+    stats: ServingStats | None = None
+    max_samples_per_session: int | None = None
+    """Per-tick drain cap per session (None = drain everything ready);
+    a bounded cap keeps one backlogged machine from dominating a tick."""
+
+    clock: Callable[[], float] = field(default=time.perf_counter)
+
+    def tick(self, sessions: Iterable[MachineSession]) -> list[ScoredSample]:
+        """Score every ready sample once; returns the deliveries.
+
+        Within a session the returned samples are in strict ``t`` order
+        (a session's samples all land in one group per tick); deliveries
+        from different sessions may interleave by model group.
+        """
+        start_s = self.clock()
+        # (platform, version) -> (model, rows, refs)
+        groups: dict[tuple[str, str], list] = {}
+        for session in sessions:
+            ready = session.take_ready(self.max_samples_per_session)
+            if not ready:
+                continue
+            key = (session.platform_key, session.model_version)
+            group = groups.get(key)
+            if group is None:
+                group = [session.bundle.platform_model.model, [], []]
+                groups[key] = group
+            _, rows, refs = group
+            for t, item in ready:
+                prepared = session.prepare(item)
+                if prepared is None:
+                    continue
+                row, patched = prepared
+                rows.append(row)
+                refs.append((session, t, item, row, patched))
+
+        scored: list[ScoredSample] = []
+        for model, rows, refs in groups.values():
+            if not rows:
+                continue
+            predictions = model.predict(np.vstack(rows))
+            for (session, t, item, row, patched), power_w in zip(
+                refs, predictions
+            ):
+                scored.append(
+                    session.complete(t, item, row, patched, float(power_w))
+                )
+        if self.stats is not None and scored:
+            self.stats.record_batch(
+                n_samples=len(scored),
+                n_groups=sum(1 for _, rows, _ in groups.values() if rows),
+                latency_s=self.clock() - start_s,
+            )
+        return scored

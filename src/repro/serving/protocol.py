@@ -1,0 +1,125 @@
+"""chaos-serve wire protocol: newline-delimited JSON over TCP.
+
+One connection carries one machine's 1 Hz counter stream.  Every message
+is a single JSON object on its own line (UTF-8, ``\\n``-terminated), so
+the protocol needs no framing beyond ``readline`` and stays debuggable
+with ``nc``.
+
+Client -> server
+----------------
+``hello``       ``{"type": "hello", "machine_id": ..., "platform": ...}``
+                Opens a scoring session.  Must be the first message.
+``sample``      ``{"type": "sample", "t": <seq>, "counters": {name:
+                value}, "meter_w": <watts, optional>}``
+                One second of counters.  ``t`` is the machine's own
+                monotonically-increasing sample index; ``meter_w``
+                optionally attaches the metered power so the server can
+                track rolling online DRE.
+``stats``       Ask for the server's telemetry snapshot.
+``bye``         Close the session cleanly (pending samples are still
+                scored and delivered first).
+
+Server -> client
+----------------
+``welcome``     Session accepted; echoes the live ``model_version`` and
+                the ``required_counters`` the model needs per sample.
+``prediction``  ``{"type": "prediction", "t": ..., "power_w": ...,
+                "patched": bool, "drifting": bool, "model_version":
+                ...}`` — one per scored sample, in ``t`` order.
+``stats``       The telemetry snapshot (see ``serving/stats.py``).
+``drained``     Reply to ``bye`` once every scorable queued sample has
+                been delivered; carries the session's final counters.
+``error``       ``{"type": "error", "error": ...}`` — protocol misuse;
+                the connection is closed afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+PROTOCOL_VERSION = 1
+
+MAX_LINE_BYTES = 256 * 1024
+"""Upper bound on one message line; a counter sample for even a full
+catalog fits comfortably, so longer lines are protocol errors."""
+
+#: Message type tags.
+HELLO = "hello"
+SAMPLE = "sample"
+STATS = "stats"
+BYE = "bye"
+WELCOME = "welcome"
+PREDICTION = "prediction"
+DRAINED = "drained"
+ERROR = "error"
+
+
+class ProtocolError(ValueError):
+    """A malformed or out-of-order protocol message."""
+
+
+def encode_message(message: dict[str, Any]) -> bytes:
+    """Serialize one message to its wire form (compact JSON + newline)."""
+    line = json.dumps(message, separators=(",", ":"), allow_nan=False)
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"message of {len(data)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte line limit"
+        )
+    return data
+
+
+def decode_line(line: bytes) -> dict[str, Any]:
+    """Parse one received line into a message dict."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"line of {len(line)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte limit"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable message line: {error}")
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("a message must be an object with a 'type'")
+    return message
+
+
+def parse_hello(message: dict[str, Any]) -> tuple[str, str]:
+    """Validate a hello; returns (machine_id, platform_key)."""
+    machine_id = message.get("machine_id")
+    platform_key = message.get("platform")
+    if not isinstance(machine_id, str) or not machine_id:
+        raise ProtocolError("hello needs a non-empty 'machine_id'")
+    if not isinstance(platform_key, str) or not platform_key:
+        raise ProtocolError("hello needs a non-empty 'platform'")
+    return machine_id, platform_key
+
+
+def parse_sample(
+    message: dict[str, Any],
+) -> tuple[int, dict[str, float], float | None]:
+    """Validate a sample; returns (t, counters, meter_w)."""
+    t = message.get("t")
+    if not isinstance(t, int) or isinstance(t, bool) or t < 0:
+        raise ProtocolError("sample needs a non-negative integer 't'")
+    counters = message.get("counters")
+    if not isinstance(counters, dict):
+        raise ProtocolError("sample needs a 'counters' object")
+    for name, value in counters.items():
+        if not isinstance(name, str) or not isinstance(
+            value, (int, float)
+        ) or isinstance(value, bool):
+            raise ProtocolError("counters must map names to numbers")
+    meter_w = message.get("meter_w")
+    if meter_w is not None and (
+        not isinstance(meter_w, (int, float)) or isinstance(meter_w, bool)
+    ):
+        raise ProtocolError("'meter_w' must be a number when present")
+    return (
+        t,
+        {name: float(value) for name, value in counters.items()},
+        None if meter_w is None else float(meter_w),
+    )

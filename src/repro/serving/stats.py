@@ -1,0 +1,166 @@
+"""Serving telemetry: throughput, batch shapes, latency, drift, DRE.
+
+The server keeps one :class:`ServingStats`; the micro-batcher feeds it
+per-tick batch records and the server adds connection/session lifecycle
+counters.  ``snapshot`` folds in per-session state (drops, patches,
+drift fractions, rolling online DRE) and returns one JSON-safe dict —
+the payload behind the ``stats`` protocol message, ``repro replay``'s
+``--stats-out``, and the CI smoke gate.
+
+Histograms use fixed log-spaced bucket bounds so two snapshots are
+mergeable and quantile estimates never require storing raw samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.serving.session import MachineSession
+
+
+def _log_bounds(low: float, high: float, per_decade: int) -> list[float]:
+    bounds = []
+    value = low
+    factor = 10.0 ** (1.0 / per_decade)
+    while value < high:
+        bounds.append(value)
+        value *= factor
+    return bounds
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with approximate quantiles.
+
+    ``bounds`` are upper bucket edges; a value lands in the first bucket
+    whose bound is >= value, with one implicit overflow bucket at the
+    end.
+    """
+
+    bounds: Sequence[float]
+    counts: list[int] = field(init=False)
+    n_observed: int = field(default=0, init=False)
+    total: float = field(default=0.0, init=False)
+
+    def __post_init__(self):
+        bounds = list(self.bounds)
+        if not bounds or sorted(bounds) != bounds:
+            raise ValueError("histogram bounds must be sorted and non-empty")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        index = 0
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                break
+        else:
+            index = len(self.bounds)
+        self.counts[index] += 1
+        self.n_observed += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n_observed if self.n_observed else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper edge of the covering bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.n_observed == 0:
+            return 0.0
+        rank = q * self.n_observed
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank and count > 0:
+                if index < len(self.bounds):
+                    return float(self.bounds[index])
+                return float(self.bounds[-1])
+        return float(self.bounds[-1])
+
+    def to_dict(self) -> dict:
+        return {
+            "bounds": [float(b) for b in self.bounds],
+            "counts": list(self.counts),
+            "count": self.n_observed,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+        }
+
+
+def latency_histogram() -> Histogram:
+    """5 us .. ~10 s, five buckets per decade."""
+    return Histogram(_log_bounds(5e-6, 10.0, per_decade=5))
+
+
+def batch_size_histogram() -> Histogram:
+    """1 .. ~100k samples per tick, five buckets per decade."""
+    return Histogram(_log_bounds(1.0, 1e5, per_decade=5))
+
+
+@dataclass
+class ServingStats:
+    """Accumulated server-wide telemetry."""
+
+    batch_latency_s: Histogram = field(default_factory=latency_histogram)
+    batch_size: Histogram = field(default_factory=batch_size_histogram)
+    n_ticks: int = 0
+    n_samples_scored: int = 0
+    n_groups_scored: int = 0
+    n_sessions_opened: int = 0
+    n_sessions_closed: int = 0
+    n_protocol_errors: int = 0
+    n_hot_swaps: int = 0
+
+    def record_batch(
+        self, n_samples: int, n_groups: int, latency_s: float
+    ) -> None:
+        self.n_ticks += 1
+        self.n_samples_scored += n_samples
+        self.n_groups_scored += n_groups
+        self.batch_size.observe(float(n_samples))
+        self.batch_latency_s.observe(latency_s)
+
+    def snapshot(
+        self,
+        sessions: Iterable[MachineSession] = (),
+        extra_session_rows: Iterable[dict] = (),
+    ) -> dict:
+        """One JSON-safe telemetry payload, sessions folded in.
+
+        ``extra_session_rows`` takes already-captured session snapshots
+        (e.g. from ``drained`` replies for sessions that have closed).
+        """
+        session_rows = [session.snapshot() for session in sessions]
+        session_rows.extend(extra_session_rows)
+        dropped = sum(
+            row["late_dropped"] + row["shed_dropped"]
+            for row in session_rows
+        )
+        drifting = sum(1 for row in session_rows if row["drifting"])
+        dre_values = [
+            row["online_dre"]
+            for row in session_rows
+            if row["online_dre"] is not None
+        ]
+        return {
+            "ticks": self.n_ticks,
+            "samples_scored": self.n_samples_scored,
+            "model_groups_scored": self.n_groups_scored,
+            "sessions_opened": self.n_sessions_opened,
+            "sessions_closed": self.n_sessions_closed,
+            "protocol_errors": self.n_protocol_errors,
+            "hot_swaps": self.n_hot_swaps,
+            "batch_latency_s": self.batch_latency_s.to_dict(),
+            "batch_size": self.batch_size.to_dict(),
+            "sessions": session_rows,
+            "dropped_samples": dropped,
+            "drifting_sessions": drifting,
+            "mean_online_dre": (
+                sum(dre_values) / len(dre_values) if dre_values else None
+            ),
+        }

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.framework import OnlinePowerPredictor
+from repro.framework import OnlinePowerPredictor, StaleSampleError
 from repro.models import (
     PlatformModel,
     QuadraticPowerModel,
@@ -138,3 +138,104 @@ class TestMissingCounterHandling:
         predictor.observe({FREQUENCY_COUNTER: 2260.0})
         predictor.reset()
         assert predictor.n_patched == 0
+        assert predictor.n_patched_samples == 0
+        assert predictor.patched_fraction == 0.0
+        assert predictor.consecutive_patched == 0
+
+    def test_patched_fraction_counts_samples_not_values(self, trained):
+        """One sample missing both counters is one patched sample, even
+        though two values were patched."""
+        platform_model, _ = trained
+        predictor = OnlinePowerPredictor(platform_model, allow_missing=True)
+        predictor.observe(self._sample())
+        predictor.observe({})  # both counters patched
+        predictor.observe(self._sample())
+        predictor.observe({FREQUENCY_COUNTER: 2260.0})
+        assert predictor.n_patched == 3
+        assert predictor.n_patched_samples == 2
+        assert predictor.patched_fraction == pytest.approx(0.5)
+
+    def test_patched_fraction_is_zero_before_any_sample(self, trained):
+        platform_model, _ = trained
+        predictor = OnlinePowerPredictor(platform_model, allow_missing=True)
+        assert predictor.patched_fraction == 0.0
+
+    def test_consecutive_cap_raises_then_recovers(self, trained):
+        platform_model, _ = trained
+        predictor = OnlinePowerPredictor(
+            platform_model, allow_missing=True, max_consecutive_patches=2
+        )
+        predictor.observe(self._sample())
+        predictor.observe({})
+        predictor.observe({})
+        assert predictor.consecutive_patched == 2
+        with pytest.raises(StaleSampleError, match="consecutive"):
+            predictor.observe({})
+        # A rejected sample is not recorded as observed.
+        assert predictor.n_observed == 3
+        # A clean sample resets the run and prediction resumes.
+        clean = predictor.observe(self._sample())
+        assert np.isfinite(clean)
+        assert predictor.consecutive_patched == 0
+        predictor.observe({})  # tolerated again after recovery
+        assert predictor.n_observed == 5
+
+    def test_cap_validation(self, trained):
+        platform_model, _ = trained
+        with pytest.raises(ValueError, match="max_consecutive_patches"):
+            OnlinePowerPredictor(
+                platform_model,
+                allow_missing=True,
+                max_consecutive_patches=0,
+            )
+
+
+class TestPrepareCommitSplit:
+    """The two-phase API the serving micro-batcher drives."""
+
+    def test_prepare_then_commit_equals_observe(self, trained):
+        platform_model, runs = trained
+        log = runs[0].logs[runs[0].machine_ids[0]]
+        one_shot = OnlinePowerPredictor(platform_model)
+        two_phase = OnlinePowerPredictor(platform_model)
+        rows = []
+        for t in range(20):
+            sample = {
+                name: float(log.column(name)[t])
+                for name in one_shot.required_counters
+            }
+            expected = one_shot.observe(sample)
+            row = two_phase.prepare_row(sample)
+            rows.append(row)
+            prediction = float(
+                platform_model.model.predict(row[None, :])[0]
+            )
+            assert two_phase.commit(prediction) == expected
+        assert two_phase.n_observed == one_shot.n_observed
+        # The prepared rows are exactly the batch design matrix.
+        batch = platform_model.feature_set.extract(log)
+        np.testing.assert_array_equal(np.vstack(rows), batch[:20])
+
+    def test_carry_state_preserves_lag_and_history(self, trained):
+        platform_model, runs = trained
+        log = runs[0].logs[runs[0].machine_ids[0]]
+        reference = OnlinePowerPredictor(platform_model)
+        swapped = OnlinePowerPredictor(platform_model)
+        replacement = OnlinePowerPredictor(platform_model)
+        for t in range(10):
+            sample = {
+                name: float(log.column(name)[t])
+                for name in reference.required_counters
+            }
+            reference.observe(sample)
+            swapped.observe(sample)
+        replacement.carry_state_from(swapped)
+        assert replacement.n_observed == 10
+        assert replacement.rolling_mean_w() == reference.rolling_mean_w()
+        # The lagged MHz(t-1) feature survives the swap: the next
+        # prediction is identical to an un-swapped predictor's.
+        sample = {
+            name: float(log.column(name)[10])
+            for name in reference.required_counters
+        }
+        assert replacement.observe(sample) == reference.observe(sample)

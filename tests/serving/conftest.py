@@ -1,0 +1,144 @@
+"""Shared scenario for the serving test suite.
+
+One small deterministic campaign (the golden suite's atom/sort scenario)
+is generated once per session: runs 0-1 train the models, run 2 is held
+out for replay and shadow-scoring.  Every model family is fitted on the
+same pinned two-counter cluster set so tests can cover L/P/Q/S without
+running Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, execute_runs
+from repro.models.composition import PlatformModel
+from repro.models.featuresets import (
+    CPU_UTILIZATION_COUNTER,
+    FREQUENCY_COUNTER,
+    FeatureSet,
+    cluster_set,
+    pool_features,
+)
+from repro.models.registry import build_model
+from repro.platforms import get_platform
+from repro.serving import ServingBundle, make_bundle
+
+SCENARIO = {
+    "platform": "atom",
+    "n_machines": 2,
+    "n_runs": 3,
+    "workload": "sort",
+    "cluster_seed": 123,
+}
+
+
+@dataclass
+class ServingScenario:
+    """Deterministic data + fitted models for serving tests."""
+
+    spec: object
+    cluster: Cluster
+    feature_set: FeatureSet
+    train_runs: list
+    holdout_run: object
+    train_design: np.ndarray
+    train_power: np.ndarray
+    models: dict
+    """model code -> fitted PlatformModel."""
+
+    bundles: dict
+    """model code -> ServingBundle."""
+
+    @property
+    def platform_key(self) -> str:
+        return self.spec.key
+
+    def bundle(self, code: str = "Q") -> ServingBundle:
+        return self.bundles[code]
+
+    def platform_model(self, code: str = "Q") -> PlatformModel:
+        return self.models[code]
+
+
+def _build_scenario() -> ServingScenario:
+    from repro.workloads import SortWorkload
+
+    spec = get_platform(SCENARIO["platform"])
+    cluster = Cluster.homogeneous(
+        spec,
+        n_machines=SCENARIO["n_machines"],
+        seed=SCENARIO["cluster_seed"],
+    )
+    runs = execute_runs(
+        cluster, SortWorkload(), n_runs=SCENARIO["n_runs"], jobs=1
+    )
+    train_runs, holdout_run = runs[:-1], runs[-1]
+    feature_set = cluster_set(
+        (CPU_UTILIZATION_COUNTER, FREQUENCY_COUNTER)
+    )
+    design, power = pool_features(train_runs, feature_set)
+    models = {}
+    bundles = {}
+    for code in ("L", "P", "Q", "S"):
+        model = build_model(code, feature_set).fit(design, power)
+        platform_model = PlatformModel(
+            platform_key=spec.key, model=model, feature_set=feature_set
+        )
+        models[code] = platform_model
+        bundles[code] = make_bundle(
+            platform_model,
+            design,
+            idle_power_w=spec.idle_power_w,
+            meta={"scenario": "serving-tests", "model": code},
+        )
+    return ServingScenario(
+        spec=spec,
+        cluster=cluster,
+        feature_set=feature_set,
+        train_runs=train_runs,
+        holdout_run=holdout_run,
+        train_design=design,
+        train_power=power,
+        models=models,
+        bundles=bundles,
+    )
+
+
+@pytest.fixture(scope="session")
+def scenario() -> ServingScenario:
+    return _build_scenario()
+
+
+@pytest.fixture()
+def holdout_log(scenario):
+    """One held-out machine log the training never saw."""
+    machine_id = scenario.holdout_run.machine_ids[0]
+    return scenario.holdout_run.logs[machine_id]
+
+
+def degraded_bundle(scenario) -> ServingBundle:
+    """A deliberately broken candidate: fitted against wrecked power.
+
+    Same platform, same features, valid payload — but the training
+    targets are reversed and tripled, so the model both lost the
+    counter-power relationship and predicts on the wrong scale.  Its
+    DRE on any real window is far worse than the live model's; this is
+    what the publish gate exists to catch.
+    """
+    wrecked = build_model("L", scenario.feature_set).fit(
+        scenario.train_design, scenario.train_power[::-1] * 3.0
+    )
+    return make_bundle(
+        PlatformModel(
+            platform_key=scenario.platform_key,
+            model=wrecked,
+            feature_set=scenario.feature_set,
+        ),
+        scenario.train_design,
+        idle_power_w=scenario.spec.idle_power_w,
+        meta={"scenario": "serving-tests", "model": "degraded"},
+    )

@@ -1,0 +1,110 @@
+"""Serving bundle: payload round-trip, content addressing, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    ServingBundle,
+    bundle_from_payload,
+    load_bundle,
+    make_bundle,
+    save_bundle,
+)
+
+
+def test_payload_round_trip(scenario):
+    bundle = scenario.bundle("Q")
+    restored = bundle_from_payload(bundle.to_payload())
+    assert restored.digest() == bundle.digest()
+    assert restored.platform_key == bundle.platform_key
+    assert restored.idle_power_w == bundle.idle_power_w
+    np.testing.assert_array_equal(
+        restored.envelope_low, bundle.envelope_low
+    )
+    np.testing.assert_array_equal(
+        restored.envelope_high, bundle.envelope_high
+    )
+
+
+def test_file_round_trip_predicts_identically(scenario, holdout_log, tmp_path):
+    bundle = scenario.bundle("S")
+    path = tmp_path / "bundle.json"
+    save_bundle(bundle, path)
+    restored = load_bundle(path)
+    np.testing.assert_array_equal(
+        restored.platform_model.predict_log(holdout_log),
+        bundle.platform_model.predict_log(holdout_log),
+    )
+
+
+def test_digest_is_content_addressed(scenario):
+    bundle = scenario.bundle("Q")
+    same = bundle_from_payload(bundle.to_payload())
+    assert same.digest() == bundle.digest()
+    other = scenario.bundle("L")
+    assert other.digest() != bundle.digest()
+    tweaked = ServingBundle(
+        platform_model=bundle.platform_model,
+        envelope_low=bundle.envelope_low,
+        envelope_high=bundle.envelope_high,
+        envelope_quantile=bundle.envelope_quantile,
+        idle_power_w=bundle.idle_power_w + 1.0,
+        meta=dict(bundle.meta),
+    )
+    assert tweaked.digest() != bundle.digest()
+
+
+def test_envelope_shape_and_order_validated(scenario):
+    bundle = scenario.bundle("Q")
+    with pytest.raises(ValueError, match="entries"):
+        ServingBundle(
+            platform_model=bundle.platform_model,
+            envelope_low=bundle.envelope_low[:-1],
+            envelope_high=bundle.envelope_high,
+            envelope_quantile=0.995,
+            idle_power_w=bundle.idle_power_w,
+        )
+    with pytest.raises(ValueError, match="exceeds"):
+        ServingBundle(
+            platform_model=bundle.platform_model,
+            envelope_low=bundle.envelope_high,
+            envelope_high=bundle.envelope_low - 1.0,
+            envelope_quantile=0.995,
+            idle_power_w=bundle.idle_power_w,
+        )
+
+
+def test_make_bundle_validates_design(scenario):
+    with pytest.raises(ValueError, match="training design"):
+        make_bundle(
+            scenario.platform_model("Q"),
+            scenario.train_design[:, :1],
+            idle_power_w=10.0,
+        )
+    with pytest.raises(ValueError, match="envelope_quantile"):
+        make_bundle(
+            scenario.platform_model("Q"),
+            scenario.train_design,
+            idle_power_w=10.0,
+            envelope_quantile=0.4,
+        )
+
+
+def test_built_drift_detector_accepts_training_rows(scenario):
+    bundle = scenario.bundle("Q")
+    detector = bundle.build_drift_detector(window_seconds=60)
+    for row in scenario.train_design[:80]:
+        detector.observe(row)
+    verdict = detector.verdict()
+    # Training rows sit inside their own 99.5% envelope almost surely.
+    assert verdict.out_of_envelope_fraction < 0.2
+    assert not verdict.drifting
+
+
+def test_unsupported_payload_version_rejected(scenario):
+    payload = scenario.bundle("Q").to_payload()
+    payload["format_version"] = 99
+    with pytest.raises(ValueError, match="unsupported bundle version"):
+        bundle_from_payload(payload)

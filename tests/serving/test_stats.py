@@ -1,0 +1,87 @@
+"""Telemetry surface: histograms and the JSON snapshot."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serving import Histogram, ServingStats
+from repro.serving.stats import batch_size_histogram, latency_histogram
+
+
+def test_histogram_buckets_and_quantiles():
+    histogram = Histogram([1.0, 2.0, 4.0, 8.0])
+    for value in [0.5, 1.5, 1.7, 3.0, 9.0]:
+        histogram.observe(value)
+    assert histogram.n_observed == 5
+    assert histogram.counts == [1, 2, 1, 0, 1]
+    assert histogram.mean == pytest.approx(3.14)
+    # p50 lands in the (1, 2] bucket; its upper edge is the estimate.
+    assert histogram.quantile(0.5) == 2.0
+    # The overflow bucket reports the largest finite bound.
+    assert histogram.quantile(1.0) == 8.0
+    assert histogram.quantile(0.0) == 0.0 or histogram.quantile(0.0) >= 0
+
+
+def test_histogram_validates_inputs():
+    with pytest.raises(ValueError, match="sorted"):
+        Histogram([2.0, 1.0])
+    with pytest.raises(ValueError, match="sorted"):
+        Histogram([])
+    histogram = Histogram([1.0])
+    with pytest.raises(ValueError, match="quantile"):
+        histogram.quantile(1.5)
+
+
+def test_empty_histogram_is_well_defined():
+    histogram = latency_histogram()
+    assert histogram.quantile(0.99) == 0.0
+    assert histogram.mean == 0.0
+    payload = histogram.to_dict()
+    assert payload["count"] == 0
+    json.dumps(payload)
+
+
+def test_default_histograms_cover_expected_ranges():
+    latency = latency_histogram()
+    assert latency.bounds[0] <= 1e-5
+    assert latency.bounds[-1] >= 1.0
+    size = batch_size_histogram()
+    assert size.bounds[0] <= 1.0
+    assert size.bounds[-1] >= 1e4
+
+
+def test_record_batch_accumulates():
+    stats = ServingStats()
+    stats.record_batch(n_samples=100, n_groups=2, latency_s=0.001)
+    stats.record_batch(n_samples=50, n_groups=1, latency_s=0.002)
+    assert stats.n_ticks == 2
+    assert stats.n_samples_scored == 150
+    assert stats.n_groups_scored == 3
+    assert stats.batch_size.n_observed == 2
+    assert stats.batch_latency_s.quantile(0.99) > 0
+
+
+def test_snapshot_folds_sessions_and_serializes(scenario, holdout_log):
+    from repro.serving import MachineSession, MicroBatchScorer
+
+    stats = ServingStats()
+    session = MachineSession("m0", "Q@v1", scenario.bundle("Q"))
+    required = session.predictor.required_counters
+    columns = holdout_log.select(list(required))
+    for t in range(20):
+        session.submit(
+            t,
+            {name: columns[t, i] for i, name in enumerate(required)},
+            meter_w=float(holdout_log.power_w[t]),
+        )
+    MicroBatchScorer(stats=stats).tick([session])
+    extra = {**session.snapshot(), "machine_id": "gone"}
+    snapshot = stats.snapshot([session], extra_session_rows=[extra])
+    json.dumps(snapshot)
+    assert snapshot["samples_scored"] == 20
+    assert len(snapshot["sessions"]) == 2
+    assert snapshot["dropped_samples"] == 0
+    assert snapshot["mean_online_dre"] is not None
+    assert snapshot["batch_size"]["count"] == 1

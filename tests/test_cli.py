@@ -128,6 +128,56 @@ class TestReproduceCommand:
             main(["reproduce", "figure99"])
 
 
+class TestServingCommands:
+    def test_train_publish_replay_round_trip(self, tmp_path):
+        """The deployment loop end to end: train a bundle, publish it
+        to a fresh registry, replay a simulated cluster against it with
+        the bit-identity check on."""
+        import json
+
+        bundle_path = tmp_path / "bundle.json"
+        code, text = _run([
+            "train", "--platform", "atom", "--runs", "2", "--seed", "9",
+            "--model", "Q", "--out", str(tmp_path / "model.json"),
+            "--bundle-out", str(bundle_path),
+        ])
+        assert code == 0
+        assert bundle_path.exists()
+        assert "serving bundle" in text
+
+        registry_path = tmp_path / "registry"
+        code, text = _run([
+            "publish", "--bundle", str(bundle_path),
+            "--registry", str(registry_path),
+        ])
+        assert code == 0
+        assert "published" in text and "generation 1" in text
+
+        stats_path = tmp_path / "stats.json"
+        code, text = _run([
+            "replay", "--bundle", str(bundle_path), "--machines", "2",
+            "--seed", "9", "--speed", "200", "--verify",
+            "--stats-out", str(stats_path),
+        ])
+        assert code == 0
+        assert "0 dropped" in text
+        assert "bit-for-bit" in text
+        stats = json.loads(stats_path.read_text())
+        assert stats["dropped_samples"] == 0
+        assert stats["samples_scored"] > 0
+
+    def test_serve_refuses_an_empty_registry(self, tmp_path):
+        code, text = _run([
+            "serve", "--registry", str(tmp_path / "empty-registry"),
+        ])
+        assert code == 2
+        assert "no published models" in text
+
+    def test_replay_needs_a_source(self):
+        with pytest.raises(SystemExit):
+            main(["replay"])
+
+
 class TestArgumentValidation:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
