@@ -11,11 +11,33 @@ Three layers (see ``docs/static_analysis.md``):
 * chaos-flow: flow-sensitive intraprocedural dataflow analyses — a CFG
   builder (``cfg``), a generic fixpoint engine (``dataflow``), and the
   taint/leakage (L4xx) and physical-unit (U5xx) analyses built on them,
-  driven by the API contracts in ``signatures``.
+  driven by the API contracts in ``signatures``;
+* chaos-race: concurrency-safety analysis (R6xx) — a module call graph
+  with async coloring (``callgraph``), interleaving-point awareness in
+  the CFG, the rules themselves (``races``), and a runtime event-loop
+  sanitizer (``sanitizer``) behind ``repro serve/replay --sanitize``.
+
+Inline suppressions (``# chaos: ignore[CODE] -- reason``) are honored
+across all file-based layers; see ``suppress``.
 """
 
 from repro.analysis.astlint import lint_file, lint_paths, lint_source
-from repro.analysis.cfg import CFG, BasicBlock, build_cfg, iter_function_units
+from repro.analysis.callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionNode,
+    build_callgraph,
+    build_callgraph_source,
+)
+from repro.analysis.cfg import (
+    CFG,
+    BasicBlock,
+    build_cfg,
+    interleaving_points,
+    iter_function_units,
+    stmt_interleaves,
+    unit_has_interleaving,
+)
 from repro.analysis.dataflow import (
     Analysis,
     DataflowResult,
@@ -24,7 +46,14 @@ from repro.analysis.dataflow import (
 )
 from repro.analysis.findings import RULES, Finding, filter_findings
 from repro.analysis.leakage import check_leakage_source
+from repro.analysis.races import check_races_source
+from repro.analysis.ruledocs import RULE_DOCS, RuleDoc, explain
 from repro.analysis.runner import LintReport, run_lint
+from repro.analysis.sanitizer import (
+    LoopSanitizer,
+    SanitizerConfig,
+    install_sanitizer,
+)
 from repro.analysis.sarif import render_sarif
 from repro.analysis.semantic import (
     check_all_platforms,
@@ -33,31 +62,53 @@ from repro.analysis.semantic import (
     check_model_registry,
     unit_of,
 )
+from repro.analysis.suppress import (
+    Suppression,
+    apply_suppressions,
+    parse_suppressions,
+)
 from repro.analysis.units import check_units_source
 
 __all__ = [
     "Analysis",
     "BasicBlock",
     "CFG",
+    "CallGraph",
+    "CallSite",
     "DataflowResult",
     "Finding",
     "FixpointDiverged",
+    "FunctionNode",
     "LintReport",
+    "LoopSanitizer",
     "RULES",
+    "RULE_DOCS",
+    "RuleDoc",
+    "SanitizerConfig",
+    "Suppression",
+    "apply_suppressions",
+    "build_callgraph",
+    "build_callgraph_source",
     "build_cfg",
     "check_all_platforms",
     "check_catalog",
     "check_feature_sets",
     "check_leakage_source",
     "check_model_registry",
+    "check_races_source",
     "check_units_source",
+    "explain",
     "filter_findings",
+    "install_sanitizer",
+    "interleaving_points",
     "iter_function_units",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "parse_suppressions",
     "render_sarif",
     "run_forward",
     "run_lint",
-    "unit_of",
+    "stmt_interleaves",
+    "unit_has_interleaving",
 ]

@@ -18,6 +18,15 @@ Loops are first-class: every block records the set of enclosing loop
 header blocks (``BasicBlock.loops``), and ``CFG.loop_id_of`` maps a
 ``For``/``While`` header statement to its loop id.  The leakage analysis
 uses this to tell "inside fold loop" apart from "after the fold loop".
+
+**Interleaving points** (chaos-race).  In cooperative concurrency the
+only places another coroutine can run are suspension points: ``await``
+expressions, ``yield``/``yield from``, the implicit awaits in ``async
+for``/``async with`` headers, and hand-offs to an executor.
+:func:`interleaving_points` enumerates them for one (header-only)
+statement, and :func:`cfg_interleaving_blocks` marks the blocks that
+contain one — the R6xx race rules key their "can someone else run in
+between?" question on exactly these points.
 """
 
 from __future__ import annotations
@@ -298,6 +307,108 @@ class FunctionUnit:
         if self.node is None:
             return None
         return self.node.args
+
+
+# ----------------------------------------------------------------------
+# Interleaving points (await / yield / executor hand-off)
+# ----------------------------------------------------------------------
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _stmt_header_exprs(stmt: ast.stmt) -> List[ast.expr]:
+    """The expressions a (header-only) statement itself evaluates.
+
+    Mirrors the CFG convention: compound statements contribute only
+    their header (an ``ast.If`` its test, an ``ast.For`` its iterable);
+    simple statements contribute their whole expression tree.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if _MATCH is not None and isinstance(stmt, _MATCH):
+        return [stmt.subject]
+    if isinstance(stmt, ast.Try) or (
+        _TRYSTAR is not None and isinstance(stmt, _TRYSTAR)
+    ):
+        return []
+    if isinstance(stmt, _SCOPE_NODES):
+        # A nested def/class binds a name; its body is another scope.
+        return []
+    return [
+        node for node in ast.iter_child_nodes(stmt)
+        if isinstance(node, ast.expr)
+    ]
+
+
+def interleaving_points(
+    stmt: ast.stmt,
+    handoff_calls: Optional[frozenset] = None,
+) -> List[ast.AST]:
+    """Suspension points evaluated by one (header-only) statement.
+
+    Returns the ``Await``/``Yield``/``YieldFrom`` nodes inside the
+    statement's header expressions, the statement itself for ``async
+    for``/``async with`` headers (their protocol methods are awaited),
+    and any call whose target's last dotted segment is in
+    ``handoff_calls`` (executor hand-offs like ``run_in_executor``).
+    Nested function bodies are separate scopes and never contribute.
+    """
+    points: List[ast.AST] = []
+    if isinstance(stmt, (ast.AsyncFor, ast.AsyncWith)):
+        points.append(stmt)
+    for expr in _stmt_header_exprs(stmt):
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Await, ast.Yield, ast.YieldFrom)):
+                points.append(node)
+            elif (
+                handoff_calls is not None
+                and isinstance(node, ast.Call)
+            ):
+                target = None
+                if isinstance(node.func, ast.Attribute):
+                    target = node.func.attr
+                elif isinstance(node.func, ast.Name):
+                    target = node.func.id
+                if target is not None and target in handoff_calls:
+                    points.append(node)
+    return points
+
+
+def stmt_interleaves(
+    stmt: ast.stmt, handoff_calls: Optional[frozenset] = None
+) -> bool:
+    """Does evaluating this statement's header suspend the coroutine?"""
+    return bool(interleaving_points(stmt, handoff_calls))
+
+
+def cfg_interleaving_blocks(
+    cfg: CFG, handoff_calls: Optional[frozenset] = None
+) -> set:
+    """Indices of blocks containing at least one interleaving point."""
+    return {
+        block.index
+        for block in cfg.blocks
+        if any(
+            stmt_interleaves(stmt, handoff_calls) for stmt in block.stmts
+        )
+    }
+
+
+def unit_has_interleaving(
+    unit: "FunctionUnit", handoff_calls: Optional[frozenset] = None
+) -> bool:
+    """Can control ever leave this unit mid-body (async def, generator,
+    or executor hand-off present)?"""
+    if isinstance(unit.node, ast.AsyncFunctionDef):
+        return True
+    return any(
+        stmt_interleaves(stmt, handoff_calls)
+        for _, stmt in unit.cfg.statements()
+    )
 
 
 def iter_function_units(

@@ -14,7 +14,12 @@ grouped by family:
   separation; see :mod:`repro.analysis.leakage`),
 * ``U5xx`` — chaos-flow physical-unit dataflow rules (DRE terms in
   watts, rates vs. cumulative counters; see
-  :mod:`repro.analysis.units`).
+  :mod:`repro.analysis.units`),
+* ``R6xx`` — chaos-race concurrency-safety rules (shared-state races
+  across interleaving points, loop-blocking calls, coroutine hygiene;
+  see :mod:`repro.analysis.races`),
+* ``W0xx`` — lint-infrastructure hygiene (inline suppressions that no
+  longer suppress anything, or carry no justification).
 """
 
 from __future__ import annotations
@@ -47,6 +52,13 @@ RULES: dict[str, str] = {
     "U502": "call argument unit contradicts the API signature",
     "U503": "cumulative counter used where a rate is expected",
     "U504": "assigned value disagrees with the name's unit suffix",
+    "R601": "shared attribute read-modify-written across an await without a lock",
+    "R602": "blocking call reachable from an async-colored function",
+    "R603": "coroutine created but never awaited, gathered, or task-wrapped",
+    "R604": "asyncio primitive created outside the event loop that uses it",
+    "R605": "lock/socket/loop captured by a TaskSpec or executor submit",
+    "W001": "inline chaos: ignore comment suppresses nothing",
+    "W002": "inline chaos: ignore comment carries no justification",
 }
 
 

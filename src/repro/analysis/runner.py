@@ -4,13 +4,19 @@
 tier-1 regression test call; keeping it pure (no process exit, no
 printing) makes the report easy to assert on.
 
-Three layers run by default:
+Four layers run by default:
 
 * the semantic checker over the in-process catalogs/registry (C1xx,
   M2xx),
 * the single-pass AST lint (A3xx),
 * the chaos-flow dataflow analyses — taint/leakage (L4xx) and physical
-  units (U5xx) — over the same source roots.
+  units (U5xx) — over the same source roots,
+* the chaos-race concurrency pass (R6xx) over the same roots.
+
+Each source file is read and parsed once per layer family; inline
+``# chaos: ignore[CODE] -- reason`` comments are honored for every
+file-based finding, and stale or justification-free suppressions come
+back as W001/W002 (see :mod:`repro.analysis.suppress`).
 """
 
 from __future__ import annotations
@@ -23,11 +29,17 @@ from typing import Iterable, Sequence
 from repro.analysis.astlint import (
     DEFAULT_AST_ROOTS,
     iter_python_files,
-    lint_paths,
+    lint_source,
 )
 from repro.analysis.findings import RULES, Finding, filter_findings
 from repro.analysis.leakage import check_leakage_source
+from repro.analysis.races import check_races_source
 from repro.analysis.semantic import check_all_platforms
+from repro.analysis.suppress import (
+    Suppression,
+    apply_suppressions,
+    parse_suppressions,
+)
 from repro.analysis.units import check_units_source
 
 
@@ -39,6 +51,8 @@ class LintReport:
     n_files_scanned: int = 0
     n_platforms_checked: int = 0
     n_files_flow_analyzed: int = 0
+    n_files_race_analyzed: int = 0
+    n_suppressions: int = 0
 
     @property
     def clean(self) -> bool:
@@ -62,8 +76,11 @@ class LintReport:
             f"chaos-lint: {len(self.findings)} finding(s) in "
             f"{self.n_files_scanned} file(s), "
             f"{self.n_platforms_checked} platform catalog(s), "
-            f"{self.n_files_flow_analyzed} file(s) dataflow-analyzed"
+            f"{self.n_files_flow_analyzed} file(s) dataflow-analyzed, "
+            f"{self.n_files_race_analyzed} file(s) race-analyzed"
         )
+        if self.n_suppressions:
+            summary += f", {self.n_suppressions} suppression(s)"
         if self.findings:
             breakdown = ", ".join(
                 f"{code} x{count}"
@@ -80,6 +97,8 @@ class LintReport:
                 "n_files_scanned": self.n_files_scanned,
                 "n_platforms_checked": self.n_platforms_checked,
                 "n_files_flow_analyzed": self.n_files_flow_analyzed,
+                "n_files_race_analyzed": self.n_files_race_analyzed,
+                "n_suppressions": self.n_suppressions,
                 "counts_by_code": self.counts_by_code(),
                 "rules": RULES,
                 "findings": [f.to_dict() for f in self.findings],
@@ -102,17 +121,6 @@ class LintReport:
         if format == "text":
             return self.render_text()
         raise ValueError(f"unknown lint report format {format!r}")
-
-
-def _flow_findings(paths: Sequence[Path]) -> tuple[list[Finding], int]:
-    findings: list[Finding] = []
-    n_files = 0
-    for path in iter_python_files(paths):
-        n_files += 1
-        source = path.read_text()
-        findings += check_leakage_source(source, path)
-        findings += check_units_source(source, path)
-    return findings, n_files
 
 
 def _resolve_scan_paths(
@@ -140,6 +148,7 @@ def run_lint(
     semantic: bool = True,
     ast_pass: bool = True,
     dataflow: bool = True,
+    races: bool = True,
 ) -> LintReport:
     """Run chaos-lint and return the (filtered) report.
 
@@ -147,7 +156,8 @@ def run_lint(
     ``examples``); pass explicit ``paths`` to lint arbitrary files or
     directories instead.  The semantic layer is path-independent: it
     checks the in-process platform catalogs and model registry.
-    ``dataflow=False`` skips the (more expensive) chaos-flow pass.
+    ``dataflow=False`` skips the chaos-flow pass, ``races=False`` the
+    chaos-race pass.
     """
     from repro.platforms.specs import ALL_PLATFORMS
 
@@ -156,16 +166,27 @@ def run_lint(
     if semantic:
         findings += check_all_platforms()
         report.n_platforms_checked = len(ALL_PLATFORMS)
-    scan: list[Path] | None = None
-    if ast_pass or dataflow:
+
+    file_findings: list[Finding] = []
+    suppressions: list[Suppression] = []
+    if ast_pass or dataflow or races:
         scan = _resolve_scan_paths(root, paths)
-    if ast_pass:
-        ast_findings, n_files = lint_paths(scan)
-        findings += ast_findings
-        report.n_files_scanned = n_files
-    if dataflow:
-        flow_findings, n_flow = _flow_findings(scan)
-        findings += flow_findings
-        report.n_files_flow_analyzed = n_flow
+        for path in iter_python_files(scan):
+            source = path.read_text()
+            suppressions += parse_suppressions(source, path)
+            if ast_pass:
+                report.n_files_scanned += 1
+                file_findings += lint_source(source, path)
+            if dataflow:
+                report.n_files_flow_analyzed += 1
+                file_findings += check_leakage_source(source, path)
+                file_findings += check_units_source(source, path)
+            if races:
+                report.n_files_race_analyzed += 1
+                file_findings += check_races_source(source, path)
+
+    kept, hygiene = apply_suppressions(file_findings, suppressions)
+    report.n_suppressions = len(suppressions)
+    findings += kept + hygiene
     report.findings = filter_findings(findings, select=select, ignore=ignore)
     return report

@@ -1,0 +1,271 @@
+"""Runtime concurrency sanitizer for the asyncio serving stack.
+
+The static R6xx rules (:mod:`repro.analysis.races`) prove discipline
+over what they can see; this module is the runtime counterpart that
+catches what they cannot — third-party callbacks, data-dependent
+blocking, coroutines leaked through dynamic dispatch.  It arms the
+event loop's own debug machinery and funnels everything it reports
+into one structured violation list:
+
+* **slow callbacks** — ``loop.slow_callback_duration`` is lowered to
+  the configured threshold and asyncio's "Executing ... took Ns"
+  warnings are captured via a logging handler,
+* **unawaited coroutines** — ``RuntimeWarning: coroutine ... was never
+  awaited`` is forced to ``always`` and recorded (promoted from a
+  warning users scroll past to a violation CI fails on),
+* **loop exceptions** — unhandled exceptions reaching the loop's
+  exception handler are recorded (and chained to the previous handler),
+* **loop stalls** — an optional heartbeat task measures scheduling
+  drift: if a ``sleep(dt)`` wakes up more than ``hang_threshold_s``
+  late, something blocked the loop between beats.
+
+Armed behind ``repro serve --sanitize`` and ``repro replay
+--sanitize``; the replay path additionally asserts bit-identity, so CI
+proves the sanitizer itself does not perturb scoring.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import logging
+import warnings
+from dataclasses import dataclass, field
+from types import TracebackType
+from typing import Any, Callable, Dict, List, Optional, Type, Union
+
+_ExceptionHandler = Callable[
+    [asyncio.AbstractEventLoop, Dict[str, Any]], Any
+]
+
+
+@dataclass(frozen=True)
+class SanitizerConfig:
+    """Thresholds for the loop sanitizer."""
+
+    slow_callback_s: float = 0.25
+    """A callback holding the loop longer than this is a violation."""
+
+    hang_threshold_s: float = 0.5
+    """Heartbeat drift beyond this counts as a loop stall."""
+
+    heartbeat_interval_s: float = 0.05
+    """How often the heartbeat samples scheduling drift."""
+
+    heartbeat: bool = True
+    """Run the drift-measuring heartbeat task."""
+
+    promote_unawaited: bool = True
+    """Record 'coroutine was never awaited' warnings as violations."""
+
+
+@dataclass
+class Violation:
+    """One sanitizer observation."""
+
+    kind: str
+    """``slow_callback`` | ``unawaited_coroutine`` | ``loop_exception``
+    | ``loop_stall``."""
+
+    detail: str
+    seconds: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"kind": self.kind, "detail": self.detail}
+        if self.seconds is not None:
+            payload["seconds"] = round(self.seconds, 6)
+        return payload
+
+
+class _AsyncioLogHandler(logging.Handler):
+    """Captures asyncio's slow-callback warnings into violations."""
+
+    def __init__(self, sink: "LoopSanitizer") -> None:
+        super().__init__(level=logging.WARNING)
+        self._sink = sink
+
+    def emit(self, record: logging.LogRecord) -> None:
+        message = record.getMessage()
+        if "took" in message and "Executing" in message:
+            self._sink.violations.append(
+                Violation("slow_callback", message)
+            )
+
+
+@dataclass
+class LoopSanitizer:
+    """Arms an event loop with the debug hooks described above.
+
+    Use as a context manager around the serving/replay run, or call
+    :meth:`install` / :meth:`uninstall` explicitly.  ``report()`` is
+    JSON-safe and lands in replay telemetry under ``"sanitizer"``.
+    """
+
+    config: SanitizerConfig = field(default_factory=SanitizerConfig)
+    violations: List[Violation] = field(default_factory=list)
+
+    _loop: Optional[asyncio.AbstractEventLoop] = None
+    _saved_debug: bool = False
+    _saved_slow: float = 0.1
+    _saved_handler: Optional[_ExceptionHandler] = None
+    _saved_showwarning: Optional[Callable[..., Any]] = None
+    _log_handler: Optional[_AsyncioLogHandler] = None
+    _heartbeat_task: Optional["asyncio.Task[None]"] = None
+    _max_drift_s: float = 0.0
+    _installed: bool = False
+
+    def install(self, loop: asyncio.AbstractEventLoop) -> "LoopSanitizer":
+        """Arm every hook on ``loop``; idempotent per instance."""
+        if self._installed:
+            return self
+        self._loop = loop
+        self._saved_debug = loop.get_debug()
+        self._saved_slow = loop.slow_callback_duration
+        self._saved_handler = loop.get_exception_handler()
+        loop.set_debug(True)
+        loop.slow_callback_duration = self.config.slow_callback_s
+        loop.set_exception_handler(self._on_loop_exception)
+
+        self._log_handler = _AsyncioLogHandler(self)
+        logging.getLogger("asyncio").addHandler(self._log_handler)
+
+        if self.config.promote_unawaited:
+            warnings.filterwarnings(
+                "always", message=".*was never awaited.*"
+            )
+            self._saved_showwarning = warnings.showwarning
+            setattr(warnings, "showwarning", self._on_warning)
+
+        if self.config.heartbeat and loop.is_running():
+            self._heartbeat_task = loop.create_task(self._heartbeat())
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Disarm and restore the loop's previous debug settings."""
+        if not self._installed or self._loop is None:
+            return
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
+        # Flush pending coroutine finalizers so "never awaited"
+        # warnings fire while our hook is still installed.
+        gc.collect()
+        if self._saved_showwarning is not None:
+            setattr(warnings, "showwarning", self._saved_showwarning)
+            self._saved_showwarning = None
+        if self._log_handler is not None:
+            logging.getLogger("asyncio").removeHandler(self._log_handler)
+            self._log_handler = None
+        self._loop.set_exception_handler(self._saved_handler)
+        self._loop.slow_callback_duration = self._saved_slow
+        self._loop.set_debug(self._saved_debug)
+        self._loop = None
+        self._installed = False
+
+    # -- hooks ---------------------------------------------------------
+
+    def _on_loop_exception(
+        self, loop: asyncio.AbstractEventLoop, context: Dict[str, Any]
+    ) -> None:
+        message = context.get("message") or "unhandled loop exception"
+        exception = context.get("exception")
+        if exception is not None:
+            message = f"{message}: {exception!r}"
+        self.violations.append(Violation("loop_exception", message))
+        if self._saved_handler is not None:
+            self._saved_handler(loop, context)
+        else:
+            loop.default_exception_handler(context)
+
+    def _on_warning(
+        self,
+        message: Union[Warning, str],
+        category: Type[Warning],
+        filename: str,
+        lineno: int,
+        file: Optional[Any] = None,
+        line: Optional[str] = None,
+    ) -> None:
+        text = str(message)
+        if issubclass(category, RuntimeWarning) and "never awaited" in text:
+            self.violations.append(
+                Violation(
+                    "unawaited_coroutine", f"{text} ({filename}:{lineno})"
+                )
+            )
+            return
+        if self._saved_showwarning is not None:
+            self._saved_showwarning(
+                message, category, filename, lineno, file, line
+            )
+
+    async def _heartbeat(self) -> None:
+        assert self._loop is not None
+        interval = self.config.heartbeat_interval_s
+        try:
+            while True:
+                before = self._loop.time()
+                await asyncio.sleep(interval)
+                drift = self._loop.time() - before - interval
+                if drift > self._max_drift_s:
+                    self._max_drift_s = drift
+                if drift > self.config.hang_threshold_s:
+                    self.violations.append(Violation(
+                        "loop_stall",
+                        "heartbeat woke "
+                        f"{drift:.3f}s late (threshold "
+                        f"{self.config.hang_threshold_s}s); something "
+                        "blocked the loop",
+                        seconds=drift,
+                    ))
+        except asyncio.CancelledError:
+            pass
+
+    # -- reporting -----------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-safe summary for telemetry and CLI output."""
+        by_kind: Dict[str, int] = {}
+        for violation in self.violations:
+            by_kind[violation.kind] = by_kind.get(violation.kind, 0) + 1
+        return {
+            "ok": self.ok,
+            "n_violations": len(self.violations),
+            "by_kind": by_kind,
+            "max_heartbeat_drift_s": round(self._max_drift_s, 6),
+            "violations": [v.to_dict() for v in self.violations],
+            "config": {
+                "slow_callback_s": self.config.slow_callback_s,
+                "hang_threshold_s": self.config.hang_threshold_s,
+                "heartbeat": self.config.heartbeat,
+                "promote_unawaited": self.config.promote_unawaited,
+            },
+        }
+
+    # -- context manager -----------------------------------------------
+
+    def __enter__(self) -> "LoopSanitizer":
+        loop = asyncio.get_event_loop_policy().get_event_loop()
+        return self.install(loop)
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.uninstall()
+
+
+def install_sanitizer(
+    loop: asyncio.AbstractEventLoop,
+    config: Optional[SanitizerConfig] = None,
+) -> LoopSanitizer:
+    """Convenience: build, install, and return a sanitizer."""
+    sanitizer = LoopSanitizer(config=config or SanitizerConfig())
+    return sanitizer.install(loop)

@@ -11,13 +11,21 @@ source rules, ``catalog[key]:counter`` for semantic rules.  The former
 becomes a ``physicalLocation``; the latter has no artifact on disk and
 is mapped to a ``logicalLocations`` entry, which renders in SARIF
 viewers without claiming a file that does not exist.
+
+Every result also carries a stable ``partialFingerprints`` entry —
+``chaosLint/v1``, a hash of the rule id, the logical location (the
+enclosing function when the rule recorded one, else the file path),
+and the whitespace-normalized source line.  Line numbers are *not*
+part of the hash, so GitHub code-scanning annotations survive
+unrelated edits that shift a finding up or down the file.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 from repro.analysis.findings import RULES, Finding
 
@@ -42,12 +50,47 @@ def split_location(location: str) -> Tuple[str, Optional[int]]:
     return location, None
 
 
-def _result(finding: Finding, root: Optional[Path]) -> dict:
+def _source_line(
+    path: str, line: int, cache: Dict[str, Tuple[str, ...]]
+) -> str:
+    """Whitespace-normalized source line, '' when unreadable."""
+    if path not in cache:
+        try:
+            cache[path] = tuple(Path(path).read_text().splitlines())
+        except OSError:
+            cache[path] = ()
+    lines = cache[path]
+    if 0 < line <= len(lines):
+        return " ".join(lines[line - 1].split())
+    return ""
+
+
+def fingerprint(
+    finding: Finding, cache: Optional[Dict[str, Tuple[str, ...]]] = None
+) -> str:
+    """Stable ``chaosLint/v1`` fingerprint for one finding."""
+    if cache is None:
+        cache = {}
+    path, line = split_location(finding.location)
+    snippet = "" if line is None else _source_line(path, line, cache)
+    logical = str(finding.context.get("function", "")) or path
+    material = "|".join([finding.code, logical, snippet])
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
+
+
+def _result(
+    finding: Finding,
+    root: Optional[Path],
+    cache: Dict[str, Tuple[str, ...]],
+) -> dict:
     path, line = split_location(finding.location)
     result = {
         "ruleId": finding.code,
         "level": "error",
         "message": {"text": finding.message},
+        "partialFingerprints": {
+            "chaosLint/v1": fingerprint(finding, cache)
+        },
     }
     if line is not None:
         uri = path
@@ -78,6 +121,7 @@ def render_sarif(
     up with repository paths on the code-scanning side.
     """
     root = Path(root) if root is not None else None
+    cache: Dict[str, Tuple[str, ...]] = {}
     rules = [
         {
             "id": code,
@@ -98,7 +142,8 @@ def render_sarif(
                 },
             },
             "results": [
-                _result(finding, root) for finding in report.findings
+                _result(finding, root, cache)
+                for finding in report.findings
             ],
         }],
     }

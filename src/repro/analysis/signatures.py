@@ -264,6 +264,132 @@ def unit_signature(func: ast.AST) -> Optional[UnitSignature]:
     return FUNCTION_UNITS.get(target)
 
 
+# ----------------------------------------------------------------------
+# Concurrency roles (chaos-race, R6xx)
+# ----------------------------------------------------------------------
+
+#: Attribute names that are *mutable shared state* in the serving and
+#: engine stacks: registry/session/server bookkeeping that multiple
+#: coroutines may touch.  R601 reports a read-modify-write of one of
+#: these attributes that spans an interleaving point (``await``/
+#: ``yield``/executor hand-off) without an ``asyncio.Lock`` held.
+SHARED_STATE_ATTRS = frozenset({
+    # PowerServer
+    "_clients", "_tick_task", "_server", "_registry_generation",
+    "last_estimate",
+    # _Client
+    "closed", "bye_pending",
+    # MachineSession
+    "_pending", "_next_t", "_started", "_draining", "_n_dispatched",
+    "_meter_window", "_last_power_w",
+    # ModelRegistry
+    "_manifest", "generation",
+})
+
+#: Attribute-name substrings that look like asyncio locks; ``async
+#: with`` on one of these marks its body as lock-protected for R601.
+LOCK_NAME_HINTS = ("lock", "mutex", "sem", "semaphore")
+
+#: Fully-dotted call targets (suffix-matched) that block the event
+#: loop: running one from async-colored code stalls every session the
+#: loop serves (R602).
+BLOCKING_CALL_DOTTED = frozenset({
+    "time.sleep",
+    "os.system",
+    "os.wait",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+})
+
+#: Bare names that are blocking when imported from these modules
+#: (``from time import sleep`` makes a bare ``sleep(...)`` blocking).
+BLOCKING_BARE_IMPORTS: Dict[str, str] = {
+    "sleep": "time",
+    "urlopen": "urllib.request",
+}
+
+#: Calls that hand work to an executor or another thread; treated as
+#: interleaving points by R601 and as sync-result hazards by R602 when
+#: their future's ``.result()`` is taken on the loop.
+EXECUTOR_HANDOFF_CALLS = frozenset({
+    "run_in_executor", "to_thread", "submit",
+})
+
+#: Call targets that *consume* a coroutine object: passing a coroutine
+#: here counts as awaiting it for R603.
+COROUTINE_CONSUMERS = frozenset({
+    "gather", "wait", "wait_for", "create_task", "ensure_future",
+    "as_completed", "run", "run_until_complete", "shield",
+    "run_coroutine_threadsafe",
+})
+
+#: asyncio synchronization/queue primitives that bind to the running
+#: event loop; creating one where no loop is running (module scope, or
+#: a sync function that later calls ``asyncio.run``) is R604.
+ASYNC_PRIMITIVE_NAMES = frozenset({
+    "Lock", "Event", "Condition", "Semaphore", "BoundedSemaphore",
+    "Queue", "LifoQueue", "PriorityQueue",
+})
+
+#: Constructors (suffix-matched dotted targets) whose results must not
+#: cross a fork/pickle boundary: locks, sockets, event loops, open file
+#: handles, live stream halves.  R605 reports one captured by an engine
+#: ``TaskSpec`` (or an executor ``submit``) closure/payload.
+FORK_HAZARD_CALLS = frozenset({
+    "asyncio.Lock", "asyncio.Event", "asyncio.Condition",
+    "asyncio.Semaphore", "asyncio.Queue",
+    "threading.Lock", "threading.RLock", "threading.Event",
+    "threading.Condition", "threading.Semaphore",
+    "multiprocessing.Lock",
+    "socket.socket", "socket.create_connection",
+    "asyncio.get_event_loop", "asyncio.new_event_loop",
+    "asyncio.get_running_loop",
+    "asyncio.open_connection", "asyncio.start_server",
+    "open",
+})
+
+#: Parameter names assumed to hold fork-unsafe objects (stream halves,
+#: sockets, locks, loops) when judging TaskSpec captures.
+FORK_HAZARD_PARAM_HINTS = frozenset({
+    "lock", "sock", "socket", "writer", "reader", "loop", "conn",
+    "connection",
+})
+
+
+def dotted_call_name(func: ast.AST) -> Optional[str]:
+    """Full dotted name of a call target (``a.b.c``), or None."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def matches_dotted(dotted: Optional[str], registry: frozenset) -> bool:
+    """Suffix match: ``pkg.time.sleep`` matches ``time.sleep``."""
+    if dotted is None:
+        return False
+    for entry in registry:
+        if dotted == entry or dotted.endswith("." + entry):
+            return True
+    return False
+
+
+def is_lock_name(name: str) -> bool:
+    lowered = name.lower()
+    return any(hint in lowered for hint in LOCK_NAME_HINTS)
+
+
 #: Identifier patterns marking test-split data by naming convention.
 def is_test_name(name: str) -> bool:
     lowered = name.lower().strip("_")

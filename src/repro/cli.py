@@ -139,6 +139,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-dataflow", action="store_true",
         help="skip the chaos-flow dataflow analyses (L4xx/U5xx)",
     )
+    lint.add_argument(
+        "--no-races", action="store_true",
+        help="skip the chaos-race concurrency analysis (R6xx)",
+    )
+    lint.add_argument(
+        "--explain", default=None, metavar="CODE",
+        help="print a rule's doc, rationale, and bad/good example, "
+        "then exit (no linting)",
+    )
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate one of the paper's tables/figures"
@@ -205,6 +214,12 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="tick_interval_s",
         help="scoring tick period (1.0 matches the 1 Hz counter streams)",
     )
+    serve.add_argument(
+        "--sanitize", action="store_true",
+        help="arm the chaos-race runtime sanitizer (event-loop debug "
+        "hooks, slow-callback + unawaited-coroutine capture); the "
+        "report prints on shutdown and a violation exits non-zero",
+    )
 
     rep = sub.add_parser(
         "replay",
@@ -237,6 +252,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="check every non-patched online prediction is bit-identical "
         "to the offline PlatformModel.predict_log reference",
+    )
+    rep.add_argument(
+        "--sanitize", action="store_true",
+        help="arm the chaos-race runtime sanitizer during the replay; "
+        "its report lands in telemetry['sanitizer'] and any violation "
+        "exits non-zero",
     )
 
     publish = sub.add_parser(
@@ -672,7 +693,14 @@ def _cmd_serve(args, out) -> int:
         )
         return 2
 
+    sanitizer = None
+
     async def _run() -> None:
+        nonlocal sanitizer
+        if args.sanitize:
+            from repro.analysis.sanitizer import install_sanitizer
+
+            sanitizer = install_sanitizer(asyncio.get_running_loop())
         server = PowerServer(
             registry=registry,
             host=args.host,
@@ -683,18 +711,33 @@ def _cmd_serve(args, out) -> int:
         print(
             f"chaos-serve listening on {server.host}:{server.port} "
             f"({len(platforms)} platform(s): {', '.join(platforms)}); "
-            "Ctrl-C to stop",
+            "Ctrl-C to stop"
+            + (" [sanitizer armed]" if args.sanitize else ""),
             file=out,
         )
         try:
             await asyncio.Event().wait()
         finally:
             await server.stop()
+            if sanitizer is not None:
+                sanitizer.uninstall()
 
     try:
         asyncio.run(_run())
     except KeyboardInterrupt:
         print("stopped", file=out)
+    if sanitizer is not None:
+        report = sanitizer.report()
+        print(
+            f"sanitizer: {report['n_violations']} violation(s) "
+            f"{report['by_kind'] or ''}".rstrip(),
+            file=out,
+        )
+        if not report["ok"]:
+            for violation in report["violations"]:
+                print(f"  - {violation['kind']}: {violation['detail']}",
+                      file=out)
+            return 1
     return 0
 
 
@@ -743,6 +786,7 @@ def _cmd_replay(args, out) -> int:
             )
         },
         speed=args.speed,
+        sanitize=args.sanitize,
     )
     print(
         f"replayed {len(machines)} machine(s) at {args.speed:g}x: "
@@ -751,6 +795,20 @@ def _cmd_replay(args, out) -> int:
         f"batch p99 {result.telemetry['batch_latency_s']['p99']*1e3:.2f} ms",
         file=out,
     )
+    sanitizer_failed = False
+    if args.sanitize:
+        report = result.telemetry["sanitizer"]
+        print(
+            f"sanitizer: {report['n_violations']} violation(s), max "
+            f"heartbeat drift "
+            f"{report['max_heartbeat_drift_s']*1e3:.1f} ms",
+            file=out,
+        )
+        if not report["ok"]:
+            for violation in report["violations"]:
+                print(f"  - {violation['kind']}: {violation['detail']}",
+                      file=out)
+            sanitizer_failed = True
     if args.stats_out is not None:
         with open(args.stats_out, "w") as handle:
             json.dump(result.telemetry, handle, indent=2)
@@ -769,7 +827,7 @@ def _cmd_replay(args, out) -> int:
             return 1
         print("verify: online == offline bit-for-bit on every "
               "non-patched sample", file=out)
-    return 0
+    return 1 if sanitizer_failed else 0
 
 
 def _cmd_publish(args, out) -> int:
@@ -827,6 +885,20 @@ def _cmd_cache(args, out) -> int:
 def _cmd_lint(args, out) -> int:
     from repro.analysis.runner import run_lint
 
+    if args.explain is not None:
+        from repro.analysis.ruledocs import explain
+
+        text = explain(args.explain)
+        if text is None:
+            print(
+                f"unknown rule code {args.explain!r} (see "
+                "docs/static_analysis.md for the catalog)",
+                file=out,
+            )
+            return 2
+        print(text, file=out)
+        return 0
+
     report = run_lint(
         root=args.root,
         paths=args.paths or None,
@@ -835,6 +907,7 @@ def _cmd_lint(args, out) -> int:
         semantic=not args.no_semantic,
         ast_pass=not args.no_ast,
         dataflow=not args.no_dataflow,
+        races=not args.no_races,
     )
     format = args.format or ("json" if args.as_json else "text")
     print(report.render(format, root=args.root), file=out)

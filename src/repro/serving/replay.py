@@ -191,12 +191,25 @@ async def replay_async(
     speed: float = 10.0,
     session_config: Optional[SessionConfig] = None,
     window: int = DEFAULT_WINDOW,
+    sanitize: bool = False,
 ) -> ReplayResult:
-    """Run a full replay inside an existing event loop."""
+    """Run a full replay inside an existing event loop.
+
+    ``sanitize=True`` arms the chaos-race runtime sanitizer (event-loop
+    debug mode, slow-callback capture, unawaited-coroutine promotion,
+    stall heartbeat) for the duration of the replay and attaches its
+    report under ``telemetry["sanitizer"]``.  Scoring is unaffected —
+    the CI golden replay asserts bit-identity with the sanitizer armed.
+    """
     if not machines:
         raise ValueError("need at least one machine to replay")
     if speed <= 0:
         raise ValueError("speed must be positive")
+    sanitizer = None
+    if sanitize:
+        from repro.analysis.sanitizer import install_sanitizer
+
+        sanitizer = install_sanitizer(asyncio.get_running_loop())
     config = session_config or SessionConfig()
     if window >= config.queue_limit:
         raise ValueError(
@@ -228,6 +241,8 @@ async def replay_async(
         final_stats = server.stats
         cluster = server.last_estimate
         await server.stop()
+        if sanitizer is not None:
+            sanitizer.uninstall()
     session_rows = [
         result.session for result in results if result.session is not None
     ]
@@ -236,6 +251,8 @@ async def replay_async(
         cluster.to_payload() if cluster is not None else None
     )
     telemetry["speed"] = speed
+    if sanitizer is not None:
+        telemetry["sanitizer"] = sanitizer.report()
     return ReplayResult(
         machines={result.machine_id: result for result in results},
         telemetry=telemetry,
@@ -250,6 +267,7 @@ def replay(
     speed: float = 10.0,
     session_config: Optional[SessionConfig] = None,
     window: int = DEFAULT_WINDOW,
+    sanitize: bool = False,
 ) -> ReplayResult:
     """Synchronous wrapper: replay a recorded cluster through a server."""
     return asyncio.run(
@@ -260,6 +278,7 @@ def replay(
             speed=speed,
             session_config=session_config,
             window=window,
+            sanitize=sanitize,
         )
     )
 

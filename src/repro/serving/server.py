@@ -101,17 +101,20 @@ class PowerServer:
         self._tick_task = asyncio.ensure_future(self._tick_loop())
 
     async def stop(self) -> None:
-        if self._tick_task is not None:
-            self._tick_task.cancel()
+        # Swap shared handles into locals *before* awaiting: a second
+        # stop() (or a restart) interleaving at the await must see the
+        # attribute already cleared, not clobber its update afterwards.
+        tick_task, self._tick_task = self._tick_task, None
+        if tick_task is not None:
+            tick_task.cancel()
             try:
-                await self._tick_task
+                await tick_task
             except asyncio.CancelledError:
                 pass
-            self._tick_task = None
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
         for client in list(self._clients.values()):
             await self._close_client(client)
 

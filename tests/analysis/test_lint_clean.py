@@ -25,6 +25,7 @@ class TestCleanTree:
         assert report.n_platforms_checked == 6
         assert report.n_files_scanned > 100
         assert report.n_files_flow_analyzed > 100
+        assert report.n_files_race_analyzed > 100
 
     def test_cli_exits_zero_on_clean_tree(self):
         code, text = _run_cli(["lint", "--root", str(REPO_ROOT)])
@@ -42,6 +43,19 @@ class TestCleanTree:
     def test_no_dataflow_skips_flow_pass(self):
         report = run_lint(root=REPO_ROOT, dataflow=False)
         assert report.n_files_flow_analyzed == 0
+        assert report.exit_code == 0
+
+    def test_race_family_clean_on_tree(self):
+        # The acceptance gate for chaos-race: no concurrency findings
+        # and zero stale suppressions anywhere in the tree.
+        code, text = _run_cli([
+            "lint", "--root", str(REPO_ROOT), "--select", "R,W"
+        ])
+        assert code == 0, text
+
+    def test_no_races_skips_race_pass(self):
+        report = run_lint(root=REPO_ROOT, races=False)
+        assert report.n_files_race_analyzed == 0
         assert report.exit_code == 0
 
 
@@ -182,6 +196,30 @@ class TestSarifOutput:
         from repro.analysis.findings import RULES
 
         assert rule_ids == set(RULES)
+
+    def test_sarif_fingerprints_stable_under_line_shift(self, tmp_path):
+        # partialFingerprints hash rule + function + normalized snippet,
+        # not the line number, so annotations survive unrelated edits.
+        bad = tmp_path / "fault.py"
+        fault = (
+            "def energy(power_w, energy_j):\n"
+            "    return power_w + energy_j\n"
+        )
+        bad.write_text(fault)
+        _, run = self._sarif([
+            "lint", "--no-semantic", "--format", "sarif", str(bad)
+        ])
+        (before,) = run["results"]
+        fp_before = before["partialFingerprints"]["chaosLint/v1"]
+
+        bad.write_text("# a new leading comment\n\n" + fault)
+        _, run = self._sarif([
+            "lint", "--no-semantic", "--format", "sarif", str(bad)
+        ])
+        (after,) = run["results"]
+        shifted_line = after["locations"][0]["physicalLocation"]
+        assert shifted_line["region"]["startLine"] == 4
+        assert after["partialFingerprints"]["chaosLint/v1"] == fp_before
 
     def test_sarif_logical_location_for_semantic_findings(self):
         # Semantic findings have no file on disk; they must become

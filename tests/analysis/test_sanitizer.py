@@ -1,0 +1,175 @@
+"""Runtime loop sanitizer: each violation kind is caught, a clean run
+reports ok, and the golden replay stays bit-identical with it armed."""
+
+import asyncio
+import time
+from pathlib import Path
+
+from repro.analysis.sanitizer import (
+    LoopSanitizer,
+    SanitizerConfig,
+    install_sanitizer,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN_FIXTURE = (
+    REPO_ROOT / "tests" / "serving" / "fixtures" / "atom_sort_replay.json"
+)
+
+
+def _run_sanitized(coro_factory, config=None):
+    sanitizer = LoopSanitizer(
+        config=config or SanitizerConfig(heartbeat=False)
+    )
+
+    async def main():
+        sanitizer.install(asyncio.get_running_loop())
+        try:
+            await coro_factory()
+        finally:
+            sanitizer.uninstall()
+
+    asyncio.run(main())
+    return sanitizer
+
+
+class TestViolationCapture:
+    def test_clean_run_reports_ok(self):
+        async def clean():
+            await asyncio.sleep(0)
+
+        sanitizer = _run_sanitized(clean)
+        assert sanitizer.ok
+        report = sanitizer.report()
+        assert report["ok"] is True
+        assert report["n_violations"] == 0
+        assert report["by_kind"] == {}
+
+    def test_unawaited_coroutine_is_promoted(self):
+        async def leaky():
+            pass
+
+        async def body():
+            leaky()  # created, dropped, never awaited
+
+        sanitizer = _run_sanitized(body)
+        kinds = {v.kind for v in sanitizer.violations}
+        assert "unawaited_coroutine" in kinds
+        assert any(
+            "leaky" in v.detail for v in sanitizer.violations
+        )
+
+    def test_slow_callback_is_captured(self):
+        async def body():
+            loop = asyncio.get_running_loop()
+            loop.call_soon(lambda: time.sleep(0.03))
+            await asyncio.sleep(0.05)
+
+        sanitizer = _run_sanitized(
+            body, SanitizerConfig(slow_callback_s=0.01, heartbeat=False)
+        )
+        kinds = {v.kind for v in sanitizer.violations}
+        assert "slow_callback" in kinds
+
+    def test_loop_exception_is_recorded_and_chained(self):
+        seen = []
+
+        async def body():
+            loop = asyncio.get_running_loop()
+            loop.call_exception_handler({"message": "boom"})
+
+        sanitizer = LoopSanitizer(
+            config=SanitizerConfig(heartbeat=False)
+        )
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            loop.set_exception_handler(
+                lambda lp, ctx: seen.append(ctx["message"])
+            )
+            sanitizer.install(loop)
+            try:
+                await body()
+            finally:
+                sanitizer.uninstall()
+
+        asyncio.run(main())
+        kinds = {v.kind for v in sanitizer.violations}
+        assert "loop_exception" in kinds
+        assert seen == ["boom"]  # the previous handler still ran
+
+    def test_heartbeat_flags_a_blocked_loop(self):
+        async def body():
+            await asyncio.sleep(0.02)  # let the heartbeat start
+            time.sleep(0.08)  # block the loop
+            await asyncio.sleep(0.02)
+
+        sanitizer = _run_sanitized(
+            body,
+            SanitizerConfig(
+                slow_callback_s=5.0,  # isolate the heartbeat signal
+                hang_threshold_s=0.03,
+                heartbeat_interval_s=0.005,
+                heartbeat=True,
+            ),
+        )
+        kinds = {v.kind for v in sanitizer.violations}
+        assert "loop_stall" in kinds
+        assert sanitizer.report()["max_heartbeat_drift_s"] > 0.03
+
+
+class TestInstallUninstall:
+    def test_loop_settings_are_restored(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            before_debug = loop.get_debug()
+            before_slow = loop.slow_callback_duration
+            sanitizer = install_sanitizer(
+                loop, SanitizerConfig(heartbeat=False)
+            )
+            assert loop.get_debug() is True
+            sanitizer.uninstall()
+            assert loop.get_debug() == before_debug
+            assert loop.slow_callback_duration == before_slow
+
+        asyncio.run(main())
+
+    def test_install_is_idempotent(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            sanitizer = LoopSanitizer(
+                config=SanitizerConfig(heartbeat=False)
+            )
+            assert sanitizer.install(loop) is sanitizer
+            assert sanitizer.install(loop) is sanitizer
+            sanitizer.uninstall()
+            sanitizer.uninstall()  # no-op, no raise
+
+        asyncio.run(main())
+
+
+class TestSanitizedReplay:
+    def test_golden_replay_is_clean_and_bit_identical(self):
+        from repro.serving import (
+            load_replay_fixture,
+            max_deviation_w,
+            replay,
+        )
+
+        bundle, machines = load_replay_fixture(GOLDEN_FIXTURE)
+        logs = {m.machine_id: m.log for m in machines}
+        result = replay(
+            machines,
+            static_bundles={
+                bundle.platform_key: ("test@sanitized", bundle)
+            },
+            speed=200.0,
+            sanitize=True,
+        )
+        report = result.telemetry["sanitizer"]
+        assert report["ok"], report
+        worst = max(
+            max_deviation_w(machine_result, bundle, logs[machine_id])
+            for machine_id, machine_result in result.machines.items()
+        )
+        assert worst == 0.0
