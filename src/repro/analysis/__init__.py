@@ -1,6 +1,6 @@
 """chaos-lint + chaos-flow: static analysis for the modeling pipeline.
 
-Three layers (see ``docs/static_analysis.md``):
+Five layers (see ``docs/static_analysis.md``):
 
 * a semantic checker that validates every platform's counter catalog
   (the co-dependency documentation Algorithm 1 step 2 relies on) and the
@@ -15,12 +15,24 @@ Three layers (see ``docs/static_analysis.md``):
 * chaos-race: concurrency-safety analysis (R6xx) — a module call graph
   with async coloring (``callgraph``), interleaving-point awareness in
   the CFG, the rules themselves (``races``), and a runtime event-loop
-  sanitizer (``sanitizer``) behind ``repro serve/replay --sanitize``.
+  sanitizer (``sanitizer``) behind ``repro serve/replay --sanitize``;
+* chaos-shape: numeric-array analysis (N7xx) — abstract interpretation
+  over a shape/dtype/contiguity lattice (``shapes``) against the
+  declared array contracts in ``signatures``, paired with a runtime
+  array sanitizer (``arraysan``) that cross-checks the same contracts
+  at kernel boundaries during sanitized replays.
 
 Inline suppressions (``# chaos: ignore[CODE] -- reason``) are honored
 across all file-based layers; see ``suppress``.
 """
 
+from repro.analysis.arraysan import (
+    ArraySanitizer,
+    ArrayViolation,
+    contracted,
+    hot_path,
+    install_array_sanitizer,
+)
 from repro.analysis.astlint import lint_file, lint_paths, lint_source
 from repro.analysis.callgraph import (
     CallGraph,
@@ -67,10 +79,22 @@ from repro.analysis.suppress import (
     apply_suppressions,
     parse_suppressions,
 )
+from repro.analysis.shapes import (
+    ArrayValue,
+    ShapeAnalysis,
+    Unifier,
+    check_shapes_source,
+)
+from repro.analysis.signatures import ArrayContract, ArraySpec
 from repro.analysis.units import check_units_source
 
 __all__ = [
     "Analysis",
+    "ArrayContract",
+    "ArraySanitizer",
+    "ArraySpec",
+    "ArrayValue",
+    "ArrayViolation",
     "BasicBlock",
     "CFG",
     "CallGraph",
@@ -85,7 +109,9 @@ __all__ = [
     "RULE_DOCS",
     "RuleDoc",
     "SanitizerConfig",
+    "ShapeAnalysis",
     "Suppression",
+    "Unifier",
     "apply_suppressions",
     "build_callgraph",
     "build_callgraph_source",
@@ -96,9 +122,13 @@ __all__ = [
     "check_leakage_source",
     "check_model_registry",
     "check_races_source",
+    "check_shapes_source",
     "check_units_source",
+    "contracted",
     "explain",
     "filter_findings",
+    "hot_path",
+    "install_array_sanitizer",
     "install_sanitizer",
     "interleaving_points",
     "iter_function_units",

@@ -1,0 +1,340 @@
+"""Runtime array-contract sanitizer: chaos-shape's dynamic half.
+
+The static N7xx rules (:mod:`repro.analysis.shapes`) prove the declared
+:data:`~repro.analysis.signatures.ARRAY_CONTRACTS` hold for every array
+the analysis can see.  This module is the runtime cross-check: the same
+contracted entry points are wrapped with :func:`contracted`, and while
+an :class:`ArraySanitizer` is armed (``repro replay --sanitize``,
+``repro serve --sanitize``) every call records the shapes, dtypes and
+contiguity that *actually* flow through the kernel boundary.  A runtime
+observation that contradicts the declared contract — a float32 row, a
+rank the spec forbids, two arguments disagreeing on a shared symbolic
+dim, a non-contiguous operand where the kernel demands contiguity —
+becomes a violation CI fails on.
+
+Two invariants make the wrapper safe to leave on production entry
+points:
+
+* **observe-only** — arguments and results are never touched, coerced,
+  or copied, so scoring stays bit-identical with the sanitizer armed
+  (the CI golden replay asserts exactly that);
+* **near-zero cost when disarmed** — the fast path is one module-global
+  ``None`` check per call.
+
+:func:`hot_path` is the static marker half of the N703/N705 rules: it
+tags a function as per-tick hot so the analyzer forbids allocations and
+hidden copies inside it, and the sanitizer counts its calls so a hot
+path that never runs in replay is visible in telemetry.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import threading
+from dataclasses import dataclass, field
+from types import TracebackType
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type, TypeVar
+
+import numpy as np
+
+from repro.analysis.signatures import (
+    ARRAY_CONTRACTS,
+    ArrayContract,
+    ArraySpec,
+)
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: The armed sanitizer, if any.  Module-global on purpose: contracted
+#: entry points live all over the tree and must not thread a handle.
+_ACTIVE: Optional["ArraySanitizer"] = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def hot_path(func: F) -> F:
+    """Mark ``func`` as per-tick hot (N703/N705 apply to its body).
+
+    Purely a marker: the function is returned unchanged, so there is no
+    call overhead — the *static* analyzer keys on the decorator name and
+    the runtime sanitizer keys on the attribute.
+    """
+    func.__chaos_hot_path__ = True  # type: ignore[attr-defined]
+    return func
+
+
+def contracted(func: F) -> F:
+    """Wrap a declared array-contract entry point for runtime checking.
+
+    The contract is looked up by function name in ``ARRAY_CONTRACTS`` at
+    decoration time, so an annotated function that drifts out of the
+    registry fails at import, not silently at runtime.  Arguments are
+    matched to contract parameters **by name** via the function's
+    signature (methods therefore work: ``self`` simply has no spec).
+    """
+    name = func.__name__.lstrip("_")
+    contract = ARRAY_CONTRACTS.get(name)
+    if contract is None:
+        raise ValueError(
+            f"@contracted function {func.__name__!r} has no entry in "
+            "ARRAY_CONTRACTS; declare its contract in "
+            "repro.analysis.signatures first"
+        )
+    signature = inspect.signature(func)
+    is_hot = getattr(func, "__chaos_hot_path__", False)
+
+    @functools.wraps(func)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        sanitizer = _ACTIVE
+        if sanitizer is not None:
+            try:
+                bound = signature.bind_partial(*args, **kwargs)
+                arguments: Dict[str, Any] = dict(bound.arguments)
+            except TypeError:
+                arguments = {}
+            sanitizer.observe_call(contract, arguments, hot=is_hot)
+        result = func(*args, **kwargs)
+        if sanitizer is not None:
+            sanitizer.observe_return(contract, result)
+        return result
+
+    wrapper.__chaos_contract__ = contract  # type: ignore[attr-defined]
+    if is_hot:
+        wrapper.__chaos_hot_path__ = True  # type: ignore[attr-defined]
+    return wrapper  # type: ignore[return-value]
+
+
+@dataclass
+class ArrayViolation:
+    """One runtime contradiction of a declared array contract."""
+
+    kind: str
+    """``dtype`` | ``rank`` | ``dim`` | ``contiguity`` | ``return``."""
+
+    function: str
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "function": self.function,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class _FunctionStats:
+    """What one contracted entry point actually saw at runtime."""
+
+    n_calls: int = 0
+    n_hot_calls: int = 0
+    n_noncontiguous_args: int = 0
+    shapes: Dict[str, int] = field(default_factory=dict)
+    """``"param:(n, k)"`` -> observation count (capped)."""
+
+    dtypes: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "calls": self.n_calls,
+            "hot_calls": self.n_hot_calls,
+            "noncontiguous_args": self.n_noncontiguous_args,
+            "shapes": dict(self.shapes),
+            "dtypes": dict(self.dtypes),
+        }
+
+
+_MAX_DISTINCT_SHAPES = 32
+_MAX_VIOLATIONS_PER_KEY = 1
+
+
+@dataclass
+class ArraySanitizer:
+    """Records runtime array observations against declared contracts.
+
+    Use as a context manager around a replay/serve run, or call
+    :meth:`install` / :meth:`uninstall` explicitly.  ``report()`` is
+    JSON-safe and lands in replay telemetry under
+    ``"array_sanitizer"``.
+    """
+
+    violations: List[ArrayViolation] = field(default_factory=list)
+    functions: Dict[str, _FunctionStats] = field(default_factory=dict)
+
+    _installed: bool = False
+    _seen: Dict[Tuple[str, str, str], int] = field(default_factory=dict)
+
+    # -- arming --------------------------------------------------------
+
+    def install(self) -> "ArraySanitizer":
+        """Arm this sanitizer globally; idempotent per instance."""
+        global _ACTIVE
+        with _ACTIVE_LOCK:
+            if self._installed:
+                return self
+            if _ACTIVE is not None:
+                raise RuntimeError(
+                    "another ArraySanitizer is already installed"
+                )
+            _ACTIVE = self
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        global _ACTIVE
+        with _ACTIVE_LOCK:
+            if not self._installed:
+                return
+            if _ACTIVE is self:
+                _ACTIVE = None
+            self._installed = False
+
+    def __enter__(self) -> "ArraySanitizer":
+        return self.install()
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.uninstall()
+
+    # -- observation ---------------------------------------------------
+
+    def observe_call(
+        self,
+        contract: ArrayContract,
+        arguments: Dict[str, Any],
+        hot: bool = False,
+    ) -> None:
+        stats = self.functions.setdefault(contract.name, _FunctionStats())
+        stats.n_calls += 1
+        if hot:
+            stats.n_hot_calls += 1
+        bindings: Dict[str, int] = {}
+        for param_name, spec in contract.params:
+            if spec is None:
+                continue
+            value = arguments.get(param_name)
+            if not isinstance(value, np.ndarray):
+                # Lists and scalars are legal at tolerant entry points;
+                # the contract constrains arrays only.
+                continue
+            self._record(stats, param_name, value)
+            self._check_spec(
+                contract.name, f"parameter {param_name!r}", spec, value,
+                bindings, stats,
+            )
+
+    def observe_return(self, contract: ArrayContract, result: Any) -> None:
+        spec = contract.returns
+        if spec is None or not isinstance(result, np.ndarray):
+            return
+        stats = self.functions.setdefault(contract.name, _FunctionStats())
+        self._record(stats, "return", result)
+        self._check_spec(
+            contract.name, "return value", spec, result, {}, stats,
+            kind_prefix="return_",
+        )
+
+    def _record(
+        self, stats: _FunctionStats, where: str, value: np.ndarray
+    ) -> None:
+        key = f"{where}:{value.shape}"
+        if key in stats.shapes or len(stats.shapes) < _MAX_DISTINCT_SHAPES:
+            stats.shapes[key] = stats.shapes.get(key, 0) + 1
+        dtype = str(value.dtype)
+        stats.dtypes[dtype] = stats.dtypes.get(dtype, 0) + 1
+        if not value.flags["C_CONTIGUOUS"]:
+            stats.n_noncontiguous_args += 1
+
+    def _check_spec(
+        self,
+        function: str,
+        where: str,
+        spec: ArraySpec,
+        value: np.ndarray,
+        bindings: Dict[str, int],
+        stats: _FunctionStats,
+        kind_prefix: str = "",
+    ) -> None:
+        del stats
+        if spec.dtype is not None and str(value.dtype) != spec.dtype:
+            self._violate(
+                kind_prefix + "dtype", function,
+                f"{where} is {value.dtype}, contract declares "
+                f"{spec.dtype}",
+            )
+        if spec.shape is not None:
+            if value.ndim != len(spec.shape):
+                self._violate(
+                    kind_prefix + "rank", function,
+                    f"{where} has rank {value.ndim}, contract declares "
+                    f"rank {len(spec.shape)} {spec.shape}",
+                )
+            else:
+                for declared, observed in zip(spec.shape, value.shape):
+                    if isinstance(declared, int):
+                        if observed != declared:
+                            self._violate(
+                                kind_prefix + "dim", function,
+                                f"{where} dim is {observed}, contract "
+                                f"declares {declared}",
+                            )
+                    elif declared != "?":
+                        bound = bindings.get(declared)
+                        if bound is None:
+                            bindings[declared] = int(observed)
+                        elif bound != observed:
+                            self._violate(
+                                kind_prefix + "dim", function,
+                                f"{where} binds shared dim "
+                                f"{declared!r}={observed} but another "
+                                f"argument bound it to {bound}",
+                            )
+        if spec.contiguous and not value.flags["C_CONTIGUOUS"]:
+            self._violate(
+                kind_prefix + "contiguity", function,
+                f"{where} is non-contiguous; the contract requires a "
+                "C-contiguous operand",
+            )
+
+    def _violate(self, kind: str, function: str, detail: str) -> None:
+        key = (kind, function, detail.split(";")[0])
+        count = self._seen.get(key, 0)
+        self._seen[key] = count + 1
+        if count < _MAX_VIOLATIONS_PER_KEY:
+            self.violations.append(ArrayViolation(kind, function, detail))
+
+    # -- reporting -----------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-safe summary for telemetry and CLI output."""
+        by_kind: Dict[str, int] = {}
+        for key, count in self._seen.items():
+            by_kind[key[0]] = by_kind.get(key[0], 0) + count
+        return {
+            "ok": self.ok,
+            "n_violations": sum(self._seen.values()),
+            "by_kind": by_kind,
+            "violations": [v.to_dict() for v in self.violations],
+            "functions": {
+                name: stats.to_dict()
+                for name, stats in sorted(self.functions.items())
+            },
+        }
+
+
+def install_array_sanitizer() -> ArraySanitizer:
+    """Convenience: build, arm, and return an array sanitizer."""
+    return ArraySanitizer().install()
+
+
+def active_array_sanitizer() -> Optional[ArraySanitizer]:
+    """The currently armed sanitizer, if any (for tests/telemetry)."""
+    return _ACTIVE

@@ -18,6 +18,9 @@ grouped by family:
 * ``R6xx`` — chaos-race concurrency-safety rules (shared-state races
   across interleaving points, loop-blocking calls, coroutine hygiene;
   see :mod:`repro.analysis.races`),
+* ``N7xx`` — chaos-shape numeric-array rules (dtype contract breaks,
+  shape/broadcast mismatches, hidden copies and allocations in hot
+  paths; see :mod:`repro.analysis.shapes`),
 * ``W0xx`` — lint-infrastructure hygiene (inline suppressions that no
   longer suppress anything, or carry no justification).
 """
@@ -57,6 +60,12 @@ RULES: dict[str, str] = {
     "R603": "coroutine created but never awaited, gathered, or task-wrapped",
     "R604": "asyncio primitive created outside the event loop that uses it",
     "R605": "lock/socket/loop captured by a TaskSpec or executor submit",
+    "N701": "silent dtype change crossing a kernel contract boundary",
+    "N702": "Python-level loop over ndarray rows where a vectorized kernel exists",
+    "N703": "hidden array copy inside a @hot_path function",
+    "N704": "shape/broadcast mismatch against a declared array contract",
+    "N705": "array allocation inside a @hot_path function",
+    "N706": "non-contiguous operand reaching an einsum/BLAS kernel",
     "W001": "inline chaos: ignore comment suppresses nothing",
     "W002": "inline chaos: ignore comment carries no justification",
 }
@@ -110,14 +119,43 @@ def normalize_codes(raw: str | Iterable[str] | None) -> tuple[str, ...]:
     return tuple(p.strip().upper() for p in parts if p.strip())
 
 
+def rule_families() -> dict[str, str]:
+    """Family letter -> representative description, for error messages."""
+    families: dict[str, str] = {}
+    for code in RULES:
+        families.setdefault(code[0], code)
+    return families
+
+
+def validate_code_prefixes(prefixes: Iterable[str]) -> None:
+    """Reject prefixes that match no registered rule.
+
+    ``--select Z`` silently selecting nothing is indistinguishable from
+    a clean run — a typo'd CI gate would pass green forever.
+    """
+    for prefix in prefixes:
+        if not any(code.startswith(prefix) for code in RULES):
+            known = ", ".join(sorted(rule_families()))
+            raise ValueError(
+                f"unknown rule prefix {prefix!r}: matches no registered "
+                f"rule (known families: {known}; see --list-rules)"
+            )
+
+
 def filter_findings(
     findings: list[Finding],
     select: str | Iterable[str] | None = None,
     ignore: str | Iterable[str] | None = None,
 ) -> list[Finding]:
-    """Apply ruff-style prefix filters: select first, then ignore."""
+    """Apply ruff-style prefix filters: select first, then ignore.
+
+    Unknown prefixes raise :class:`ValueError` rather than silently
+    matching nothing.
+    """
     selected = normalize_codes(select)
     ignored = normalize_codes(ignore)
+    validate_code_prefixes(selected)
+    validate_code_prefixes(ignored)
     kept = []
     for finding in findings:
         if selected and not finding.code.startswith(selected):

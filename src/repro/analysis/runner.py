@@ -4,14 +4,15 @@
 tier-1 regression test call; keeping it pure (no process exit, no
 printing) makes the report easy to assert on.
 
-Four layers run by default:
+Five layers run by default:
 
 * the semantic checker over the in-process catalogs/registry (C1xx,
   M2xx),
 * the single-pass AST lint (A3xx),
 * the chaos-flow dataflow analyses — taint/leakage (L4xx) and physical
   units (U5xx) — over the same source roots,
-* the chaos-race concurrency pass (R6xx) over the same roots.
+* the chaos-race concurrency pass (R6xx) over the same roots,
+* the chaos-shape numeric-array pass (N7xx) over the same roots.
 
 Each source file is read and parsed once per layer family; inline
 ``# chaos: ignore[CODE] -- reason`` comments are honored for every
@@ -35,6 +36,7 @@ from repro.analysis.findings import RULES, Finding, filter_findings
 from repro.analysis.leakage import check_leakage_source
 from repro.analysis.races import check_races_source
 from repro.analysis.semantic import check_all_platforms
+from repro.analysis.shapes import check_shapes_source
 from repro.analysis.suppress import (
     Suppression,
     apply_suppressions,
@@ -52,6 +54,7 @@ class LintReport:
     n_platforms_checked: int = 0
     n_files_flow_analyzed: int = 0
     n_files_race_analyzed: int = 0
+    n_files_shape_analyzed: int = 0
     n_suppressions: int = 0
 
     @property
@@ -77,7 +80,8 @@ class LintReport:
             f"{self.n_files_scanned} file(s), "
             f"{self.n_platforms_checked} platform catalog(s), "
             f"{self.n_files_flow_analyzed} file(s) dataflow-analyzed, "
-            f"{self.n_files_race_analyzed} file(s) race-analyzed"
+            f"{self.n_files_race_analyzed} file(s) race-analyzed, "
+            f"{self.n_files_shape_analyzed} file(s) shape-analyzed"
         )
         if self.n_suppressions:
             summary += f", {self.n_suppressions} suppression(s)"
@@ -98,6 +102,7 @@ class LintReport:
                 "n_platforms_checked": self.n_platforms_checked,
                 "n_files_flow_analyzed": self.n_files_flow_analyzed,
                 "n_files_race_analyzed": self.n_files_race_analyzed,
+                "n_files_shape_analyzed": self.n_files_shape_analyzed,
                 "n_suppressions": self.n_suppressions,
                 "counts_by_code": self.counts_by_code(),
                 "rules": RULES,
@@ -149,6 +154,7 @@ def run_lint(
     ast_pass: bool = True,
     dataflow: bool = True,
     races: bool = True,
+    shapes: bool = True,
 ) -> LintReport:
     """Run chaos-lint and return the (filtered) report.
 
@@ -157,7 +163,7 @@ def run_lint(
     directories instead.  The semantic layer is path-independent: it
     checks the in-process platform catalogs and model registry.
     ``dataflow=False`` skips the chaos-flow pass, ``races=False`` the
-    chaos-race pass.
+    chaos-race pass, ``shapes=False`` the chaos-shape pass.
     """
     from repro.platforms.specs import ALL_PLATFORMS
 
@@ -169,7 +175,7 @@ def run_lint(
 
     file_findings: list[Finding] = []
     suppressions: list[Suppression] = []
-    if ast_pass or dataflow or races:
+    if ast_pass or dataflow or races or shapes:
         scan = _resolve_scan_paths(root, paths)
         for path in iter_python_files(scan):
             source = path.read_text()
@@ -184,6 +190,9 @@ def run_lint(
             if races:
                 report.n_files_race_analyzed += 1
                 file_findings += check_races_source(source, path)
+            if shapes:
+                report.n_files_shape_analyzed += 1
+                file_findings += check_shapes_source(source, path)
 
     kept, hygiene = apply_suppressions(file_findings, suppressions)
     report.n_suppressions = len(suppressions)

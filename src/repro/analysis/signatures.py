@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 # ----------------------------------------------------------------------
 # Units
@@ -408,3 +408,183 @@ def is_fold_iterable_name(name: str) -> bool:
 
 #: Calls producing the fold list a cross-validation loop iterates.
 FOLD_SOURCE_CALLS = frozenset({"runwise_folds", "kfold", "make_folds"})
+
+
+# ----------------------------------------------------------------------
+# Array contracts (chaos-shape, N7xx)
+# ----------------------------------------------------------------------
+
+#: The numeric anchor of the whole stack: every kernel, feature row and
+#: power series is float64, because the bit-for-bit online == offline
+#: replay gate depends on one reduction order over one dtype.
+KERNEL_DTYPE = "float64"
+
+Dim = Union[int, str]
+"""One array dimension: a concrete size or a symbolic name (``"n"``).
+The same symbolic name unifies across every parameter of one call."""
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Declared shape/dtype/contiguity of one array parameter or return.
+
+    ``shape=None`` accepts any rank; a tuple fixes the rank, with each
+    entry either a concrete size or a symbolic dim that must agree with
+    every other use of the same name in the contract.
+    """
+
+    shape: Optional[Tuple[Dim, ...]] = None
+    dtype: Optional[str] = KERNEL_DTYPE
+    contiguous: Optional[bool] = None
+
+    @property
+    def rank(self) -> Optional[int]:
+        return None if self.shape is None else len(self.shape)
+
+
+@dataclass(frozen=True)
+class ArrayContract:
+    """Array contract of one kernel/serving/metrics entry point.
+
+    ``params`` is ordered: positional argument ``i`` matches entry ``i``
+    (``self`` receivers never appear in AST call args, so methods and
+    functions line up the same way); keywords match by name.  A ``None``
+    spec means "no array expectation for this parameter".
+    """
+
+    name: str
+    params: Tuple[Tuple[str, Optional[ArraySpec]], ...] = ()
+    returns: Optional[ArraySpec] = None
+    hot_path: bool = False
+
+    def spec_for(
+        self, position: int, keyword: Optional[str]
+    ) -> Optional[ArraySpec]:
+        if keyword is not None:
+            for name, spec in self.params:
+                if name == keyword:
+                    return spec
+            return None
+        if 0 <= position < len(self.params):
+            return self.params[position][1]
+        return None
+
+
+def _vec(*dims: Dim, contiguous: Optional[bool] = None) -> ArraySpec:
+    return ArraySpec(shape=tuple(dims), contiguous=contiguous)
+
+
+#: Callable (last dotted segment) -> array contract.  The registry is
+#: shared by the static N7xx checker (argument shapes/dtypes at call
+#: sites, parameter seeding inside the contracted function) and the
+#: runtime ArraySanitizer (observed-vs-declared cross-check during
+#: ``repro replay --sanitize``).
+ARRAY_CONTRACTS: Dict[str, ArrayContract] = {
+    # regression.kernels — the batch-size-invariant predict kernel.
+    "matvec": ArrayContract(
+        "matvec",
+        params=(
+            ("matrix", _vec("n", "k", contiguous=True)),
+            ("vector", _vec("k")),
+        ),
+        returns=_vec("n"),
+        hot_path=True,
+    ),
+    # Model predict surfaces: one design matrix in, one power series out.
+    "predict": ArrayContract(
+        "predict",
+        params=(("design", _vec("n", "k")),),
+        returns=_vec("n"),
+    ),
+    "predict_log": ArrayContract("predict_log", returns=_vec("n")),
+    "evaluate_bases": ArrayContract(
+        "evaluate_bases",
+        params=(("bases", None), ("design", _vec("n", "k"))),
+        returns=_vec("n", "m"),
+    ),
+    # regression fits.
+    "fit_ols": ArrayContract(
+        "fit_ols",
+        params=(("design", _vec("n", "k")), ("response", _vec("n"))),
+    ),
+    "fit_lasso": ArrayContract(
+        "fit_lasso",
+        params=(("design", _vec("n", "k")), ("response", _vec("n"))),
+    ),
+    "fit_mars": ArrayContract(
+        "fit_mars",
+        params=(("design", _vec("n", "k")), ("response", _vec("n"))),
+    ),
+    "add_intercept": ArrayContract(
+        "add_intercept",
+        params=(("design", _vec("n", "k")),),
+        returns=_vec("n", "m"),
+    ),
+    # metrics.errors — paired power series in watts, float64.
+    "mean_squared_error": ArrayContract(
+        "mean_squared_error",
+        params=(("actual", _vec("n")), ("predicted", _vec("n"))),
+    ),
+    "root_mean_squared_error": ArrayContract(
+        "root_mean_squared_error",
+        params=(("actual", _vec("n")), ("predicted", _vec("n"))),
+    ),
+    "dynamic_range_error": ArrayContract(
+        "dynamic_range_error",
+        params=(("actual", _vec("n")), ("predicted", _vec("n"))),
+    ),
+    "dynamic_range": ArrayContract(
+        "dynamic_range", params=(("actual", _vec("n")),),
+    ),
+    # serving — feature rows and the drift envelope's training design.
+    "make_bundle": ArrayContract(
+        "make_bundle",
+        params=(
+            ("platform_model", None),
+            ("training_design", _vec("n", "k")),
+        ),
+    ),
+    "prepare_row": ArrayContract("prepare_row", returns=_vec("k")),
+    "observe": ArrayContract(
+        "observe", params=(("sample", _vec("k")),),
+    ),
+    "offline_reference": ArrayContract(
+        "offline_reference", returns=_vec("n"),
+    ),
+}
+
+
+def array_contract(func: ast.AST) -> Optional[ArrayContract]:
+    """Contract of a call target, matched like :func:`unit_signature`."""
+    target = call_target(func)
+    if target is None:
+        return None
+    return ARRAY_CONTRACTS.get(target)
+
+
+#: Decorator names (last dotted segment) marking a function as a
+#: per-tick hot path: no allocation (N705) or hidden copy (N703)
+#: belongs inside one.
+HOT_PATH_DECORATORS = frozenset({"hot_path"})
+
+#: numpy allocators: every call returns a fresh buffer (N705 inside a
+#: hot path).  Disjoint from COPY_CALLS so one call maps to one rule.
+ALLOCATOR_CALLS = frozenset({
+    "zeros", "ones", "empty", "full", "zeros_like", "ones_like",
+    "empty_like", "full_like", "arange", "linspace", "eye", "tile",
+    "repeat", "meshgrid",
+})
+
+#: Operations that materialize a copy of an existing array — the
+#: "hidden" allocations N703 reports inside a hot path.
+COPY_CALLS = frozenset({
+    "concatenate", "vstack", "hstack", "stack", "column_stack",
+    "ascontiguousarray", "asfortranarray", "flatten",
+})
+
+#: Kernels whose operands feed einsum/BLAS inner loops: a known
+#: non-contiguous operand reaching one is N706 (the library strides or
+#: silently copies, both of which a hot path cannot afford).
+BLAS_KERNEL_CALLS = frozenset({
+    "matvec", "einsum", "dot", "matmul", "inner", "solve", "lstsq",
+})

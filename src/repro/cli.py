@@ -144,9 +144,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the chaos-race concurrency analysis (R6xx)",
     )
     lint.add_argument(
+        "--no-shapes", action="store_true",
+        help="skip the chaos-shape numeric-array analysis (N7xx)",
+    )
+    lint.add_argument(
         "--explain", default=None, metavar="CODE",
         help="print a rule's doc, rationale, and bad/good example, "
         "then exit (no linting)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", dest="list_rules",
+        help="print every registered rule code with its one-line "
+        "summary, then exit (no linting)",
     )
 
     reproduce = sub.add_parser(
@@ -217,8 +226,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--sanitize", action="store_true",
         help="arm the chaos-race runtime sanitizer (event-loop debug "
-        "hooks, slow-callback + unawaited-coroutine capture); the "
-        "report prints on shutdown and a violation exits non-zero",
+        "hooks, slow-callback + unawaited-coroutine capture) and the "
+        "chaos-shape array sanitizer (shape/dtype contract checks at "
+        "kernel boundaries); reports print on shutdown and a "
+        "violation exits non-zero",
     )
 
     rep = sub.add_parser(
@@ -255,9 +266,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     rep.add_argument(
         "--sanitize", action="store_true",
-        help="arm the chaos-race runtime sanitizer during the replay; "
-        "its report lands in telemetry['sanitizer'] and any violation "
-        "exits non-zero",
+        help="arm the chaos-race runtime sanitizer and the chaos-shape "
+        "array sanitizer during the replay; reports land in "
+        "telemetry['sanitizer'] / telemetry['array_sanitizer'] and "
+        "any violation exits non-zero",
     )
 
     publish = sub.add_parser(
@@ -694,13 +706,16 @@ def _cmd_serve(args, out) -> int:
         return 2
 
     sanitizer = None
+    array_sanitizer = None
 
     async def _run() -> None:
-        nonlocal sanitizer
+        nonlocal sanitizer, array_sanitizer
         if args.sanitize:
+            from repro.analysis.arraysan import install_array_sanitizer
             from repro.analysis.sanitizer import install_sanitizer
 
             sanitizer = install_sanitizer(asyncio.get_running_loop())
+            array_sanitizer = install_array_sanitizer()
         server = PowerServer(
             registry=registry,
             host=args.host,
@@ -721,11 +736,14 @@ def _cmd_serve(args, out) -> int:
             await server.stop()
             if sanitizer is not None:
                 sanitizer.uninstall()
+            if array_sanitizer is not None:
+                array_sanitizer.uninstall()
 
     try:
         asyncio.run(_run())
     except KeyboardInterrupt:
         print("stopped", file=out)
+    failed = False
     if sanitizer is not None:
         report = sanitizer.report()
         print(
@@ -737,8 +755,23 @@ def _cmd_serve(args, out) -> int:
             for violation in report["violations"]:
                 print(f"  - {violation['kind']}: {violation['detail']}",
                       file=out)
-            return 1
-    return 0
+            failed = True
+    if array_sanitizer is not None:
+        report = array_sanitizer.report()
+        print(
+            f"array sanitizer: {report['n_violations']} violation(s) "
+            f"{report['by_kind'] or ''}".rstrip(),
+            file=out,
+        )
+        if not report["ok"]:
+            for violation in report["violations"]:
+                print(
+                    f"  - {violation['kind']} in "
+                    f"{violation['function']}(): {violation['detail']}",
+                    file=out,
+                )
+            failed = True
+    return 1 if failed else 0
 
 
 def _cmd_replay(args, out) -> int:
@@ -808,6 +841,25 @@ def _cmd_replay(args, out) -> int:
             for violation in report["violations"]:
                 print(f"  - {violation['kind']}: {violation['detail']}",
                       file=out)
+            sanitizer_failed = True
+        array_report = result.telemetry["array_sanitizer"]
+        n_contracted_calls = sum(
+            stats["calls"]
+            for stats in array_report["functions"].values()
+        )
+        print(
+            f"array sanitizer: {array_report['n_violations']} "
+            f"violation(s) over {n_contracted_calls} contracted "
+            "call(s)",
+            file=out,
+        )
+        if not array_report["ok"]:
+            for violation in array_report["violations"]:
+                print(
+                    f"  - {violation['kind']} in "
+                    f"{violation['function']}(): {violation['detail']}",
+                    file=out,
+                )
             sanitizer_failed = True
     if args.stats_out is not None:
         with open(args.stats_out, "w") as handle:
@@ -885,6 +937,13 @@ def _cmd_cache(args, out) -> int:
 def _cmd_lint(args, out) -> int:
     from repro.analysis.runner import run_lint
 
+    if args.list_rules:
+        from repro.analysis.findings import RULES
+
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code]}", file=out)
+        return 0
+
     if args.explain is not None:
         from repro.analysis.ruledocs import explain
 
@@ -908,6 +967,7 @@ def _cmd_lint(args, out) -> int:
         ast_pass=not args.no_ast,
         dataflow=not args.no_dataflow,
         races=not args.no_races,
+        shapes=not args.no_shapes,
     )
     format = args.format or ("json" if args.as_json else "text")
     print(report.render(format, root=args.root), file=out)

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.arraysan import contracted
+
 
 @dataclass(frozen=True)
 class DriftVerdict:
@@ -153,6 +155,7 @@ class InputDriftDetector:
         return detector
 
     # ------------------------------------------------------------------
+    @contracted
     def observe(self, sample: np.ndarray) -> DriftVerdict:
         """Ingest one second of model inputs and reassess drift."""
         if not self.is_fitted:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.arraysan import contracted
 from repro.models.composition import PlatformModel
 
 _LAG_SUFFIX = " (t-1)"
@@ -125,6 +126,7 @@ class OnlinePowerPredictor:
                 return float(fallback)
         raise KeyError(f"sample missing counters: [{name!r}]")
 
+    @contracted
     def prepare_row(self, counter_sample: dict[str, float]) -> np.ndarray:
         """Resolve one sample into its model feature row.
 

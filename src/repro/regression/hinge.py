@@ -10,8 +10,11 @@ Eq. 3) and evaluates itself on a raw design matrix.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
+
+from repro.analysis.arraysan import contracted
 
 
 @dataclass(frozen=True)
@@ -27,7 +30,7 @@ class Hinge:
     knot: float
     sign: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.sign not in (-1, 0, +1):
             raise ValueError(f"sign must be -1, 0 or +1, got {self.sign}")
         if self.feature < 0:
@@ -41,7 +44,7 @@ class Hinge:
             return np.maximum(column - self.knot, 0.0)
         return np.maximum(self.knot - column, 0.0)
 
-    def describe(self, feature_names=None) -> str:
+    def describe(self, feature_names: Optional[Sequence[str]] = None) -> str:
         name = (
             feature_names[self.feature]
             if feature_names is not None
@@ -89,7 +92,7 @@ class BasisFunction:
             )
         return BasisFunction(hinges=self.hinges + (hinge,))
 
-    def describe(self, feature_names=None) -> str:
+    def describe(self, feature_names: Optional[Sequence[str]] = None) -> str:
         if not self.hinges:
             return "1"
         return " * ".join(h.describe(feature_names) for h in self.hinges)
@@ -98,7 +101,10 @@ class BasisFunction:
 INTERCEPT_BASIS = BasisFunction()
 
 
-def evaluate_bases(bases, design: np.ndarray) -> np.ndarray:
+@contracted
+def evaluate_bases(
+    bases: Sequence[BasisFunction], design: np.ndarray
+) -> np.ndarray:
     """Stack basis evaluations into an (n, len(bases)) matrix."""
     design = np.asarray(design, dtype=float)
     if not bases:

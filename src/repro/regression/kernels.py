@@ -20,12 +20,22 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.arraysan import contracted, hot_path
 
+
+@contracted
+@hot_path
 def matvec(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
     """``matrix @ vector`` with a batch-size-invariant reduction.
 
     Each output element is an independent fixed-order sum over the
     feature axis, so ``matvec(m[i:j], v)`` equals ``matvec(m, v)[i:j]``
     bit-for-bit for any row partition.
+
+    Contracted (see ``repro.analysis.signatures.ARRAY_CONTRACTS``):
+    ``matrix`` is a C-contiguous float64 ``(n, k)``, ``vector`` a
+    float64 ``(k,)``; anything else either changes rounding (dtype) or
+    forces einsum to stride/copy (layout), both of which break the
+    partition-invariance guarantee above.
     """
     return np.einsum("ij,j->i", matrix, vector)

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.arraysan import contracted
+
 
 def soft_threshold(value: float, threshold: float) -> float:
     """The lasso shrinkage operator sign(v) * max(|v| - t, 0)."""
@@ -43,7 +45,9 @@ class LassoFit:
         return self.intercept + design @ self.coefficients
 
 
-def _standardize(design: np.ndarray):
+def _standardize(
+    design: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Center/scale columns; constant columns get unit scale (and zero z)."""
     mean = design.mean(axis=0)
     scale = design.std(axis=0)
@@ -101,6 +105,7 @@ def _coordinate_descent(
     return beta, iteration, converged
 
 
+@contracted
 def fit_lasso(
     design: np.ndarray,
     response: np.ndarray,

@@ -19,9 +19,11 @@ two-stage algorithm:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.arraysan import contracted
 from repro.regression.hinge import (
     INTERCEPT_BASIS,
     BasisFunction,
@@ -72,7 +74,7 @@ class MARSModel:
         # arbitrary micro-batch groupings and must get identical watts.
         return matvec(matrix, self.coefficients)
 
-    def describe(self, feature_names=None) -> str:
+    def describe(self, feature_names: Optional[Sequence[str]] = None) -> str:
         parts = []
         for coefficient, basis in zip(self.coefficients, self.bases):
             parts.append(f"{coefficient:+.4g}*{basis.describe(feature_names)}")
@@ -231,11 +233,13 @@ def _backward_pass(
     response: np.ndarray,
     bases: list[BasisFunction],
     penalty: float,
-):
+) -> tuple[list[BasisFunction], np.ndarray, float, float]:
     """Prune bases to minimize GCV; returns (bases, coefficients, gcv, rss)."""
     n_samples = design.shape[0]
 
-    def fit_subset(subset: list[BasisFunction]):
+    def fit_subset(
+        subset: list[BasisFunction],
+    ) -> tuple[np.ndarray, float]:
         matrix = evaluate_bases(subset, design)
         coefficients, _, _, _ = np.linalg.lstsq(matrix, response, rcond=None)
         residual = response - matrix @ coefficients
@@ -270,6 +274,7 @@ def _backward_pass(
     return best_bases, best_coefficients, best_gcv, best_rss
 
 
+@contracted
 def fit_mars(
     design: np.ndarray,
     response: np.ndarray,

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.regression.ols import fit_ols
 
@@ -35,46 +36,46 @@ class RandomInterceptFit:
     residual_variance: float
     n_samples: int
 
-    def predict(self, design: np.ndarray, groups) -> np.ndarray:
+    def predict(self, design: np.ndarray, groups: ArrayLike) -> np.ndarray:
         """Predict rows whose group labels are known.
 
         Unseen groups fall back to the grand intercept — the situation of
         applying a machine model to a machine never metered.
         """
         design = np.asarray(design, dtype=float)
-        groups = np.asarray(groups)
-        if design.shape[0] != groups.shape[0]:
+        labels = np.asarray(groups)
+        if design.shape[0] != labels.shape[0]:
             raise ValueError("design and groups lengths differ")
         intercepts = np.array([
             self.group_intercepts.get(group, self.grand_intercept)
-            for group in groups
+            for group in labels
         ])
         return intercepts + design @ self.slopes
 
 
 def fit_random_intercept(
-    design: np.ndarray, response: np.ndarray, groups
+    design: np.ndarray, response: np.ndarray, groups: ArrayLike
 ) -> RandomInterceptFit:
     """LSDV estimation: within-group demeaning for slopes, then per-group
     intercepts from the group-mean residuals."""
     design = np.asarray(design, dtype=float)
     y = np.asarray(response, dtype=float).ravel()
-    groups = np.asarray(groups)
+    labels = np.asarray(groups)
     if design.ndim != 2:
         raise ValueError("design must be 2-D")
-    if not (design.shape[0] == y.shape[0] == groups.shape[0]):
+    if not (design.shape[0] == y.shape[0] == labels.shape[0]):
         raise ValueError("design, response and groups lengths differ")
 
-    unique_groups = list(dict.fromkeys(groups.tolist()))
+    unique_groups = list(dict.fromkeys(labels.tolist()))
     if len(unique_groups) < 1:
         raise ValueError("need at least one group")
 
     # Within-group demeaning removes the intercepts from the slope fit.
     design_centered = design.copy()
     y_centered = y.copy()
-    group_masks = {}
+    group_masks: dict[object, np.ndarray] = {}
     for group in unique_groups:
-        mask = groups == group
+        mask = labels == group
         group_masks[group] = mask
         design_centered[mask] -= design[mask].mean(axis=0)
         y_centered[mask] -= y[mask].mean()
@@ -82,7 +83,7 @@ def fit_random_intercept(
     # No-intercept least squares on the demeaned data.
     slopes, _, _, _ = np.linalg.lstsq(design_centered, y_centered, rcond=None)
 
-    group_intercepts = {}
+    group_intercepts: dict[object, float] = {}
     residual_sum = 0.0
     for group, mask in group_masks.items():
         offset = float(np.mean(y[mask] - design[mask] @ slopes))
@@ -135,7 +136,7 @@ class PoolingSuitability:
 
 
 def pooling_suitability(
-    design: np.ndarray, response: np.ndarray, groups
+    design: np.ndarray, response: np.ndarray, groups: ArrayLike
 ) -> PoolingSuitability:
     """Compare a fully pooled OLS fit against the random-intercept fit."""
     pooled = fit_ols(design, response)

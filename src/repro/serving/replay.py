@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis.arraysan import contracted
 from repro.engine.cache import atomic_write_json
 from repro.serving import protocol
 from repro.serving.bundle import (
@@ -197,19 +198,25 @@ async def replay_async(
 
     ``sanitize=True`` arms the chaos-race runtime sanitizer (event-loop
     debug mode, slow-callback capture, unawaited-coroutine promotion,
-    stall heartbeat) for the duration of the replay and attaches its
-    report under ``telemetry["sanitizer"]``.  Scoring is unaffected —
-    the CI golden replay asserts bit-identity with the sanitizer armed.
+    stall heartbeat) and the chaos-shape array sanitizer (observed
+    shapes/dtypes/contiguity at every contracted kernel boundary) for
+    the duration of the replay, attaching their reports under
+    ``telemetry["sanitizer"]`` and ``telemetry["array_sanitizer"]``.
+    Scoring is unaffected — the CI golden replay asserts bit-identity
+    with both sanitizers armed.
     """
     if not machines:
         raise ValueError("need at least one machine to replay")
     if speed <= 0:
         raise ValueError("speed must be positive")
     sanitizer = None
+    array_sanitizer = None
     if sanitize:
+        from repro.analysis.arraysan import install_array_sanitizer
         from repro.analysis.sanitizer import install_sanitizer
 
         sanitizer = install_sanitizer(asyncio.get_running_loop())
+        array_sanitizer = install_array_sanitizer()
     config = session_config or SessionConfig()
     if window >= config.queue_limit:
         raise ValueError(
@@ -243,6 +250,8 @@ async def replay_async(
         await server.stop()
         if sanitizer is not None:
             sanitizer.uninstall()
+        if array_sanitizer is not None:
+            array_sanitizer.uninstall()
     session_rows = [
         result.session for result in results if result.session is not None
     ]
@@ -253,6 +262,8 @@ async def replay_async(
     telemetry["speed"] = speed
     if sanitizer is not None:
         telemetry["sanitizer"] = sanitizer.report()
+    if array_sanitizer is not None:
+        telemetry["array_sanitizer"] = array_sanitizer.report()
     return ReplayResult(
         machines={result.machine_id: result for result in results},
         telemetry=telemetry,
@@ -283,6 +294,7 @@ def replay(
     )
 
 
+@contracted
 def offline_reference(
     bundle: ServingBundle, log: PerfmonLog
 ) -> np.ndarray:

@@ -1,0 +1,150 @@
+"""Runtime array-contract sanitizer (chaos-shape's dynamic half)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.arraysan import (
+    ArraySanitizer,
+    active_array_sanitizer,
+    contracted,
+    hot_path,
+    install_array_sanitizer,
+)
+from repro.regression.kernels import matvec
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_sanitizer():
+    assert active_array_sanitizer() is None
+    yield
+    leaked = active_array_sanitizer()
+    if leaked is not None:
+        leaked.uninstall()
+        pytest.fail("test leaked an installed ArraySanitizer")
+
+
+class TestDecorators:
+    def test_contracted_requires_registered_contract(self):
+        with pytest.raises(ValueError, match="ARRAY_CONTRACTS"):
+            @contracted
+            def not_a_kernel(x):
+                return x
+
+    def test_contracted_preserves_metadata(self):
+        assert matvec.__name__ == "matvec"
+        assert matvec.__chaos_contract__.name == "matvec"
+        assert matvec.__chaos_hot_path__ is True
+
+    def test_hot_path_is_a_pure_marker(self):
+        def tick():
+            return 1
+
+        marked = hot_path(tick)
+        assert marked is tick
+        assert tick.__chaos_hot_path__ is True
+
+    def test_disarmed_calls_pass_through(self):
+        matrix = np.arange(6, dtype=np.float64).reshape(2, 3)
+        vector = np.ones(3)
+        result = matvec(matrix, vector)
+        np.testing.assert_array_equal(result, matrix @ vector)
+
+
+class TestArming:
+    def test_install_uninstall_roundtrip(self):
+        sanitizer = install_array_sanitizer()
+        assert active_array_sanitizer() is sanitizer
+        sanitizer.uninstall()
+        assert active_array_sanitizer() is None
+
+    def test_double_install_raises(self):
+        with ArraySanitizer() as first:
+            assert active_array_sanitizer() is first
+            with pytest.raises(RuntimeError, match="already installed"):
+                ArraySanitizer().install()
+        assert active_array_sanitizer() is None
+
+    def test_install_is_idempotent_per_instance(self):
+        sanitizer = ArraySanitizer()
+        assert sanitizer.install() is sanitizer
+        assert sanitizer.install() is sanitizer
+        sanitizer.uninstall()
+
+
+class TestObservation:
+    def test_clean_call_records_stats_without_violations(self):
+        matrix = np.zeros((4, 3))
+        vector = np.zeros(3)
+        with ArraySanitizer() as sanitizer:
+            matvec(matrix, vector)
+        assert sanitizer.ok
+        stats = sanitizer.functions["matvec"]
+        assert stats.n_calls == 1
+        assert stats.n_hot_calls == 1
+        assert stats.shapes["matrix:(4, 3)"] == 1
+        assert stats.shapes["vector:(3,)"] == 1
+        assert stats.dtypes["float64"] == 3  # two args + return
+
+    def test_float32_argument_is_a_dtype_violation(self):
+        with ArraySanitizer() as sanitizer:
+            matvec(np.zeros((2, 3), dtype=np.float32), np.zeros(3))
+        kinds = {v.kind for v in sanitizer.violations}
+        assert "dtype" in kinds
+        assert not sanitizer.ok
+
+    def test_rank_mismatch_is_a_rank_violation(self):
+        with ArraySanitizer() as sanitizer:
+            try:
+                matvec(np.zeros(3), np.zeros(3))
+            except Exception:
+                pass  # observe-only: the kernel itself may object
+        assert "rank" in {v.kind for v in sanitizer.violations}
+
+    def test_shared_dim_conflict_is_a_dim_violation(self):
+        # matrix binds k=3, vector claims k=5.
+        with ArraySanitizer() as sanitizer:
+            try:
+                matvec(np.zeros((4, 3)), np.zeros(5))
+            except Exception:
+                pass
+        assert "dim" in {v.kind for v in sanitizer.violations}
+
+    def test_noncontiguous_matrix_is_a_contiguity_violation(self):
+        strided = np.zeros((3, 4)).T
+        with ArraySanitizer() as sanitizer:
+            matvec(strided, np.zeros(3))
+        assert "contiguity" in {v.kind for v in sanitizer.violations}
+        assert sanitizer.functions["matvec"].n_noncontiguous_args == 1
+
+    def test_observe_only_results_stay_bit_identical(self):
+        matrix = np.arange(12, dtype=np.float64).reshape(4, 3)
+        vector = np.linspace(0.0, 1.0, 3)
+        bare = matvec(matrix, vector)
+        with ArraySanitizer():
+            sanitized = matvec(matrix, vector)
+        assert sanitized.tobytes() == bare.tobytes()
+
+    def test_repeated_identical_violations_deduplicate(self):
+        with ArraySanitizer() as sanitizer:
+            for _ in range(5):
+                matvec(np.zeros((2, 3), dtype=np.float32), np.zeros(3))
+        dtype_violations = [
+            v for v in sanitizer.violations if v.kind == "dtype"
+        ]
+        assert len(dtype_violations) == 1
+        # ...but the report still counts every occurrence.
+        assert sanitizer.report()["by_kind"]["dtype"] == 5
+
+
+class TestReport:
+    def test_report_is_json_safe_and_complete(self):
+        import json
+
+        with ArraySanitizer() as sanitizer:
+            matvec(np.zeros((4, 3)), np.zeros(3))
+        report = sanitizer.report()
+        json.dumps(report)  # must not raise
+        assert report["ok"] is True
+        assert report["n_violations"] == 0
+        assert report["functions"]["matvec"]["calls"] == 1
+        assert report["functions"]["matvec"]["hot_calls"] == 1

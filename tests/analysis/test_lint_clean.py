@@ -26,6 +26,7 @@ class TestCleanTree:
         assert report.n_files_scanned > 100
         assert report.n_files_flow_analyzed > 100
         assert report.n_files_race_analyzed > 100
+        assert report.n_files_shape_analyzed > 100
 
     def test_cli_exits_zero_on_clean_tree(self):
         code, text = _run_cli(["lint", "--root", str(REPO_ROOT)])
@@ -56,6 +57,19 @@ class TestCleanTree:
     def test_no_races_skips_race_pass(self):
         report = run_lint(root=REPO_ROOT, races=False)
         assert report.n_files_race_analyzed == 0
+        assert report.exit_code == 0
+
+    def test_shape_family_clean_on_tree(self):
+        # The acceptance gate for chaos-shape: no numeric-array
+        # findings anywhere in the tree, with zero suppressions.
+        code, text = _run_cli([
+            "lint", "--root", str(REPO_ROOT), "--select", "N"
+        ])
+        assert code == 0, text
+
+    def test_no_shapes_skips_shape_pass(self):
+        report = run_lint(root=REPO_ROOT, shapes=False)
+        assert report.n_files_shape_analyzed == 0
         assert report.exit_code == 0
 
 
@@ -156,6 +170,107 @@ class TestSeededFaults:
             "lint", "--no-semantic", "--no-dataflow", str(bad)
         ])
         assert code == 0
+
+    def test_seeded_shape_fault_through_cli(self, tmp_path):
+        bad = tmp_path / "fault.py"
+        bad.write_text(
+            "import numpy as np\n"
+            "def score(design):\n"
+            "    row = np.asarray([1.0], dtype=np.float32)\n"
+            "    return matvec(design, row)\n"
+        )
+        code, text = _run_cli(["lint", "--no-semantic", str(bad)])
+        assert code == 1
+        assert "N701" in text
+
+    def test_no_shapes_flag_suppresses_shape_findings(self, tmp_path):
+        bad = tmp_path / "fault.py"
+        bad.write_text(
+            "import numpy as np\n"
+            "def score(design):\n"
+            "    row = np.asarray([1.0], dtype=np.float32)\n"
+            "    return matvec(design, row)\n"
+        )
+        code, _ = _run_cli([
+            "lint", "--no-semantic", "--no-shapes", str(bad)
+        ])
+        assert code == 0
+
+
+class TestRuleSelection:
+    def test_list_rules_prints_every_code(self):
+        from repro.analysis.findings import RULES
+
+        code, text = _run_cli(["lint", "--list-rules"])
+        assert code == 0
+        for rule_code, summary in RULES.items():
+            assert rule_code in text
+            assert summary in text
+
+    def test_unknown_select_prefix_is_an_error(self, tmp_path):
+        clean = tmp_path / "ok.py"
+        clean.write_text("x = 1\n")
+        code, text = _run_cli([
+            "lint", "--no-semantic", "--select", "Z", str(clean)
+        ])
+        assert code == 1
+        assert "unknown rule prefix" in text
+        assert "Z" in text
+
+    def test_unknown_ignore_prefix_is_an_error(self, tmp_path):
+        clean = tmp_path / "ok.py"
+        clean.write_text("x = 1\n")
+        code, text = _run_cli([
+            "lint", "--no-semantic", "--ignore", "Q9", str(clean)
+        ])
+        assert code == 1
+        assert "unknown rule prefix" in text
+
+    def test_known_full_code_still_selects(self, tmp_path):
+        bad = tmp_path / "examples" / "fault.py"
+        bad.parent.mkdir()
+        bad.write_text("import numpy as np\nnp.random.seed(0)\n")
+        code, text = _run_cli([
+            "lint", "--no-semantic", "--select", "A302", str(bad)
+        ])
+        assert code == 1
+        assert "A302" in text
+
+
+class TestRuleDocsHygiene:
+    def test_every_rule_code_has_an_explain_entry(self):
+        from repro.analysis.findings import RULES
+        from repro.analysis.ruledocs import explain
+
+        for rule_code in RULES:
+            text = explain(rule_code)
+            assert text is not None, rule_code
+            assert text.startswith(f"{rule_code}:")
+
+    def test_full_docs_cover_only_registered_rules(self):
+        from repro.analysis.findings import RULES
+        from repro.analysis.ruledocs import RULE_DOCS
+
+        assert set(RULE_DOCS) <= set(RULES)
+
+    def test_numeric_family_has_full_docs(self):
+        from repro.analysis.findings import RULES
+        from repro.analysis.ruledocs import RULE_DOCS
+
+        numeric = {code for code in RULES if code.startswith("N")}
+        assert numeric == {
+            "N701", "N702", "N703", "N704", "N705", "N706",
+        }
+        for rule_code in numeric:
+            doc = RULE_DOCS[rule_code]
+            assert doc.summary == RULES[rule_code]
+            assert doc.bad and doc.good and doc.rationale
+
+    def test_explain_cli_renders_shape_rule(self):
+        code, text = _run_cli(["lint", "--explain", "N701"])
+        assert code == 0
+        assert "N701" in text
+        assert "Bad:" in text and "Good:" in text
 
 
 class TestSarifOutput:

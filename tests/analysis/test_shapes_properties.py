@@ -1,0 +1,262 @@
+"""Property tests for the chaos-shape lattice.
+
+Two families, mirroring ``test_dataflow.py``'s treatment of the generic
+engine:
+
+* the value lattice is a join-semilattice and every transfer function
+  (``ShapeAnalysis.eval`` over a pool of numpy-shaped expressions) is
+  monotone in it — the property the worklist fixpoint's termination
+  and soundness both rest on;
+* symbolic-dim unification is order-invariant: feeding the same
+  (declared, observed) pairs in any order yields the same bindings and
+  the same conflict verdict, so argument order at a call site cannot
+  change what N704 reports.
+"""
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cfg import iter_function_units
+from repro.analysis.shapes import (
+    ARRAY,
+    DYN,
+    TOP,
+    ArrayValue,
+    ShapeAnalysis,
+    Unifier,
+    broadcast_shapes,
+    join_shape,
+    join_value,
+    scalar,
+    shape_leq,
+    value_leq,
+)
+
+# -- strategies --------------------------------------------------------
+
+dims = st.one_of(
+    st.integers(min_value=1, max_value=4),
+    st.sampled_from(["n", "k", DYN]),
+)
+
+shapes = st.one_of(
+    st.none(),
+    st.lists(dims, min_size=0, max_size=3).map(tuple),
+)
+
+dtypes = st.sampled_from([None, "float64", "float32", "int64"])
+
+contiguity = st.sampled_from([None, True, False])
+
+values = st.one_of(
+    st.just(TOP),
+    st.builds(scalar, dtypes),
+    st.builds(
+        lambda shape, dtype, contiguous: ArrayValue(
+            kind=ARRAY,
+            shape=shape,
+            dtype=dtype,
+            contiguous=contiguous,
+        ),
+        shapes,
+        dtypes,
+        contiguity,
+    ),
+)
+
+
+# -- join-semilattice laws ---------------------------------------------
+
+class TestJoinSemilattice:
+    @given(values)
+    def test_join_idempotent(self, a):
+        assert join_value(a, a) == a
+
+    @given(values, values)
+    def test_join_commutative(self, a, b):
+        assert join_value(a, b) == join_value(b, a)
+
+    @given(values, values, values)
+    def test_join_associative(self, a, b, c):
+        assert join_value(join_value(a, b), c) == join_value(
+            a, join_value(b, c)
+        )
+
+    @given(values)
+    def test_leq_reflexive(self, a):
+        assert value_leq(a, a)
+
+    @given(values)
+    def test_top_is_greatest(self, a):
+        assert value_leq(a, TOP)
+
+    @given(values, values)
+    def test_join_is_upper_bound(self, a, b):
+        joined = join_value(a, b)
+        assert value_leq(a, joined)
+        assert value_leq(b, joined)
+
+    @given(values, values)
+    def test_leq_agrees_with_join(self, a, b):
+        # a <= b exactly when joining adds nothing.
+        assert value_leq(a, b) == (join_value(a, b) == b)
+
+    @given(shapes, shapes)
+    def test_shape_join_is_upper_bound(self, left, right):
+        joined = join_shape(left, right)
+        assert shape_leq(left, joined)
+        assert shape_leq(right, joined)
+
+
+# -- transfer-function monotonicity ------------------------------------
+
+# Expression pool covering every eval branch: arithmetic broadcasting,
+# matmul shape algebra, transposition, slicing and indexing, allocator
+# and copy calls, dtype casts, reductions, contract calls, ternaries.
+EXPRESSIONS = [
+    "x + y",
+    "x - y",
+    "x * 2.0",
+    "x @ y",
+    "x.T",
+    "x.transpose()",
+    "x[0]",
+    "x[0:2]",
+    "x[::2]",
+    "x[1, 2]",
+    "x[y]",
+    "np.concatenate([x, y])",
+    "np.vstack([x, y])",
+    "np.einsum('ij,j->i', x, y)",
+    "np.dot(x, y)",
+    "np.zeros_like(x)",
+    "np.asarray(x)",
+    "np.asarray(x, dtype=np.float32)",
+    "np.ascontiguousarray(x)",
+    "x.astype(np.float64)",
+    "x.reshape(4)",
+    "x.ravel()",
+    "x.flatten()",
+    "x.copy()",
+    "x.mean()",
+    "x.sum(axis=0)",
+    "np.sqrt(x)",
+    "matvec(x, y)",
+    "predict(x)",
+    "x if flag else y",
+    "-x",
+]
+
+_UNIT_SOURCE = "def _probe(x, y, flag):\n    return x\n"
+
+
+def _analysis() -> ShapeAnalysis:
+    tree = ast.parse(_UNIT_SOURCE)
+    unit = next(
+        u for u in iter_function_units(tree) if u.qualname != "<module>"
+    )
+    return ShapeAnalysis(unit)
+
+
+def _env_leq(lower, upper):
+    return all(value_leq(lower[name], upper[name]) for name in lower)
+
+
+@st.composite
+def env_pairs(draw):
+    """(lower, upper) environments with lower <= upper pointwise.
+
+    The upper value is built as ``join(lower, other)`` — an upper bound
+    by the semilattice laws checked above — so the pair generator never
+    needs its own ordering logic.
+    """
+    lower = {}
+    upper = {}
+    for name in ("x", "y", "flag"):
+        low = draw(values)
+        high = join_value(low, draw(values))
+        lower[name] = low
+        upper[name] = high
+    return lower, upper
+
+
+class TestTransferMonotone:
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(EXPRESSIONS), env_pairs())
+    def test_eval_is_monotone(self, expression, envs):
+        lower, upper = envs
+        analysis = _analysis()
+        expr = ast.parse(expression, mode="eval").body
+        low_result = analysis.eval(expr, lower)
+        high_result = analysis.eval(expr, upper)
+        assert value_leq(low_result, high_result), (
+            f"eval({expression!r}) not monotone:\n"
+            f"  lower env -> {low_result}\n"
+            f"  upper env -> {high_result}"
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(shapes, shapes, shapes)
+    def test_broadcast_monotone_in_left_operand(self, a, b, c):
+        low = a
+        high = join_shape(a, b)
+        low_shape, _ = broadcast_shapes(low, c)
+        high_shape, _ = broadcast_shapes(high, c)
+        assert shape_leq(low_shape, high_shape)
+
+
+# -- unification order-invariance --------------------------------------
+
+observations = st.lists(
+    st.tuples(
+        st.sampled_from(["n", "k", "m", DYN, 2, 3]),
+        st.one_of(st.integers(min_value=1, max_value=5), st.just(DYN)),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+def _unify(pairs):
+    unifier = Unifier()
+    for declared, observed in pairs:
+        unifier.observe(declared, observed)
+    return unifier
+
+
+class TestUnifierOrderInvariance:
+    @given(observations, st.randoms(use_true_random=False))
+    def test_bindings_and_verdict_ignore_order(self, pairs, rng):
+        shuffled = list(pairs)
+        rng.shuffle(shuffled)
+        in_order = _unify(pairs)
+        out_of_order = _unify(shuffled)
+        assert in_order.bindings == out_of_order.bindings
+        assert in_order.ok == out_of_order.ok
+
+    @given(observations)
+    def test_binding_is_min_of_observed_sizes(self, pairs):
+        unifier = _unify(pairs)
+        for symbol, bound in unifier.bindings.items():
+            observed = [
+                o
+                for d, o in pairs
+                if d == symbol and isinstance(o, int)
+            ]
+            assert bound == min(observed)
+
+    @given(st.lists(st.integers(min_value=1, max_value=5), min_size=1))
+    def test_consistent_observations_never_conflict(self, sizes):
+        unifier = Unifier()
+        for size in sizes:
+            unifier.observe("n", sizes[0])
+        assert unifier.ok
+        assert unifier.bindings == {"n": sizes[0]}
+
+    def test_observe_shape_skips_rank_mismatch(self):
+        unifier = Unifier()
+        unifier.observe_shape(("n", "k"), (4,))
+        assert unifier.bindings == {}
+        assert unifier.ok

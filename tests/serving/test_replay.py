@@ -122,6 +122,42 @@ def test_replay_is_bit_identical_and_lossless(golden_fixture):
         assert row["online_dre"] is not None
 
 
+def test_sanitized_replay_is_contract_clean_and_bit_identical(
+    golden_fixture,
+):
+    """Acceptance gate for chaos-shape's runtime half: the golden
+    replay under ``--sanitize`` reports zero array-contract violations
+    while staying bit-identical to the offline reference — the
+    sanitizer observes, it never touches."""
+    bundle, machines = golden_fixture
+    result = replay(
+        machines,
+        static_bundles={bundle.platform_key: ("golden@v1", bundle)},
+        speed=50.0,
+        sanitize=True,
+    )
+    assert result.total_dropped == 0
+    logs = {machine.machine_id: machine.log for machine in machines}
+    for machine_id, machine_result in result.machines.items():
+        np.testing.assert_array_equal(
+            machine_result.power_w,
+            offline_reference(bundle, logs[machine_id]),
+        )
+
+    report = result.telemetry["array_sanitizer"]
+    json.dumps(report)
+    assert report["ok"] is True, report["violations"]
+    assert report["n_violations"] == 0
+    # The hot scoring path actually ran through contracted kernels.
+    assert report["functions"]["matvec"]["calls"] > 0
+    assert report["functions"]["matvec"]["hot_calls"] > 0
+    assert report["functions"]["prepare_row"]["calls"] > 0
+    assert report["functions"]["observe"]["calls"] > 0
+    # And every observed operand arrived C-contiguous.
+    for stats in report["functions"].values():
+        assert stats["noncontiguous_args"] == 0
+
+
 def test_replay_rejects_oversized_flow_window(golden_fixture):
     bundle, machines = golden_fixture
     with pytest.raises(ValueError, match="flow-control window"):
