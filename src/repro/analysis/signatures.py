@@ -274,10 +274,13 @@ def unit_signature(func: ast.AST) -> Optional[UnitSignature]:
 #: these attributes that spans an interleaving point (``await``/
 #: ``yield``/executor hand-off) without an ``asyncio.Lock`` held.
 SHARED_STATE_ATTRS = frozenset({
-    # PowerServer
+    # PowerServer / ShardedPowerServer
     "_clients", "_tick_task", "_server", "_registry_generation",
     "last_estimate",
-    # _Client
+    # ShardedPowerServer (router-only: ingest buffers swapped to locals
+    # before any await, shard host table mutated only at start/stop)
+    "_pending_submits", "_pending_drains", "_hosts", "_host_locks",
+    # _Client / _RouterClient
     "closed", "bye_pending",
     # MachineSession
     "_pending", "_next_t", "_started", "_draining", "_n_dispatched",

@@ -224,6 +224,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="scoring tick period (1.0 matches the 1 Hz counter streams)",
     )
     serve.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run the sharded serving tier: a consistent-hash router "
+        "in front of N shared-nothing shard workers (omit for the "
+        "single-process server)",
+    )
+    serve.add_argument(
+        "--shard-backend", default="process",
+        choices=["inline", "process"],
+        help="where shard workers live: their own spawned processes "
+        "(default) or the router's process (deterministic, for tests)",
+    )
+    serve.add_argument(
         "--sanitize", action="store_true",
         help="arm the chaos-race runtime sanitizer (event-loop debug "
         "hooks, slow-callback + unawaited-coroutine capture) and the "
@@ -263,6 +275,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="check every non-patched online prediction is bit-identical "
         "to the offline PlatformModel.predict_log reference",
+    )
+    rep.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="replay through the sharded serving tier (router + N "
+        "shard workers); scoring stays bit-identical, so --shards 1 "
+        "--verify reproduces the single-process golden gate",
+    )
+    rep.add_argument(
+        "--shard-backend", default="inline",
+        choices=["inline", "process"],
+        help="shard worker placement for --shards (inline is "
+        "deterministic and the default for replay)",
     )
     rep.add_argument(
         "--sanitize", action="store_true",
@@ -693,7 +717,11 @@ def _cmd_sweep(args, out) -> int:
 def _cmd_serve(args, out) -> int:
     import asyncio
 
-    from repro.serving import ModelRegistry, PowerServer
+    from repro.serving import (
+        ModelRegistry,
+        PowerServer,
+        ShardedPowerServer,
+    )
 
     registry = ModelRegistry(args.registry)
     platforms = registry.platforms()
@@ -716,17 +744,32 @@ def _cmd_serve(args, out) -> int:
 
             sanitizer = install_sanitizer(asyncio.get_running_loop())
             array_sanitizer = install_array_sanitizer()
-        server = PowerServer(
-            registry=registry,
-            host=args.host,
-            port=args.port,
-            tick_interval_s=args.tick_interval_s,
-        )
+        if args.shards is not None:
+            server = ShardedPowerServer(
+                registry=registry,
+                n_shards=args.shards,
+                shard_backend=args.shard_backend,
+                host=args.host,
+                port=args.port,
+                tick_interval_s=args.tick_interval_s,
+            )
+            topology = (
+                f" [{args.shards} {args.shard_backend} shard(s)]"
+            )
+        else:
+            server = PowerServer(
+                registry=registry,
+                host=args.host,
+                port=args.port,
+                tick_interval_s=args.tick_interval_s,
+            )
+            topology = ""
         await server.start()
         print(
             f"chaos-serve listening on {server.host}:{server.port} "
             f"({len(platforms)} platform(s): {', '.join(platforms)}); "
             "Ctrl-C to stop"
+            + topology
             + (" [sanitizer armed]" if args.sanitize else ""),
             file=out,
         )
@@ -820,6 +863,8 @@ def _cmd_replay(args, out) -> int:
         },
         speed=args.speed,
         sanitize=args.sanitize,
+        shards=args.shards,
+        shard_backend=args.shard_backend,
     )
     print(
         f"replayed {len(machines)} machine(s) at {args.speed:g}x: "

@@ -10,6 +10,8 @@ Layers (bottom up):
 * ``aggregate`` — Eq. 5 cluster sum with staleness decay;
 * ``stats``     — JSON telemetry surface;
 * ``server``    — the asyncio TCP server tying it together;
+* ``shard``     — shared-nothing shard workers (inline or process);
+* ``router``    — consistent-hash front end + hot-swap barrier;
 * ``replay``    — recorded-cluster replay at a speed multiple.
 
 See ``docs/serving.md`` for the architecture walkthrough.
@@ -28,6 +30,7 @@ from repro.serving.bundle import (
     make_bundle,
     save_bundle,
 )
+from repro.serving.aggregate import merge_estimates
 from repro.serving.protocol import ProtocolError
 from repro.serving.registry import (
     GateResult,
@@ -47,24 +50,36 @@ from repro.serving.replay import (
     replay_async,
     save_replay_fixture,
 )
+from repro.serving.router import HashRing, ShardedPowerServer
 from repro.serving.server import PowerServer
 from repro.serving.session import (
     MachineSession,
     ScoredSample,
     SessionConfig,
 )
-from repro.serving.stats import Histogram, ServingStats
+from repro.serving.shard import (
+    InlineShardHost,
+    ProcessShardHost,
+    ShardError,
+    ShardTickResult,
+    ShardWorker,
+    worker_config,
+)
+from repro.serving.stats import Histogram, ServingStats, merge_snapshots
 
 __all__ = [
     "ClusterAggregator",
     "ClusterEstimate",
     "GateResult",
+    "HashRing",
     "Histogram",
+    "InlineShardHost",
     "MachineContribution",
     "MachineSession",
     "MicroBatchScorer",
     "ModelRegistry",
     "PowerServer",
+    "ProcessShardHost",
     "ProtocolError",
     "RegistryError",
     "ReplayMachine",
@@ -74,16 +89,23 @@ __all__ = [
     "ServingBundle",
     "ServingStats",
     "SessionConfig",
+    "ShardError",
+    "ShardTickResult",
+    "ShardWorker",
+    "ShardedPowerServer",
     "VersionInfo",
     "bundle_from_payload",
     "load_bundle",
     "load_replay_fixture",
     "make_bundle",
     "max_deviation_w",
+    "merge_estimates",
+    "merge_snapshots",
     "offline_reference",
     "replay",
     "replay_async",
     "save_bundle",
     "save_replay_fixture",
     "shadow_score",
+    "worker_config",
 ]

@@ -149,3 +149,33 @@ class ClusterAggregator:
             n_decaying=n_decaying,
             contributions=tuple(contributions),
         )
+
+
+def merge_estimates(
+    tick: int, partials: Iterable[ClusterEstimate]
+) -> ClusterEstimate:
+    """Merge per-shard Eq. 5 partial sums into one fleet estimate.
+
+    Eq. 5 is a plain sum over machines, so sharding it is exact: each
+    shard sums its own sessions (with its own staleness decay, which is
+    deterministic because every shard ticks once per router tick) and
+    the router adds the partial totals.  Contributions concatenate in
+    shard order, keeping the per-machine breakdown intact.
+    """
+    contributions: list[MachineContribution] = []
+    total = 0.0
+    n_fresh = 0
+    n_decaying = 0
+    for partial in partials:
+        contributions.extend(partial.contributions)
+        total += partial.total_power_w
+        n_fresh += partial.n_fresh
+        n_decaying += partial.n_decaying
+    return ClusterEstimate(
+        tick=tick,
+        total_power_w=total,
+        n_machines=len(contributions),
+        n_fresh=n_fresh,
+        n_decaying=n_decaying,
+        contributions=tuple(contributions),
+    )

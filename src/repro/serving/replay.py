@@ -193,6 +193,8 @@ async def replay_async(
     session_config: Optional[SessionConfig] = None,
     window: int = DEFAULT_WINDOW,
     sanitize: bool = False,
+    shards: Optional[int] = None,
+    shard_backend: str = "inline",
 ) -> ReplayResult:
     """Run a full replay inside an existing event loop.
 
@@ -204,6 +206,12 @@ async def replay_async(
     ``telemetry["sanitizer"]`` and ``telemetry["array_sanitizer"]``.
     Scoring is unaffected — the CI golden replay asserts bit-identity
     with both sanitizers armed.
+
+    ``shards`` (None = the plain single-process ``PowerServer``) routes
+    the replay through a :class:`ShardedPowerServer` instead; scoring
+    is bit-identical either way because the predict kernels are
+    batch-size-invariant, so ``--shards 1`` reproduces the golden
+    fixture byte for byte.
     """
     if not machines:
         raise ValueError("need at least one machine to replay")
@@ -224,13 +232,26 @@ async def replay_async(
             f"queue limit {config.queue_limit} (or shedding is possible)"
         )
     interval_s = 1.0 / speed
-    server = PowerServer(
-        registry=registry,
-        static_bundles=static_bundles,
-        tick_interval_s=interval_s,
-        session_config=config,
-    )
+    if shards is None:
+        server = PowerServer(
+            registry=registry,
+            static_bundles=static_bundles,
+            tick_interval_s=interval_s,
+            session_config=config,
+        )
+    else:
+        from repro.serving.router import ShardedPowerServer
+
+        server = ShardedPowerServer(
+            registry=registry,
+            static_bundles=static_bundles,
+            n_shards=shards,
+            shard_backend=shard_backend,
+            tick_interval_s=interval_s,
+            session_config=config,
+        )
     await server.start()
+    merged_telemetry: Optional[dict] = None
     try:
         results = await asyncio.gather(
             *(
@@ -244,6 +265,14 @@ async def replay_async(
                 for machine in machines
             )
         )
+        if shards is not None:
+            merged_telemetry = await server.telemetry_async(
+                extra_session_rows=[
+                    result.session
+                    for result in results
+                    if result.session is not None
+                ]
+            )
     finally:
         final_stats = server.stats
         cluster = server.last_estimate
@@ -252,13 +281,21 @@ async def replay_async(
             sanitizer.uninstall()
         if array_sanitizer is not None:
             array_sanitizer.uninstall()
-    session_rows = [
-        result.session for result in results if result.session is not None
-    ]
-    telemetry = final_stats.snapshot(extra_session_rows=session_rows)
-    telemetry["cluster"] = (
-        cluster.to_payload() if cluster is not None else None
-    )
+    if shards is None:
+        session_rows = [
+            result.session
+            for result in results
+            if result.session is not None
+        ]
+        telemetry = final_stats.snapshot(
+            extra_session_rows=session_rows
+        )
+        telemetry["cluster"] = (
+            cluster.to_payload() if cluster is not None else None
+        )
+    else:
+        assert merged_telemetry is not None
+        telemetry = merged_telemetry
     telemetry["speed"] = speed
     if sanitizer is not None:
         telemetry["sanitizer"] = sanitizer.report()
@@ -279,6 +316,8 @@ def replay(
     session_config: Optional[SessionConfig] = None,
     window: int = DEFAULT_WINDOW,
     sanitize: bool = False,
+    shards: Optional[int] = None,
+    shard_backend: str = "inline",
 ) -> ReplayResult:
     """Synchronous wrapper: replay a recorded cluster through a server."""
     return asyncio.run(
@@ -290,6 +329,8 @@ def replay(
             session_config=session_config,
             window=window,
             sanitize=sanitize,
+            shards=shards,
+            shard_backend=shard_backend,
         )
     )
 

@@ -22,7 +22,7 @@ tests).
 from __future__ import annotations
 
 import asyncio
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.serving import protocol
 from repro.serving.aggregate import ClusterAggregator, ClusterEstimate
@@ -61,6 +61,7 @@ class PowerServer:
         tick_interval_s: float = 1.0,
         session_config: Optional[SessionConfig] = None,
         max_samples_per_session: Optional[int] = None,
+        drain_timeout_s: float = 2.0,
     ):
         if (registry is None) == (static_bundles is None):
             raise ValueError(
@@ -72,7 +73,10 @@ class PowerServer:
         self.port = port
         if tick_interval_s <= 0:
             raise ValueError("tick_interval_s must be positive")
+        if drain_timeout_s <= 0:
+            raise ValueError("drain_timeout_s must be positive")
         self.tick_interval_s = tick_interval_s
+        self.drain_timeout_s = drain_timeout_s
         self.session_config = session_config or SessionConfig()
         self.stats = ServingStats()
         self.batcher = MicroBatchScorer(
@@ -171,14 +175,21 @@ class PowerServer:
             await self.run_tick()
 
     async def run_tick(self) -> None:
-        """One scoring tick (public so tests can drive it directly)."""
+        """One scoring tick (public so tests can drive it directly).
+
+        Predictions are *buffered* onto each client's transport and
+        drained concurrently once per tick with a deadline: one stalled
+        consumer can no longer head-of-line-block scoring for every
+        other session — it is closed (and counted) instead.
+        """
         self._poll_registry()
         scored = self.batcher.tick(self.sessions)
+        recipients: dict[str, _Client] = {}
         for sample in scored:
             client = self._clients.get(sample.machine_id)
             if client is None or client.closed:
                 continue
-            await self._send(
+            if self._buffer_send(
                 client,
                 {
                     "type": protocol.PREDICTION,
@@ -188,20 +199,60 @@ class PowerServer:
                     "drifting": sample.drifting,
                     "model_version": sample.model_version,
                 },
-            )
+            ):
+                recipients[sample.machine_id] = client
+            else:
+                await self._close_client(client)
+        await self._drain_clients(recipients.values())
         self.last_estimate = self.aggregator.tick(self.sessions)
         for client in list(self._clients.values()):
             if client.bye_pending and client.session.pending_count == 0:
-                await self._send(
+                if self._buffer_send(
                     client,
                     {
                         "type": protocol.DRAINED,
                         "session": client.session.snapshot(),
                     },
-                )
+                ):
+                    await self._drain_one(client)
                 await self._close_client(client)
 
     # -- connection handling -------------------------------------------
+    def _buffer_send(self, client: _Client, message: dict) -> bool:
+        """Queue one message on the client's transport, without draining."""
+        if client.closed:
+            return False
+        try:
+            client.writer.write(protocol.encode_message(message))
+        except (ConnectionError, RuntimeError):
+            return False
+        return True
+
+    async def _drain_one(self, client: _Client) -> None:
+        """Flush one client's buffered writes, bounded by the deadline."""
+        try:
+            await asyncio.wait_for(
+                client.writer.drain(), timeout=self.drain_timeout_s
+            )
+        except asyncio.TimeoutError:
+            self.stats.n_stalled_closed += 1
+            await self._close_client(client)
+        except (ConnectionError, RuntimeError):
+            await self._close_client(client)
+
+    async def _drain_clients(self, clients: "Iterable[_Client]") -> None:
+        """Drain every recipient concurrently; stalled peers get closed.
+
+        The whole flush costs at most one deadline of wall clock per
+        tick regardless of how many peers stall.
+        """
+        pending = [client for client in clients if not client.closed]
+        if not pending:
+            return
+        await asyncio.gather(
+            *(self._drain_one(client) for client in pending)
+        )
+
     async def _send(self, client: _Client, message: dict) -> None:
         if client.closed:
             return
@@ -301,7 +352,21 @@ class PowerServer:
         while not client.closed:
             try:
                 line = await reader.readline()
-            except (ValueError, ConnectionError):
+            except ValueError:
+                # Oversized line mid-stream: account identically to the
+                # hello path — protocol error counted, ERROR sent, then
+                # the connection is closed (not a silent abrupt close).
+                self.stats.n_protocol_errors += 1
+                await self._send(
+                    client,
+                    {
+                        "type": protocol.ERROR,
+                        "error": "oversized line",
+                    },
+                )
+                await self._close_client(client)
+                return
+            except ConnectionError:
                 break
             if not line:
                 break

@@ -189,9 +189,11 @@ class MachineSession:
                 self.n_late_dropped += 1
                 return False
         if t in self._pending:
+            # First-write-wins: the buffered sample (and its meter_w)
+            # is the one the machine sent first; a duplicate index is
+            # counted and discarded, never silently overwritten.
             self.n_duplicates += 1
-            self._pending[t] = _PendingSample(counters, meter_w)
-            return True
+            return False
         self._pending[t] = _PendingSample(counters, meter_w)
         if len(self._pending) > self.config.queue_limit:
             oldest = min(self._pending)

@@ -86,6 +86,7 @@ class Histogram:
             "bounds": [float(b) for b in self.bounds],
             "counts": list(self.counts),
             "count": self.n_observed,
+            "total": self.total,
             "mean": self.mean,
             "p50": self.quantile(0.50),
             "p99": self.quantile(0.99),
@@ -115,6 +116,9 @@ class ServingStats:
     n_sessions_closed: int = 0
     n_protocol_errors: int = 0
     n_hot_swaps: int = 0
+    n_stalled_closed: int = 0
+    """Peers closed because their transport stayed stalled past the
+    per-tick drain deadline (slow-consumer protection)."""
 
     def record_batch(
         self, n_samples: int, n_groups: int, latency_s: float
@@ -155,6 +159,7 @@ class ServingStats:
             "sessions_closed": self.n_sessions_closed,
             "protocol_errors": self.n_protocol_errors,
             "hot_swaps": self.n_hot_swaps,
+            "stalled_closed": self.n_stalled_closed,
             "batch_latency_s": self.batch_latency_s.to_dict(),
             "batch_size": self.batch_size.to_dict(),
             "sessions": session_rows,
@@ -164,3 +169,102 @@ class ServingStats:
                 sum(dre_values) / len(dre_values) if dre_values else None
             ),
         }
+
+
+_COUNTER_KEYS = (
+    "ticks",
+    "samples_scored",
+    "model_groups_scored",
+    "sessions_opened",
+    "sessions_closed",
+    "protocol_errors",
+    "hot_swaps",
+    "stalled_closed",
+)
+
+
+def _quantile_from_counts(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """``Histogram.quantile`` over an already-serialized histogram."""
+    n_observed = sum(counts)
+    if n_observed == 0:
+        return 0.0
+    rank = q * n_observed
+    seen = 0
+    for index, count in enumerate(counts):
+        seen += count
+        if seen >= rank and count > 0:
+            if index < len(bounds):
+                return float(bounds[index])
+            return float(bounds[-1])
+    return float(bounds[-1])
+
+
+def _merge_histogram_dicts(dicts: Sequence[dict]) -> dict:
+    """Merge serialized histograms by adding bucket counts.
+
+    All snapshots share the fixed log-spaced bounds (the module
+    guarantee that makes shard telemetry mergeable); mismatched bounds
+    mean the snapshots came from different builds and cannot be merged.
+    """
+    bounds = dicts[0]["bounds"]
+    for other in dicts[1:]:
+        if other["bounds"] != bounds:
+            raise ValueError("cannot merge histograms with differing bounds")
+    counts = [0] * len(dicts[0]["counts"])
+    total = 0.0
+    for entry in dicts:
+        for index, count in enumerate(entry["counts"]):
+            counts[index] += count
+        total += entry.get("total", entry["mean"] * entry["count"])
+    n_observed = sum(counts)
+    return {
+        "bounds": list(bounds),
+        "counts": counts,
+        "count": n_observed,
+        "total": total,
+        "mean": total / n_observed if n_observed else 0.0,
+        "p50": _quantile_from_counts(bounds, counts, 0.50),
+        "p99": _quantile_from_counts(bounds, counts, 0.99),
+    }
+
+
+def merge_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Fold per-shard ``ServingStats`` snapshots into one fleet view.
+
+    Counters add, histograms merge bucket-wise, session rows
+    concatenate, and the derived aggregates (dropped samples, drifting
+    sessions, mean online DRE) are recomputed over the combined fleet —
+    identical in shape to a single server's snapshot.
+    """
+    if not snapshots:
+        raise ValueError("need at least one snapshot to merge")
+    session_rows: list[dict] = []
+    for snap in snapshots:
+        session_rows.extend(snap["sessions"])
+    dropped = sum(
+        row["late_dropped"] + row["shed_dropped"] for row in session_rows
+    )
+    drifting = sum(1 for row in session_rows if row["drifting"])
+    dre_values = [
+        row["online_dre"]
+        for row in session_rows
+        if row["online_dre"] is not None
+    ]
+    merged: dict = {
+        key: sum(snap[key] for snap in snapshots) for key in _COUNTER_KEYS
+    }
+    merged["batch_latency_s"] = _merge_histogram_dicts(
+        [snap["batch_latency_s"] for snap in snapshots]
+    )
+    merged["batch_size"] = _merge_histogram_dicts(
+        [snap["batch_size"] for snap in snapshots]
+    )
+    merged["sessions"] = session_rows
+    merged["dropped_samples"] = dropped
+    merged["drifting_sessions"] = drifting
+    merged["mean_online_dre"] = (
+        sum(dre_values) / len(dre_values) if dre_values else None
+    )
+    return merged

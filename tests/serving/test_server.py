@@ -311,3 +311,116 @@ def test_abrupt_disconnect_closes_the_session(scenario, holdout_log):
     closed, remaining = _run(scenario_run())
     assert closed == 1
     assert remaining == 0
+
+
+def test_oversized_line_mid_stream_counts_a_protocol_error(scenario):
+    """Regression: an oversized line *after* the hello used to be
+    swallowed silently (no error reply, no counter). It must account
+    identically to the oversized-hello path."""
+    async def scenario_run():
+        server = _static_server(scenario)
+        await server.start()
+        try:
+            reader, writer = await _connect(server)
+            await _send(writer, {
+                "type": protocol.HELLO,
+                "machine_id": "m0",
+                "platform": scenario.platform_key,
+            })
+            await _recv(reader)  # welcome
+            writer.write(
+                b'{"type": "sample", "pad": "'
+                + b"x" * (protocol.MAX_LINE_BYTES + 1024)
+                + b'"}\n'
+            )
+            await writer.drain()
+            error = await _recv(reader)
+            tail = await reader.read()  # server closes the connection
+            await asyncio.sleep(TICK_S * 2)
+            return (
+                error,
+                tail,
+                server.stats.n_protocol_errors,
+                len(server.sessions),
+            )
+        finally:
+            await server.stop()
+
+    error, tail, n_errors, remaining = _run(scenario_run())
+    assert error["type"] == protocol.ERROR
+    assert "oversized" in error["error"]
+    assert tail == b""
+    assert n_errors == 1
+    assert remaining == 0
+
+
+def test_stalled_consumer_is_closed_without_blocking_the_tick(
+    scenario, holdout_log
+):
+    """Regression: ``run_tick`` used to drain after every prediction
+    write, so one stalled peer head-of-line blocked the whole fleet.
+    Writes are now buffered per client and drained once per tick with
+    a deadline; the stalled peer is closed and counted, and healthy
+    clients keep receiving predictions."""
+
+    async def scenario_run():
+        server = _static_server(scenario, drain_timeout_s=0.05)
+        await server.start()
+        try:
+            slow_reader, slow_writer = await _connect(server)
+            await _send(slow_writer, {
+                "type": protocol.HELLO,
+                "machine_id": "slow",
+                "platform": scenario.platform_key,
+            })
+            await _recv(slow_reader)
+            fast_reader, fast_writer = await _connect(server)
+            await _send(fast_writer, {
+                "type": protocol.HELLO,
+                "machine_id": "fast",
+                "platform": scenario.platform_key,
+            })
+            await _recv(fast_reader)
+
+            # Simulate a peer that never reads: pause the stream
+            # protocol's flow control, exactly what the transport does
+            # when the socket buffer to that peer is full. drain()
+            # then blocks until the deadline.
+            server._clients["slow"].writer._protocol.pause_writing()
+
+            messages = _sample_messages(scenario, holdout_log, 10)
+            for message in messages[:5]:
+                await _send(slow_writer, message)
+            for message in messages[:5]:
+                await _send(fast_writer, message)
+            fast_predictions = [await _recv(fast_reader) for _ in range(5)]
+            for _ in range(200):
+                if server.stats.n_stalled_closed:
+                    break
+                await asyncio.sleep(TICK_S)
+            # The fast client is still live end to end.
+            for message in messages[5:]:
+                await _send(fast_writer, message)
+            await _send(fast_writer, {"type": protocol.BYE})
+            while True:
+                message = await _recv(fast_reader)
+                if message["type"] == protocol.DRAINED:
+                    final = message["session"]
+                    break
+                fast_predictions.append(message)
+            fast_writer.close()
+            slow_writer.close()
+            return (
+                server.stats.n_stalled_closed,
+                "slow" in server._clients,
+                [p["t"] for p in fast_predictions],
+                final,
+            )
+        finally:
+            await server.stop()
+
+    n_stalled, slow_live, fast_ts, final = _run(scenario_run())
+    assert n_stalled == 1
+    assert not slow_live
+    assert fast_ts == list(range(10))
+    assert final["scored"] == 10

@@ -74,15 +74,74 @@ def test_late_sample_dropped_after_cursor_passed(scenario, holdout_log):
     assert session.n_scored == 3
 
 
-def test_duplicate_submission_replaces_pending(scenario, holdout_log):
+def test_duplicate_submission_keeps_first_write(scenario, holdout_log):
+    """First-write-wins: a duplicate ``t`` is counted and discarded —
+    the sample (and its meter_w) the machine sent first is what gets
+    scored, never a silent last-write-wins overwrite."""
     session = _make_session(scenario)
     rows = _counter_rows(scenario, holdout_log, n=2)
-    session.submit(0, {name: 0.0 for name in rows[0]})
-    assert session.submit(0, rows[0]) is True
+    meter_w = float(holdout_log.power_w[0])
+    session.submit(0, rows[0], meter_w=meter_w)
+    assert session.submit(0, {name: 0.0 for name in rows[0]}) is False
     assert session.n_duplicates == 1
+    assert session.pending_count == 1
     scored = _drain(session)
     offline = scenario.bundle("Q").platform_model.predict_log(holdout_log)
+    # The original sample's counters were scored...
     assert scored[0].power_w == offline[0]
+    # ...and its attached meter reading survived the duplicate.
+    assert session._meter_window[-1] == (meter_w, offline[0])
+
+
+def test_reanchor_before_first_dispatch_accepts_older_sample(
+    scenario, holdout_log
+):
+    """A stream whose opening packets arrive swapped re-anchors to the
+    older index instead of dropping it forever (`session.py` anchors on
+    the first sample, tentatively until the first dispatch)."""
+    session = _make_session(scenario, gap_tolerance=64)
+    rows = _counter_rows(scenario, holdout_log, n=6)
+    assert session.submit(3, rows[3]) is True  # tentative anchor at 3
+    assert session.submit(0, rows[0]) is True  # re-anchor to 0
+    assert session.next_t == 0
+    assert session.n_late_dropped == 0
+    for t in (1, 2):
+        session.submit(t, rows[t])
+    scored = _drain(session)
+    assert [s.t for s in scored] == [0, 1, 2, 3]
+    # Once anything has been dispatched, older samples are late-dropped.
+    assert session.submit(1, rows[1]) is False
+    assert session.n_late_dropped == 1
+
+
+def test_reanchor_then_shed_oldest_interplay(scenario, holdout_log):
+    """Shed-oldest under a re-anchored cursor, all before first
+    dispatch: the cursor slot itself is shed, so the cursor must move
+    to the oldest surviving sample rather than wait forever."""
+    session = _make_session(scenario, queue_limit=4, gap_tolerance=64)
+    rows = _counter_rows(scenario, holdout_log, n=10)
+    session.submit(5, rows[5])  # tentative anchor at 5
+    session.submit(2, rows[2])  # re-anchor to 2
+    assert session.next_t == 2
+    for t in (3, 4, 6):
+        session.submit(t, rows[t])
+    # Queue is over the limit: the oldest pending (t=2, the cursor's own
+    # slot) is shed and the cursor advances to the oldest survivor.
+    assert session.n_shed_dropped == 1
+    assert session.pending_count == 4
+    assert session.next_t == 3
+    scored = _drain(session)
+    assert [s.t for s in scored] == [3, 4, 5, 6]
+    # submit() reports the fate of the *submitted* sample: an older
+    # packet that re-anchors a full queue becomes the oldest pending
+    # and is itself shed — the cursor snaps back to the survivors.
+    session2 = _make_session(scenario, queue_limit=2, gap_tolerance=64)
+    assert session2.submit(7, rows[7]) is True
+    assert session2.submit(8, rows[8]) is True
+    assert session2.submit(5, rows[5]) is False  # re-anchored, then shed
+    assert session2.next_t == 7
+    assert session2.n_shed_dropped == 1
+    assert [s.t for s in _drain(session2)] == [7, 8]
 
 
 def test_backpressure_sheds_oldest_and_counts(scenario, holdout_log):

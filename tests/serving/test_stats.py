@@ -85,3 +85,106 @@ def test_snapshot_folds_sessions_and_serializes(scenario, holdout_log):
     assert snapshot["dropped_samples"] == 0
     assert snapshot["mean_online_dre"] is not None
     assert snapshot["batch_size"]["count"] == 1
+
+
+def test_merge_histograms_adds_buckets_and_recomputes_quantiles():
+    from repro.serving.stats import merge_snapshots
+
+    left = ServingStats()
+    right = ServingStats()
+    left.record_batch(n_samples=100, n_groups=1, latency_s=0.001)
+    left.record_batch(n_samples=10, n_groups=1, latency_s=0.002)
+    right.record_batch(n_samples=50, n_groups=2, latency_s=0.004)
+    combined = ServingStats()
+    for n, g, s in [(100, 1, 0.001), (10, 1, 0.002), (50, 2, 0.004)]:
+        combined.record_batch(n_samples=n, n_groups=g, latency_s=s)
+
+    merged = merge_snapshots([left.snapshot([]), right.snapshot([])])
+    reference = combined.snapshot([])
+    assert merged["ticks"] == 3
+    assert merged["samples_scored"] == 160
+    assert merged["model_groups_scored"] == 4
+    # Histogram merge is exact: same buckets, same derived stats as if
+    # one server had observed every batch.
+    for key in ("batch_latency_s", "batch_size"):
+        assert merged[key]["counts"] == reference[key]["counts"]
+        assert merged[key]["total"] == pytest.approx(
+            reference[key]["total"]
+        )
+        assert merged[key]["mean"] == pytest.approx(
+            reference[key]["mean"]
+        )
+        assert merged[key]["p50"] == reference[key]["p50"]
+        assert merged[key]["p99"] == reference[key]["p99"]
+    json.dumps(merged)
+
+
+def test_merge_snapshots_concatenates_sessions_and_recomputes(
+    scenario, holdout_log
+):
+    from repro.serving import MachineSession, MicroBatchScorer
+    from repro.serving.stats import merge_snapshots
+
+    snapshots = []
+    for shard, machine_id in enumerate(["m0", "m1"]):
+        stats = ServingStats()
+        session = MachineSession(
+            machine_id, "Q@v1", scenario.bundle("Q")
+        )
+        required = session.predictor.required_counters
+        columns = holdout_log.select(list(required))
+        for t in range(10):
+            session.submit(
+                t,
+                {name: columns[t, i] for i, name in enumerate(required)},
+                meter_w=float(holdout_log.power_w[t]),
+            )
+        MicroBatchScorer(stats=stats).tick([session])
+        snapshots.append(stats.snapshot([session]))
+
+    merged = merge_snapshots(snapshots)
+    assert merged["samples_scored"] == 20
+    assert [row["machine_id"] for row in merged["sessions"]] == [
+        "m0",
+        "m1",
+    ]
+    assert merged["dropped_samples"] == 0
+    assert merged["mean_online_dre"] == pytest.approx(
+        sum(
+            row["online_dre"]
+            for snap in snapshots
+            for row in snap["sessions"]
+        )
+        / 2
+    )
+
+
+def test_merge_snapshots_rejects_bad_input():
+    from repro.serving.stats import merge_snapshots
+
+    with pytest.raises(ValueError, match="at least one"):
+        merge_snapshots([])
+    snap = ServingStats().snapshot([])
+    other = ServingStats().snapshot([])
+    other["batch_size"]["bounds"] = [1.0, 2.0]
+    other["batch_size"]["counts"] = [0, 0, 0]
+    with pytest.raises(ValueError, match="differing bounds"):
+        merge_snapshots([snap, other])
+
+
+def test_merge_of_one_snapshot_is_identity_on_counters():
+    from repro.serving.stats import merge_snapshots
+
+    stats = ServingStats()
+    stats.record_batch(n_samples=7, n_groups=1, latency_s=0.003)
+    stats.n_protocol_errors += 2
+    stats.n_stalled_closed += 1
+    snap = stats.snapshot([])
+    merged = merge_snapshots([snap])
+    for key in (
+        "ticks",
+        "samples_scored",
+        "protocol_errors",
+        "stalled_closed",
+    ):
+        assert merged[key] == snap[key]
