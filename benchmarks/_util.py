@@ -1,0 +1,57 @@
+"""Shared provenance stamping for the benchmark harness.
+
+Every bench writes a results JSON to ``benchmarks/results/``; CI smoke
+checks read them back.  :func:`stamp_results` gives each payload the
+same provenance envelope — the git commit that produced it, the grid
+tier it ran under (``CHAOS_BENCH_GRID=small`` shrinks grids for CI),
+and the box's core count — so a results file is self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def git_commit() -> str:
+    """HEAD of the repo that ran the bench (``unknown`` outside git)."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def grid_tier() -> str:
+    """``small`` under ``CHAOS_BENCH_GRID=small``, else ``full``."""
+    return (
+        "small"
+        if os.environ.get("CHAOS_BENCH_GRID") == "small"
+        else "full"
+    )
+
+
+def stamp_results(name: str, payload: dict) -> pathlib.Path:
+    """Stamp ``payload`` with provenance and write it to results/.
+
+    Adds ``commit``, ``grid_tier`` and ``n_cpus`` (without clobbering
+    keys the bench set itself), writes ``benchmarks/results/<name>.json``
+    and returns the path.
+    """
+    stamped = dict(payload)
+    stamped.setdefault("commit", git_commit())
+    stamped.setdefault("grid_tier", grid_tier())
+    stamped.setdefault("n_cpus", os.cpu_count())
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(stamped, indent=2) + "\n")
+    return path

@@ -1,0 +1,115 @@
+"""DSE campaign throughput: a 500-candidate search, cold then warm.
+
+One bench drives :func:`repro.dse.search_campaign` on the atom/sort
+substrate at full scale — a genetic-search campaign whose evaluations
+run as content-addressed tasks under ``jobs=4`` — and then re-runs the
+identical campaign against the same artifact cache.  The claims:
+
+* the cold campaign evaluates >= 500 distinct candidates and yields a
+  non-empty Pareto frontier;
+* the warm re-run is served almost entirely from the cache (hit rate
+  >= 0.9) and reproduces the campaign payload **bit-for-bit** — the
+  crash-resume identity the engine guarantees.
+
+Results go to ``benchmarks/results/dse_campaign.json`` via the shared
+provenance stamp.  ``CHAOS_BENCH_GRID=small`` shrinks the campaign for
+CI smoke.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+from _util import stamp_results
+
+from repro.dse import CampaignConfig, GAConfig, search_campaign
+from repro.engine import ArtifactCache
+
+FULL_GRID = {
+    "population": 64,
+    "generations": 28,
+    "min_candidates": 500,
+    "jobs": 4,
+}
+SMALL_GRID = {
+    "population": 10,
+    "generations": 2,
+    "min_candidates": 15,
+    "jobs": 2,
+}
+
+
+def _campaign_config(grid) -> CampaignConfig:
+    return CampaignConfig(
+        platform="atom",
+        workload="sort",
+        machines=2,
+        runs=2,
+        seed=2012,
+        ranking="catalog",
+        probe_seconds=5,
+        ga=GAConfig(
+            population=grid["population"],
+            generations=grid["generations"],
+        ),
+    )
+
+
+def _run_campaign(config, cache_dir, jobs):
+    cache = ArtifactCache(cache_dir)
+    start = time.perf_counter()
+    result = search_campaign(config, jobs=jobs, cache=cache)
+    wall_s = time.perf_counter() - start
+    return result, wall_s
+
+
+def test_campaign_cold_then_warm(record_result):
+    grid = (
+        SMALL_GRID
+        if os.environ.get("CHAOS_BENCH_GRID") == "small"
+        else FULL_GRID
+    )
+    config = _campaign_config(grid)
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold, cold_s = _run_campaign(config, cache_dir, grid["jobs"])
+        warm, warm_s = _run_campaign(config, cache_dir, grid["jobs"])
+
+    n_candidates = len(cold.candidates)
+    n_feasible = sum(
+        1 for verdict in cold.candidates.values() if verdict["feasible"]
+    )
+    metrics = {
+        "population": grid["population"],
+        "generations": grid["generations"],
+        "jobs": grid["jobs"],
+        "candidates_evaluated": n_candidates,
+        "feasible": n_feasible,
+        "frontier_size": len(cold.frontier),
+        "best_mcdm_score": cold.mcdm[0]["score"] if cold.mcdm else None,
+        "payload_digest": cold.payload_digest(),
+        "cold_wall_seconds": cold_s,
+        "cold_candidates_per_s": n_candidates / cold_s,
+        "warm_wall_seconds": warm_s,
+        "warm_hit_rate": warm.telemetry.hit_rate,
+        "warm_payload_identical": (
+            warm.payload_digest() == cold.payload_digest()
+        ),
+    }
+    stamp_results("dse_campaign", metrics)
+    record_result(
+        "dse_campaign",
+        "\n".join(f"{key}: {value}" for key, value in metrics.items()),
+    )
+
+    # The campaign claim: enough of the space covered, a frontier found.
+    assert n_candidates >= grid["min_candidates"]
+    assert cold.frontier
+    assert 0 < n_feasible <= n_candidates
+
+    # The resume claim: a warm identical campaign is nearly all cache
+    # hits and lands on byte-identical campaign bytes.
+    assert warm.telemetry.hit_rate >= 0.9
+    assert metrics["warm_payload_identical"]

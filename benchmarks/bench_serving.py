@@ -26,11 +26,10 @@ commit that produced them) for the CI smoke checks.
 
 from __future__ import annotations
 
-import json
 import os
-import pathlib
-import subprocess
 import time
+
+from _util import stamp_results
 
 from repro.cluster import Cluster, execute_runs
 from repro.models.composition import PlatformModel
@@ -67,22 +66,6 @@ FULL_GRID = {
 }
 SMALL_GRID = {"sessions": (300,), "shards": (1, 2), "seconds": 5}
 CLAIM = {"sessions": 10_000, "shards": 4, "min_capacity_speedup": 3.0}
-
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-
-
-def _git_commit() -> str:
-    try:
-        return subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            cwd=pathlib.Path(__file__).parent,
-            capture_output=True,
-            text=True,
-            check=True,
-        ).stdout.strip()
-    except (OSError, subprocess.CalledProcessError):
-        return "unknown"
-
 
 def _fitted_bundle():
     """A Q bundle on the atom platform plus a source log to stream."""
@@ -171,10 +154,7 @@ def test_serving_sustains_fleet_rate(benchmark, record_result):
         iterations=1,
     )
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "serving_throughput.json").write_text(
-        json.dumps(metrics, indent=2) + "\n"
-    )
+    stamp_results("serving_throughput", metrics)
     record_result(
         "serving_throughput",
         "\n".join(f"{key}: {value}" for key, value in metrics.items()),
@@ -286,8 +266,6 @@ def test_sharded_scaling_curve(record_result):
             rows.append(cell)
 
     payload = {
-        "commit": _git_commit(),
-        "n_cpus": os.cpu_count(),
         "simulated_seconds": grid["seconds"],
         "claim": CLAIM,
         "note": (
@@ -297,10 +275,7 @@ def test_sharded_scaling_curve(record_result):
         ),
         "grid": rows,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "serving_scaling.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    stamp_results("serving_scaling", payload)
     header = (
         "sessions shards  samples  dropped  capacity_samples/s  speedup"
     )

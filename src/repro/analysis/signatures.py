@@ -150,6 +150,12 @@ FUNCTION_UNITS: Dict[str, UnitSignature] = {
     "peak_w": _sig(WATTS),
     "commit": _sig(WATTS, p0=WATTS, prediction_w=WATTS),
     "record_batch": _sig(None, latency_s=SECONDS),
+    # repro.dse — campaign objectives.  Serving latency is seconds per
+    # scored sample; fit cost and MCDM scores are dimensionless proxies.
+    "modeled_serving_p99": _sig(SECONDS),
+    "modeled_fit_cost": _sig(DIMENSIONLESS),
+    "mcdm_scores": _sig(DIMENSIONLESS),
+    "crowding_distance": _sig(DIMENSIONLESS),
 }
 
 #: Calls that preserve the unit of their first argument (reductions,
@@ -553,6 +559,39 @@ ARRAY_CONTRACTS: Dict[str, ArrayContract] = {
     ),
     "offline_reference": ArrayContract(
         "offline_reference", returns=_vec("n"),
+    ),
+    # dse — the campaign ranking core operates on dense float64
+    # (n_candidates, n_objectives) matrices; every entry point is also
+    # @contracted so `repro replay --sanitize`-style runtime checks can
+    # observe a campaign (the same one-registry rule as the kernels).
+    "pareto_frontier": ArrayContract(
+        "pareto_frontier",
+        params=(("objectives", _vec("n", "m")),),
+    ),
+    "nondominated_sort": ArrayContract(
+        "nondominated_sort",
+        params=(("objectives", _vec("n", "m")),),
+        returns=ArraySpec(shape=("n",), dtype="int64"),
+    ),
+    "crowding_distance": ArrayContract(
+        "crowding_distance",
+        params=(("objectives", _vec("n", "m")),),
+        returns=_vec("n"),
+    ),
+    "minmax_normalize": ArrayContract(
+        "minmax_normalize",
+        params=(("objectives", _vec("n", "m")),),
+        returns=_vec("n", "m"),
+    ),
+    "mcdm_scores": ArrayContract(
+        "mcdm_scores",
+        params=(("objectives", _vec("n", "m")), ("weights", _vec("m"))),
+        returns=_vec("n"),
+    ),
+    "main_effects": ArrayContract(
+        "main_effects",
+        params=(("design", _vec("n", "k")), ("objectives", _vec("n", "m"))),
+        returns=_vec("k", "m"),
     ),
 }
 

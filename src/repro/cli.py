@@ -10,6 +10,9 @@ Wraps the library's main entry points for shell use:
 * ``predict``    — apply a saved model to a Perfmon CSV
 * ``lint``       — chaos-lint static analysis (catalogs + source tree)
 * ``sweep``      — run the technique x feature-set grid via the engine
+* ``dse``        — design-space exploration campaigns: ``screen``
+  (factorial main effects), ``search`` (seeded genetic search with
+  Pareto/MCDM ranking), ``report`` (HTML frontier report)
 * ``cache``      — inspect/clear the engine's artifact cache
 * ``serve``      — run the chaos-serve prediction server from a registry
 * ``replay``     — stream a recorded/simulated cluster through a live
@@ -315,6 +318,87 @@ def _build_parser() -> argparse.ArgumentParser:
         "--force", action="store_true",
         help="publish even when the gate rejects",
     )
+
+    dse = sub.add_parser(
+        "dse",
+        help="design-space exploration campaigns: factorial screening, "
+        "genetic search with Pareto/MCDM ranking, HTML frontier reports",
+    )
+    dse_sub = dse.add_subparsers(dest="dse_command", required=True)
+
+    def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--platform", required=True)
+        parser.add_argument(
+            "--workload", default="sort", choices=WORKLOAD_NAMES
+        )
+        parser.add_argument("--machines", type=int, default=2)
+        parser.add_argument(
+            "--runs", type=int, default=2,
+            help="measurement runs feeding the run-wise folds (>= 2)",
+        )
+        parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+        parser.add_argument(
+            "--ranking", default="catalog",
+            choices=["catalog", "algorithm1"],
+            help="counter ranking the candidate feature sets draw from: "
+            "'catalog' (fast, deterministic) or 'algorithm1' (the "
+            "paper's selection funnel; slower)",
+        )
+        parser.add_argument(
+            "--probe-seconds", type=int, default=20,
+            dest="probe_seconds", metavar="S",
+            help="length of the serving replay probe per candidate",
+        )
+        _add_engine_flags(parser)
+
+    dse_screen = dse_sub.add_parser(
+        "screen",
+        help="fractional-factorial screening: rank parameter main "
+        "effects before spending a search budget",
+    )
+    _add_campaign_flags(dse_screen)
+
+    dse_search = dse_sub.add_parser(
+        "search",
+        help="seeded genetic search over the design space; writes the "
+        "campaign JSON and optionally the HTML frontier report",
+    )
+    _add_campaign_flags(dse_search)
+    dse_search.add_argument(
+        "--population", type=int, default=24, metavar="N",
+        help="GA population per generation",
+    )
+    dse_search.add_argument(
+        "--generations", type=int, default=8, metavar="N",
+    )
+    dse_search.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="hard cap on distinct candidate evaluations",
+    )
+    dse_search.add_argument(
+        "--weights", default=None, metavar="NAME=W,...",
+        help="MCDM objective weights, e.g. 'dre=0.5,overhead=0.2'; "
+        "unnamed objectives keep their defaults; any positive scaling "
+        "of the vector ranks identically",
+    )
+    dse_search.add_argument(
+        "--out", required=True, metavar="FILE",
+        help="campaign payload JSON output path",
+    )
+    dse_search.add_argument(
+        "--report", default=None, metavar="FILE", dest="report_out",
+        help="also render the HTML frontier report here",
+    )
+
+    dse_report = dse_sub.add_parser(
+        "report",
+        help="re-render the HTML frontier report from a saved campaign",
+    )
+    dse_report.add_argument(
+        "--campaign", required=True, metavar="FILE",
+        help="campaign JSON written by `repro dse search --out`",
+    )
+    dse_report.add_argument("--out", required=True, metavar="FILE")
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the engine's artifact cache"
@@ -965,6 +1049,148 @@ def _cmd_publish(args, out) -> int:
     return 0
 
 
+def _parse_weights(raw: str | None) -> dict[str, float]:
+    """--weights 'dre=0.5,overhead=0.2' merged over the defaults."""
+    from repro.dse.mcdm import DEFAULT_WEIGHTS
+
+    weights = dict(DEFAULT_WEIGHTS)
+    if raw is None:
+        return weights
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, value = part.partition("=")
+        if name not in weights:
+            raise ValueError(
+                f"unknown objective {name!r} in --weights "
+                f"(choose from {sorted(weights)})"
+            )
+        weights[name] = float(value)
+    return weights
+
+
+def _dse_campaign_config(args):
+    from repro.dse import CampaignConfig, GAConfig
+
+    ga = GAConfig(
+        population=getattr(args, "population", 24),
+        generations=getattr(args, "generations", 8),
+        budget=getattr(args, "budget", None),
+    )
+    return CampaignConfig(
+        platform=args.platform,
+        workload=args.workload,
+        machines=args.machines,
+        runs=args.runs,
+        seed=args.seed,
+        ranking=args.ranking,
+        probe_seconds=args.probe_seconds,
+        weights=_parse_weights(getattr(args, "weights", None)),
+        ga=ga,
+    )
+
+
+def _cmd_dse(args, out) -> int:
+    from repro.framework.reports import render_table
+
+    if args.dse_command == "report":
+        from repro.dse import load_campaign, save_report
+
+        payload = load_campaign(args.campaign)
+        save_report(payload, args.out)
+        print(
+            f"frontier report ({len(payload['frontier'])} of "
+            f"{len(payload['candidates'])} candidates) -> {args.out}",
+            file=out,
+        )
+        return 0
+
+    if not _check_resume(args, out):
+        return 2
+    config = _dse_campaign_config(args)
+
+    if args.dse_command == "screen":
+        from repro.dse import screen_campaign
+
+        with _engine_defaults(args):
+            result = screen_campaign(config)
+        print(
+            f"screened {result.n_runs_evaluated} factorial runs "
+            f"({result.n_feasible} feasible) on "
+            f"{config.platform}/{config.workload}",
+            file=out,
+        )
+        rows = [
+            [factor.name, f"{factor.strength:.3f}"]
+            + [f"{effect:+.4g}" for effect in factor.effects]
+            for factor in result.factors
+        ]
+        from repro.dse import OBJECTIVE_NAMES
+
+        print(render_table(
+            ["parameter", "strength"] + list(OBJECTIVE_NAMES),
+            rows,
+            title="main effects (strongest first; effect = "
+            "mean(high) - mean(low))",
+        ), file=out)
+        print(result.telemetry.render(), file=out)
+        return 0
+
+    # search
+    from repro.dse import git_commit, save_campaign, search_campaign
+
+    def _progress(record):
+        print(
+            f"  generation {record.generation}: "
+            f"{len(record.evaluated)} new evaluations, "
+            f"frontier {len(record.frontier)}",
+            file=out,
+        )
+
+    with _engine_defaults(args):
+        result = search_campaign(config, on_generation=_progress)
+    result.provenance = {"commit": git_commit()}
+    save_campaign(result, args.out)
+    print(
+        f"campaign: {len(result.candidates)} candidates evaluated, "
+        f"frontier {len(result.frontier)}, payload "
+        f"{result.payload_digest()[:12]} -> {args.out}",
+        file=out,
+    )
+    if result.mcdm:
+        from repro.dse import OBJECTIVE_NAMES
+
+        rows = []
+        for entry in result.mcdm[:5]:
+            verdict = result.candidates[entry["digest"]]
+            detail = verdict.get("detail") or {}
+            rows.append(
+                [
+                    entry["digest"][:10],
+                    str(detail.get("label", "?")),
+                    f"{entry['score']:.4f}",
+                ]
+                + [
+                    f"{verdict['objectives'][name]:.4g}"
+                    for name in OBJECTIVE_NAMES
+                ]
+            )
+        print(render_table(
+            ["candidate", "config", "mcdm"] + list(OBJECTIVE_NAMES),
+            rows,
+            title="top candidates (MCDM weighted score, lower = better)",
+        ), file=out)
+    if args.report_out is not None:
+        from repro.dse import save_report
+
+        payload = result.to_payload()
+        save_report(payload, args.report_out)
+        print(f"frontier report -> {args.report_out}", file=out)
+    print(result.telemetry.render(), file=out)
+    return 0
+
+
 def _cmd_cache(args, out) -> int:
     from repro.engine import ArtifactCache
 
@@ -1079,6 +1305,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "reproduce": _cmd_reproduce,
     "sweep": _cmd_sweep,
+    "dse": _cmd_dse,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "replay": _cmd_replay,

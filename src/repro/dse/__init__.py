@@ -1,0 +1,114 @@
+"""chaos-dse: design-space exploration campaigns over the modeling stack.
+
+Declarative typed design spaces, fractional-factorial screening, seeded
+genetic search with Pareto/MCDM ranking, and self-contained HTML
+frontier reports — every candidate evaluation a cacheable, crash-
+resumable task of the experiment engine.  See ``docs/dse.md``.
+"""
+
+from repro.dse.factorial import (
+    FactorEffect,
+    main_effects,
+    rank_factors,
+    screening_candidates,
+    two_level_design,
+)
+from repro.dse.ga import (
+    Evaluation,
+    GAConfig,
+    GenerationRecord,
+    SearchResult,
+    run_search,
+)
+from repro.dse.mcdm import (
+    DEFAULT_WEIGHTS,
+    mcdm_ranking,
+    mcdm_scores,
+    minmax_normalize,
+    normalize_weights,
+)
+from repro.dse.objectives import (
+    OBJECTIVE_NAMES,
+    CampaignSubstrate,
+    build_substrate,
+    candidate_feature_set,
+    candidate_task,
+    chaos_space,
+    evaluate_candidate,
+    space_constraint,
+)
+from repro.dse.pareto import (
+    crowding_distance,
+    dominates,
+    nondominated_sort,
+    pareto_frontier,
+    rank_and_crowd,
+)
+from repro.dse.report import render_report, save_report
+from repro.dse.runner import (
+    CampaignConfig,
+    CampaignEvaluator,
+    CampaignResult,
+    ScreenResult,
+    git_commit,
+    load_campaign,
+    rank_candidates,
+    save_campaign,
+    screen_campaign,
+    search_campaign,
+)
+from repro.dse.space import (
+    Categorical,
+    DesignSpace,
+    FloatRange,
+    IntRange,
+    SpaceError,
+)
+
+__all__ = [
+    "DEFAULT_WEIGHTS",
+    "OBJECTIVE_NAMES",
+    "CampaignConfig",
+    "CampaignEvaluator",
+    "CampaignResult",
+    "CampaignSubstrate",
+    "Categorical",
+    "DesignSpace",
+    "Evaluation",
+    "FactorEffect",
+    "FloatRange",
+    "GAConfig",
+    "GenerationRecord",
+    "IntRange",
+    "ScreenResult",
+    "SearchResult",
+    "SpaceError",
+    "build_substrate",
+    "candidate_feature_set",
+    "candidate_task",
+    "chaos_space",
+    "crowding_distance",
+    "dominates",
+    "evaluate_candidate",
+    "git_commit",
+    "load_campaign",
+    "main_effects",
+    "mcdm_ranking",
+    "mcdm_scores",
+    "minmax_normalize",
+    "nondominated_sort",
+    "normalize_weights",
+    "pareto_frontier",
+    "rank_and_crowd",
+    "rank_candidates",
+    "rank_factors",
+    "render_report",
+    "run_search",
+    "save_campaign",
+    "save_report",
+    "screen_campaign",
+    "screening_candidates",
+    "search_campaign",
+    "space_constraint",
+    "two_level_design",
+]

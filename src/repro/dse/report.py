@@ -1,0 +1,377 @@
+"""Self-contained HTML frontier reports for search campaigns.
+
+``render_report`` turns a campaign payload (``runner.to_payload()``)
+into one HTML file with zero external references: inline CSS, inline
+SVG scatter plots of every 2-D objective projection, and a sortable
+candidate table driven by a few lines of inline vanilla JS.  The output
+is a pure function of the payload — two renders of the same campaign
+are byte-identical, which is what lets the resume test compare report
+bytes directly.
+
+Visual conventions (the repo's chart style):
+
+* the Pareto frontier is series-1 blue, dominated candidates are gray
+  context points — identity is also carried by marker size and the
+  legend, never color alone;
+* all text wears text tokens (primary/secondary ink), never the series
+  color;
+* dark mode is its own palette selected via ``prefers-color-scheme``,
+  not an automatic inversion;
+* every marker carries a native ``<title>`` tooltip naming the
+  candidate and its exact objective values.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+#: Objective axis labels for the scatter projections and table.
+AXIS_LABELS: Dict[str, str] = {
+    "dre": "DRE",
+    "overhead": "overhead (CPU fraction)",
+    "fit_cost": "fit cost (a.u.)",
+    "serving_p99": "serving p99 (s/sample)",
+}
+
+_CSS = """
+:root {
+  --surface: #fcfcfb;
+  --text-primary: #0b0b0b;
+  --text-secondary: #5f5f5d;
+  --grid: #e4e4e2;
+  --frontier: #2a78d6;
+  --context: #b9b9b7;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19;
+    --text-primary: #ffffff;
+    --text-secondary: #b4b4b2;
+    --grid: #33333a;
+    --frontier: #3987e5;
+    --context: #5a5a58;
+  }
+}
+body {
+  background: var(--surface);
+  color: var(--text-primary);
+  font: 14px/1.5 system-ui, sans-serif;
+  margin: 2rem auto;
+  max-width: 72rem;
+  padding: 0 1rem;
+}
+h1 { font-size: 1.4rem; }
+h2 { font-size: 1.1rem; margin-top: 2rem; }
+.meta { color: var(--text-secondary); font-size: 0.85rem; }
+.meta code { color: var(--text-primary); }
+.legend { margin: 0.5rem 0; font-size: 0.85rem; }
+.legend .swatch {
+  display: inline-block; width: 10px; height: 10px;
+  border-radius: 50%; margin: 0 0.3rem 0 1rem; vertical-align: middle;
+}
+.charts { display: flex; flex-wrap: wrap; gap: 1rem; }
+.chart text { fill: var(--text-secondary); font-size: 10px; }
+table { border-collapse: collapse; width: 100%; font-size: 0.85rem; }
+th, td {
+  text-align: left; padding: 0.3rem 0.6rem;
+  border-bottom: 1px solid var(--grid);
+}
+th { cursor: pointer; color: var(--text-secondary); }
+th:hover { color: var(--text-primary); }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+tr.frontier td:first-child { border-left: 3px solid var(--frontier); }
+"""
+
+_SORT_JS = """
+document.querySelectorAll("th[data-col]").forEach(function (th) {
+  th.addEventListener("click", function () {
+    var table = th.closest("table");
+    var body = table.querySelector("tbody");
+    var col = th.dataset.col;
+    var numeric = th.classList.contains("num");
+    var dir = th.dataset.dir === "asc" ? -1 : 1;
+    th.dataset.dir = dir === 1 ? "asc" : "desc";
+    var rows = Array.prototype.slice.call(body.querySelectorAll("tr"));
+    rows.sort(function (a, b) {
+      var av = a.querySelector('[data-col="' + col + '"]').dataset.sort;
+      var bv = b.querySelector('[data-col="' + col + '"]').dataset.sort;
+      if (numeric) { return dir * (parseFloat(av) - parseFloat(bv)); }
+      return dir * av.localeCompare(bv);
+    });
+    rows.forEach(function (row) { body.appendChild(row); });
+  });
+});
+"""
+
+
+def _fmt(value: float) -> str:
+    """Stable short float formatting for axis labels and cells."""
+    return format(float(value), ".4g")
+
+
+def _scatter_svg(
+    x_name: str,
+    y_name: str,
+    points: Sequence[Tuple[float, float, str, bool]],
+) -> str:
+    """One 2-D projection: (x, y, label, on_frontier) points.
+
+    320x260 with fixed margins; both axes are min-max scaled over the
+    plotted candidates.  Frontier markers are larger, blue, and ringed
+    with the surface color so overlapping points stay separable.
+    """
+    width, height = 320, 260
+    left, right, top, bottom = 46, 10, 10, 36
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    def sx(x: float) -> float:
+        return left + (x - x_lo) / x_span * (width - left - right)
+
+    def sy(y: float) -> float:
+        return (height - bottom) - (y - y_lo) / y_span * (
+            height - top - bottom
+        )
+
+    parts = [
+        f'<svg class="chart" role="img" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect x="{left}" y="{top}" width="{width - left - right}" '
+        f'height="{height - top - bottom}" fill="none" '
+        'stroke="var(--grid)" stroke-width="1"/>',
+    ]
+    # Context (dominated) points first so frontier markers draw on top.
+    for on_frontier in (False, True):
+        for x, y, label, flag in points:
+            if flag != on_frontier:
+                continue
+            cx, cy = _fmt(sx(x)), _fmt(sy(y))
+            title = escape(
+                f"{label}: {x_name}={_fmt(x)}, {y_name}={_fmt(y)}"
+            )
+            if on_frontier:
+                parts.append(
+                    f'<circle cx="{cx}" cy="{cy}" r="4" '
+                    'fill="var(--frontier)" stroke="var(--surface)" '
+                    f'stroke-width="2"><title>{title}</title></circle>'
+                )
+            else:
+                parts.append(
+                    f'<circle cx="{cx}" cy="{cy}" r="3" '
+                    f'fill="var(--context)"><title>{title}</title>'
+                    "</circle>"
+                )
+    x_label = escape(AXIS_LABELS.get(x_name, x_name))
+    y_label = escape(AXIS_LABELS.get(y_name, y_name))
+    parts.extend([
+        f'<text x="{left}" y="{height - bottom + 14}">{_fmt(x_lo)}</text>',
+        f'<text x="{width - right}" y="{height - bottom + 14}" '
+        f'text-anchor="end">{_fmt(x_hi)}</text>',
+        f'<text x="{(left + width - right) / 2:.0f}" '
+        f'y="{height - bottom + 28}" text-anchor="middle">'
+        f"{x_label}</text>",
+        f'<text x="{left - 4}" y="{height - bottom}" '
+        f'text-anchor="end">{_fmt(y_lo)}</text>',
+        f'<text x="{left - 4}" y="{top + 10}" text-anchor="end">'
+        f"{_fmt(y_hi)}</text>",
+        f'<text x="{left - 34}" y="{(top + height - bottom) / 2:.0f}" '
+        f'transform="rotate(-90 {left - 34} '
+        f'{(top + height - bottom) / 2:.0f})" text-anchor="middle">'
+        f"{y_label}</text>",
+        "</svg>",
+    ])
+    return "".join(parts)
+
+
+def _provenance_rows(payload: dict) -> List[Tuple[str, str]]:
+    substrate = payload["substrate"]
+    config = payload["config"]
+    provenance = payload.get("provenance", {})
+    rows = [
+        ("commit", provenance.get("commit", "unknown")),
+        ("platform / workload",
+         f"{substrate['platform']} / {substrate['workload']}"),
+        ("machines x runs",
+         f"{substrate['machines']} x {substrate['runs']}"),
+        ("seed", str(config["seed"])),
+        ("counter ranking", substrate["ranking"]),
+        ("space digest", payload["space_digest"][:16]),
+        ("runs digest", substrate["runs_digest"][:16]),
+        ("candidates evaluated", str(len(payload["candidates"]))),
+        ("frontier size", str(len(payload["frontier"]))),
+        ("generations", str(len(payload["history"]))),
+        ("weights", ", ".join(
+            f"{name}={config['weights'][name]:g}"
+            for name in payload["objectives"]
+        )),
+    ]
+    return rows
+
+
+def _candidate_label(verdict: dict) -> str:
+    detail = verdict.get("detail") or {}
+    return str(detail.get("label", "?"))
+
+
+def render_report(payload: dict) -> str:
+    """The full single-file HTML report for one campaign payload."""
+    objectives: List[str] = list(payload["objectives"])
+    candidates: Dict[str, dict] = payload["candidates"]
+    frontier = set(payload["frontier"])
+    mcdm_scores = {
+        entry["digest"]: entry["score"] for entry in payload["mcdm"]
+    }
+    feasible = {
+        digest: verdict
+        for digest, verdict in candidates.items()
+        if verdict["feasible"]
+    }
+
+    substrate = payload["substrate"]
+    title = (
+        f"chaos-dse: {substrate['platform']}/{substrate['workload']} "
+        "frontier"
+    )
+
+    # -- charts --------------------------------------------------------
+    charts: List[str] = []
+    if feasible:
+        for x_name, y_name in combinations(objectives, 2):
+            points = [
+                (
+                    float(verdict["objectives"][x_name]),
+                    float(verdict["objectives"][y_name]),
+                    f"{_candidate_label(verdict)} {digest[:8]}",
+                    digest in frontier,
+                )
+                for digest, verdict in sorted(feasible.items())
+            ]
+            charts.append(_scatter_svg(x_name, y_name, points))
+
+    # -- table ---------------------------------------------------------
+    head_cells = [
+        '<th data-col="digest">candidate</th>',
+        '<th data-col="label">config</th>',
+        '<th data-col="params">parameters</th>',
+    ]
+    for name in objectives:
+        head_cells.append(
+            f'<th class="num" data-col="{escape(name)}">'
+            f"{escape(AXIS_LABELS.get(name, name))}</th>"
+        )
+    head_cells.append('<th class="num" data-col="mcdm">MCDM score</th>')
+    head_cells.append('<th data-col="front">frontier</th>')
+
+    body_rows: List[str] = []
+    ordered = [entry["digest"] for entry in payload["mcdm"]]
+    ordered += sorted(set(candidates) - set(ordered))
+    for digest in ordered:
+        verdict = candidates[digest]
+        label = _candidate_label(verdict)
+        params = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(verdict["params"].items())
+        )
+        on_front = digest in frontier
+        cells = [
+            f'<td data-col="digest" data-sort="{digest}">'
+            f"<code>{digest[:10]}</code></td>",
+            f'<td data-col="label" data-sort="{escape(label)}">'
+            f"{escape(label)}</td>",
+            f'<td data-col="params" data-sort="{escape(params)}">'
+            f"{escape(params)}</td>",
+        ]
+        for name in objectives:
+            if verdict["feasible"]:
+                value = float(verdict["objectives"][name])
+                cells.append(
+                    f'<td class="num" data-col="{escape(name)}" '
+                    f'data-sort="{value!r}">{_fmt(value)}</td>'
+                )
+            else:
+                cells.append(
+                    f'<td class="num" data-col="{escape(name)}" '
+                    'data-sort="inf">infeasible</td>'
+                )
+        score = mcdm_scores.get(digest)
+        if score is None:
+            cells.append(
+                '<td class="num" data-col="mcdm" data-sort="inf">'
+                "&mdash;</td>"
+            )
+        else:
+            cells.append(
+                f'<td class="num" data-col="mcdm" '
+                f'data-sort="{score!r}">{_fmt(score)}</td>'
+            )
+        cells.append(
+            f'<td data-col="front" data-sort="{int(on_front)}">'
+            f'{"yes" if on_front else ""}</td>'
+        )
+        row_class = ' class="frontier"' if on_front else ""
+        body_rows.append(f"<tr{row_class}>{''.join(cells)}</tr>")
+
+    provenance = "".join(
+        f"<tr><td>{escape(key)}</td><td><code>{escape(value)}</code>"
+        "</td></tr>"
+        for key, value in _provenance_rows(payload)
+    )
+
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{escape(title)}</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<h1>{escape(title)}</h1>
+<p class="meta">Design-space exploration over
+{len(candidates)} evaluated candidates
+({len(feasible)} feasible, {len(frontier)} on the Pareto frontier);
+all objectives minimized.</p>
+
+<h2>Objective projections</h2>
+<div class="legend">
+  <span class="swatch" style="background: var(--frontier)"></span>
+  Pareto frontier
+  <span class="swatch" style="background: var(--context)"></span>
+  dominated candidates
+</div>
+<div class="charts">
+{''.join(charts) if charts else '<p class="meta">no feasible candidates</p>'}
+</div>
+
+<h2>Candidates</h2>
+<p class="meta">Click a column header to sort; rows start in MCDM
+order (best first).</p>
+<table>
+<thead><tr>{''.join(head_cells)}</tr></thead>
+<tbody>
+{''.join(body_rows)}
+</tbody>
+</table>
+
+<h2>Provenance</h2>
+<table class="provenance">
+<tbody>
+{provenance}
+</tbody>
+</table>
+<script>{_SORT_JS}</script>
+</body>
+</html>
+"""
+
+
+def save_report(payload: dict, path) -> None:
+    """Render and write the report (plain write; the render is pure)."""
+    with open(path, "w") as handle:
+        handle.write(render_report(payload))

@@ -1,0 +1,322 @@
+"""Declarative design spaces: the typed parameter grid a campaign explores.
+
+A :class:`DesignSpace` is an ordered list of typed parameters —
+:class:`Categorical`, :class:`IntRange`, :class:`FloatRange` — each
+optionally *conditional* on an earlier parameter's value (``when``).  A
+candidate is a plain ``{name: value}`` dict; the space knows how to
+
+* sample candidates deterministically from a ``numpy.random.Generator``,
+* validate a candidate against every parameter's domain,
+* normalize a candidate to its *phenotype* — only the active parameters,
+  so two genotypes that differ in an inactive gene are one candidate as
+  far as evaluation and the artifact cache are concerned, and
+* digest itself and its candidates (SHA-256 over the canonical JSON),
+  which is what makes campaign evaluations content-addressable.
+
+Everything here is JSON-canonicalizable on purpose: a space round-trips
+through :meth:`DesignSpace.to_config`, so a campaign report can name the
+exact space it explored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.engine.hashing import canonical_json, sha256_hex
+
+Scalar = Union[bool, int, float, str]
+
+#: A conditional-activation clause: (earlier parameter name, values of
+#: that parameter under which this one is active).
+When = Tuple[str, Tuple[Scalar, ...]]
+
+
+class SpaceError(ValueError):
+    """A malformed space, parameter, or candidate."""
+
+
+def _check_when(when: Optional[When]) -> Optional[When]:
+    if when is None:
+        return None
+    name, values = when
+    if not isinstance(name, str) or not name:
+        raise SpaceError("when[0] must be a parameter name")
+    values = tuple(values)
+    if not values:
+        raise SpaceError(f"when clause on {name!r} needs at least one value")
+    return (name, values)
+
+
+@dataclass(frozen=True)
+class Categorical:
+    """A finite choice; the first entry is the screening low level."""
+
+    name: str
+    choices: Tuple[Scalar, ...]
+    when: Optional[When] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "choices", tuple(self.choices))
+        object.__setattr__(self, "when", _check_when(self.when))
+        if len(self.choices) < 2:
+            raise SpaceError(f"{self.name!r} needs at least two choices")
+        if len(set(self.choices)) != len(self.choices):
+            raise SpaceError(f"{self.name!r} has duplicate choices")
+
+    def sample(self, rng: np.random.Generator) -> Scalar:
+        return self.choices[int(rng.integers(len(self.choices)))]
+
+    def contains(self, value: Any) -> bool:
+        return any(
+            value == choice and isinstance(value, type(choice))
+            for choice in self.choices
+        )
+
+    def screening_levels(self) -> Tuple[Scalar, Scalar]:
+        """The two levels a factorial screen assigns to this factor."""
+        return (self.choices[0], self.choices[-1])
+
+    def to_config(self) -> dict:
+        return {
+            "kind": "categorical",
+            "name": self.name,
+            "choices": list(self.choices),
+            "when": _when_config(self.when),
+        }
+
+
+@dataclass(frozen=True)
+class IntRange:
+    """An integer in ``[lo, hi]`` (both inclusive)."""
+
+    name: str
+    lo: int
+    hi: int
+    when: Optional[When] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "when", _check_when(self.when))
+        if not (isinstance(self.lo, int) and isinstance(self.hi, int)):
+            raise SpaceError(f"{self.name!r} bounds must be ints")
+        if self.lo >= self.hi:
+            raise SpaceError(f"{self.name!r} needs lo < hi")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.lo, self.hi + 1))
+
+    def contains(self, value: Any) -> bool:
+        return (
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and self.lo <= value <= self.hi
+        )
+
+    def screening_levels(self) -> Tuple[int, int]:
+        return (self.lo, self.hi)
+
+    def to_config(self) -> dict:
+        return {
+            "kind": "int",
+            "name": self.name,
+            "lo": self.lo,
+            "hi": self.hi,
+            "when": _when_config(self.when),
+        }
+
+
+@dataclass(frozen=True)
+class FloatRange:
+    """A float in ``[lo, hi]``; sampled values are rounded to 6 decimal
+    places so candidates stay stable through the JSON round-trip and two
+    near-identical mutants collapse to one cache entry."""
+
+    name: str
+    lo: float
+    hi: float
+    when: Optional[When] = None
+
+    DECIMALS = 6
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "when", _check_when(self.when))
+        object.__setattr__(self, "lo", float(self.lo))
+        object.__setattr__(self, "hi", float(self.hi))
+        if not (np.isfinite(self.lo) and np.isfinite(self.hi)):
+            raise SpaceError(f"{self.name!r} bounds must be finite")
+        if self.lo >= self.hi:
+            raise SpaceError(f"{self.name!r} needs lo < hi")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        value = float(rng.uniform(self.lo, self.hi))
+        return min(max(round(value, self.DECIMALS), self.lo), self.hi)
+
+    def contains(self, value: Any) -> bool:
+        return (
+            isinstance(value, float)
+            and np.isfinite(value)
+            and self.lo <= value <= self.hi
+        )
+
+    def screening_levels(self) -> Tuple[float, float]:
+        return (self.lo, self.hi)
+
+    def to_config(self) -> dict:
+        return {
+            "kind": "float",
+            "name": self.name,
+            "lo": self.lo,
+            "hi": self.hi,
+            "when": _when_config(self.when),
+        }
+
+
+Parameter = Union[Categorical, IntRange, FloatRange]
+
+
+def _when_config(when: Optional[When]) -> Optional[list]:
+    if when is None:
+        return None
+    return [when[0], list(when[1])]
+
+
+def _when_from_config(raw: Any) -> Optional[When]:
+    if raw is None:
+        return None
+    return (raw[0], tuple(raw[1]))
+
+
+class DesignSpace:
+    """An ordered, conditionally-activated parameter space."""
+
+    def __init__(self, parameters: Sequence[Parameter]):
+        parameters = tuple(parameters)
+        if not parameters:
+            raise SpaceError("a design space needs at least one parameter")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise SpaceError(f"duplicate parameter names in {names}")
+        seen = set()
+        for parameter in parameters:
+            if parameter.when is not None:
+                target = parameter.when[0]
+                if target not in seen:
+                    raise SpaceError(
+                        f"{parameter.name!r} is conditional on {target!r}, "
+                        "which must be declared earlier in the space"
+                    )
+            seen.add(parameter.name)
+        self.parameters: Tuple[Parameter, ...] = parameters
+        self._by_name = {p.name: p for p in parameters}
+
+    # -- introspection -------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.parameters)
+
+    def parameter(self, name: str) -> Parameter:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SpaceError(f"unknown parameter {name!r}")
+
+    def is_active(self, name: str, params: dict) -> bool:
+        """Whether ``name`` is active under ``params`` (transitively:
+        a parameter whose ``when`` target is itself inactive is
+        inactive)."""
+        parameter = self.parameter(name)
+        if parameter.when is None:
+            return True
+        target, allowed = parameter.when
+        if not self.is_active(target, params):
+            return False
+        return params.get(target) in allowed
+
+    # -- candidates ----------------------------------------------------
+    def sample(self, rng: np.random.Generator) -> dict:
+        """One full genotype: every parameter sampled, active or not."""
+        return {p.name: p.sample(rng) for p in self.parameters}
+
+    def validate(self, params: dict) -> None:
+        """Raise :class:`SpaceError` unless every *active* parameter is
+        present and inside its domain."""
+        for parameter in self.parameters:
+            if not self.is_active(parameter.name, params):
+                continue
+            if parameter.name not in params:
+                raise SpaceError(
+                    f"candidate is missing active parameter "
+                    f"{parameter.name!r}"
+                )
+            value = params[parameter.name]
+            if not parameter.contains(value):
+                raise SpaceError(
+                    f"{value!r} is outside the domain of "
+                    f"{parameter.name!r}"
+                )
+
+    def normalize(self, params: dict) -> dict:
+        """The phenotype: active parameters only, in declaration order.
+
+        This is the evaluation identity — inactive genes are dropped, so
+        candidates differing only there share one cache entry.
+        """
+        self.validate(params)
+        return {
+            p.name: params[p.name]
+            for p in self.parameters
+            if self.is_active(p.name, params)
+        }
+
+    def candidate_digest(self, params: dict) -> str:
+        """SHA-256 of the canonical phenotype."""
+        return sha256_hex(canonical_json(self.normalize(params)))
+
+    def sample_valid(
+        self,
+        rng: np.random.Generator,
+        constraint: Optional[Callable[[dict], bool]] = None,
+        max_tries: int = 64,
+    ) -> dict:
+        """Rejection-sample a genotype whose phenotype satisfies
+        ``constraint``; after ``max_tries`` rejections the last draw is
+        returned anyway (the evaluator will mark it infeasible)."""
+        candidate = self.sample(rng)
+        if constraint is None:
+            return candidate
+        for _ in range(max_tries):
+            if constraint(self.normalize(candidate)):
+                return candidate
+            candidate = self.sample(rng)
+        return candidate
+
+    # -- identity ------------------------------------------------------
+    def to_config(self) -> dict:
+        return {"parameters": [p.to_config() for p in self.parameters]}
+
+    @classmethod
+    def from_config(cls, config: dict) -> "DesignSpace":
+        parameters: list = []
+        for raw in config["parameters"]:
+            when = _when_from_config(raw.get("when"))
+            if raw["kind"] == "categorical":
+                parameters.append(
+                    Categorical(raw["name"], tuple(raw["choices"]), when)
+                )
+            elif raw["kind"] == "int":
+                parameters.append(
+                    IntRange(raw["name"], raw["lo"], raw["hi"], when)
+                )
+            elif raw["kind"] == "float":
+                parameters.append(
+                    FloatRange(raw["name"], raw["lo"], raw["hi"], when)
+                )
+            else:
+                raise SpaceError(f"unknown parameter kind {raw['kind']!r}")
+        return cls(parameters)
+
+    def digest(self) -> str:
+        """SHA-256 identity of the space (parameters, order, domains)."""
+        return sha256_hex(canonical_json(self.to_config()))

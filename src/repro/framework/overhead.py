@@ -50,6 +50,50 @@ class OverheadReport:
         )
 
 
+#: Analytic cost model behind :func:`modeled_overhead`.  The constants
+#: are fitted to the orders of magnitude ``measure_overhead`` reports on
+#: this substrate (tens of microseconds per counter read, single-digit
+#: microseconds per predicted sample); what matters downstream is the
+#: *shape* — cost grows linearly in collected counters and features,
+#: scaled by the technique's evaluation complexity.
+COLLECTION_SECONDS_PER_COUNTER = 2.0e-5
+PREDICTION_BASE_SECONDS = 2.0e-6
+PREDICTION_SECONDS_PER_FEATURE = 1.0e-6
+MODEL_COMPLEXITY = {"L": 1.0, "P": 1.6, "Q": 2.5, "S": 2.0}
+
+
+def modeled_overhead(
+    model_code: str,
+    n_counters: int,
+    n_features: int,
+) -> OverheadReport:
+    """Deterministic analytic stand-in for :func:`measure_overhead`.
+
+    Design-space campaigns rank candidates on this closed-form cost so
+    the Pareto frontier is a pure function of the candidate (bit-stable
+    across hosts and load); ``measure_overhead`` stays the ground-truth
+    measurement the overhead experiment reports.
+    """
+    if model_code not in MODEL_COMPLEXITY:
+        raise KeyError(f"unknown model code {model_code!r}")
+    if n_counters < 0 or n_features < 1:
+        raise ValueError("need n_counters >= 0 and n_features >= 1")
+    complexity = MODEL_COMPLEXITY[model_code]
+    # The quadratic model evaluates the expanded square/cross terms, so
+    # its per-feature cost grows with the expansion width.
+    width = n_features * n_features if model_code == "Q" else n_features
+    return OverheadReport(
+        collection_seconds_per_sample=(
+            n_counters * COLLECTION_SECONDS_PER_COUNTER
+        ),
+        prediction_seconds_per_sample=(
+            PREDICTION_BASE_SECONDS
+            + complexity * width * PREDICTION_SECONDS_PER_FEATURE
+        ),
+        n_counters_collected=n_counters,
+    )
+
+
 def measure_overhead(
     model: PowerModel,
     catalog: CounterCatalog,

@@ -112,6 +112,31 @@ class EngineTelemetry:
         """Total task time (sums across workers, so can exceed wall)."""
         return float(sum(r.seconds for r in self.records))
 
+    def merge(self, other: "EngineTelemetry") -> None:
+        """Fold another engine run's records into this accumulator.
+
+        Campaign drivers run one task graph per GA generation; merging
+        each generation's telemetry yields the campaign-level rollup
+        (total tasks, overall hit rate, busy vs wall seconds).
+        """
+        self.records.extend(other.records)
+        self.wall_seconds += other.wall_seconds
+
+    def to_summary(self) -> dict:
+        """JSON-safe rollup for campaign reports and ``--telemetry``."""
+        return {
+            "tasks": self.n_tasks,
+            "computed": self.n_computed,
+            "cache_hits": self.n_cache_hits,
+            "hit_rate": self.hit_rate,
+            "failed": self.n_failed,
+            "timeouts": self.n_timeouts,
+            "skipped": self.n_skipped,
+            "retries": self.total_retries,
+            "busy_seconds": self.busy_seconds,
+            "wall_seconds": self.wall_seconds,
+        }
+
     def slowest(self, n: int = 5) -> list[TaskRecord]:
         return sorted(
             self.records, key=lambda r: r.seconds, reverse=True

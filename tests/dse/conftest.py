@@ -1,0 +1,22 @@
+"""Shared fixtures for the DSE suite.
+
+Building a substrate executes real workload runs, so one atom/sort
+campaign substrate is shared session-wide; tests that need a different
+seed or ranking build their own.
+"""
+
+import pytest
+
+from repro.dse import build_substrate, chaos_space
+
+
+@pytest.fixture(scope="session")
+def substrate():
+    return build_substrate(
+        "atom", "sort", n_machines=2, n_runs=2, seed=3, ranking="catalog"
+    )
+
+
+@pytest.fixture(scope="session")
+def space(substrate):
+    return chaos_space(substrate)

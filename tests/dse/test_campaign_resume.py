@@ -1,0 +1,177 @@
+"""Crash-resume integration test for ``repro dse search``.
+
+The campaign contract: every candidate evaluation is a content-addressed
+engine task, so a campaign killed mid-run and resumed against the same
+artifact cache replays the finished work as cache hits and lands on a
+bit-identical campaign payload — same candidates, same frontier, same
+report bytes.
+
+The kill is a real ``SIGKILL``: a reference run (separate cache) first
+establishes how many artifacts a full campaign writes, then a second run
+is killed once its cache holds >= 90% of them, so the resumed run's hit
+rate is deterministically >= 0.9.
+"""
+
+import json
+import math
+import os
+import signal
+import subprocess
+import sys
+import time
+from html.parser import HTMLParser
+
+import pytest
+
+SEARCH_ARGS = [
+    "dse",
+    "search",
+    "--platform",
+    "atom",
+    "--workload",
+    "sort",
+    "--machines",
+    "2",
+    "--runs",
+    "2",
+    "--seed",
+    "3",
+    "--ranking",
+    "catalog",
+    "--probe-seconds",
+    "5",
+    "--population",
+    "8",
+    "--generations",
+    "2",
+]
+
+
+def _spawn(cache_dir, out, report, resume=False, capture=True):
+    args = (
+        [sys.executable, "-m", "repro"]
+        + SEARCH_ARGS
+        + ["--cache-dir", str(cache_dir), "--out", str(out)]
+        + ["--report", str(report)]
+        + (["--resume"] if resume else [])
+    )
+    env = dict(os.environ, REPRO_JOBS="2")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p
+    )
+    return subprocess.Popen(
+        args,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        env=env,
+        # The victim run is killed with SIGKILL; capturing its stdout
+        # would leave orphaned pool workers holding the pipe open.  A
+        # fresh session lets the kill take the whole process group.
+        stdout=subprocess.PIPE if capture else subprocess.DEVNULL,
+        stderr=subprocess.STDOUT if capture else subprocess.DEVNULL,
+        text=capture,
+        start_new_session=not capture,
+    )
+
+
+def _run(cache_dir, out, report, resume=False):
+    process = _spawn(cache_dir, out, report, resume=resume)
+    stdout, _ = process.communicate(timeout=240)
+    assert process.returncode == 0, stdout
+    return stdout
+
+
+def _artifact_count(cache_dir) -> int:
+    count = 0
+    for root, _dirs, files in os.walk(cache_dir):
+        count += sum(1 for name in files if name.endswith(".json"))
+    return count
+
+
+def _stable(payload: dict) -> dict:
+    stable = dict(payload)
+    stable.pop("run", None)
+    return stable
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    root = tmp_path_factory.mktemp("reference")
+    out = root / "campaign.json"
+    report = root / "report.html"
+    _run(root / "cache", out, report)
+    payload = json.loads(out.read_text())
+    return {
+        "payload": payload,
+        "html": report.read_text(),
+        "n_artifacts": _artifact_count(root / "cache"),
+    }
+
+
+def test_reference_run_is_cold_and_complete(reference):
+    engine = reference["payload"]["run"]["engine"]
+    assert engine["tasks"] == len(reference["payload"]["candidates"])
+    assert engine["cache_hits"] == 0
+    assert reference["payload"]["frontier"]
+    assert reference["n_artifacts"] >= engine["tasks"]
+
+
+def test_kill_then_resume_reproduces_the_campaign(
+    reference, tmp_path
+):
+    cache_dir = tmp_path / "cache"
+    out = tmp_path / "campaign.json"
+    report = tmp_path / "report.html"
+    target = math.ceil(0.9 * reference["n_artifacts"])
+
+    # -- phase 1: run until >= 90% of the artifacts exist, then kill --
+    victim = _spawn(cache_dir, out, report, capture=False)
+    killed = False
+    deadline = time.monotonic() + 240
+    while time.monotonic() < deadline:
+        if victim.poll() is not None:
+            break  # finished before we got to it; resume still works
+        if _artifact_count(cache_dir) >= target:
+            os.killpg(victim.pid, signal.SIGKILL)
+            killed = True
+            break
+        time.sleep(0.01)
+    victim.wait(timeout=60)
+    if killed:
+        assert not out.exists()  # died before persisting the campaign
+
+    # -- phase 2: --resume against the survived cache ------------------
+    stdout = _run(cache_dir, out, report, resume=True)
+    assert "resume" in stdout.lower()
+    resumed = json.loads(out.read_text())
+
+    engine = resumed["run"]["engine"]
+    assert engine["tasks"] == len(resumed["candidates"])
+    assert engine["hit_rate"] >= 0.9
+
+    # Bit-identical campaign: same payload, same frontier, same report.
+    assert _stable(resumed) == _stable(reference["payload"])
+    assert resumed["frontier"] == reference["payload"]["frontier"]
+    assert report.read_text() == reference["html"]
+
+
+def test_report_parses_with_stdlib_html_parser(reference):
+    class Strict(HTMLParser):
+        def __init__(self):
+            super().__init__(convert_charrefs=True)
+            self.starts = []
+            self.ends = []
+
+        def handle_starttag(self, tag, attrs):
+            self.starts.append(tag)
+
+        def handle_endtag(self, tag):
+            self.ends.append(tag)
+
+    parser = Strict()
+    parser.feed(reference["html"])
+    parser.close()
+    for tag in ("html", "svg", "table", "script", "style"):
+        assert tag in parser.starts
+    # Every opened container that must close, closes.
+    for tag in ("html", "body", "table", "svg", "script", "style"):
+        assert parser.starts.count(tag) == parser.ends.count(tag)

@@ -1,0 +1,95 @@
+"""Unit tests for the fractional-factorial screening pass."""
+
+import numpy as np
+import pytest
+
+from repro.dse import (
+    Categorical,
+    DesignSpace,
+    IntRange,
+    main_effects,
+    rank_factors,
+    screening_candidates,
+    two_level_design,
+)
+
+
+class TestTwoLevelDesign:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 7, 9])
+    def test_shape_and_levels(self, k):
+        design = two_level_design(k)
+        n_runs = design.shape[0]
+        assert design.shape == (n_runs, k)
+        assert n_runs & (n_runs - 1) == 0  # power of two
+        assert n_runs - 1 >= k  # enough columns for every factor
+        assert set(np.unique(design)) <= {-1.0, 1.0}
+
+    @pytest.mark.parametrize("k", [2, 4, 6, 9])
+    def test_columns_are_balanced(self, k):
+        design = two_level_design(k)
+        # Every factor sees each level in exactly half the runs.
+        assert np.all(design.sum(axis=0) == 0)
+
+    def test_full_factorial_when_it_fits(self):
+        # 3 factors fit in 2^2 - 1 = 3 generator columns: 4 runs.
+        assert two_level_design(3).shape == (4, 3)
+        # A 4th factor forces the next power of two.
+        assert two_level_design(4).shape == (8, 4)
+
+
+class TestScreeningCandidates:
+    def test_candidates_cover_levels_and_validate(self):
+        space = DesignSpace(
+            [
+                Categorical("model", ("L", "Q")),
+                Categorical("features", ("U", "C")),
+                IntRange("n", 2, 8, when=("features", ("C",))),
+            ]
+        )
+        design, candidates = screening_candidates(space)
+        assert design.shape[0] == len(candidates)
+        for row, candidate in zip(design, candidates):
+            space.validate(candidate)
+            for j, name in enumerate(space.names):
+                lo, hi = space.parameter(name).screening_levels()
+                assert candidate[name] == (lo if row[j] < 0 else hi)
+
+
+class TestMainEffects:
+    def test_recovers_linear_effects(self):
+        design = two_level_design(3)
+        # y = 2*x0 - 3*x1 + 0*x2  =>  effects (high-low) = (4, -6, 0).
+        objectives = (
+            2.0 * design[:, [0]] - 3.0 * design[:, [1]]
+        )
+        effects = main_effects(design, objectives)
+        assert effects.shape == (3, 1)
+        np.testing.assert_allclose(
+            effects[:, 0], [4.0, -6.0, 0.0], atol=1e-12
+        )
+
+    def test_infeasible_rows_are_excluded(self):
+        design = two_level_design(2)
+        objectives = np.zeros((design.shape[0], 1))
+        objectives[:, 0] = design[:, 0]
+        feasible = np.ones(design.shape[0], dtype=bool)
+        # Poison one run with a huge value, then mark it infeasible:
+        # the effect estimate must not move.
+        objectives[0, 0] = 1e9
+        feasible[0] = False
+        effects = main_effects(design, objectives, feasible)
+        assert abs(effects[0, 0] - 2.0) < 1e-9
+
+    def test_rank_factors_orders_by_strength(self):
+        design = two_level_design(3)
+        objectives = (
+            2.0 * design[:, [0]] - 3.0 * design[:, [1]]
+        )
+        feasible = np.ones(design.shape[0], dtype=bool)
+        effects = main_effects(design, objectives, feasible)
+        factors = rank_factors(
+            ("a", "b", "c"), effects, objectives, feasible
+        )
+        assert [factor.name for factor in factors] == ["b", "a", "c"]
+        assert factors[0].strength >= factors[1].strength
+        assert factors[2].strength == 0.0

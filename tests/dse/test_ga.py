@@ -1,0 +1,177 @@
+"""Unit + property tests for the seeded genetic search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import (
+    Categorical,
+    DesignSpace,
+    Evaluation,
+    FloatRange,
+    GAConfig,
+    IntRange,
+    run_search,
+)
+
+
+def _toy_space() -> DesignSpace:
+    return DesignSpace(
+        [
+            Categorical("model", ("L", "P", "Q")),
+            Categorical("features", ("U", "C")),
+            IntRange("n_counters", 2, 8, when=("features", ("C",))),
+            FloatRange("train_fraction", 0.2, 0.9),
+        ]
+    )
+
+
+def _toy_evaluate(digests, genotypes):
+    """Deterministic synthetic objectives: cheap models and small
+    counter budgets win one axis, accurate models the other."""
+    verdicts = {}
+    for digest in digests:
+        params = genotypes[digest]
+        accuracy = {"L": 3.0, "P": 2.0, "Q": 1.0}[params["model"]]
+        cost = 1.0
+        if params["features"] == "C":
+            cost += params["n_counters"] * 0.5
+        cost += params["train_fraction"]
+        verdicts[digest] = Evaluation(objectives=(accuracy, cost))
+    return verdicts
+
+
+def _history_fingerprint(result):
+    return [
+        (
+            record.generation,
+            tuple(record.population),
+            tuple(record.evaluated),
+            tuple(record.frontier),
+            tuple(record.best),
+        )
+        for record in result.history
+    ]
+
+
+class TestGAConfig:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            GAConfig(population=1)
+        with pytest.raises(ValueError):
+            GAConfig(generations=0)
+        with pytest.raises(ValueError):
+            GAConfig(population=8, elites=8)
+        with pytest.raises(ValueError):
+            GAConfig(tournament=0)
+
+
+class TestSearch:
+    def test_runs_and_records_every_generation(self):
+        config = GAConfig(population=8, generations=4, elites=2)
+        result = run_search(_toy_space(), _toy_evaluate, config, seed=5)
+        assert len(result.history) == 4
+        assert result.evaluated_order
+        assert len(set(result.evaluated_order)) == len(
+            result.evaluated_order
+        )
+        for record in result.history:
+            assert len(record.population) == 8
+            assert record.frontier
+            assert len(record.best) == 2
+        # Best-so-far values never regress.
+        bests = np.asarray([r.best for r in result.history])
+        assert np.all(np.diff(bests, axis=0) <= 0.0)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_same_seed_same_history(self, seed):
+        config = GAConfig(population=6, generations=3, elites=1)
+        first = run_search(
+            _toy_space(), _toy_evaluate, config, seed=seed
+        )
+        second = run_search(
+            _toy_space(), _toy_evaluate, config, seed=seed
+        )
+        assert _history_fingerprint(first) == _history_fingerprint(
+            second
+        )
+        assert first.evaluated_order == second.evaluated_order
+        assert first.genotypes == second.genotypes
+
+    def test_different_seeds_diverge(self):
+        config = GAConfig(population=8, generations=3)
+        a = run_search(_toy_space(), _toy_evaluate, config, seed=0)
+        b = run_search(_toy_space(), _toy_evaluate, config, seed=1)
+        assert _history_fingerprint(a) != _history_fingerprint(b)
+
+    def test_budget_stops_the_search(self):
+        config = GAConfig(population=8, generations=10, budget=12)
+        result = run_search(_toy_space(), _toy_evaluate, config, seed=2)
+        assert result.exhausted_budget
+        assert len(result.evaluated_order) <= 12
+        assert len(result.history) < 10
+
+    def test_callback_must_cover_every_digest(self):
+        def dropping_evaluate(digests, genotypes):
+            verdicts = _toy_evaluate(digests, genotypes)
+            verdicts.pop(next(iter(verdicts)))
+            return verdicts
+
+        config = GAConfig(population=4, generations=2, elites=1)
+        with pytest.raises(RuntimeError):
+            run_search(_toy_space(), dropping_evaluate, config, seed=3)
+
+    def test_infeasible_candidates_never_reach_the_frontier(self):
+        def half_infeasible(digests, genotypes):
+            verdicts = {}
+            for digest in digests:
+                params = genotypes[digest]
+                if params["model"] == "Q":
+                    verdicts[digest] = Evaluation(
+                        objectives=(), feasible=False
+                    )
+                else:
+                    verdicts[digest] = _toy_evaluate(
+                        [digest], {digest: params}
+                    )[digest]
+            return verdicts
+
+        config = GAConfig(population=10, generations=3, elites=2)
+        result = run_search(
+            _toy_space(), half_infeasible, config, seed=4
+        )
+        infeasible = {
+            digest
+            for digest, verdict in result.evaluations.items()
+            if not verdict.feasible
+        }
+        assert infeasible  # the model=Q third of the space exists
+        for record in result.history:
+            assert not infeasible & set(record.frontier)
+
+    def test_constraint_filters_the_population(self):
+        constraint = lambda p: p["model"] != "Q"  # noqa: E731
+        config = GAConfig(population=8, generations=3)
+        result = run_search(
+            _toy_space(),
+            _toy_evaluate,
+            config,
+            seed=6,
+            constraint=constraint,
+        )
+        for genotype in result.genotypes.values():
+            assert genotype["model"] != "Q"
+
+    def test_on_generation_sees_the_history(self):
+        seen = []
+        config = GAConfig(population=6, generations=3)
+        result = run_search(
+            _toy_space(),
+            _toy_evaluate,
+            config,
+            seed=7,
+            on_generation=seen.append,
+        )
+        assert seen == result.history

@@ -1,0 +1,122 @@
+"""Property tests (hypothesis) for MCDM scoring.
+
+The headline invariant: scores are unchanged (to float rounding) under
+positive scaling of the weight vector, so "0.5/0.2/0.15/0.15" and
+"50/20/15/15" name the same decision.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import (
+    DEFAULT_WEIGHTS,
+    OBJECTIVE_NAMES,
+    mcdm_ranking,
+    mcdm_scores,
+    minmax_normalize,
+    normalize_weights,
+)
+
+
+def _matrix(seed, n, m):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-10.0, 10.0, size=(n, m))
+
+
+def _weights(seed, m):
+    rng = np.random.default_rng(seed)
+    vector = rng.uniform(0.0, 1.0, size=m)
+    vector[int(rng.integers(m))] += 0.5  # at least one positive
+    return vector
+
+
+cases = st.builds(
+    lambda seed, n, m: (_matrix(seed, n, m), _weights(seed + 1, m)),
+    seed=st.integers(0, 10_000),
+    n=st.integers(2, 40),
+    m=st.integers(1, 5),
+)
+
+
+class TestMinMax:
+    @given(case=cases)
+    @settings(max_examples=100, deadline=None)
+    def test_range_and_endpoints(self, case):
+        matrix, _ = case
+        scaled = minmax_normalize(matrix)
+        assert scaled.shape == matrix.shape
+        assert np.all(scaled >= 0.0) and np.all(scaled <= 1.0)
+        spans = matrix.max(axis=0) - matrix.min(axis=0)
+        for j in range(matrix.shape[1]):
+            if spans[j] > 0:
+                assert scaled[:, j].min() == 0.0
+                assert scaled[:, j].max() == 1.0
+            else:
+                assert np.all(scaled[:, j] == 0.0)
+
+    @given(case=cases)
+    @settings(max_examples=50, deadline=None)
+    def test_invariant_under_affine_objective_rescale(self, case):
+        matrix, _ = case
+        rescaled = 3.0 * matrix + 7.0
+        np.testing.assert_allclose(
+            minmax_normalize(matrix),
+            minmax_normalize(rescaled),
+            atol=1e-12,
+        )
+
+
+class TestScores:
+    @given(case=cases, scale=st.floats(min_value=1e-3, max_value=1e3))
+    @settings(max_examples=100, deadline=None)
+    def test_positive_weight_scaling_is_identity(self, case, scale):
+        matrix, weights = case
+        baseline = mcdm_scores(matrix, weights)
+        scaled = mcdm_scores(matrix, weights * scale)
+        np.testing.assert_allclose(baseline, scaled, rtol=0, atol=1e-12)
+        assert mcdm_ranking(matrix, weights) == mcdm_ranking(
+            matrix, weights * scale
+        )
+
+    @given(case=cases)
+    @settings(max_examples=100, deadline=None)
+    def test_scores_are_convex_combinations(self, case):
+        matrix, weights = case
+        scores = mcdm_scores(matrix, weights)
+        assert scores.shape == (matrix.shape[0],)
+        assert np.all(scores >= 0.0)
+        assert np.all(scores <= 1.0 + 1e-12)
+
+    @given(case=cases)
+    @settings(max_examples=50, deadline=None)
+    def test_dominating_row_scores_no_worse(self, case):
+        matrix, weights = case
+        stacked = np.vstack([matrix, matrix.min(axis=0)])
+        scores = mcdm_scores(stacked, weights)
+        # The ideal point (columnwise min) gets the best score.
+        assert np.argmin(scores) == len(stacked) - 1 or np.isclose(
+            scores[-1], scores.min()
+        )
+
+
+class TestWeights:
+    def test_normalize_weights_orders_and_scales(self):
+        vector = normalize_weights(DEFAULT_WEIGHTS, OBJECTIVE_NAMES)
+        assert vector.shape == (len(OBJECTIVE_NAMES),)
+        assert np.isclose(vector.sum(), 1.0)
+        doubled = {k: 2 * v for k, v in DEFAULT_WEIGHTS.items()}
+        np.testing.assert_allclose(
+            vector, normalize_weights(doubled, OBJECTIVE_NAMES)
+        )
+
+    def test_normalize_weights_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            normalize_weights({"dre": 1.0}, OBJECTIVE_NAMES)
+        zeros = {name: 0.0 for name in OBJECTIVE_NAMES}
+        with pytest.raises(ValueError):
+            normalize_weights(zeros, OBJECTIVE_NAMES)
+        negative = dict(DEFAULT_WEIGHTS, dre=-1.0)
+        with pytest.raises(ValueError):
+            normalize_weights(negative, OBJECTIVE_NAMES)

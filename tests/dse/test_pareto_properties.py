@@ -1,0 +1,102 @@
+"""Property tests (hypothesis) for Pareto dominance and sorting.
+
+The frontier the campaign reports is only meaningful if dominance is a
+strict partial order and the frontier is exactly the nondominated set —
+these properties are pinned over random objective matrices.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import (
+    crowding_distance,
+    dominates,
+    nondominated_sort,
+    pareto_frontier,
+)
+
+
+def _matrix(seed, n, m):
+    rng = np.random.default_rng(seed)
+    # Quantize so exact ties (the tricky dominance cases) actually occur.
+    return np.round(rng.uniform(0.0, 1.0, size=(n, m)), 1)
+
+
+matrices = st.builds(
+    _matrix,
+    seed=st.integers(0, 10_000),
+    n=st.integers(1, 30),
+    m=st.integers(1, 4),
+)
+
+
+class TestDominance:
+    @given(objectives=matrices)
+    @settings(max_examples=100, deadline=None)
+    def test_antisymmetric_and_irreflexive(self, objectives):
+        for a in objectives:
+            assert not dominates(a, a)
+        for a in objectives:
+            for b in objectives:
+                assert not (dominates(a, b) and dominates(b, a))
+
+    @given(objectives=matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_transitive(self, objectives):
+        rows = objectives[:8]
+        for a in rows:
+            for b in rows:
+                for c in rows:
+                    if dominates(a, b) and dominates(b, c):
+                        assert dominates(a, c)
+
+
+class TestFrontier:
+    @given(objectives=matrices)
+    @settings(max_examples=100, deadline=None)
+    def test_frontier_is_exactly_the_nondominated_set(self, objectives):
+        frontier = set(pareto_frontier(objectives))
+        for i in range(objectives.shape[0]):
+            dominated = any(
+                dominates(objectives[j], objectives[i])
+                for j in range(objectives.shape[0])
+                if j != i
+            )
+            assert (i in frontier) == (not dominated)
+
+    @given(objectives=matrices)
+    @settings(max_examples=100, deadline=None)
+    def test_frontier_nonempty_and_minimal(self, objectives):
+        frontier = pareto_frontier(objectives)
+        assert len(frontier) >= 1
+        # No frontier member dominates another frontier member.
+        for i in frontier:
+            for j in frontier:
+                assert not dominates(objectives[i], objectives[j])
+
+    @given(objectives=matrices)
+    @settings(max_examples=100, deadline=None)
+    def test_fronts_agree_with_frontier(self, objectives):
+        ranks = nondominated_sort(objectives)
+        assert set(np.flatnonzero(ranks == 0)) == set(
+            pareto_frontier(objectives)
+        )
+        # Peeling front 0 leaves front 1 as the new frontier.
+        rest = np.flatnonzero(ranks > 0)
+        if rest.size:
+            inner = pareto_frontier(objectives[rest])
+            assert set(rest[inner]) == set(np.flatnonzero(ranks == 1))
+
+    @given(objectives=matrices)
+    @settings(max_examples=100, deadline=None)
+    def test_crowding_boundaries_are_infinite(self, objectives):
+        crowding = crowding_distance(objectives)
+        assert crowding.shape == (objectives.shape[0],)
+        assert np.all(crowding >= 0.0)
+        if objectives.shape[0] <= 2:
+            assert np.all(np.isinf(crowding))
+        else:
+            # A row achieving each objective's minimum is on the boundary.
+            best = objectives[:, 0] == objectives[:, 0].min()
+            assert np.any(np.isinf(crowding[best]))

@@ -1,0 +1,95 @@
+"""HTML frontier report tests: self-contained, parseable, deterministic."""
+
+import json
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.dse import (
+    CampaignConfig,
+    GAConfig,
+    render_report,
+    save_campaign,
+    save_report,
+    search_campaign,
+)
+from repro.engine import ArtifactCache
+
+
+class _Auditor(HTMLParser):
+    """Counts structure and rejects external references."""
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.tags = []
+        self.external = []
+        self.errors = []
+
+    def handle_starttag(self, tag, attrs):
+        self.tags.append(tag)
+        attrs = dict(attrs)
+        for key in ("src", "href"):
+            value = attrs.get(key)
+            if value and not value.startswith("#"):
+                self.external.append((tag, value))
+
+
+@pytest.fixture(scope="module")
+def payload(substrate, tmp_path_factory):
+    config = CampaignConfig(
+        platform="atom",
+        workload="sort",
+        machines=2,
+        runs=2,
+        seed=3,
+        ranking="catalog",
+        probe_seconds=5,
+        ga=GAConfig(population=6, generations=2, elites=1),
+    )
+    result = search_campaign(
+        config,
+        substrate=substrate,
+        jobs=1,
+        cache=ArtifactCache(tmp_path_factory.mktemp("cache")),
+    )
+    path = tmp_path_factory.mktemp("out") / "campaign.json"
+    save_campaign(result, path)
+    return json.loads(path.read_text())
+
+
+class TestRenderReport:
+    def test_parses_and_is_self_contained(self, payload):
+        html = render_report(payload)
+        auditor = _Auditor()
+        auditor.feed(html)
+        auditor.close()
+        assert auditor.external == []  # no scripts/styles fetched
+        assert "svg" in auditor.tags
+        assert "table" in auditor.tags
+        assert "style" in auditor.tags
+        assert "script" in auditor.tags
+
+    def test_all_objective_pairs_are_plotted(self, payload):
+        html = render_report(payload)
+        # C(4, 2) pairwise projections of the objective space.
+        assert html.count("<svg") == 6
+
+    def test_candidates_and_provenance_appear(self, payload):
+        html = render_report(payload)
+        for digest in payload["frontier"]:
+            assert digest[:10] in html
+        assert payload["space_digest"][:12] in html
+        assert payload["substrate"]["runs_digest"][:12] in html
+        assert "atom" in html and "sort" in html
+
+    def test_rendering_is_a_pure_function(self, payload):
+        assert render_report(payload) == render_report(payload)
+        # Volatile run telemetry must not leak into the bytes.
+        clone = dict(payload)
+        clone["run"] = {"engine": {"tasks": -1}}
+        assert render_report(clone) == render_report(payload)
+
+    def test_save_report_writes_the_rendering(self, payload, tmp_path):
+        path = tmp_path / "report.html"
+        save_report(payload, path)
+        assert path.read_text() == render_report(payload)

@@ -1,0 +1,168 @@
+"""Campaign runner tests: screening, search, ranking, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.dse import (
+    OBJECTIVE_NAMES,
+    CampaignConfig,
+    GAConfig,
+    load_campaign,
+    rank_candidates,
+    save_campaign,
+    screen_campaign,
+    search_campaign,
+)
+from repro.engine import ArtifactCache
+
+
+def _config(**ga_overrides) -> CampaignConfig:
+    ga = dict(population=6, generations=2, elites=1)
+    ga.update(ga_overrides)
+    return CampaignConfig(
+        platform="atom",
+        workload="sort",
+        machines=2,
+        runs=2,
+        seed=3,
+        ranking="catalog",
+        probe_seconds=5,
+        ga=GAConfig(**ga),
+    )
+
+
+@pytest.fixture(scope="module")
+def campaign(substrate, tmp_path_factory):
+    cache = ArtifactCache(tmp_path_factory.mktemp("cache"))
+    return search_campaign(
+        _config(), substrate=substrate, jobs=1, cache=cache
+    )
+
+
+class TestScreen:
+    def test_screen_ranks_every_factor(self, substrate, tmp_path):
+        result = screen_campaign(
+            _config(),
+            substrate=substrate,
+            jobs=1,
+            cache=ArtifactCache(tmp_path / "cache"),
+        )
+        assert {f.name for f in result.factors} == {
+            "model",
+            "features",
+            "n_counters",
+            "train_fraction",
+        }
+        strengths = [f.strength for f in result.factors]
+        assert strengths == sorted(strengths, reverse=True)
+        assert result.n_feasible > 0
+        assert result.n_runs_evaluated >= 8  # 2^3 runs for 4 factors
+        payload = result.to_payload()
+        assert payload["kind"] == "dse-screen"
+        assert len(payload["factors"]) == 4
+
+
+class TestSearch:
+    def test_campaign_shape(self, campaign):
+        assert campaign.candidates
+        assert campaign.frontier
+        assert set(campaign.frontier) <= set(campaign.candidates)
+        assert len(campaign.history) == 2
+        for digest, verdict in campaign.candidates.items():
+            assert "params" in verdict
+            if verdict["feasible"]:
+                assert set(verdict["objectives"]) == set(OBJECTIVE_NAMES)
+        # MCDM covers exactly the feasible candidates, best first.
+        feasible = [
+            d
+            for d, v in campaign.candidates.items()
+            if v["feasible"]
+        ]
+        assert {row["digest"] for row in campaign.mcdm} == set(feasible)
+        scores = [row["score"] for row in campaign.mcdm]
+        assert scores == sorted(scores)
+
+    def test_frontier_digests_are_mcdm_competitive(self, campaign):
+        # The best MCDM candidate is always on the Pareto frontier.
+        assert campaign.mcdm[0]["digest"] in campaign.frontier
+
+    def test_telemetry_counts_the_evaluations(self, campaign):
+        summary = campaign.run_info()["engine"]
+        assert summary["tasks"] == len(campaign.candidates)
+        assert summary["computed"] == len(campaign.candidates)
+        assert summary["cache_hits"] == 0
+
+    def test_payload_round_trip(self, campaign, tmp_path):
+        path = tmp_path / "campaign.json"
+        save_campaign(campaign, path)
+        loaded = load_campaign(path)
+        volatile = loaded.pop("run")
+        assert volatile["engine"]["tasks"] == len(campaign.candidates)
+        assert loaded == campaign.to_payload()
+
+    def test_load_rejects_foreign_payloads(self, tmp_path):
+        import json
+
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "not-a-campaign"}))
+        with pytest.raises(ValueError):
+            load_campaign(path)
+
+    def test_warm_rerun_is_bit_identical(
+        self, campaign, substrate, tmp_path
+    ):
+        cache = ArtifactCache(tmp_path / "cache")
+        cold = search_campaign(
+            _config(), substrate=substrate, jobs=1, cache=cache
+        )
+        warm = search_campaign(
+            _config(), substrate=substrate, jobs=1, cache=cache
+        )
+        assert warm.telemetry.hit_rate == 1.0
+        assert warm.payload_digest() == cold.payload_digest()
+        # And independent of the cache it ran against.
+        assert cold.payload_digest() == campaign.payload_digest()
+
+    def test_budget_is_recorded(self, substrate, tmp_path):
+        result = search_campaign(
+            _config(generations=5, budget=8),
+            substrate=substrate,
+            jobs=1,
+            cache=ArtifactCache(tmp_path / "cache"),
+        )
+        assert result.exhausted_budget
+        assert result.to_payload()["exhausted_budget"]
+        assert len(result.candidates) <= 8
+
+
+class TestRankCandidates:
+    def test_empty_when_nothing_feasible(self):
+        candidates = {
+            "a": {"feasible": False, "reason": "nope"},
+        }
+        frontier, mcdm = rank_candidates(
+            candidates, {name: 1.0 for name in OBJECTIVE_NAMES}
+        )
+        assert frontier == []
+        assert mcdm == []
+
+    def test_weights_change_the_order_not_the_frontier(self, campaign):
+        accuracy_first = dict.fromkeys(OBJECTIVE_NAMES, 0.0)
+        accuracy_first["dre"] = 1.0
+        frontier_a, mcdm_a = rank_candidates(
+            campaign.candidates, accuracy_first
+        )
+        cheap_first = dict.fromkeys(OBJECTIVE_NAMES, 0.0)
+        cheap_first["overhead"] = 1.0
+        frontier_b, mcdm_b = rank_candidates(
+            campaign.candidates, cheap_first
+        )
+        assert frontier_a == frontier_b == campaign.frontier
+        best_dre = campaign.candidates[mcdm_a[0]["digest"]]
+        for row in mcdm_a[1:]:
+            other = campaign.candidates[row["digest"]]
+            assert (
+                best_dre["objectives"]["dre"]
+                <= other["objectives"]["dre"] + 1e-12
+            )
+        assert np.isclose(mcdm_b[0]["score"], 0.0)

@@ -1,0 +1,141 @@
+"""Unit tests for the declarative design space."""
+
+import numpy as np
+import pytest
+
+from repro.dse import (
+    Categorical,
+    DesignSpace,
+    FloatRange,
+    IntRange,
+    SpaceError,
+)
+
+
+def _toy_space() -> DesignSpace:
+    return DesignSpace(
+        [
+            Categorical("model", ("L", "P", "Q")),
+            Categorical("features", ("U", "C")),
+            IntRange("n_counters", 2, 8, when=("features", ("C",))),
+            FloatRange("train_fraction", 0.2, 0.9),
+        ]
+    )
+
+
+class TestParameters:
+    def test_categorical_rejects_degenerate_choices(self):
+        with pytest.raises(SpaceError):
+            Categorical("x", ("only",))
+        with pytest.raises(SpaceError):
+            Categorical("x", ("a", "a"))
+
+    def test_ranges_reject_inverted_bounds(self):
+        with pytest.raises(SpaceError):
+            IntRange("x", 5, 5)
+        with pytest.raises(SpaceError):
+            FloatRange("x", 1.0, 0.5)
+
+    def test_contains_is_type_strict(self):
+        assert IntRange("x", 0, 3).contains(2)
+        assert not IntRange("x", 0, 3).contains(True)
+        assert not IntRange("x", 0, 3).contains(2.0)
+        assert FloatRange("x", 0.0, 1.0).contains(0.5)
+        assert not FloatRange("x", 0.0, 1.0).contains(2.0)
+
+    def test_float_samples_are_rounded_and_in_bounds(self):
+        parameter = FloatRange("x", 0.2, 0.9)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            value = parameter.sample(rng)
+            assert parameter.contains(value)
+            assert value == round(value, FloatRange.DECIMALS)
+
+    def test_screening_levels(self):
+        assert Categorical("m", ("L", "P", "Q")).screening_levels() == (
+            "L",
+            "Q",
+        )
+        assert IntRange("n", 2, 8).screening_levels() == (2, 8)
+
+
+class TestDesignSpace:
+    def test_rejects_duplicate_names_and_forward_when(self):
+        with pytest.raises(SpaceError):
+            DesignSpace(
+                [Categorical("a", ("x", "y")), IntRange("a", 0, 1)]
+            )
+        with pytest.raises(SpaceError):
+            DesignSpace(
+                [
+                    IntRange("early", 0, 3, when=("late", (1,))),
+                    IntRange("late", 0, 3),
+                ]
+            )
+
+    def test_sample_validates(self):
+        space = _toy_space()
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            space.validate(space.sample(rng))
+
+    def test_normalize_drops_inactive_genes(self):
+        space = _toy_space()
+        genotype = {
+            "model": "L",
+            "features": "U",
+            "n_counters": 5,
+            "train_fraction": 0.5,
+        }
+        phenotype = space.normalize(genotype)
+        assert "n_counters" not in phenotype
+        assert list(phenotype) == ["model", "features", "train_fraction"]
+
+    def test_inactive_genes_share_one_digest(self):
+        space = _toy_space()
+        base = {"model": "L", "features": "U", "train_fraction": 0.5}
+        a = dict(base, n_counters=2)
+        b = dict(base, n_counters=8)
+        assert space.candidate_digest(a) == space.candidate_digest(b)
+        active = dict(base, features="C", n_counters=2)
+        assert space.candidate_digest(active) != space.candidate_digest(a)
+
+    def test_validate_errors(self):
+        space = _toy_space()
+        with pytest.raises(SpaceError):
+            space.validate({"model": "L", "train_fraction": 0.5})
+        with pytest.raises(SpaceError):
+            space.validate(
+                {
+                    "model": "nope",
+                    "features": "U",
+                    "train_fraction": 0.5,
+                }
+            )
+
+    def test_transitive_activation(self):
+        space = DesignSpace(
+            [
+                Categorical("a", ("on", "off")),
+                Categorical("b", ("x", "y"), when=("a", ("on",))),
+                IntRange("c", 0, 3, when=("b", ("x",))),
+            ]
+        )
+        assert space.is_active("c", {"a": "on", "b": "x"})
+        # b inactive => c inactive, whatever b's (stale) gene says.
+        assert not space.is_active("c", {"a": "off", "b": "x"})
+
+    def test_config_round_trip_preserves_digest(self):
+        space = _toy_space()
+        clone = DesignSpace.from_config(space.to_config())
+        assert clone.digest() == space.digest()
+        assert clone.names == space.names
+
+    def test_sample_valid_respects_constraint(self):
+        space = _toy_space()
+        rng = np.random.default_rng(11)
+        constraint = lambda p: p["model"] != "Q"  # noqa: E731
+        for _ in range(20):
+            assert constraint(
+                space.normalize(space.sample_valid(rng, constraint))
+            )
